@@ -1,0 +1,47 @@
+// Command hetbench regenerates the paper's tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	hetbench -list
+//	hetbench -exp figure4
+//	hetbench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetpipe/internal/experiment"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment name (see -list) or 'all'")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiment.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *exp == "all" {
+		reports, err := experiment.RunAll()
+		for _, r := range reports {
+			fmt.Println(r)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	r, err := experiment.Run(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(r)
+}

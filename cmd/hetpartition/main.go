@@ -1,0 +1,45 @@
+// Command hetpartition prints the Section 7 partition plan for a model on a
+// virtual worker GPU mix, at one or more Nm values.
+//
+// Usage:
+//
+//	hetpartition -model resnet152 -spec VRGQ -nm 1,4,7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hetpipe"
+)
+
+func main() {
+	modelName := flag.String("model", "vgg19", "DNN model: vgg19 or resnet152")
+	spec := flag.String("spec", "VRGQ", "virtual worker GPU types, e.g. VVQQ")
+	nms := flag.String("nm", "1,4", "comma-separated Nm values")
+	batch := flag.Int("batch", 32, "minibatch size")
+	flag.Parse()
+
+	for _, raw := range strings.Split(*nms, ",") {
+		nm, err := strconv.Atoi(strings.TrimSpace(raw))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad Nm %q: %v\n", raw, err)
+			os.Exit(1)
+		}
+		plan, err := hetpipe.Plan(*modelName, *spec, nm, *batch)
+		if err != nil {
+			fmt.Printf("%s on %s, Nm=%d: %v\n", *modelName, *spec, nm, err)
+			continue
+		}
+		fmt.Printf("%s on %s, Nm=%d (bottleneck %.1f ms, upper bound %.0f samples/s):\n",
+			*modelName, *spec, nm, plan.Bottleneck*1e3, float64(*batch)/plan.Bottleneck)
+		for s, st := range plan.Stages {
+			fmt.Printf("  stage %d on %-10s layers [%3d,%3d)  exec %6.1f ms  mem %5.2f/%5.2f GiB\n",
+				s+1, st.GPU, st.Layers[0], st.Layers[1], st.ExecTime*1e3,
+				float64(st.MemoryBytes)/float64(1<<30), float64(st.MemoryCap)/float64(1<<30))
+		}
+	}
+}

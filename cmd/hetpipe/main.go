@@ -1,0 +1,87 @@
+// Command hetpipe simulates one HetPipe deployment on the paper's 16-GPU
+// heterogeneous cluster and reports throughput, partition plans, and
+// synchronization overhead.
+//
+// Usage:
+//
+//	hetpipe -model vgg19 -policy ED -local -d 4
+//	hetpipe -model resnet152 -specs VRQ,VRQ,VRQ,VRQ -nm 4
+//	hetpipe -model vgg19 -horovod
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hetpipe"
+)
+
+func main() {
+	modelName := flag.String("model", "vgg19", "DNN model: vgg19 or resnet152")
+	policy := flag.String("policy", "ED", "allocation policy: NP, ED, or HD")
+	specs := flag.String("specs", "", "explicit VW specs, comma separated (e.g. VRQ,VRQ,VRQ,VRQ); overrides -policy")
+	nm := flag.Int("nm", 0, "concurrent minibatches per VW (0 = auto)")
+	d := flag.Int("d", 0, "WSP clock distance bound D")
+	batch := flag.Int("batch", 32, "minibatch size")
+	local := flag.Bool("local", false, "use local parameter placement (ED only)")
+	horovod := flag.Bool("horovod", false, "run the Horovod baseline instead")
+	gantt := flag.Bool("gantt", false, "print the pipeline schedule of VW 0")
+	flag.Parse()
+
+	if *horovod {
+		b, err := hetpipe.Horovod(*modelName, *batch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("Horovod %s: %.0f samples/s over %d workers\n", *modelName, b.Throughput, b.Workers)
+		if len(b.Excluded) > 0 {
+			fmt.Printf("excluded (model too large): %s\n", strings.Join(b.Excluded, ", "))
+		}
+		return
+	}
+
+	cfg := hetpipe.Config{
+		Model:          *modelName,
+		Policy:         *policy,
+		Batch:          *batch,
+		Nm:             *nm,
+		D:              *d,
+		LocalPlacement: *local,
+	}
+	if *specs != "" {
+		cfg.Specs = strings.Split(*specs, ",")
+		cfg.Policy = ""
+	}
+	res, err := hetpipe.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("HetPipe %s: %.0f samples/s aggregate (Nm=%d, slocal=%d, D=%d, sglobal=%d)\n",
+		*modelName, res.Throughput, res.Nm, res.Nm-1, *d, res.SGlobal)
+	for i, tp := range res.PerVW {
+		fmt.Printf("  VW%d [%s]: %.0f samples/s\n", i+1, res.VirtualWorkers[i], tp)
+	}
+	fmt.Printf("  waiting %.1fs, idle %.1fs across VWs\n", res.Waiting, res.Idle)
+	for i, plan := range res.Plans {
+		fmt.Printf("  VW%d partition (bottleneck %.1f ms):\n", i+1, plan.Bottleneck*1e3)
+		for s, st := range plan.Stages {
+			fmt.Printf("    stage %d on %-10s layers [%3d,%3d)  exec %6.1f ms  mem %5.2f/%5.2f GiB\n",
+				s+1, st.GPU, st.Layers[0], st.Layers[1], st.ExecTime*1e3,
+				float64(st.MemoryBytes)/float64(1<<30), float64(st.MemoryCap)/float64(1<<30))
+		}
+	}
+	if *gantt {
+		spec := res.VirtualWorkers[0]
+		g, err := hetpipe.Gantt(*modelName, spec, res.Nm, 4*res.Nm, 110)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("\npipeline schedule (VW 1):")
+		fmt.Print(g)
+	}
+}

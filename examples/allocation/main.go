@@ -1,0 +1,51 @@
+// Allocation study (the Figure 4 scenario): how the choice of resource
+// allocation policy — NP, ED, ED with local parameter placement, HD —
+// changes aggregate throughput relative to Horovod, for both evaluation
+// models, at D=0.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetpipe"
+)
+
+func main() {
+	for _, model := range []string{"resnet152", "vgg19"} {
+		fmt.Printf("%s:\n", model)
+		base, err := hetpipe.Horovod(model, 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		note := ""
+		if len(base.Excluded) > 0 {
+			note = fmt.Sprintf("  (%d GPUs excluded: model too large)", len(base.Excluded))
+		}
+		fmt.Printf("  %-9s %7.0f samples/s%s\n", "Horovod", base.Throughput, note)
+
+		for _, cfg := range []struct {
+			label  string
+			policy string
+			local  bool
+		}{
+			{"NP", "NP", false},
+			{"ED", "ED", false},
+			{"ED-local", "ED", true},
+			{"HD", "HD", false},
+		} {
+			res, err := hetpipe.Run(hetpipe.Config{
+				Model:          model,
+				Policy:         cfg.policy,
+				LocalPlacement: cfg.local,
+			})
+			if err != nil {
+				fmt.Printf("  %-9s failed: %v\n", cfg.label, err)
+				continue
+			}
+			fmt.Printf("  %-9s %7.0f samples/s  (Nm=%d, waiting %.1fs, idle %.1fs)\n",
+				cfg.label, res.Throughput, res.Nm, res.Waiting, res.Idle)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,27 @@
+// Convergence study (the Figure 6 scenario): real numeric SGD under the WSP
+// synchronization schedule, co-simulated with cluster timing. Compares
+// Horovod against HetPipe at several clock-distance bounds D and prints the
+// loss trajectory of each run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetpipe"
+)
+
+func main() {
+	out, err := hetpipe.RunExperiment("figure6")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+
+	fmt.Println()
+	out, err = hetpipe.RunExperiment("syncoverhead")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}

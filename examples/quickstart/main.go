@@ -1,0 +1,34 @@
+// Quickstart: train VGG-19 on the paper's 16-GPU heterogeneous cluster with
+// the ED allocation policy and local parameter placement (the paper's best
+// configuration), and compare against the Horovod baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetpipe"
+)
+
+func main() {
+	res, err := hetpipe.Run(hetpipe.Config{
+		Model:          "vgg19",
+		Policy:         "ED",
+		LocalPlacement: true,
+		D:              0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HetPipe ED-local VGG-19: %.0f samples/s aggregate (Nm=%d)\n", res.Throughput, res.Nm)
+	for i, tp := range res.PerVW {
+		fmt.Printf("  virtual worker %d [%s]: %.0f samples/s\n", i+1, res.VirtualWorkers[i], tp)
+	}
+
+	base, err := hetpipe.Horovod("vgg19", 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Horovod baseline: %.0f samples/s over %d workers\n", base.Throughput, base.Workers)
+	fmt.Printf("speedup: %.2fx\n", res.Throughput/base.Throughput)
+}

@@ -1,0 +1,295 @@
+// Package hetpipe is a reproduction of "HetPipe: Enabling Large DNN Training
+// on (Whimpy) Heterogeneous GPU Clusters through Integration of Pipelined
+// Model Parallelism and Data Parallelism" (Park et al., USENIX ATC 2020) as
+// a Go library over a discrete-event cluster simulator.
+//
+// The library models the paper's heterogeneous testbed (four nodes of TITAN
+// V / TITAN RTX / GeForce RTX 2060 / Quadro P4000 GPUs), partitions DNN
+// models (full VGG-19 and ResNet-152 graphs ship in the model zoo) across
+// virtual workers of possibly whimpy GPUs, executes pipelined model
+// parallelism within each virtual worker, and synchronizes virtual workers
+// through the Wave Synchronous Parallel (WSP) protocol with a configurable
+// clock-distance bound D. A Horovod-style all-reduce BSP baseline, real
+// numeric convergence co-simulation, and regenerators for every table and
+// figure of the paper's evaluation are included.
+//
+// Quick start:
+//
+//	res, err := hetpipe.Run(hetpipe.Config{
+//		Model:          "vgg19",
+//		Policy:         "ED",
+//		LocalPlacement: true,
+//	})
+//
+// See examples/ for complete programs and cmd/hetbench for the experiment
+// harness.
+package hetpipe
+
+import (
+	"fmt"
+	"strings"
+
+	"hetpipe/internal/core"
+	"hetpipe/internal/experiment"
+	"hetpipe/internal/hw"
+	"hetpipe/internal/model"
+	"hetpipe/internal/partition"
+	"hetpipe/internal/pipeline"
+	"hetpipe/internal/profile"
+	"hetpipe/internal/trace"
+)
+
+// Config selects a HetPipe deployment on the paper's 16-GPU cluster.
+type Config struct {
+	// Model names the DNN: "vgg19" or "resnet152".
+	Model string
+	// Policy selects a Table 3 allocation: "NP", "ED", or "HD". Leave empty
+	// to use Specs instead.
+	Policy string
+	// Specs gives explicit virtual-worker GPU type strings (e.g.
+	// ["VRQ","VRQ","VRQ","VRQ"]), overriding Policy.
+	Specs []string
+	// Batch is the per-minibatch sample count; 0 defaults to 32.
+	Batch int
+	// Nm is the number of concurrent minibatches per virtual worker;
+	// 0 picks the throughput-maximizing value automatically.
+	Nm int
+	// D is the WSP clock-distance bound (0 = BSP-like waves).
+	D int
+	// LocalPlacement co-locates parameter shards with pipeline stages
+	// (the paper's ED-local policy). Requires stage/node alignment.
+	LocalPlacement bool
+	// MinibatchesPerVW sizes the simulation; 0 defaults to 24*Nm.
+	MinibatchesPerVW int
+}
+
+// Result summarizes a simulated HetPipe deployment.
+type Result struct {
+	// Throughput is the aggregate samples/second across virtual workers.
+	Throughput float64
+	// PerVW lists each virtual worker's throughput.
+	PerVW []float64
+	// Nm is the concurrent-minibatch count used (auto-chosen when
+	// Config.Nm was 0); SLocal = Nm-1 is the local staleness bound.
+	Nm int
+	// SGlobal is the WSP global staleness bound for this configuration.
+	SGlobal int
+	// Waiting and Idle decompose synchronization overhead (seconds summed
+	// over virtual workers; idle is the unhidden part).
+	Waiting, Idle float64
+	// VirtualWorkers describes each VW's GPU mix.
+	VirtualWorkers []string
+	// Plans carries the per-VW partition plans for inspection.
+	Plans []*PlanView
+}
+
+// PlanView is a read-only view of one virtual worker's partition plan.
+type PlanView struct {
+	GPUs       []string
+	Stages     []StageView
+	Bottleneck float64
+}
+
+// StageView describes one pipeline stage.
+type StageView struct {
+	GPU         string
+	Layers      [2]int // [lo, hi)
+	ExecTime    float64
+	MemoryBytes int64
+	MemoryCap   int64
+}
+
+func (c *Config) system() (*core.System, *hw.Allocation, error) {
+	m, err := model.ByName(c.Model)
+	if err != nil {
+		return nil, nil, err
+	}
+	batch := c.Batch
+	if batch == 0 {
+		batch = 32
+	}
+	cluster := hw.Paper()
+	sys, err := core.NewSystem(cluster, m, profile.Default(), batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	var alloc *hw.Allocation
+	switch {
+	case len(c.Specs) > 0:
+		alloc, err = hw.AllocateByTypes(cluster, c.Specs)
+	case c.Policy != "":
+		var p hw.Policy
+		switch strings.ToUpper(c.Policy) {
+		case "NP":
+			p = hw.NodePartition
+		case "ED":
+			p = hw.EqualDistribution
+		case "HD":
+			p = hw.HybridDistribution
+		default:
+			return nil, nil, fmt.Errorf("hetpipe: unknown policy %q (want NP, ED, or HD)", c.Policy)
+		}
+		alloc, err = hw.Allocate(cluster, p)
+	default:
+		return nil, nil, fmt.Errorf("hetpipe: set Policy or Specs")
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, alloc, nil
+}
+
+// Run deploys and simulates the configuration.
+func Run(c Config) (*Result, error) {
+	sys, alloc, err := c.system()
+	if err != nil {
+		return nil, err
+	}
+	placement := core.PlacementDefault
+	if c.LocalPlacement {
+		placement = core.PlacementLocal
+	}
+	dep, err := sys.Deploy(alloc, c.Nm, c.D, placement)
+	if err != nil {
+		return nil, err
+	}
+	mbs := c.MinibatchesPerVW
+	if mbs == 0 {
+		mbs = 24 * dep.Nm
+	}
+	mr, err := dep.SimulateWSP(mbs, 4*dep.Nm)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Throughput: mr.Aggregate,
+		PerVW:      mr.PerVW,
+		Nm:         dep.Nm,
+		SGlobal:    (c.D+1)*dep.Nm + dep.Nm - 2,
+		Waiting:    mr.Waiting,
+		Idle:       mr.Idle,
+	}
+	for _, vp := range dep.VWs {
+		res.VirtualWorkers = append(res.VirtualWorkers, vp.VW.TypeString())
+		res.Plans = append(res.Plans, planView(vp.Plan))
+	}
+	return res, nil
+}
+
+func planView(p *partition.Plan) *PlanView {
+	v := &PlanView{Bottleneck: p.Bottleneck}
+	for i := range p.Stages {
+		s := &p.Stages[i]
+		v.GPUs = append(v.GPUs, s.GPU.Name())
+		v.Stages = append(v.Stages, StageView{
+			GPU:         s.GPU.Name(),
+			Layers:      [2]int{s.Lo, s.Hi},
+			ExecTime:    s.ExecTime(),
+			MemoryBytes: s.MemoryBytes,
+			MemoryCap:   s.MemoryCap,
+		})
+	}
+	return v
+}
+
+// Baseline summarizes the Horovod (all-reduce BSP) comparison point.
+type Baseline struct {
+	Throughput float64
+	Workers    int
+	// Excluded lists GPUs whose memory cannot hold the whole model.
+	Excluded []string
+}
+
+// Horovod evaluates the DP baseline for a model on the full cluster.
+func Horovod(modelName string, batch int) (*Baseline, error) {
+	m, err := model.ByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	if batch == 0 {
+		batch = 32
+	}
+	sys, err := core.NewSystem(hw.Paper(), m, profile.Default(), batch)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := sys.Horovod(nil)
+	if err != nil {
+		return nil, err
+	}
+	b := &Baseline{Throughput: hr.Throughput, Workers: len(hr.Workers)}
+	for _, g := range hr.Excluded {
+		b.Excluded = append(b.Excluded, g.Name())
+	}
+	return b, nil
+}
+
+// Plan partitions a model onto a single virtual worker described by a GPU
+// type string (e.g. "VRGQ") with Nm concurrent minibatches, without running
+// a simulation — the partitioning-study entry point.
+func Plan(modelName, spec string, nm, batch int) (*PlanView, error) {
+	m, err := model.ByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	if batch == 0 {
+		batch = 32
+	}
+	if nm == 0 {
+		nm = 1
+	}
+	cluster := hw.Paper()
+	alloc, err := hw.AllocateByTypes(cluster, []string{spec})
+	if err != nil {
+		return nil, err
+	}
+	plan, err := partition.New(profile.Default()).Partition(cluster, m, alloc.VWs[0], nm, batch)
+	if err != nil {
+		return nil, err
+	}
+	return planView(plan), nil
+}
+
+// Gantt simulates one virtual worker and renders its pipeline schedule as an
+// ASCII chart (the Figure 1 view). width is the chart width in columns.
+func Gantt(modelName, spec string, nm, minibatches, width int) (string, error) {
+	m, err := model.ByName(modelName)
+	if err != nil {
+		return "", err
+	}
+	cluster := hw.Paper()
+	sys, err := core.NewSystem(cluster, m, profile.Default(), 32)
+	if err != nil {
+		return "", err
+	}
+	alloc, err := hw.AllocateByTypes(cluster, []string{spec})
+	if err != nil {
+		return "", err
+	}
+	plan, err := partition.New(profile.Default()).Partition(cluster, m, alloc.VWs[0], nm, 32)
+	if err != nil {
+		return "", err
+	}
+	tr := trace.New(len(plan.Stages))
+	if _, err := pipeline.Run(pipeline.Config{
+		Plan: plan, Cluster: cluster, Perf: sys.Perf,
+		Minibatches: minibatches, Warmup: 1, Trace: tr,
+	}); err != nil {
+		return "", err
+	}
+	return tr.Gantt(width), nil
+}
+
+// Experiments lists the paper-reproduction experiments available through
+// RunExperiment (tables, figures, and analyses of Section 8).
+func Experiments() []string { return experiment.Names() }
+
+// RunExperiment regenerates one paper table or figure and returns its
+// formatted report.
+func RunExperiment(name string) (string, error) {
+	r, err := experiment.Run(name)
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}

@@ -1,0 +1,231 @@
+// Package convergence implements the Section 6 analysis machinery: the
+// Theorem 1 regret bound for distributed pipeline-staleness SGD under WSP,
+// and an empirical harness that runs the actual WSP update schedule on a
+// convex L-Lipschitz problem and verifies the measured regret sits under the
+// bound.
+//
+// Notation follows the paper: N virtual workers, s_l = slocal+1 (wave size),
+// s_g = sglobal, constants L (bounded subgradients, Assumption 1) and M
+// (bounded distances, Assumption 2), and step size eta_t = sigma/sqrt(t)
+// with sigma = M / (L*sqrt((2 s_g + s_l) N)).
+package convergence
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hetpipe/internal/tensor"
+	"hetpipe/internal/wsp"
+)
+
+// Sigma is the Theorem 1 step-size constant.
+func Sigma(m, l float64, sg, sl, n int) float64 {
+	return m / (l * math.Sqrt(float64((2*sg+sl)*n)))
+}
+
+// Bound is the Theorem 1 regret bound: R[W] <= 4*M*L*sqrt((2 s_g + s_l)N/T).
+func Bound(m, l float64, sg, sl, n, t int) float64 {
+	return 4 * m * l * math.Sqrt(float64((2*sg+sl)*n)/float64(t))
+}
+
+// Config parameterizes an empirical regret measurement.
+type Config struct {
+	// Workers, SLocal, D define the WSP configuration.
+	Workers, SLocal, D int
+	// T is the total number of updates across workers.
+	T int
+	// Dim is the problem dimensionality.
+	Dim  int
+	Seed int64
+}
+
+// Result reports the measured regret against the theorem's bound.
+type Result struct {
+	// Regret is (1/T) sum_t f_t(w~_t) - f(w*).
+	Regret float64
+	// Bound is the Theorem 1 value computed with the measured M and L=1.
+	Bound float64
+	// M is the largest observed distance D(w~_t || w*).
+	M float64
+	// SGlobal echoes the WSP global staleness bound used.
+	SGlobal int
+	// T echoes the update count.
+	T int
+}
+
+// problem is absolute-loss linear regression: f_t(w) = |a_t . w - b_t| with
+// unit-norm a_t, so subgradients are bounded by L = 1 (Assumption 1) and the
+// objective is convex but not smooth — the weakest setting the theorem
+// covers.
+type problem struct {
+	a []tensor.Vector
+	b []float64
+}
+
+func newProblem(t, dim int, seed int64) *problem {
+	rng := rand.New(rand.NewSource(seed))
+	truth := tensor.NewVector(dim)
+	for i := range truth {
+		truth[i] = rng.NormFloat64() * 0.5
+	}
+	p := &problem{}
+	for i := 0; i < t; i++ {
+		a := tensor.NewVector(dim)
+		for j := range a {
+			a[j] = rng.NormFloat64()
+		}
+		if n := a.Norm2(); n > 0 {
+			a.Scale(1 / n)
+		}
+		p.a = append(p.a, a)
+		p.b = append(p.b, a.Dot(truth)+0.05*rng.NormFloat64())
+	}
+	return p
+}
+
+func (p *problem) loss(t int, w tensor.Vector) float64 {
+	return math.Abs(p.a[t].Dot(w) - p.b[t])
+}
+
+// grad writes the subgradient of f_t at w into out; its norm is <= 1.
+func (p *problem) grad(t int, w tensor.Vector, out tensor.Vector) {
+	copy(out, p.a[t])
+	if p.a[t].Dot(w)-p.b[t] < 0 {
+		out.Scale(-1)
+	}
+}
+
+// fullLoss is f(w) = (1/T) sum_t f_t(w).
+func (p *problem) fullLoss(w tensor.Vector) float64 {
+	var sum float64
+	for t := range p.a {
+		sum += p.loss(t, w)
+	}
+	return sum / float64(len(p.a))
+}
+
+// minimize approximates w* by running many full subgradient passes with a
+// decaying step — cheap and adequate for the small problems used here.
+func (p *problem) minimize(dim int) tensor.Vector {
+	w := tensor.NewVector(dim)
+	g := tensor.NewVector(dim)
+	sum := tensor.NewVector(dim)
+	for pass := 1; pass <= 300; pass++ {
+		sum.Zero()
+		for t := range p.a {
+			p.grad(t, w, g)
+			sum.AddInPlace(g)
+		}
+		w.AXPY(-0.5/float64(len(p.a))/math.Sqrt(float64(pass)), sum)
+	}
+	return w
+}
+
+// Measure runs the WSP update schedule (pipelined local staleness, wave
+// pushes, D-bounded pulls) on the convex problem with the Theorem 1 step
+// sizes and reports measured regret versus the bound.
+func Measure(cfg Config) (*Result, error) {
+	if cfg.T < cfg.Workers || cfg.Workers < 1 {
+		return nil, fmt.Errorf("convergence: need T >= workers >= 1")
+	}
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("convergence: dim must be positive")
+	}
+	params := wsp.Params{SLocal: cfg.SLocal, D: cfg.D, Workers: cfg.Workers}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	coord, err := wsp.NewCoordinator(params)
+	if err != nil {
+		return nil, err
+	}
+	prob := newProblem(cfg.T, cfg.Dim, cfg.Seed)
+	wstar := prob.minimize(cfg.Dim)
+	fstar := prob.fullLoss(wstar)
+
+	sg := params.SGlobal()
+	sl := params.WaveSize()
+	const lipschitz = 1.0
+	// sigma uses a provisional M; the bound is recomputed with the
+	// observed M afterwards (the theorem holds for any valid M >= sup
+	// distance, and sigma only scales the trajectory).
+	sigma := Sigma(1.0, lipschitz, sg, sl, cfg.Workers)
+
+	type worker struct {
+		wlocal   tensor.Vector
+		waveAcc  tensor.Vector
+		inflight []tensor.Vector // snapshots awaiting completion
+		next     int             // next local minibatch (1-based)
+	}
+	wglobal := tensor.NewVector(cfg.Dim)
+	ws := make([]*worker, cfg.Workers)
+	for i := range ws {
+		ws[i] = &worker{
+			wlocal:  tensor.NewVector(cfg.Dim),
+			waveAcc: tensor.NewVector(cfg.Dim),
+			next:    1,
+		}
+	}
+
+	g := tensor.NewVector(cfg.Dim)
+	var regretSum float64
+	maxDist := 0.0
+	t := 0 // global update counter
+
+	// Round-robin over workers: inject (snapshot) then, once the pipeline
+	// window fills, complete the oldest snapshot — exactly the local
+	// staleness pattern of Section 4.
+	for t < cfg.T {
+		progressed := false
+		for wi := 0; wi < cfg.Workers && t < cfg.T; wi++ {
+			w := ws[wi]
+			if !coord.CanStart(wi, w.next) {
+				continue
+			}
+			coord.Start(wi, w.next)
+			w.inflight = append(w.inflight, w.wlocal.Clone())
+			mb := w.next
+			w.next++
+			progressed = true
+			if len(w.inflight) <= params.SLocal {
+				continue // pipeline still filling: no completion yet
+			}
+			// Complete the oldest in-flight minibatch.
+			snap := w.inflight[0]
+			w.inflight = w.inflight[1:]
+			t++
+			eta := sigma / math.Sqrt(float64(t))
+			prob.grad(t-1, snap, g)
+			regretSum += prob.loss(t-1, snap)
+			if d := math.Sqrt(2 * snap.DistanceSquared(wstar)); d > maxDist {
+				maxDist = d
+			}
+			w.wlocal.AXPY(-eta, g)
+			w.waveAcc.AXPY(-eta, g)
+			if params.IsWaveEnd(mb - params.SLocal) {
+				// The completed minibatch closed its wave: push and pull.
+				wglobal.AddInPlace(w.waveAcc)
+				w.waveAcc.Zero()
+				coord.Push(wi)
+				w.wlocal = wglobal.Clone()
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("convergence: schedule deadlocked at t=%d", t)
+		}
+	}
+
+	regret := regretSum/float64(cfg.T) - fstar
+	m := maxDist
+	if m < 1e-9 {
+		m = 1e-9
+	}
+	return &Result{
+		Regret:  regret,
+		Bound:   Bound(m, lipschitz, sg, sl, cfg.Workers, cfg.T),
+		M:       m,
+		SGlobal: sg,
+		T:       cfg.T,
+	}, nil
+}

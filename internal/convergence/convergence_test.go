@@ -1,0 +1,93 @@
+package convergence
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBoundFormula(t *testing.T) {
+	// Hand-computed: 4*M*L*sqrt((2sg+sl)N/T).
+	got := Bound(2, 3, 6, 4, 4, 1024)
+	want := 4.0 * 2 * 3 * math.Sqrt(float64((2*6+4)*4)/1024.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Bound = %v, want %v", got, want)
+	}
+	// Bound shrinks with T and grows with staleness.
+	if Bound(1, 1, 6, 4, 4, 4000) >= Bound(1, 1, 6, 4, 4, 1000) {
+		t.Error("bound should shrink with T")
+	}
+	if Bound(1, 1, 22, 4, 4, 1000) <= Bound(1, 1, 6, 4, 4, 1000) {
+		t.Error("bound should grow with staleness")
+	}
+}
+
+func TestSigmaFormula(t *testing.T) {
+	got := Sigma(2, 4, 6, 4, 4)
+	want := 2 / (4 * math.Sqrt(float64((2*6+4)*4)))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Sigma = %v, want %v", got, want)
+	}
+}
+
+func TestMeasureRegretUnderBound(t *testing.T) {
+	// The headline Theorem 1 check: for several WSP configurations the
+	// measured regret of the actual staleness schedule sits under the bound.
+	configs := []Config{
+		{Workers: 1, SLocal: 0, D: 0, T: 2000, Dim: 10, Seed: 1}, // plain SGD
+		{Workers: 1, SLocal: 3, D: 0, T: 2000, Dim: 10, Seed: 2}, // pipeline staleness only
+		{Workers: 4, SLocal: 3, D: 0, T: 4000, Dim: 10, Seed: 3}, // BSP-like waves
+		{Workers: 4, SLocal: 3, D: 4, T: 4000, Dim: 10, Seed: 4}, // bounded global staleness
+		{Workers: 2, SLocal: 6, D: 32, T: 4000, Dim: 8, Seed: 5}, // the Figure 6 extreme
+	}
+	for _, cfg := range configs {
+		res, err := Measure(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if res.Regret > res.Bound {
+			t.Errorf("config %+v: regret %.4f exceeds bound %.4f", cfg, res.Regret, res.Bound)
+		}
+		if res.Regret < -0.05 {
+			t.Errorf("config %+v: regret %.4f is substantially negative (w* estimate broken?)", cfg, res.Regret)
+		}
+	}
+}
+
+func TestMeasureRegretShrinksWithT(t *testing.T) {
+	short, err := Measure(Config{Workers: 2, SLocal: 2, D: 1, T: 500, Dim: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Measure(Config{Workers: 2, SLocal: 2, D: 1, T: 8000, Dim: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Regret >= short.Regret {
+		t.Errorf("regret did not shrink with T: %.4f (T=500) vs %.4f (T=8000)", short.Regret, long.Regret)
+	}
+}
+
+func TestMeasureSGlobalEcho(t *testing.T) {
+	res, err := Measure(Config{Workers: 4, SLocal: 3, D: 0, T: 400, Dim: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SGlobal != 6 {
+		t.Errorf("sglobal = %d, want 6", res.SGlobal)
+	}
+	if res.T != 400 {
+		t.Errorf("T = %d, want 400", res.T)
+	}
+}
+
+func TestMeasureErrors(t *testing.T) {
+	if _, err := Measure(Config{Workers: 0, T: 10, Dim: 2}); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := Measure(Config{Workers: 4, T: 2, Dim: 2}); err == nil {
+		t.Error("T < workers accepted")
+	}
+	if _, err := Measure(Config{Workers: 1, T: 10, Dim: 0}); err == nil {
+		t.Error("zero dim accepted")
+	}
+}

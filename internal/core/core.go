@@ -1,0 +1,297 @@
+// Package core is HetPipe itself: it assembles the substrates into the
+// system of Figure 2. Given a cluster, a DNN model, and a resource
+// allocation policy, it builds virtual workers, partitions the model onto
+// each (Section 7), chooses the number of concurrent minibatches Nm
+// (Section 4), and simulates data parallelism across the virtual workers
+// under the WSP synchronization model (Section 5) against parameter servers
+// with either the default round-robin or the ED-local shard placement.
+// It also provides the Horovod (all-reduce BSP) baseline the paper compares
+// against.
+package core
+
+import (
+	"fmt"
+
+	"hetpipe/internal/hw"
+	"hetpipe/internal/model"
+	"hetpipe/internal/partition"
+	"hetpipe/internal/pipeline"
+	"hetpipe/internal/profile"
+)
+
+// System bundles the fixed ingredients of an experiment.
+type System struct {
+	Cluster *hw.Cluster
+	Model   *model.Model
+	Perf    *profile.Perf
+	Batch   int
+}
+
+// NewSystem validates and bundles the ingredients.
+func NewSystem(c *hw.Cluster, m *model.Model, perf *profile.Perf, batch int) (*System, error) {
+	if c == nil || m == nil || perf == nil {
+		return nil, fmt.Errorf("core: nil system ingredient")
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("core: batch must be >= 1, got %d", batch)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{Cluster: c, Model: m, Perf: perf, Batch: batch}, nil
+}
+
+// PlacementKind selects the parameter-shard placement policy (Section 8.1).
+type PlacementKind int
+
+const (
+	// PlacementDefault spreads layers round-robin over parameter servers on
+	// all nodes (the TensorFlow default): most synchronization traffic
+	// crosses InfiniBand.
+	PlacementDefault PlacementKind = iota
+	// PlacementLocal co-locates each stage's parameters with the node that
+	// hosts that stage in every virtual worker. Only meaningful under ED,
+	// where stage s lives on node s for every VW; synchronization then
+	// stays on PCIe.
+	PlacementLocal
+)
+
+func (p PlacementKind) String() string {
+	if p == PlacementLocal {
+		return "local"
+	}
+	return "default"
+}
+
+// VWPlan is one virtual worker prepared for execution.
+type VWPlan struct {
+	VW   *hw.VirtualWorker
+	Plan *partition.Plan
+	// Throughput is the standalone steady-state rate (samples/sec) at the
+	// deployment's Nm, from a solo pipeline simulation.
+	Throughput float64
+	// Period is seconds per minibatch at steady state (Batch/Throughput).
+	Period float64
+	// FillLatency approximates injection-to-completion latency (the serial
+	// traversal time of the pipeline).
+	FillLatency float64
+	// MaxUtil is the maximum per-GPU utilization in the solo run.
+	MaxUtil float64
+}
+
+// Deployment is a ready-to-simulate HetPipe configuration.
+type Deployment struct {
+	Sys       *System
+	VWs       []*VWPlan
+	Nm        int
+	D         int
+	Placement PlacementKind
+	// PushTime[w] and PullTime[w] are per-wave parameter synchronization
+	// transfer times for virtual worker w.
+	PushTime, PullTime []float64
+}
+
+// SoloVW partitions the model onto one virtual worker at the given Nm and
+// simulates its pipeline alone (the Figure 3 experiment). minibatches and
+// warmup control the measurement window.
+func (s *System) SoloVW(vw *hw.VirtualWorker, nm, minibatches, warmup int) (*VWPlan, *pipeline.Result, error) {
+	plan, err := partition.New(s.Perf).Partition(s.Cluster, s.Model, vw, nm, s.Batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := pipeline.Run(pipeline.Config{
+		Plan: plan, Cluster: s.Cluster, Perf: s.Perf,
+		Minibatches: minibatches, Warmup: warmup,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	vp := &VWPlan{
+		VW: vw, Plan: plan,
+		Throughput:  res.Throughput,
+		Period:      float64(s.Batch) / res.Throughput,
+		FillLatency: serialTime(plan),
+		MaxUtil:     res.MaxGPUUtil,
+	}
+	return vp, res, nil
+}
+
+// serialTime sums stage compute and receive times: the Nm=1 per-minibatch
+// latency, used as the pipeline fill latency.
+func serialTime(p *partition.Plan) float64 {
+	var t float64
+	for i := range p.Stages {
+		t += p.Stages[i].ExecTime()
+	}
+	return t
+}
+
+// ChooseNm sweeps Nm from 1 to cap (bounded by every virtual worker's Maxm)
+// and returns the value maximizing the summed standalone throughput — the
+// paper's "Nm is set such that performance is maximized" rule with the
+// constraint that every VW uses the same Nm.
+func (s *System) ChooseNm(alloc *hw.Allocation, cap int) (int, error) {
+	pt := partition.New(s.Perf)
+	limit := cap
+	for _, vw := range alloc.VWs {
+		m := pt.MaxNm(s.Cluster, s.Model, vw, s.Batch, cap)
+		if m == 0 {
+			return 0, fmt.Errorf("core: %s cannot host %s at any Nm", vw.TypeString(), s.Model.Name)
+		}
+		if m < limit {
+			limit = m
+		}
+	}
+	bestNm, bestTp := 0, -1.0
+	for nm := 1; nm <= limit; nm++ {
+		total := 0.0
+		ok := true
+		for _, vw := range alloc.VWs {
+			vp, _, err := s.SoloVW(vw, nm, measureMB(nm), warmupMB(nm))
+			if err != nil {
+				ok = false
+				break
+			}
+			total += vp.Throughput
+		}
+		if ok && total > bestTp {
+			bestNm, bestTp = nm, total
+		}
+	}
+	if bestNm == 0 {
+		return 0, fmt.Errorf("core: no feasible Nm for %s", s.Model.Name)
+	}
+	return bestNm, nil
+}
+
+func measureMB(nm int) int { return 40 + 10*nm }
+func warmupMB(nm int) int  { return 10 + 2*nm }
+
+// Deploy builds a HetPipe deployment over the allocation: one plan per
+// virtual worker at a common Nm (chosen automatically when nm == 0), with
+// parameter synchronization costs derived from the placement policy.
+func (s *System) Deploy(alloc *hw.Allocation, nm, d int, placement PlacementKind) (*Deployment, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("core: D must be >= 0")
+	}
+	if len(alloc.VWs) == 0 {
+		return nil, fmt.Errorf("core: allocation has no virtual workers")
+	}
+	if placement == PlacementLocal {
+		// Local placement requires every VW to map stage s to the same
+		// node, which only ED guarantees.
+		k := len(alloc.VWs[0].GPUs)
+		for _, vw := range alloc.VWs {
+			if len(vw.GPUs) != k {
+				return nil, fmt.Errorf("core: local placement requires equal VW sizes")
+			}
+		}
+		for st := 0; st < k; st++ {
+			node := alloc.VWs[0].GPUs[st].Node
+			for _, vw := range alloc.VWs[1:] {
+				if vw.GPUs[st].Node != node {
+					return nil, fmt.Errorf("core: local placement requires ED-style stage-to-node alignment")
+				}
+			}
+		}
+	}
+	if nm == 0 {
+		chosen, err := s.ChooseNm(alloc, 8)
+		if err != nil {
+			return nil, err
+		}
+		nm = chosen
+	}
+	dep := &Deployment{Sys: s, Nm: nm, D: d, Placement: placement}
+	for _, vw := range alloc.VWs {
+		vp, _, err := s.SoloVW(vw, nm, measureMB(nm), warmupMB(nm))
+		if err != nil {
+			return nil, fmt.Errorf("core: VW %s: %w", vw.TypeString(), err)
+		}
+		dep.VWs = append(dep.VWs, vp)
+	}
+	for _, vp := range dep.VWs {
+		push, pull := s.syncTimes(vp, placement, len(alloc.VWs))
+		dep.PushTime = append(dep.PushTime, push)
+		dep.PullTime = append(dep.PullTime, pull)
+	}
+	return dep, nil
+}
+
+// syncTimes estimates the per-wave push and pull transfer times for one
+// virtual worker under a placement policy.
+//
+// Default placement spreads layers round-robin over the per-node parameter
+// servers — balancing layer counts, not bytes. The server that draws the
+// heaviest layers (VGG-19's 411 MB fc6, say) becomes a hot spot whose NIC
+// serves every virtual worker's push and pull over InfiniBand; the per-VW
+// sync time is therefore the hot server's transfer time multiplied by the
+// VW count. This hot-spot contention is what drops NP/ED/HD below Horovod
+// for VGG-19 in Figure 4 while leaving ResNet-152 (whose shards are small
+// and even) near Horovod.
+//
+// Local placement co-locates each stage's parameters with the stage's node:
+// synchronization rides PCIe, per stage in parallel, with no cross-node NIC
+// to contend on.
+func (s *System) syncTimes(vp *VWPlan, placement PlacementKind, nVWs int) (push, pull float64) {
+	if placement == PlacementLocal {
+		var max float64
+		for i := range vp.Plan.Stages {
+			st := &vp.Plan.Stages[i]
+			var bytes int64
+			for li := st.Lo; li < st.Hi; li++ {
+				bytes += s.Model.Layers[li].WeightBytes()
+			}
+			t := s.Perf.TransferTime(bytes, hw.LinkPCIe) + float64(bytes)/s.Perf.PSProcBPS
+			if t > max {
+				max = t
+			}
+		}
+		return max, max
+	}
+	// Round-robin layers over the node-resident servers, exactly as
+	// ps.RoundRobin does, and find the hot server's byte load.
+	h := len(s.Cluster.Nodes)
+	perServer := make([]int64, h)
+	for li := range s.Model.Layers {
+		perServer[li%h] += s.Model.Layers[li].WeightBytes()
+	}
+	var hot int64
+	for _, b := range perServer {
+		if b > hot {
+			hot = b
+		}
+	}
+	// Half the virtual workers' transfers collide on the hot server on
+	// average (wave boundaries are correlated but not perfectly aligned).
+	t := (s.Perf.TransferTime(hot, hw.LinkInfiniBand) + float64(hot)/s.Perf.PSProcBPS) * float64(nVWs) / 2
+	if nVWs == 1 {
+		t = s.Perf.TransferTime(hot, hw.LinkInfiniBand) + float64(hot)/s.Perf.PSProcBPS
+	}
+	return t, t
+}
+
+// CrossNodeBytesPerMinibatch accounts the traffic crossing node boundaries
+// per minibatch for a deployment: pipeline activations/gradients over
+// InfiniBand boundaries plus the parameter synchronization share (per wave,
+// amortized over the wave's Nm minibatches). This regenerates the Section
+// 8.3 traffic comparison (VGG-19: 103 MB ED-local vs 515 MB Horovod).
+func (d *Deployment) CrossNodeBytesPerMinibatch() int64 {
+	var act int64
+	for _, vp := range d.VWs {
+		for i := 0; i+1 < len(vp.Plan.Stages); i++ {
+			if d.Sys.Cluster.LinkBetween(vp.Plan.Stages[i].GPU, vp.Plan.Stages[i+1].GPU) == hw.LinkInfiniBand {
+				// Activations forward + gradients backward.
+				act += 2 * d.Sys.Model.BoundaryBytes(vp.Plan.Stages[i].Hi-1, d.Sys.Batch)
+			}
+		}
+	}
+	act /= int64(len(d.VWs)) // per virtual worker
+	var sync int64
+	if d.Placement == PlacementDefault {
+		h := len(d.Sys.Cluster.Nodes)
+		perWave := 2 * d.Sys.Model.ParamBytes() * int64(h-1) / int64(h) // push + pull
+		sync = perWave / int64(d.Nm)
+	}
+	return act + sync
+}

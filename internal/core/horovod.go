@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"hetpipe/internal/allreduce"
+	"hetpipe/internal/hw"
+)
+
+// HorovodResult summarizes the all-reduce BSP baseline.
+type HorovodResult struct {
+	// Workers lists the GPUs that can hold the whole model; GPUs whose
+	// memory is too small are excluded (the paper runs ResNet-152 Horovod
+	// on only 12 of the 16 GPUs for this reason).
+	Workers []*hw.GPU
+	// Excluded lists the GPUs that cannot participate.
+	Excluded []*hw.GPU
+	// Throughput is the aggregate samples/sec: every iteration processes
+	// one minibatch per worker and takes (slowest compute + all-reduce).
+	Throughput float64
+	// IterationTime decomposes into the straggler-paced compute time and
+	// the ring all-reduce time.
+	ComputeTime, AllReduceTime float64
+	// CrossNodeBytesPerWorker is the one-way all-reduce wire volume per
+	// iteration per worker: (N-1)/N * parameter bytes (the paper's 515 MB
+	// figure for VGG-19 on 16 GPUs).
+	CrossNodeBytesPerWorker int64
+}
+
+// Horovod evaluates the DP baseline on a set of GPUs (all cluster GPUs when
+// gpus is nil): BSP with ring all-reduce over InfiniBand, each worker
+// processing the whole model. The slowest included GPU paces every
+// iteration — the straggler effect WSP is designed to avoid.
+func (s *System) Horovod(gpus []*hw.GPU) (*HorovodResult, error) {
+	if gpus == nil {
+		gpus = s.Cluster.GPUs()
+	}
+	res := &HorovodResult{}
+	footprint := s.Model.TrainingFootprintBytes(s.Batch)
+	for _, g := range gpus {
+		if footprint > g.Type.MemoryBytes {
+			res.Excluded = append(res.Excluded, g)
+			continue
+		}
+		res.Workers = append(res.Workers, g)
+	}
+	if len(res.Workers) == 0 {
+		return nil, fmt.Errorf("core: no GPU can hold %s (footprint %d bytes)", s.Model.Name, footprint)
+	}
+	slowest := 0.0
+	for _, g := range res.Workers {
+		t, err := s.Perf.WholeModelTime(s.Model, g.Type, s.Batch)
+		if err != nil {
+			return nil, err
+		}
+		if t > slowest {
+			slowest = t
+		}
+	}
+	n := len(res.Workers)
+	res.ComputeTime = slowest
+	res.AllReduceTime = allreduce.Time(s.Model.ParamBytes(), n, s.Perf.IB)
+	res.Throughput = float64(n*s.Batch) / (res.ComputeTime + res.AllReduceTime)
+	res.CrossNodeBytesPerWorker = allreduce.BusBandwidthVolume(s.Model.ParamBytes(), n) / 2
+	return res, nil
+}
+
+// HorovodPeriods returns each included worker's standalone per-minibatch
+// compute time — the inputs the numeric BSP trainer needs.
+func (s *System) HorovodPeriods(gpus []*hw.GPU) (periods []float64, allReduceTime float64, err error) {
+	hr, err := s.Horovod(gpus)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, g := range hr.Workers {
+		t, err := s.Perf.WholeModelTime(s.Model, g.Type, s.Batch)
+		if err != nil {
+			return nil, 0, err
+		}
+		periods = append(periods, t)
+	}
+	return periods, hr.AllReduceTime, nil
+}

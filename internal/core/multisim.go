@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"hetpipe/internal/pipeline"
+	"hetpipe/internal/sim"
+	"hetpipe/internal/wsp"
+)
+
+// MultiResult summarizes a data-parallel HetPipe simulation.
+type MultiResult struct {
+	// Aggregate is the cluster-wide steady-state throughput (samples/sec).
+	Aggregate float64
+	// PerVW is each virtual worker's measured throughput.
+	PerVW []float64
+	// Elapsed is the simulated time at the last completion.
+	Elapsed float64
+	// Waiting is the total time injections were gated on the global clock
+	// (the Section 8.4 waiting-time metric), summed over virtual workers.
+	Waiting float64
+	// Idle is the portion of Waiting during which a virtual worker's
+	// pipeline had fully drained (no minibatch in flight).
+	Idle float64
+	// Pushes counts wave pushes to the parameter servers.
+	Pushes int
+	// MaxClockDistance is the largest clock skew observed.
+	MaxClockDistance int
+}
+
+// vwSync carries the per-VW synchronization state of the multi-VW run.
+type vwSync struct {
+	pullDone   int  // highest global clock whose pull transfer completed
+	pullGoing  bool // a pull transfer is in flight
+	blockSince sim.Time
+	blocked    bool
+	lastDone   sim.Time // time of the VW's most recent completion
+}
+
+// SimulateWSP runs all virtual workers' pipelines on one discrete-event
+// engine, coupled through the WSP protocol: per-wave pushes arrive at the
+// parameter servers after the push transfer time, the global clock advances
+// when the slowest push of a wave arrives, and a gated wave-end minibatch
+// additionally waits for its pull transfer. Each virtual worker processes
+// minibatchesPerVW minibatches; warmup are excluded from throughput.
+func (d *Deployment) SimulateWSP(minibatchesPerVW, warmup int) (*MultiResult, error) {
+	n := len(d.VWs)
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty deployment")
+	}
+	if minibatchesPerVW < d.Nm*(d.D+2) {
+		return nil, fmt.Errorf("core: need at least %d minibatches per VW to exercise WSP", d.Nm*(d.D+2))
+	}
+	// Every virtual worker must finish on a wave boundary, or its peers
+	// would wait forever on a push that never comes.
+	if rem := minibatchesPerVW % d.Nm; rem != 0 {
+		minibatchesPerVW += d.Nm - rem
+	}
+	params := wsp.Params{SLocal: d.Nm - 1, D: d.D, Workers: n}
+	coord, err := wsp.NewCoordinator(params)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.New()
+	eng.SetStepLimit(uint64(n*minibatchesPerVW)*1000 + 1_000_000)
+
+	res := &MultiResult{}
+	syncs := make([]*vwSync, n)
+	for i := range syncs {
+		syncs[i] = &vwSync{}
+	}
+	pipes := make([]*pipeline.Pipeline, n)
+
+	pokeAll := func() {
+		for _, p := range pipes {
+			if p != nil {
+				p.Poke()
+			}
+		}
+	}
+
+	for w := 0; w < n; w++ {
+		w := w
+		st := syncs[w]
+		cfg := pipeline.Config{
+			Plan:        d.VWs[w].Plan,
+			Cluster:     d.Sys.Cluster,
+			Perf:        d.Sys.Perf,
+			Minibatches: minibatchesPerVW,
+			Warmup:      warmup,
+			InjectGate: func(mb int) bool {
+				req := params.RequiredGlobalClock(mb)
+				if req == 0 {
+					coord.Start(w, mb)
+					return true
+				}
+				if coord.GlobalClock() >= req {
+					if st.pullDone >= req {
+						if st.blocked {
+							res.Waiting += float64(eng.Now() - st.blockSince)
+							if pipes[w] != nil && pipes[w].InFlight() == 0 {
+								// The pipeline drained while the gate was
+								// closed; the tail of the wait was true
+								// idle time (the 18%-of-waiting effect of
+								// Section 8.4).
+								res.Idle += float64(eng.Now() - maxTime(st.blockSince, st.lastDone))
+							}
+							st.blocked = false
+						}
+						coord.Start(w, mb)
+						return true
+					}
+					if !st.pullGoing {
+						st.pullGoing = true
+						target := coord.GlobalClock()
+						eng.After(sim.Duration(d.PullTime[w]), fmt.Sprintf("pull.vw%d", w), func() {
+							st.pullGoing = false
+							st.pullDone = target
+							pipes[w].Poke()
+						})
+					}
+				}
+				if !st.blocked {
+					st.blocked = true
+					st.blockSince = eng.Now()
+				}
+				return false
+			},
+			OnComplete: func(mb int, at sim.Time) {
+				st.lastDone = at
+				if params.IsWaveEnd(mb) {
+					res.Pushes++
+					eng.After(sim.Duration(d.PushTime[w]), fmt.Sprintf("push.vw%d", w), func() {
+						before := coord.GlobalClock()
+						coord.Push(w)
+						if coord.GlobalClock() > before {
+							pokeAll()
+						}
+					})
+				}
+			},
+		}
+		p, err := pipeline.New(eng, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pipes[w] = p
+	}
+	for _, p := range pipes {
+		p.Start()
+	}
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	for w, p := range pipes {
+		r, err := p.Result()
+		if err != nil {
+			return nil, fmt.Errorf("core: VW %d: %w", w, err)
+		}
+		res.PerVW = append(res.PerVW, r.Throughput)
+		res.Aggregate += r.Throughput
+		if e := float64(r.Elapsed); e > res.Elapsed {
+			res.Elapsed = e
+		}
+	}
+	res.MaxClockDistance = coord.MaxClockDistance()
+	return res, nil
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+// Package data generates deterministic synthetic classification datasets for
+// the convergence experiments. ImageNet is out of reach without the paper's
+// testbed (and irrelevant to the staleness semantics under study), so the
+// trainers learn a Gaussian-mixture classification task instead: class
+// centers on a sphere, isotropic noise, fixed seeds. Accuracy targets in the
+// experiments are task-relative analogs of the paper's 74%/67% top-1 goals.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hetpipe/internal/tensor"
+)
+
+// Dataset is a labeled feature matrix.
+type Dataset struct {
+	X       []tensor.Vector
+	Y       []int
+	Classes int
+	Dim     int
+}
+
+// Len reports the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// SyntheticClassification draws n samples from a mixture of `classes`
+// Gaussians with the given noise standard deviation. The same seed always
+// yields the same dataset.
+func SyntheticClassification(seed int64, n, dim, classes int, noise float64) (*Dataset, error) {
+	if n < classes || dim < 1 || classes < 2 {
+		return nil, fmt.Errorf("data: invalid shape n=%d dim=%d classes=%d", n, dim, classes)
+	}
+	if noise <= 0 {
+		return nil, fmt.Errorf("data: noise must be positive, got %g", noise)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]tensor.Vector, classes)
+	for c := range centers {
+		centers[c] = tensor.NewVector(dim)
+		var norm float64
+		for i := range centers[c] {
+			centers[c][i] = rng.NormFloat64()
+			norm += centers[c][i] * centers[c][i]
+		}
+		norm = math.Sqrt(norm)
+		for i := range centers[c] {
+			centers[c][i] /= norm // unit-sphere centers
+		}
+	}
+	d := &Dataset{Classes: classes, Dim: dim}
+	for s := 0; s < n; s++ {
+		c := s % classes // balanced classes
+		x := tensor.NewVector(dim)
+		for i := range x {
+			x[i] = centers[c][i] + noise*rng.NormFloat64()
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, c)
+	}
+	// Shuffle deterministically so minibatches mix classes.
+	rng.Shuffle(n, func(i, j int) {
+		d.X[i], d.X[j] = d.X[j], d.X[i]
+		d.Y[i], d.Y[j] = d.Y[j], d.Y[i]
+	})
+	return d, nil
+}
+
+// Split partitions the dataset into a training prefix and evaluation suffix.
+func (d *Dataset) Split(trainFrac float64) (train, eval *Dataset, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("data: train fraction must be in (0,1), got %g", trainFrac)
+	}
+	cut := int(float64(d.Len()) * trainFrac)
+	if cut == 0 || cut == d.Len() {
+		return nil, nil, fmt.Errorf("data: split produces an empty side (n=%d, frac=%g)", d.Len(), trainFrac)
+	}
+	train = &Dataset{X: d.X[:cut], Y: d.Y[:cut], Classes: d.Classes, Dim: d.Dim}
+	eval = &Dataset{X: d.X[cut:], Y: d.Y[cut:], Classes: d.Classes, Dim: d.Dim}
+	return train, eval, nil
+}
+
+// Batch returns the half-open index range of minibatch b of the given size,
+// wrapping around the dataset (epochs).
+func (d *Dataset) Batch(b, size int) []int {
+	if size < 1 {
+		panic("data: batch size must be positive")
+	}
+	idx := make([]int, size)
+	start := (b * size) % d.Len()
+	for i := range idx {
+		idx[i] = (start + i) % d.Len()
+	}
+	return idx
+}

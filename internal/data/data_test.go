@@ -1,0 +1,129 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntheticDeterminism(t *testing.T) {
+	a, err := SyntheticClassification(7, 100, 5, 3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SyntheticClassification(7, 100, 5, 3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatalf("labels diverge at %d", i)
+		}
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatalf("features diverge at %d/%d", i, j)
+			}
+		}
+	}
+	c, err := SyntheticClassification(8, 100, 5, 3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.X {
+		if a.Y[i] != c.Y[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical label sequences")
+	}
+}
+
+func TestSyntheticShapeAndBalance(t *testing.T) {
+	d, err := SyntheticClassification(1, 300, 8, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 300 || d.Dim != 8 || d.Classes != 3 {
+		t.Fatalf("shape = %d/%d/%d", d.Len(), d.Dim, d.Classes)
+	}
+	counts := make(map[int]int)
+	for _, y := range d.Y {
+		if y < 0 || y >= 3 {
+			t.Fatalf("label out of range: %d", y)
+		}
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 100 {
+			t.Errorf("class %d has %d samples, want 100", c, n)
+		}
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	if _, err := SyntheticClassification(1, 1, 4, 3, 0.5); err == nil {
+		t.Error("n < classes accepted")
+	}
+	if _, err := SyntheticClassification(1, 10, 0, 3, 0.5); err == nil {
+		t.Error("zero dim accepted")
+	}
+	if _, err := SyntheticClassification(1, 10, 4, 1, 0.5); err == nil {
+		t.Error("single class accepted")
+	}
+	if _, err := SyntheticClassification(1, 10, 4, 3, 0); err == nil {
+		t.Error("zero noise accepted")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d, _ := SyntheticClassification(1, 100, 4, 2, 0.5)
+	tr, ev, err := d.Split(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 80 || ev.Len() != 20 {
+		t.Fatalf("split = %d/%d", tr.Len(), ev.Len())
+	}
+	if _, _, err := d.Split(0); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, _, err := d.Split(1); err == nil {
+		t.Error("unit fraction accepted")
+	}
+}
+
+func TestBatchWrapsAround(t *testing.T) {
+	d, _ := SyntheticClassification(1, 10, 2, 2, 0.5)
+	idx := d.Batch(0, 4)
+	if len(idx) != 4 || idx[0] != 0 || idx[3] != 3 {
+		t.Fatalf("batch 0 = %v", idx)
+	}
+	// Batch 2 starts at sample 8 and wraps to 0,1.
+	idx = d.Batch(2, 4)
+	if idx[0] != 8 || idx[2] != 0 || idx[3] != 1 {
+		t.Fatalf("batch 2 = %v", idx)
+	}
+}
+
+// Property: every batch index is valid and batches of consecutive numbers
+// tile the dataset.
+func TestBatchProperty(t *testing.T) {
+	d, _ := SyntheticClassification(3, 97, 3, 2, 0.4)
+	prop := func(b uint16, szRaw uint8) bool {
+		size := 1 + int(szRaw)%32
+		idx := d.Batch(int(b), size)
+		if len(idx) != size {
+			return false
+		}
+		for _, i := range idx {
+			if i < 0 || i >= d.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

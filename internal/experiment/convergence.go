@@ -1,0 +1,307 @@
+package experiment
+
+import (
+	"fmt"
+
+	"hetpipe/internal/convergence"
+	"hetpipe/internal/core"
+	"hetpipe/internal/data"
+	"hetpipe/internal/hw"
+	"hetpipe/internal/model"
+	"hetpipe/internal/profile"
+	"hetpipe/internal/train"
+)
+
+func init() {
+	register("figure5", Figure5)
+	register("figure6", Figure6)
+	register("syncoverhead", SyncOverhead)
+	register("theorem1", Theorem1)
+	register("traffic", Traffic)
+}
+
+// Convergence-study constants: the synthetic task's analog of the paper's
+// top-1 targets (74% ResNet-152, 67% VGG-19 on ImageNet). The task is sized
+// so that reaching the target takes thousands of minibatches per worker —
+// long enough for staleness and waiting dynamics to shape the outcome, as
+// they do over the paper's multi-day ImageNet runs.
+const (
+	// targetLoss plays the role of the paper's top-1 targets: the task's
+	// accuracy saturates early (softmax argmax is scale-invariant), so the
+	// training loss is the sharper convergence criterion; it descends
+	// smoothly across the whole run and is sensitive to staleness.
+	targetLoss     = 0.50
+	convergeLR     = 0.01
+	convergeJitter = 0.08
+	convergeSeed   = 42
+	maxMBPerWorker = 12000
+	evalEvery      = 128
+)
+
+// convergenceTask builds the shared objective: a 12-class, 48-dimensional
+// Gaussian mixture with enough noise that the decision boundary takes many
+// epochs to sharpen.
+func convergenceTask() (*train.LogReg, error) {
+	ds, err := data.SyntheticClassification(convergeSeed, 12000, 48, 12, 0.34)
+	if err != nil {
+		return nil, err
+	}
+	tr, ev, err := ds.Split(0.8)
+	if err != nil {
+		return nil, err
+	}
+	return train.NewLogReg(tr, ev, batchSize)
+}
+
+// speedSkew gives virtual worker w of n a persistent speed offset (+-4%),
+// modeling the sustained rate differences real clusters exhibit (thermal
+// throttling, data loading, network congestion) that the paper's waiting
+// time measurements reflect.
+func speedSkew(w, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 + 0.08*(float64(w)/float64(n-1)-0.5)
+}
+
+// hetpipeTimings deploys HetPipe on the given VW specs and extracts the
+// co-simulation timing inputs.
+func hetpipeTimings(m *model.Model, specs []string, d int) (*core.Deployment, train.WSPConfig, error) {
+	s, err := core.NewSystem(hw.Paper(), m, profile.Default(), batchSize)
+	if err != nil {
+		return nil, train.WSPConfig{}, err
+	}
+	alloc, err := hw.AllocateByTypes(s.Cluster, specs)
+	if err != nil {
+		return nil, train.WSPConfig{}, err
+	}
+	dep, err := s.Deploy(alloc, 0, d, core.PlacementLocal)
+	if err != nil {
+		return nil, train.WSPConfig{}, err
+	}
+	task, err := convergenceTask()
+	if err != nil {
+		return nil, train.WSPConfig{}, err
+	}
+	cfg := train.WSPConfig{
+		Task:           task,
+		Workers:        len(dep.VWs),
+		SLocal:         dep.Nm - 1,
+		D:              d,
+		LR:             convergeLR,
+		Jitter:         convergeJitter,
+		Seed:           convergeSeed,
+		MaxMinibatches: maxMBPerWorker,
+		EvalEvery:      evalEvery,
+		TargetLoss:     targetLoss,
+	}
+	n := len(dep.VWs)
+	for w, vp := range dep.VWs {
+		cfg.Periods = append(cfg.Periods, vp.Period*speedSkew(w, n))
+		cfg.FillLatency = append(cfg.FillLatency, vp.FillLatency)
+		cfg.PushTime = append(cfg.PushTime, dep.PushTime[w])
+		cfg.PullTime = append(cfg.PullTime, dep.PullTime[w])
+	}
+	return dep, cfg, nil
+}
+
+// horovodRun builds and runs the numeric Horovod baseline for a model.
+func horovodRun(m *model.Model) (*train.RunStats, int, error) {
+	s, err := core.NewSystem(hw.Paper(), m, profile.Default(), batchSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	periods, ar, err := s.HorovodPeriods(nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	task, err := convergenceTask()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Horovod averages N gradients per step (effective batch 32N); scale
+	// the learning rate linearly with N, the standard large-batch practice
+	// (Goyal et al., the paper's reference [13] for LR tuning) — this keeps
+	// the baseline's per-sample statistical efficiency on par with
+	// HetPipe's sequential small-batch updates.
+	n := len(periods)
+	stats, err := train.RunBSP(train.BSPConfig{
+		Task: task, Periods: periods, AllReduceTime: ar,
+		LR: convergeLR * float64(n), Jitter: convergeJitter, Seed: convergeSeed,
+		MaxIterations: maxMBPerWorker, EvalEvery: evalEvery / 8,
+		TargetLoss: targetLoss,
+	})
+	return stats, n, err
+}
+
+func describeRun(label string, st *train.RunStats, baseline float64) string {
+	t := "did not reach target"
+	if st.ReachedTarget {
+		t = fmt.Sprintf("target in %7.1fs", st.TimeToTarget)
+		if baseline > 0 && st.TimeToTarget > 0 {
+			t += fmt.Sprintf(" (%+.0f%% vs Horovod)", 100*(st.TimeToTarget-baseline)/baseline)
+		}
+	}
+	return fmt.Sprintf("%-18s %s  loss=%.3f acc=%.3f  mb=%d waits=%.0fs idle=%.0fs pulls=%d",
+		label, t, st.FinalLoss, st.FinalAccuracy, st.Minibatches, st.Waiting, st.Idle, st.Pulls)
+}
+
+// Figure5 reproduces the ResNet-152 convergence comparison: Horovod on 12
+// GPUs (the G parts cannot hold the model) versus HetPipe on the same 12
+// GPUs and on all 16, D=0.
+func Figure5() (*Report, error) {
+	r := &Report{Name: "figure5", Title: "ResNet-152 accuracy over time (Figure 5): Horovod vs HetPipe 12/16 GPUs, D=0"}
+	m := model.ResNet152()
+	hv, workers, err := horovodRun(m)
+	if err != nil {
+		return nil, err
+	}
+	r.addf("%s", describeRun(fmt.Sprintf("Horovod (%d GPUs)", workers), hv, 0))
+	base := hv.TimeToTarget
+	for _, c := range []struct {
+		label string
+		specs []string
+	}{
+		{"HetPipe 12 GPUs", []string{"VRQ", "VRQ", "VRQ", "VRQ"}},
+		{"HetPipe 16 GPUs", []string{"VRQG", "VRQG", "VRQG", "VRQG"}},
+	} {
+		_, cfg, err := hetpipeTimings(m, c.specs, 0)
+		if err != nil {
+			return nil, err
+		}
+		st, err := train.RunWSP(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.addf("%s", describeRun(c.label, st, base))
+	}
+	r.notef("paper: HetPipe-12 converges 35%% faster and HetPipe-16 39%% faster than Horovod-12")
+	r.notef("convergence target is training loss <= %.2f, the task-relative analog of the paper's 74%% top-1", targetLoss)
+	return r, nil
+}
+
+// Figure6 reproduces the VGG-19 convergence comparison on 16 GPUs with
+// ED-local: Horovod versus HetPipe at D = 0, 4, and 32.
+func Figure6() (*Report, error) {
+	r := &Report{Name: "figure6", Title: "VGG-19 accuracy over time (Figure 6): Horovod vs HetPipe D=0/4/32, ED-local"}
+	m := model.VGG19()
+	hv, workers, err := horovodRun(m)
+	if err != nil {
+		return nil, err
+	}
+	r.addf("%s", describeRun(fmt.Sprintf("Horovod (%d GPUs)", workers), hv, 0))
+	base := hv.TimeToTarget
+	for _, d := range []int{0, 4, 32} {
+		_, cfg, err := hetpipeTimings(m, []string{"VRGQ", "VRGQ", "VRGQ", "VRGQ"}, d)
+		if err != nil {
+			return nil, err
+		}
+		st, err := train.RunWSP(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.addf("%s", describeRun(fmt.Sprintf("HetPipe D=%d", d), st, base))
+	}
+	r.notef("paper: D=0 converges 29%% faster than Horovod, D=4 49%% faster; D=32 degrades 4.7%% vs D=4")
+	return r, nil
+}
+
+// SyncOverhead reproduces the Section 8.4 analysis: waiting time shrinks as
+// D grows, and pipelining hides most of the wait (idle << waiting).
+func SyncOverhead() (*Report, error) {
+	r := &Report{Name: "syncoverhead", Title: "Synchronization overhead vs D (Section 8.4), VGG-19 ED-local"}
+	m := model.VGG19()
+	var waitD0 float64
+	for _, d := range []int{0, 4, 32} {
+		_, cfg, err := hetpipeTimings(m, []string{"VRGQ", "VRGQ", "VRGQ", "VRGQ"}, d)
+		if err != nil {
+			return nil, err
+		}
+		cfg.TargetAccuracy = 0 // fixed budget: compare equal work
+		cfg.MaxMinibatches = 2000
+		st, err := train.RunWSP(cfg)
+		if err != nil {
+			return nil, err
+		}
+		line := fmt.Sprintf("D=%-3d waiting=%7.1fs idle=%6.1fs (%.0f%% of waiting) pulls=%d pushes=%d",
+			d, st.Waiting, st.Idle, safePct(st.Idle, st.Waiting), st.Pulls, st.Pushes)
+		if d == 0 {
+			waitD0 = st.Waiting
+		} else if waitD0 > 0 {
+			line += fmt.Sprintf("  waiting=%.0f%% of D=0", 100*st.Waiting/waitD0)
+		}
+		r.addf("%s", line)
+	}
+	r.notef("paper: average waiting time at D=4 is 62%% of D=0, and idle time is 18%% of waiting")
+	return r, nil
+}
+
+func safePct(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return 100 * num / den
+}
+
+// Theorem1 measures regret under the real WSP schedule on a convex problem
+// and compares against the Section 6 bound.
+func Theorem1() (*Report, error) {
+	r := &Report{Name: "theorem1", Title: "WSP convergence: measured regret vs Theorem 1 bound"}
+	configs := []convergence.Config{
+		{Workers: 1, SLocal: 0, D: 0, T: 4000, Dim: 12, Seed: 1},
+		{Workers: 1, SLocal: 3, D: 0, T: 4000, Dim: 12, Seed: 2},
+		{Workers: 4, SLocal: 3, D: 0, T: 8000, Dim: 12, Seed: 3},
+		{Workers: 4, SLocal: 3, D: 4, T: 8000, Dim: 12, Seed: 4},
+		{Workers: 4, SLocal: 6, D: 32, T: 8000, Dim: 12, Seed: 5},
+	}
+	for _, cfg := range configs {
+		res, err := convergence.Measure(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.addf("N=%d slocal=%d D=%d sglobal=%-3d T=%-5d regret=%8.5f bound=%8.5f  %s",
+			cfg.Workers, cfg.SLocal, cfg.D, res.SGlobal, res.T, res.Regret, res.Bound, verdict(res.Regret <= res.Bound))
+	}
+	r.notef("the bound is R[W] <= 4ML*sqrt((2*sglobal+slocal+1)*N/T) with measured M and L=1")
+	return r, nil
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "HOLDS"
+	}
+	return "VIOLATED"
+}
+
+// Traffic reproduces the Section 8.3 cross-node traffic accounting.
+func Traffic() (*Report, error) {
+	r := &Report{Name: "traffic", Title: "Cross-node traffic per minibatch (Section 8.3)"}
+	paper := map[string]struct{ horovod, edlocal float64 }{
+		"VGG-19":     {515, 103},
+		"ResNet-152": {211, 298},
+	}
+	for _, m := range model.PaperModels() {
+		s, err := core.NewSystem(hw.Paper(), m, profile.Default(), batchSize)
+		if err != nil {
+			return nil, err
+		}
+		hr, err := s.Horovod(nil)
+		if err != nil {
+			return nil, err
+		}
+		alloc, err := hw.Allocate(s.Cluster, hw.EqualDistribution)
+		if err != nil {
+			return nil, err
+		}
+		dep, err := s.Deploy(alloc, 0, 0, core.PlacementLocal)
+		if err != nil {
+			return nil, err
+		}
+		r.addf("%-11s Horovod %4.0f MB/worker (paper %3.0f)   ED-local %4.0f MB/VW (paper %3.0f)",
+			m.Name,
+			float64(hr.CrossNodeBytesPerWorker)/1e6, paper[m.Name].horovod,
+			float64(dep.CrossNodeBytesPerMinibatch())/1e6, paper[m.Name].edlocal)
+	}
+	r.notef("ED-local moves only pipeline activations across nodes; parameters sync within each node")
+	return r, nil
+}

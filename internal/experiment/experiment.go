@@ -1,0 +1,95 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Section 8) on the simulated cluster: Figure 1 (pipeline
+// schedule), Table 1 (GPU specs), Table 3 (allocation policies), Figure 3
+// (single virtual worker scaling with Nm), Figure 4 (allocation policies vs
+// Horovod at D=0), Table 4 (adding whimpy GPUs), Figures 5 and 6
+// (convergence over time for ResNet-152 and VGG-19), the Section 8.4
+// synchronization-overhead analysis, and the Theorem 1 regret check.
+//
+// Each experiment returns a Report: structured rows plus a formatted text
+// rendering that cmd/hetbench prints. EXPERIMENTS.md records the
+// paper-versus-measured comparison for every row.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is one experiment's output.
+type Report struct {
+	// Name is the registry key, e.g. "figure4".
+	Name string
+	// Title describes the experiment.
+	Title string
+	// Lines are formatted result rows.
+	Lines []string
+	// Notes carry caveats and paper-comparison remarks.
+	Notes []string
+}
+
+// String renders the report as indented text.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.Name, r.Title)
+	for _, l := range r.Lines {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  # %s\n", n)
+	}
+	return b.String()
+}
+
+func (r *Report) addf(format string, args ...interface{}) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) notef(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Runner produces a report.
+type Runner func() (*Report, error)
+
+var registry = map[string]Runner{}
+
+func register(name string, fn Runner) {
+	if _, dup := registry[name]; dup {
+		panic("experiment: duplicate registration of " + name)
+	}
+	registry[name] = fn
+}
+
+// Names lists registered experiments in sorted order.
+func Names() []string {
+	var out []string
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by name.
+func Run(name string) (*Report, error) {
+	fn, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown experiment %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return fn()
+}
+
+// RunAll executes every registered experiment in name order.
+func RunAll() ([]*Report, error) {
+	var out []*Report
+	for _, name := range Names() {
+		r, err := Run(name)
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryListsAllExperiments(t *testing.T) {
+	want := []string{
+		"table1", "table3", "table4",
+		"figure1", "figure3", "figure4", "figure5", "figure6",
+		"syncoverhead", "theorem1", "traffic",
+		"ablation-wavepush", "ablation-memaware", "ablation-nmsweep", "ablation-dsweep",
+	}
+	names := Names()
+	have := make(map[string]bool)
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("experiment %q not registered", w)
+		}
+	}
+	if !strings.Contains(strings.Join(names, ","), "figure4") {
+		t.Error("names missing figure4")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// Fast experiments run end to end in tests; the convergence studies
+// (figure5/figure6) are exercised by the benchmark harness instead.
+func TestFastExperimentsProduceRows(t *testing.T) {
+	for _, name := range []string{"table1", "table3", "figure1", "theorem1", "traffic",
+		"ablation-wavepush", "ablation-memaware"} {
+		r, err := Run(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(r.Lines) == 0 {
+			t.Errorf("%s produced no rows", name)
+		}
+		if !strings.Contains(r.String(), r.Title) {
+			t.Errorf("%s: rendering missing title", name)
+		}
+	}
+}
+
+func TestTable1MatchesCatalog(t *testing.T) {
+	r, err := Run("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Lines, "\n")
+	for _, gpu := range []string{"TITAN V", "TITAN RTX", "GeForce RTX 2060", "Quadro P4000"} {
+		if !strings.Contains(joined, gpu) {
+			t.Errorf("table1 missing %s", gpu)
+		}
+	}
+}
+
+func TestTheorem1AllHold(t *testing.T) {
+	r, err := Run("theorem1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range r.Lines {
+		if strings.Contains(line, "VIOLATED") {
+			t.Errorf("regret bound violated: %s", line)
+		}
+	}
+}
+
+func TestTrafficShapesHold(t *testing.T) {
+	r, err := Run("traffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Lines) != 2 {
+		t.Fatalf("traffic rows = %d, want 2", len(r.Lines))
+	}
+}
+
+func TestFigure4ShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure4 runs many simulations")
+	}
+	r, err := Run("figure4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decisive paper shape: ED-local beats every other policy for both
+	// models, and for VGG-19 the default-placement policies fall below
+	// Horovod.
+	var vggSection bool
+	vals := map[string]float64{}
+	for _, line := range r.Lines {
+		if strings.Contains(line, "VGG-19") {
+			vggSection = true
+			continue
+		}
+		if !vggSection {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		label := fields[0]
+		if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+			vals[label] = v
+		}
+	}
+	if vals["ED-local"] == 0 || vals["Horovod"] == 0 {
+		t.Fatalf("could not parse figure4 rows: %v", vals)
+	}
+	if vals["ED-local"] <= vals["Horovod"] {
+		t.Errorf("ED-local (%v) should beat Horovod (%v) for VGG-19", vals["ED-local"], vals["Horovod"])
+	}
+	if vals["ED"] >= vals["Horovod"] {
+		t.Errorf("ED default (%v) should trail Horovod (%v) for VGG-19", vals["ED"], vals["Horovod"])
+	}
+	if vals["NP"] >= vals["ED-local"] {
+		t.Errorf("NP (%v) should trail ED-local (%v)", vals["NP"], vals["ED-local"])
+	}
+}

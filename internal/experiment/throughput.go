@@ -1,0 +1,277 @@
+package experiment
+
+import (
+	"fmt"
+
+	"hetpipe/internal/core"
+	"hetpipe/internal/hw"
+	"hetpipe/internal/model"
+	"hetpipe/internal/pipeline"
+	"hetpipe/internal/profile"
+	"hetpipe/internal/trace"
+)
+
+const batchSize = 32
+
+func init() {
+	register("table1", Table1)
+	register("table3", Table3)
+	register("figure1", Figure1)
+	register("figure3", Figure3)
+	register("figure4", Figure4)
+	register("table4", Table4)
+}
+
+// Table1 prints the GPU catalog.
+func Table1() (*Report, error) {
+	r := &Report{Name: "table1", Title: "Heterogeneous GPUs (hardware catalog)"}
+	r.addf("%-18s %-7s %9s %11s %11s %12s", "GPU", "Arch", "CUDACore", "Boost(MHz)", "Memory(GB)", "MemBW(GB/s)")
+	for _, g := range hw.Catalog() {
+		r.addf("%-18s %-7s %9d %11d %11d %12.0f",
+			g.Name, g.Arch, g.CUDACores, g.BoostMHz, g.MemoryBytes>>30, g.MemBandwidth/1e9)
+	}
+	return r, nil
+}
+
+// Table3 prints the resource allocation of the three policies.
+func Table3() (*Report, error) {
+	r := &Report{Name: "table3", Title: "Resource allocation per policy (Table 3)"}
+	c := hw.Paper()
+	r.addf("%-5s %-16s %-18s %-18s", "", "NodePartition", "EqualDistribution", "HybridDistribution")
+	allocs := map[hw.Policy]*hw.Allocation{}
+	for _, p := range hw.Policies() {
+		a, err := hw.Allocate(c, p)
+		if err != nil {
+			return nil, err
+		}
+		allocs[p] = a
+	}
+	for i := 0; i < 4; i++ {
+		r.addf("VW%d   %-16s %-18s %-18s", i+1,
+			allocs[hw.NodePartition].VWs[i].TypeString(),
+			allocs[hw.EqualDistribution].VWs[i].TypeString(),
+			allocs[hw.HybridDistribution].VWs[i].TypeString())
+	}
+	return r, nil
+}
+
+// Figure1 renders the pipelined execution schedule of one virtual worker
+// (VGG-19 on VVVV, Nm=4) as an ASCII Gantt chart.
+func Figure1() (*Report, error) {
+	r := &Report{Name: "figure1", Title: "Pipelined execution of minibatches within a virtual worker (Figure 1)"}
+	s, err := core.NewSystem(hw.Paper(), model.VGG19(), profile.Default(), batchSize)
+	if err != nil {
+		return nil, err
+	}
+	alloc, err := hw.AllocateByTypes(s.Cluster, []string{"VVVV"})
+	if err != nil {
+		return nil, err
+	}
+	vp, _, err := s.SoloVW(alloc.VWs[0], 4, 12, 1)
+	if err != nil {
+		return nil, err
+	}
+	tr := trace.New(4)
+	if _, err := pipeline.Run(pipeline.Config{
+		Plan: vp.Plan, Cluster: s.Cluster, Perf: s.Perf,
+		Minibatches: 12, Warmup: 1, Trace: tr,
+	}); err != nil {
+		return nil, err
+	}
+	for _, line := range splitLines(tr.Gantt(110)) {
+		r.addf("%s", line)
+	}
+	r.notef("numbers are forward passes, bracketed numbers backward passes; dots are idle time")
+	return r, nil
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, c := range s {
+		if c == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(c)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Figure3 sweeps Nm for the seven single-virtual-worker configurations and
+// reports absolute and normalized throughput plus the maximum per-GPU
+// utilization.
+func Figure3() (*Report, error) {
+	r := &Report{Name: "figure3", Title: "Single virtual worker: throughput and max GPU utilization vs Nm (Figure 3)"}
+	paperNm1 := map[string]map[string]float64{
+		"ResNet-152": {"VVVV": 96, "RRRR": 87, "GGGG": 58, "QQQQ": 43, "VRGQ": 42, "VVQQ": 53, "RRGG": 58},
+		"VGG-19":     {"VVVV": 119, "RRRR": 107, "GGGG": 62, "QQQQ": 51, "VRGQ": 60, "VVQQ": 116, "RRGG": 68},
+	}
+	for _, m := range model.PaperModels() {
+		r.addf("%s:", m.Name)
+		for _, spec := range hw.SingleVWConfigs() {
+			s, err := core.NewSystem(hw.Paper(), m, profile.Default(), batchSize)
+			if err != nil {
+				return nil, err
+			}
+			alloc, err := hw.AllocateByTypes(s.Cluster, []string{spec})
+			if err != nil {
+				return nil, err
+			}
+			var base float64
+			row := fmt.Sprintf("  %-5s paperNm1=%-4.0f", spec, paperNm1[m.Name][spec])
+			for nm := 1; nm <= 7; nm++ {
+				vp, res, err := s.SoloVW(alloc.VWs[0], nm, 50+10*nm, 10+2*nm)
+				if err != nil {
+					row += fmt.Sprintf(" nm%d=--", nm)
+					continue
+				}
+				if nm == 1 {
+					base = vp.Throughput
+					row += fmt.Sprintf(" nm1=%.0f(u%.2f)", vp.Throughput, res.MaxGPUUtil)
+					continue
+				}
+				row += fmt.Sprintf(" nm%d=%.2fx(u%.2f)", nm, vp.Throughput/base, res.MaxGPUUtil)
+			}
+			r.addf("%s", row)
+		}
+	}
+	r.notef("normalized throughput is relative to Nm=1 for the same configuration, as in the paper")
+	r.notef("'--' marks memory-infeasible Nm values (Maxm exceeded)")
+	return r, nil
+}
+
+// figure4Deployment runs one policy deployment and returns its aggregate
+// throughput and Nm.
+func figure4Deployment(s *core.System, policy hw.Policy, placement core.PlacementKind) (*core.Deployment, *core.MultiResult, error) {
+	alloc, err := hw.Allocate(s.Cluster, policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	dep, err := s.Deploy(alloc, 0, 0, placement)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := dep.SimulateWSP(24*dep.Nm, 4*dep.Nm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dep, res, nil
+}
+
+// Figure4 compares the three allocation policies (plus ED-local) against
+// Horovod at D=0.
+func Figure4() (*Report, error) {
+	r := &Report{Name: "figure4", Title: "Throughput of allocation policies vs Horovod, D=0 (Figure 4)"}
+	paper := map[string]map[string]float64{
+		"ResNet-152": {"Horovod": 415, "NP": 380, "ED": 570, "ED-local": 580, "HD": 570},
+		"VGG-19":     {"Horovod": 339, "NP": 260, "ED": 280, "ED-local": 610, "HD": 310},
+	}
+	for _, m := range model.PaperModels() {
+		s, err := core.NewSystem(hw.Paper(), m, profile.Default(), batchSize)
+		if err != nil {
+			return nil, err
+		}
+		hr, err := s.Horovod(nil)
+		if err != nil {
+			return nil, err
+		}
+		r.addf("%s:", m.Name)
+		r.addf("  %-9s %8.0f img/s  (paper ~%3.0f; %d workers, %d excluded)",
+			"Horovod", hr.Throughput, paper[m.Name]["Horovod"], len(hr.Workers), len(hr.Excluded))
+		type cfg struct {
+			label     string
+			policy    hw.Policy
+			placement core.PlacementKind
+		}
+		for _, c := range []cfg{
+			{"NP", hw.NodePartition, core.PlacementDefault},
+			{"ED", hw.EqualDistribution, core.PlacementDefault},
+			{"ED-local", hw.EqualDistribution, core.PlacementLocal},
+			{"HD", hw.HybridDistribution, core.PlacementDefault},
+		} {
+			dep, res, err := figure4Deployment(s, c.policy, c.placement)
+			if err != nil {
+				r.addf("  %-9s failed: %v", c.label, err)
+				continue
+			}
+			r.addf("  %-9s %8.0f img/s  (paper ~%3.0f; Nm=%d, waiting %.1fs, idle %.1fs)",
+				c.label, res.Aggregate, paper[m.Name][c.label], dep.Nm, res.Waiting, res.Idle)
+		}
+	}
+	r.notef("paper reference values are read off Figure 4's bars (approximate)")
+	return r, nil
+}
+
+// Table4 measures throughput as whimpy GPUs are added: Horovod vs HetPipe
+// with ED-local-style placement over the Table 4 GPU sets.
+func Table4() (*Report, error) {
+	r := &Report{Name: "table4", Title: "Adding whimpy GPUs (Table 4)"}
+	paper := map[string]map[string]float64{
+		"VGG-19":     {"4 GPUs 4[V]": 300, "8 GPUs 4[VR]": 530, "12 GPUs 4[VRQ]": 572, "16 GPUs 4[VRQG]": 606},
+		"ResNet-152": {"4 GPUs 4[V]": 256, "8 GPUs 4[VR]": 516, "12 GPUs 4[VRQ]": 538, "16 GPUs 4[VRQG]": 580},
+	}
+	paperHorovod := map[string]map[string]float64{
+		"VGG-19":     {"4 GPUs 4[V]": 164, "8 GPUs 4[VR]": 205, "12 GPUs 4[VRQ]": 265, "16 GPUs 4[VRQG]": 339},
+		"ResNet-152": {"4 GPUs 4[V]": 233, "8 GPUs 4[VR]": 353, "12 GPUs 4[VRQ]": 415},
+	}
+	for _, m := range model.PaperModels() {
+		r.addf("%s:", m.Name)
+		for _, set := range hw.Table4Sets() {
+			s, err := core.NewSystem(hw.Paper(), m, profile.Default(), batchSize)
+			if err != nil {
+				return nil, err
+			}
+			// Horovod on exactly the set's GPUs.
+			alloc, err := hw.AllocateByTypes(s.Cluster, set.Specs)
+			if err != nil {
+				return nil, err
+			}
+			var gpus []*hw.GPU
+			for _, vw := range alloc.VWs {
+				gpus = append(gpus, vw.GPUs...)
+			}
+			horovod := "X"
+			if hr, err := s.Horovod(gpus); err == nil && len(hr.Excluded) == 0 {
+				horovod = fmt.Sprintf("%.0f", hr.Throughput)
+			}
+			// HetPipe with local-style placement when stage/node alignment
+			// holds (it does for all Table 4 sets), default otherwise.
+			placement := core.PlacementLocal
+			dep, err := s.Deploy(alloc, 0, 0, placement)
+			if err != nil {
+				dep, err = s.Deploy(alloc, 0, 0, core.PlacementDefault)
+				if err != nil {
+					r.addf("  %-16s HetPipe failed: %v", set.Name, err)
+					continue
+				}
+			}
+			res, err := dep.SimulateWSP(24*dep.Nm, 4*dep.Nm)
+			if err != nil {
+				r.addf("  %-16s simulation failed: %v", set.Name, err)
+				continue
+			}
+			concurrent := dep.Nm * len(dep.VWs)
+			r.addf("  %-16s Horovod %6s (paper %4.0f)   HetPipe %6.0f (%d) (paper %4.0f (%s))",
+				set.Name, horovod, paperHorovod[m.Name][set.Name],
+				res.Aggregate, concurrent, paper[m.Name][set.Name], paperConcurrent(m.Name, set.Name))
+		}
+	}
+	r.notef("(n) is the total number of concurrent minibatches across virtual workers; X marks infeasible Horovod")
+	return r, nil
+}
+
+func paperConcurrent(modelName, setName string) string {
+	table := map[string]map[string]string{
+		"VGG-19":     {"4 GPUs 4[V]": "5", "8 GPUs 4[VR]": "16", "12 GPUs 4[VRQ]": "20", "16 GPUs 4[VRQG]": "20"},
+		"ResNet-152": {"4 GPUs 4[V]": "5", "8 GPUs 4[VR]": "20", "12 GPUs 4[VRQ]": "24", "16 GPUs 4[VRQG]": "28"},
+	}
+	if v, ok := table[modelName][setName]; ok {
+		return v
+	}
+	return "?"
+}

@@ -1,0 +1,192 @@
+package hw
+
+import (
+	"fmt"
+)
+
+// Policy selects one of the Table 3 resource-allocation policies.
+type Policy int
+
+const (
+	// NodePartition (NP) assigns one whole node per virtual worker:
+	// homogeneous GPUs, minimal intra-VW communication, but heterogeneous
+	// performance across virtual workers (straggler-prone under DP).
+	NodePartition Policy = iota
+	// EqualDistribution (ED) gives every virtual worker one GPU from each
+	// node: identical resources per VW (no stragglers), but every pipeline
+	// stage boundary crosses InfiniBand.
+	EqualDistribution
+	// HybridDistribution (HD) pairs GPU types so that aggregate compute and
+	// memory are balanced: two VWs get VVQQ, two get RRGG.
+	HybridDistribution
+)
+
+func (p Policy) String() string {
+	switch p {
+	case NodePartition:
+		return "NP"
+	case EqualDistribution:
+		return "ED"
+	case HybridDistribution:
+		return "HD"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Policies lists the three paper policies in Table 3 order.
+func Policies() []Policy {
+	return []Policy{NodePartition, EqualDistribution, HybridDistribution}
+}
+
+// VirtualWorker is an ordered set of GPUs acting as one DP worker; position i
+// hosts pipeline stage i.
+type VirtualWorker struct {
+	Index int
+	GPUs  []*GPU
+}
+
+// TypeString renders the VW's GPU mix, e.g. "VVQQ".
+func (vw *VirtualWorker) TypeString() string { return TypeString(vw.GPUs) }
+
+// Size reports the number of GPUs (pipeline stages) in the VW.
+func (vw *VirtualWorker) Size() int { return len(vw.GPUs) }
+
+// CrossNodeBoundaries counts adjacent stage pairs whose GPUs sit on
+// different nodes (each such boundary communicates over InfiniBand).
+func (vw *VirtualWorker) CrossNodeBoundaries() int {
+	n := 0
+	for i := 1; i < len(vw.GPUs); i++ {
+		if vw.GPUs[i].Node != vw.GPUs[i-1].Node {
+			n++
+		}
+	}
+	return n
+}
+
+// Allocation is a full assignment of cluster GPUs to virtual workers.
+type Allocation struct {
+	Policy string
+	VWs    []*VirtualWorker
+}
+
+// Allocate applies one of the Table 3 policies to the paper's 4x4 cluster
+// layout. It works for any cluster whose nodes all hold the same GPU count;
+// NP needs nothing more, ED needs gpusPerNode >= nodeCount divisibility as in
+// the paper (4 nodes x 4 GPUs), HD is defined only for the paper cluster
+// shape (V/R/G/Q nodes with 4 GPUs each).
+func Allocate(c *Cluster, p Policy) (*Allocation, error) {
+	switch p {
+	case NodePartition:
+		return allocateNP(c)
+	case EqualDistribution:
+		return allocateED(c)
+	case HybridDistribution:
+		return allocateHD(c)
+	default:
+		return nil, fmt.Errorf("hw: unknown policy %v", p)
+	}
+}
+
+func allocateNP(c *Cluster) (*Allocation, error) {
+	a := &Allocation{Policy: "NP"}
+	for i, n := range c.Nodes {
+		vw := &VirtualWorker{Index: i, GPUs: append([]*GPU(nil), n.GPUs...)}
+		a.VWs = append(a.VWs, vw)
+	}
+	return a, nil
+}
+
+func allocateED(c *Cluster) (*Allocation, error) {
+	per := len(c.Nodes[0].GPUs)
+	for _, n := range c.Nodes {
+		if len(n.GPUs) != per {
+			return nil, fmt.Errorf("hw: ED requires equal GPU counts per node; node %d has %d, node 0 has %d",
+				n.Index, len(n.GPUs), per)
+		}
+	}
+	a := &Allocation{Policy: "ED"}
+	for i := 0; i < per; i++ {
+		vw := &VirtualWorker{Index: i}
+		for _, n := range c.Nodes {
+			vw.GPUs = append(vw.GPUs, n.GPUs[i])
+		}
+		a.VWs = append(a.VWs, vw)
+	}
+	return a, nil
+}
+
+// allocateHD builds the paper's hybrid allocation: VVQQ, VVQQ, RRGG, RRGG.
+// Pairing rationale (Section 8.1): compute power V>R>G>Q and memory R>V>Q>G,
+// so pairing the best compute with the most whimpy memory (and vice versa)
+// balances aggregate capability across virtual workers.
+func allocateHD(c *Cluster) (*Allocation, error) {
+	return AllocateByTypes(c, []string{"VVQQ", "VVQQ", "RRGG", "RRGG"})
+}
+
+// AllocateByTypes builds virtual workers from explicit GPU type-code strings,
+// consuming devices from the cluster inventory. Within one spec, requests for
+// the same type come from the same node when possible (so "VV" shares PCIe).
+// It powers the Figure 3 single-VW configs and the Table 4 incremental sets.
+func AllocateByTypes(c *Cluster, vwSpecs []string) (*Allocation, error) {
+	used := make(map[int]bool) // GPU ID -> taken
+	take := func(code byte) (*GPU, error) {
+		for _, g := range c.gpus {
+			if !used[g.ID] && g.Type.Code == code {
+				used[g.ID] = true
+				return g, nil
+			}
+		}
+		return nil, fmt.Errorf("hw: cluster has no free GPU of type %q", string(code))
+	}
+	a := &Allocation{Policy: "custom"}
+	for i, spec := range vwSpecs {
+		if spec == "" {
+			return nil, fmt.Errorf("hw: empty VW spec at index %d", i)
+		}
+		vw := &VirtualWorker{Index: i}
+		for j := 0; j < len(spec); j++ {
+			if _, err := TypeByCode(spec[j]); err != nil {
+				return nil, err
+			}
+			g, err := take(spec[j])
+			if err != nil {
+				return nil, fmt.Errorf("%v (allocating VW %d spec %q)", err, i, spec)
+			}
+			vw.GPUs = append(vw.GPUs, g)
+		}
+		a.VWs = append(a.VWs, vw)
+	}
+	return a, nil
+}
+
+// SingleVWConfigs lists the seven Figure 3 virtual-worker configurations.
+func SingleVWConfigs() []string {
+	return []string{"VVVV", "RRRR", "GGGG", "QQQQ", "VRGQ", "VVQQ", "RRGG"}
+}
+
+// Table4Set names one column of Table 4: a GPU budget and the VW specs
+// HetPipe builds from it.
+type Table4Set struct {
+	// Name matches the paper's header, e.g. "8 GPUs 4[VR]".
+	Name string
+	// TotalGPUs is the device budget.
+	TotalGPUs int
+	// Specs is one type string per virtual worker.
+	Specs []string
+	// HorovodCodes lists the per-worker GPU codes for the DP baseline
+	// (one single-GPU worker per device).
+	HorovodCodes string
+}
+
+// Table4Sets returns the four incremental configurations of Table 4. The
+// 4-GPU column uses a single virtual worker (VVVV); the others use four
+// virtual workers of 2, 3, and 4 GPUs.
+func Table4Sets() []Table4Set {
+	return []Table4Set{
+		{Name: "4 GPUs 4[V]", TotalGPUs: 4, Specs: []string{"VVVV"}, HorovodCodes: "VVVV"},
+		{Name: "8 GPUs 4[VR]", TotalGPUs: 8, Specs: []string{"VR", "VR", "VR", "VR"}, HorovodCodes: "VVVVRRRR"},
+		{Name: "12 GPUs 4[VRQ]", TotalGPUs: 12, Specs: []string{"VRQ", "VRQ", "VRQ", "VRQ"}, HorovodCodes: "VVVVRRRRQQQQ"},
+		{Name: "16 GPUs 4[VRQG]", TotalGPUs: 16, Specs: []string{"VRQG", "VRQG", "VRQG", "VRQG"}, HorovodCodes: "VVVVRRRRQQQQGGGG"},
+	}
+}

@@ -1,0 +1,93 @@
+// Package metrics holds small measurement helpers shared by the experiment
+// harness: time series (accuracy-over-time curves) and summaries.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	T float64 // seconds
+	V float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Append adds a sample; time must not regress.
+func (s *Series) Append(t, v float64) {
+	if n := len(s.Points); n > 0 && t < s.Points[n-1].T {
+		panic(fmt.Sprintf("metrics: series %q time regressed: %g after %g", s.Name, t, s.Points[n-1].T))
+	}
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Last returns the most recent sample.
+func (s *Series) Last() (Point, bool) {
+	if len(s.Points) == 0 {
+		return Point{}, false
+	}
+	return s.Points[len(s.Points)-1], true
+}
+
+// FirstTimeAtOrAbove reports the earliest time the series reaches the
+// threshold.
+func (s *Series) FirstTimeAtOrAbove(v float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.V >= v {
+			return p.T, true
+		}
+	}
+	return 0, false
+}
+
+// At linearly interpolates the series value at time t (clamped to the ends).
+func (s *Series) At(t float64) (float64, bool) {
+	if len(s.Points) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= t })
+	switch {
+	case i == 0:
+		return s.Points[0].V, true
+	case i == len(s.Points):
+		return s.Points[len(s.Points)-1].V, true
+	}
+	a, b := s.Points[i-1], s.Points[i]
+	if b.T == a.T {
+		return b.V, true
+	}
+	frac := (t - a.T) / (b.T - a.T)
+	return a.V + frac*(b.V-a.V), true
+}
+
+// Summary aggregates a slice of values.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+}
+
+// Summarize computes a summary; empty input yields a zero Summary.
+func Summarize(vals []float64) Summary {
+	if len(vals) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(vals), Min: vals[0], Max: vals[0]}
+	var sum float64
+	for _, v := range vals {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		sum += v
+	}
+	s.Mean = sum / float64(len(vals))
+	return s
+}

@@ -1,0 +1,66 @@
+package model
+
+import "fmt"
+
+// Synthetic builds a uniform n-layer chain for tests and microbenchmarks:
+// every layer carries the same parameter count, FLOPs, and activation size.
+// Uniform chains make optimal partitions easy to reason about in tests.
+func Synthetic(name string, n int, paramsPer int64, flopsPer float64, elemsPer int64) *Model {
+	m := &Model{Name: name, InputElems: elemsPer, NumClasses: 2}
+	for i := 0; i < n; i++ {
+		m.Layers = append(m.Layers, Layer{
+			Name:        fmt.Sprintf("l%d", i),
+			Kind:        KindConv,
+			Params:      paramsPer,
+			FwdFLOPs:    flopsPer,
+			OutputElems: elemsPer,
+			StashElems:  elemsPer,
+		})
+	}
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Skewed builds an n-layer chain whose per-layer FLOPs follow the given
+// weights while parameters stay uniform — useful for exercising the
+// partitioner's load balancing away from trivial equal splits.
+func Skewed(name string, flopsWeights []float64, paramsPer int64, elemsPer int64) *Model {
+	m := &Model{Name: name, InputElems: elemsPer, NumClasses: 2}
+	for i, w := range flopsWeights {
+		if w < 0 {
+			panic("model: negative FLOPs weight")
+		}
+		m.Layers = append(m.Layers, Layer{
+			Name:        fmt.Sprintf("l%d", i),
+			Kind:        KindConv,
+			Params:      paramsPer,
+			FwdFLOPs:    w,
+			OutputElems: elemsPer,
+			StashElems:  elemsPer,
+		})
+	}
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ByName resolves the two paper models by their canonical names.
+func ByName(name string) (*Model, error) {
+	switch name {
+	case "vgg19", "VGG-19", "vgg-19":
+		return VGG19(), nil
+	case "resnet152", "ResNet-152", "resnet-152":
+		return ResNet152(), nil
+	default:
+		return nil, fmt.Errorf("model: unknown model %q (want vgg19 or resnet152)", name)
+	}
+}
+
+// PaperModels returns the two evaluation models in the paper's order of
+// presentation (ResNet-152, then VGG-19).
+func PaperModels() []*Model {
+	return []*Model{ResNet152(), VGG19()}
+}

@@ -1,0 +1,69 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVGG16Params(t *testing.T) {
+	m := VGG16()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Published exact count with biases: 138,357,544.
+	const want = 138357544
+	if got := m.TotalParams(); got != want {
+		t.Errorf("VGG-16 params = %d, want %d", got, want)
+	}
+}
+
+func TestResNet50Params(t *testing.T) {
+	m := ResNet50()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Published (torchvision): 25,557,032. Allow 1% for BN bookkeeping.
+	const want = 25557032
+	got := m.TotalParams()
+	if math.Abs(float64(got-want))/float64(want) > 0.01 {
+		t.Errorf("ResNet-50 params = %d, want ~%d", got, want)
+	}
+}
+
+func TestAlexNetShape(t *testing.T) {
+	m := AlexNet()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// AlexNet has ~61 M parameters, dominated by fc6.
+	got := m.TotalParams()
+	if got < 55e6 || got > 65e6 {
+		t.Errorf("AlexNet params = %d, want ~61M", got)
+	}
+	convs := 0
+	for _, l := range m.Layers {
+		if l.Kind == KindConv {
+			convs++
+		}
+	}
+	if convs != 5 {
+		t.Errorf("AlexNet convs = %d, want 5", convs)
+	}
+}
+
+func TestZooOrdering(t *testing.T) {
+	// Parameter-count sanity across the zoo.
+	r50 := ResNet50().TotalParams()
+	r152 := ResNet152().TotalParams()
+	v16 := VGG16().TotalParams()
+	v19 := VGG19().TotalParams()
+	if r50 >= r152 {
+		t.Error("ResNet-50 should be smaller than ResNet-152")
+	}
+	if v16 >= v19 {
+		t.Error("VGG-16 should be smaller than VGG-19")
+	}
+	if r152 >= v16 {
+		t.Error("ResNet-152 should be smaller than VGG-16 (FC layers dominate)")
+	}
+}

@@ -1,0 +1,44 @@
+package partition
+
+import (
+	"testing"
+
+	"hetpipe/internal/hw"
+	"hetpipe/internal/model"
+	"hetpipe/internal/profile"
+)
+
+// BenchmarkPartitionResNet152 measures the DP partitioner on the deepest
+// paper model (58 schedulable layers onto 4 heterogeneous GPUs).
+func BenchmarkPartitionResNet152(b *testing.B) {
+	c := hw.Paper()
+	alloc, err := hw.AllocateByTypes(c, []string{"VRGQ"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := model.ResNet152()
+	pt := New(profile.Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pt.Partition(c, m, alloc.VWs[0], 4, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaxNm measures the binary search for the memory-feasibility bound.
+func BenchmarkMaxNm(b *testing.B) {
+	c := hw.Paper()
+	alloc, err := hw.AllocateByTypes(c, []string{"GGGG"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := model.ResNet152()
+	pt := New(profile.Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if nm := pt.MaxNm(c, m, alloc.VWs[0], 32, 8); nm < 1 {
+			b.Fatal("infeasible")
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package partition implements the Section 7 partitioning algorithm: divide
+// a model's layers into k contiguous partitions, one per (possibly
+// heterogeneous) GPU of a virtual worker, minimizing the maximum partition
+// execution time subject to each partition fitting its GPU's memory while
+// processing Nm concurrent minibatches.
+//
+// The paper feeds this problem to CPLEX; layer counts here are small enough
+// (tens of layers, k <= 8) that an exact dynamic program over prefixes finds
+// the optimum directly. A partition's execution time follows the paper's
+// definition: the sum of its layers' computation time plus the time to
+// receive activations (forward) and local gradients (backward) across its
+// boundaries.
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"hetpipe/internal/hw"
+	"hetpipe/internal/model"
+	"hetpipe/internal/profile"
+)
+
+// Stage is one pipeline stage of a plan: a contiguous layer range bound to
+// one GPU.
+type Stage struct {
+	// GPU hosts the stage.
+	GPU *hw.GPU
+	// Lo and Hi bound the layer range [Lo, Hi).
+	Lo, Hi int
+	// FwdTime and BwdTime are per-minibatch compute times.
+	FwdTime, BwdTime float64
+	// RecvActTime is the time to receive input activations from the
+	// previous stage (zero for the first stage).
+	RecvActTime float64
+	// RecvGradTime is the time to receive gradients from the next stage
+	// (zero for the last stage).
+	RecvGradTime float64
+	// MemoryBytes is the predicted device memory requirement.
+	MemoryBytes int64
+	// MemoryCap is the hosting GPU's capacity.
+	MemoryCap int64
+}
+
+// ExecTime is the paper's partition execution time: computation plus the
+// communication needed to receive activations and gradients.
+func (s *Stage) ExecTime() float64 {
+	return s.FwdTime + s.BwdTime + s.RecvActTime + s.RecvGradTime
+}
+
+// Layers reports the number of layers assigned to the stage.
+func (s *Stage) Layers() int { return s.Hi - s.Lo }
+
+// Plan is a complete partitioning of a model onto a virtual worker.
+type Plan struct {
+	Model *model.Model
+	Batch int
+	// Nm is the number of concurrent minibatches the plan supports.
+	Nm     int
+	Stages []Stage
+	// Bottleneck is the maximum stage execution time; the pipeline's
+	// steady-state period can never beat it.
+	Bottleneck float64
+}
+
+// ThroughputUpperBound is the steady-state throughput limit implied by the
+// bottleneck stage, in samples/second.
+func (p *Plan) ThroughputUpperBound() float64 {
+	if p.Bottleneck <= 0 {
+		return 0
+	}
+	return float64(p.Batch) / p.Bottleneck
+}
+
+// Validate checks structural invariants: stages cover every layer exactly
+// once, in order, and respect their memory caps.
+func (p *Plan) Validate() error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("partition: empty plan")
+	}
+	next := 0
+	for i := range p.Stages {
+		s := &p.Stages[i]
+		if s.Lo != next {
+			return fmt.Errorf("partition: stage %d starts at %d, want %d", i, s.Lo, next)
+		}
+		if s.Hi <= s.Lo {
+			return fmt.Errorf("partition: stage %d empty", i)
+		}
+		if s.MemoryBytes > s.MemoryCap {
+			return fmt.Errorf("partition: stage %d needs %d bytes, cap %d", i, s.MemoryBytes, s.MemoryCap)
+		}
+		next = s.Hi
+	}
+	if next != len(p.Model.Layers) {
+		return fmt.Errorf("partition: stages cover %d layers, model has %d", next, len(p.Model.Layers))
+	}
+	return nil
+}
+
+// Partitioner computes plans using a performance model.
+type Partitioner struct {
+	Perf *profile.Perf
+}
+
+// New returns a partitioner over the given performance model.
+func New(perf *profile.Perf) *Partitioner {
+	return &Partitioner{Perf: perf}
+}
+
+// Partition computes the optimal plan for running m on the virtual worker's
+// GPUs (in stage order) with Nm concurrent minibatches. The cluster provides
+// interconnect classification between adjacent stages. It returns an error
+// when no memory-feasible split exists.
+func (pt *Partitioner) Partition(c *hw.Cluster, m *model.Model, vw *hw.VirtualWorker, nm, batch int) (*Plan, error) {
+	k := len(vw.GPUs)
+	L := len(m.Layers)
+	switch {
+	case k == 0:
+		return nil, fmt.Errorf("partition: virtual worker has no GPUs")
+	case nm < 1:
+		return nil, fmt.Errorf("partition: Nm must be >= 1, got %d", nm)
+	case batch < 1:
+		return nil, fmt.Errorf("partition: batch must be >= 1, got %d", batch)
+	case L < k:
+		return nil, fmt.Errorf("partition: model %s has %d layers, fewer than %d stages", m.Name, L, k)
+	}
+
+	// links[s] classifies the interconnect between stages s-1 and s.
+	links := make([]hw.LinkKind, k)
+	for s := 1; s < k; s++ {
+		links[s] = c.LinkBetween(vw.GPUs[s-1], vw.GPUs[s])
+	}
+
+	// cost returns the execution time of layers [lo,hi) as stage s, or +Inf
+	// when it violates stage s's memory cap.
+	cost := func(lo, hi, s int) float64 {
+		mem := pt.Perf.StageMemory(m, lo, hi, s, k, nm, batch)
+		if mem > vw.GPUs[s].Type.MemoryBytes {
+			return math.Inf(1)
+		}
+		fwd, bwd, err := pt.Perf.StageTime(m, lo, hi, vw.GPUs[s].Type, batch)
+		if err != nil {
+			return math.Inf(1)
+		}
+		t := fwd + bwd
+		if s > 0 {
+			t += pt.Perf.BoundaryTime(m, lo-1, batch, links[s])
+		}
+		if s < k-1 {
+			t += pt.Perf.BoundaryTime(m, hi-1, batch, links[s+1])
+		}
+		return t
+	}
+
+	// Dynamic program over prefixes: best[i][s] = minimal bottleneck for
+	// placing the first i layers onto stages 0..s (stage s ends at i).
+	const unset = -1
+	best := make([][]float64, L+1)
+	choice := make([][]int, L+1)
+	for i := range best {
+		best[i] = make([]float64, k)
+		choice[i] = make([]int, k)
+		for s := range best[i] {
+			best[i][s] = math.Inf(1)
+			choice[i][s] = unset
+		}
+	}
+	for i := 1; i <= L-(k-1); i++ {
+		best[i][0] = cost(0, i, 0)
+		choice[i][0] = 0
+	}
+	for s := 1; s < k; s++ {
+		// Stage s must leave at least one layer for each later stage and
+		// each earlier stage must have had one.
+		for i := s + 1; i <= L-(k-1-s); i++ {
+			for j := s; j < i; j++ {
+				if math.IsInf(best[j][s-1], 1) {
+					continue
+				}
+				b := math.Max(best[j][s-1], cost(j, i, s))
+				if b < best[i][s] {
+					best[i][s] = b
+					choice[i][s] = j
+				}
+			}
+		}
+	}
+	if math.IsInf(best[L][k-1], 1) {
+		return nil, fmt.Errorf("partition: no memory-feasible %d-way split of %s for Nm=%d batch=%d on %s",
+			k, m.Name, nm, batch, vw.TypeString())
+	}
+
+	// Reconstruct the cut points.
+	cuts := make([]int, k+1)
+	cuts[k] = L
+	for s := k - 1; s > 0; s-- {
+		cuts[s] = choice[cuts[s+1]][s]
+	}
+
+	plan := &Plan{Model: m, Batch: batch, Nm: nm}
+	for s := 0; s < k; s++ {
+		lo, hi := cuts[s], cuts[s+1]
+		fwd, bwd, err := pt.Perf.StageTime(m, lo, hi, vw.GPUs[s].Type, batch)
+		if err != nil {
+			return nil, err
+		}
+		st := Stage{
+			GPU: vw.GPUs[s], Lo: lo, Hi: hi,
+			FwdTime: fwd, BwdTime: bwd,
+			MemoryBytes: pt.Perf.StageMemory(m, lo, hi, s, k, nm, batch),
+			MemoryCap:   vw.GPUs[s].Type.MemoryBytes,
+		}
+		if s > 0 {
+			st.RecvActTime = pt.Perf.BoundaryTime(m, lo-1, batch, links[s])
+		}
+		if s < k-1 {
+			st.RecvGradTime = pt.Perf.BoundaryTime(m, hi-1, batch, links[s+1])
+		}
+		plan.Stages = append(plan.Stages, st)
+		if t := st.ExecTime(); t > plan.Bottleneck {
+			plan.Bottleneck = t
+		}
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: internal error: %v", err)
+	}
+	return plan, nil
+}
+
+// MaxNm finds the largest Nm in [1, cap] for which a memory-feasible plan
+// exists — the paper's Maxm for the virtual worker. It returns 0 when even
+// Nm=1 does not fit.
+func (pt *Partitioner) MaxNm(c *hw.Cluster, m *model.Model, vw *hw.VirtualWorker, batch, cap int) int {
+	lo, hi := 1, cap
+	if _, err := pt.Partition(c, m, vw, 1, batch); err != nil {
+		return 0
+	}
+	// Feasibility is monotone in Nm (memory grows with Nm), so binary search.
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if _, err := pt.Partition(c, m, vw, mid, batch); err == nil {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

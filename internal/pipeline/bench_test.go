@@ -1,0 +1,33 @@
+package pipeline
+
+import (
+	"testing"
+
+	"hetpipe/internal/hw"
+	"hetpipe/internal/model"
+	"hetpipe/internal/partition"
+	"hetpipe/internal/profile"
+)
+
+// BenchmarkPipelineSimulation measures the discrete-event cost of simulating
+// 100 minibatches through a 4-stage heterogeneous pipeline.
+func BenchmarkPipelineSimulation(b *testing.B) {
+	c := hw.Paper()
+	alloc, err := hw.AllocateByTypes(c, []string{"VRGQ"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := partition.New(profile.Default()).Partition(c, model.ResNet152(), alloc.VWs[0], 4, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{
+			Plan: plan, Cluster: c, Perf: profile.Default(),
+			Minibatches: 100, Warmup: 20,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

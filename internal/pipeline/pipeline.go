@@ -1,0 +1,251 @@
+// Package pipeline executes Pipelined Model Parallelism within one virtual
+// worker on the discrete-event simulator, following Section 4 of the paper:
+//
+//   - up to Nm minibatches are in flight concurrently; a new minibatch is
+//     injected as soon as one completes (and any external gate admits it);
+//   - forward passes of a stage execute in minibatch order, as do backward
+//     passes (conditions 1 and 2), with FIFO scheduling among ready tasks
+//     (condition 3) — the natural consequence of FIFO device queues fed by
+//     in-order upstream completions;
+//   - on the last partition, the forward and backward passes of a minibatch
+//     run as a single fused task;
+//   - activations flow downstream and local gradients upstream; receiving a
+//     transfer serializes with computation on the receiving GPU, matching
+//     the paper's partition cost model (Section 7 defines a partition's
+//     execution time as computation plus the time to *receive* activations
+//     and gradients, and Section 9 notes that PipeDream-style
+//     communication/computation overlap would be a further improvement —
+//     i.e. HetPipe does not overlap them).
+//
+// The package reports steady-state throughput, per-GPU utilization, and an
+// optional execution trace (Figure 1).
+package pipeline
+
+import (
+	"fmt"
+
+	"hetpipe/internal/hw"
+	"hetpipe/internal/partition"
+	"hetpipe/internal/profile"
+	"hetpipe/internal/sim"
+	"hetpipe/internal/trace"
+)
+
+// Config parameterizes one virtual worker's pipeline run.
+type Config struct {
+	// Plan is the stage assignment from the partitioner.
+	Plan *partition.Plan
+	// Cluster classifies links between stage GPUs.
+	Cluster *hw.Cluster
+	// Perf supplies transfer times.
+	Perf *profile.Perf
+	// Minibatches is the total number of minibatches to process.
+	Minibatches int
+	// Warmup minibatches are excluded from the throughput measurement.
+	Warmup int
+	// Trace, when non-nil, records the execution schedule.
+	Trace *trace.Trace
+	// InjectGate, when non-nil, is consulted before injecting minibatch p
+	// (1-based). Returning false defers the injection until Poke is called;
+	// WSP uses this to enforce the clock-distance bound D.
+	InjectGate func(p int) bool
+	// OnComplete, when non-nil, fires when minibatch p finishes its backward
+	// pass on the first stage (the minibatch's completion point).
+	OnComplete func(p int, at sim.Time)
+}
+
+// Result summarizes a pipeline run.
+type Result struct {
+	// Throughput is samples/second measured after warmup.
+	Throughput float64
+	// Elapsed is the simulated time at the last completion.
+	Elapsed sim.Time
+	// GPUUtil is per-stage device utilization over the whole run.
+	GPUUtil []float64
+	// MaxGPUUtil is the maximum entry of GPUUtil — the Figure 3 metric.
+	MaxGPUUtil float64
+	// Completions holds each minibatch's completion time, in order.
+	Completions []sim.Time
+}
+
+// Pipeline is the live simulation object for one virtual worker.
+type Pipeline struct {
+	cfg   Config
+	eng   *sim.Engine
+	k     int
+	nm    int
+	batch int
+
+	gpus []*sim.Resource // compute engine per stage
+
+	injected  int // minibatches injected so far
+	completed int // minibatches fully done
+	inflight  int
+	waiting   bool // an injection is blocked on the gate
+	finished  []sim.Time
+}
+
+// New builds the pipeline on the engine. Start must be called to begin.
+func New(eng *sim.Engine, cfg Config) (*Pipeline, error) {
+	if cfg.Plan == nil {
+		return nil, fmt.Errorf("pipeline: nil plan")
+	}
+	if cfg.Minibatches < 1 {
+		return nil, fmt.Errorf("pipeline: need at least one minibatch")
+	}
+	if cfg.Warmup >= cfg.Minibatches {
+		return nil, fmt.Errorf("pipeline: warmup %d >= total %d", cfg.Warmup, cfg.Minibatches)
+	}
+	k := len(cfg.Plan.Stages)
+	pl := &Pipeline{
+		cfg:   cfg,
+		eng:   eng,
+		k:     k,
+		nm:    cfg.Plan.Nm,
+		batch: cfg.Plan.Batch,
+	}
+	for s := 0; s < k; s++ {
+		pl.gpus = append(pl.gpus, sim.NewResource(eng, fmt.Sprintf("gpu%d", s)))
+	}
+	return pl, nil
+}
+
+// Start injects the initial window of minibatches.
+func (pl *Pipeline) Start() { pl.Poke() }
+
+// Poke retries a gated injection; WSP calls it when global state advances.
+func (pl *Pipeline) Poke() {
+	for pl.inflight < pl.nm && pl.injected < pl.cfg.Minibatches {
+		p := pl.injected + 1 // 1-based minibatch number
+		if pl.cfg.InjectGate != nil && !pl.cfg.InjectGate(p) {
+			pl.waiting = true
+			return
+		}
+		pl.waiting = false
+		pl.injected++
+		pl.inflight++
+		pl.forward(p, 0)
+	}
+}
+
+// Waiting reports whether an injection is currently blocked on the gate.
+func (pl *Pipeline) Waiting() bool { return pl.waiting }
+
+// Completed reports how many minibatches have fully finished.
+func (pl *Pipeline) Completed() int { return pl.completed }
+
+// InFlight reports how many minibatches are currently in the pipeline.
+func (pl *Pipeline) InFlight() int { return pl.inflight }
+
+// forward schedules the forward pass of minibatch p on stage s. The task's
+// duration includes the time to receive the input activations from the
+// previous stage (RecvActTime), which serializes with computation.
+func (pl *Pipeline) forward(p, s int) {
+	st := &pl.cfg.Plan.Stages[s]
+	if s == pl.k-1 {
+		// Last partition: forward immediately followed by backward, one task.
+		dur := sim.Duration(st.RecvActTime + st.FwdTime + st.BwdTime)
+		pl.gpus[s].Submit(dur, fmt.Sprintf("fb%d", p), func() {
+			if pl.cfg.Trace != nil {
+				mid := pl.eng.Now() - sim.Time(st.BwdTime)
+				pl.cfg.Trace.Add(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), mid)
+				pl.cfg.Trace.Add(s, p, trace.Backward, mid, pl.eng.Now())
+			}
+			pl.sendGrad(p, s)
+		})
+		return
+	}
+	dur := sim.Duration(st.RecvActTime + st.FwdTime)
+	pl.gpus[s].Submit(dur, fmt.Sprintf("f%d", p), func() {
+		if pl.cfg.Trace != nil {
+			pl.cfg.Trace.Add(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
+		}
+		// The send itself is asynchronous for the sender; the receive cost
+		// is charged to the downstream stage's task.
+		pl.forward(p, s+1)
+	})
+}
+
+// backward schedules the backward pass of minibatch p on stage s (s < k-1;
+// the last stage's backward is fused into its forward task). The task's
+// duration includes receiving the gradients from the next stage.
+func (pl *Pipeline) backward(p, s int) {
+	st := &pl.cfg.Plan.Stages[s]
+	dur := sim.Duration(st.RecvGradTime + st.BwdTime)
+	pl.gpus[s].Submit(dur, fmt.Sprintf("b%d", p), func() {
+		if pl.cfg.Trace != nil {
+			pl.cfg.Trace.Add(s, p, trace.Backward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
+		}
+		if s == 0 {
+			pl.complete(p)
+			return
+		}
+		pl.sendGrad(p, s)
+	})
+}
+
+// sendGrad propagates minibatch p's boundary gradients from stage s to s-1.
+func (pl *Pipeline) sendGrad(p, s int) {
+	if s == 0 {
+		pl.complete(p)
+		return
+	}
+	pl.backward(p, s-1)
+}
+
+// complete marks minibatch p done: its backward pass reached stage 0 and the
+// virtual worker applied the local update (Section 4's wlocal += up).
+func (pl *Pipeline) complete(p int) {
+	pl.completed++
+	pl.inflight--
+	pl.finished = append(pl.finished, pl.eng.Now())
+	if pl.cfg.OnComplete != nil {
+		pl.cfg.OnComplete(p, pl.eng.Now())
+	}
+	pl.Poke()
+}
+
+// Result summarizes the run; call after the engine has drained.
+func (pl *Pipeline) Result() (*Result, error) {
+	if pl.completed != pl.cfg.Minibatches {
+		return nil, fmt.Errorf("pipeline: %d of %d minibatches completed (deadlock or gate starvation)",
+			pl.completed, pl.cfg.Minibatches)
+	}
+	r := &Result{Completions: pl.finished, Elapsed: pl.finished[len(pl.finished)-1]}
+	for s, g := range pl.gpus {
+		u := float64(g.BusyTime()) / float64(r.Elapsed)
+		r.GPUUtil = append(r.GPUUtil, u)
+		if u > r.MaxGPUUtil {
+			r.MaxGPUUtil = u
+		}
+		_ = s
+	}
+	// Steady-state throughput: samples completed after warmup over the time
+	// from the warmup-th completion to the last.
+	w := pl.cfg.Warmup
+	if w == 0 {
+		r.Throughput = float64(pl.cfg.Minibatches*pl.batch) / float64(r.Elapsed)
+		return r, nil
+	}
+	span := float64(r.Completions[len(r.Completions)-1] - r.Completions[w-1])
+	if span <= 0 {
+		return nil, fmt.Errorf("pipeline: degenerate measurement window")
+	}
+	r.Throughput = float64((pl.cfg.Minibatches-w)*pl.batch) / span
+	return r, nil
+}
+
+// Run is the one-shot convenience: build, start, drain, summarize.
+func Run(cfg Config) (*Result, error) {
+	eng := sim.New()
+	eng.SetStepLimit(uint64(cfg.Minibatches)*1000 + 100000)
+	pl, err := New(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pl.Start()
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	return pl.Result()
+}

@@ -1,0 +1,72 @@
+package ps
+
+import "fmt"
+
+// Placement maps shard keys to parameter-server indices. The paper places
+// model layers over the per-node parameter servers either round-robin (the
+// TensorFlow default policy) or, under the ED allocation, "locally": a
+// stage's parameters live on the node that hosts that stage in every virtual
+// worker, so weight synchronization never crosses nodes.
+type Placement struct {
+	assign  map[string]int
+	servers int
+}
+
+// NewPlacement builds a placement from an explicit assignment.
+func NewPlacement(assign map[string]int, servers int) (*Placement, error) {
+	if servers < 1 {
+		return nil, fmt.Errorf("ps: need at least one server, got %d", servers)
+	}
+	p := &Placement{assign: make(map[string]int, len(assign)), servers: servers}
+	for k, srv := range assign {
+		if srv < 0 || srv >= servers {
+			return nil, fmt.Errorf("ps: shard %q assigned to server %d, out of range [0,%d)", k, srv, servers)
+		}
+		p.assign[k] = srv
+	}
+	return p, nil
+}
+
+// RoundRobin assigns keys to servers in order, the default policy.
+func RoundRobin(keys []string, servers int) (*Placement, error) {
+	if servers < 1 {
+		return nil, fmt.Errorf("ps: need at least one server, got %d", servers)
+	}
+	assign := make(map[string]int, len(keys))
+	for i, k := range keys {
+		assign[k] = i % servers
+	}
+	return NewPlacement(assign, servers)
+}
+
+// ServerOf reports which server holds a key.
+func (p *Placement) ServerOf(key string) (int, error) {
+	srv, ok := p.assign[key]
+	if !ok {
+		return 0, fmt.Errorf("ps: shard %q not placed", key)
+	}
+	return srv, nil
+}
+
+// Servers reports the server count.
+func (p *Placement) Servers() int { return p.servers }
+
+// KeysOn lists the keys held by one server.
+func (p *Placement) KeysOn(server int) []string {
+	var out []string
+	for k, s := range p.assign {
+		if s == server {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Distribution reports how many keys each server holds.
+func (p *Placement) Distribution() []int {
+	out := make([]int, p.servers)
+	for _, s := range p.assign {
+		out[s]++
+	}
+	return out
+}

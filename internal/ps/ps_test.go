@@ -1,0 +1,342 @@
+package ps
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"hetpipe/internal/tensor"
+)
+
+func TestServerRegisterAndPull(t *testing.T) {
+	s, err := NewServer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("w1", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("w1", []float64{0}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	got, clock, err := s.Pull([]string{"w1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock != 0 {
+		t.Errorf("clock = %d, want 0", clock)
+	}
+	if got["w1"][1] != 2 {
+		t.Errorf("pull = %v", got["w1"])
+	}
+	// Pulled values are copies.
+	got["w1"][1] = 99
+	again, _, _ := s.Pull([]string{"w1"}, 0)
+	if again["w1"][1] != 2 {
+		t.Error("pull returned aliased storage")
+	}
+}
+
+func TestServerPushAppliesUpdates(t *testing.T) {
+	s, _ := NewServer(2)
+	s.Register("w", []float64{10, 20})
+	clock, err := s.Push(0, map[string]tensor.Vector{"w": {1, -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock != 1 {
+		t.Errorf("worker clock = %d, want 1", clock)
+	}
+	// Global clock stays 0 until worker 1 pushes.
+	if g := s.GlobalClock(); g != 0 {
+		t.Errorf("global clock = %d, want 0", g)
+	}
+	s.Push(1, map[string]tensor.Vector{"w": {0.5, 0.5}})
+	if g := s.GlobalClock(); g != 1 {
+		t.Errorf("global clock = %d, want 1", g)
+	}
+	got, _, _ := s.Pull([]string{"w"}, 1)
+	if got["w"][0] != 11.5 || got["w"][1] != 19.5 {
+		t.Errorf("weights = %v, want [11.5 19.5]", got["w"])
+	}
+}
+
+func TestServerPushErrors(t *testing.T) {
+	s, _ := NewServer(1)
+	s.Register("w", []float64{1})
+	if _, err := s.Push(5, nil); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+	if _, err := s.Push(0, map[string]tensor.Vector{"nope": {1}}); err == nil {
+		t.Error("unregistered shard accepted")
+	}
+	if _, err := s.Push(0, map[string]tensor.Vector{"w": {1, 2}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := s.Pull([]string{"nope"}, 0); err == nil {
+		t.Error("pull of unregistered shard accepted")
+	}
+}
+
+func TestServerBlockingPull(t *testing.T) {
+	s, _ := NewServer(2)
+	s.Register("w", []float64{0})
+	done := make(chan int, 1)
+	go func() {
+		_, clock, err := s.Pull([]string{"w"}, 1)
+		if err != nil {
+			done <- -1
+			return
+		}
+		done <- clock
+	}()
+	select {
+	case <-done:
+		t.Fatal("pull returned before clock advanced")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Push(0, map[string]tensor.Vector{"w": {1}})
+	s.Push(1, map[string]tensor.Vector{"w": {1}})
+	select {
+	case clock := <-done:
+		if clock < 1 {
+			t.Errorf("pull observed clock %d, want >= 1", clock)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pull never unblocked")
+	}
+}
+
+func TestServerCloseUnblocksPulls(t *testing.T) {
+	s, _ := NewServer(2)
+	s.Register("w", []float64{0})
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := s.Pull([]string{"w"}, 5)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Error("pull on closed server should fail")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close did not unblock pull")
+	}
+}
+
+func TestConcurrentWorkersWSPTraffic(t *testing.T) {
+	// N workers push W waves each with concurrent pulls; final weights must
+	// equal the sum of all updates (associativity of +=).
+	const workers, waves = 4, 25
+	s, _ := NewServer(workers)
+	s.Register("w", []float64{0})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := 0; c < waves; c++ {
+				if _, err := s.Push(w, map[string]tensor.Vector{"w": {1}}); err != nil {
+					t.Error(err)
+					return
+				}
+				// SSP-ish read: require the server to have everything
+				// through wave c-2 from everyone.
+				min := c - 2
+				if min < 0 {
+					min = 0
+				}
+				if _, _, err := s.Pull([]string{"w"}, min); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, clock, err := s.Pull([]string{"w"}, waves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock != waves {
+		t.Errorf("final clock = %d, want %d", clock, waves)
+	}
+	if got["w"][0] != workers*waves {
+		t.Errorf("final weight = %v, want %d", got["w"][0], workers*waves)
+	}
+	pushes, pulls := s.Stats()
+	if pushes != workers*waves || pulls == 0 {
+		t.Errorf("stats = %d pushes %d pulls", pushes, pulls)
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	keys := []string{"a", "b", "c", "d", "e"}
+	p, err := RoundRobin(keys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := p.Distribution()
+	if dist[0] != 3 || dist[1] != 2 {
+		t.Errorf("distribution = %v, want [3 2]", dist)
+	}
+	srv, err := p.ServerOf("c")
+	if err != nil || srv != 0 {
+		t.Errorf("ServerOf(c) = %d, %v", srv, err)
+	}
+	if _, err := p.ServerOf("zzz"); err == nil {
+		t.Error("unplaced key accepted")
+	}
+	if got := len(p.KeysOn(0)); got != 3 {
+		t.Errorf("KeysOn(0) = %d keys, want 3", got)
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	if _, err := RoundRobin(nil, 0); err == nil {
+		t.Error("zero servers accepted")
+	}
+	if _, err := NewPlacement(map[string]int{"a": 7}, 2); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	s, _ := NewServer(2)
+	s.Register("w", []float64{1, 1})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go Serve(l, s)
+	defer l.Close()
+
+	c0, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	if clock, err := c0.Push(0, map[string]tensor.Vector{"w": {1, 2}}); err != nil || clock != 1 {
+		t.Fatalf("push: clock=%d err=%v", clock, err)
+	}
+	if clock, err := c1.Push(1, map[string]tensor.Vector{"w": {1, 2}}); err != nil || clock != 1 {
+		t.Fatalf("push: clock=%d err=%v", clock, err)
+	}
+	weights, clock, err := c0.Pull([]string{"w"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock != 1 || weights["w"][0] != 3 || weights["w"][1] != 5 {
+		t.Errorf("pull = %v clock %d", weights, clock)
+	}
+	if g, err := c1.GlobalClock(); err != nil || g != 1 {
+		t.Errorf("global clock = %d, %v", g, err)
+	}
+	// Server-side errors propagate as client errors.
+	if _, err := c0.Push(0, map[string]tensor.Vector{"missing": {1}}); err == nil {
+		t.Error("push to missing shard should fail over TCP too")
+	}
+}
+
+func TestTCPBlockingPullAcrossClients(t *testing.T) {
+	s, _ := NewServer(2)
+	s.Register("w", []float64{0})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go Serve(l, s)
+	defer l.Close()
+
+	puller, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer puller.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := puller.Pull([]string{"w"}, 1)
+		done <- err
+	}()
+
+	select {
+	case <-done:
+		t.Fatal("pull returned before both workers pushed")
+	case <-time.After(20 * time.Millisecond):
+	}
+	for w := 0; w < 2; w++ {
+		c, err := Dial(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Push(w, map[string]tensor.Vector{"w": {1}}); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("blocked pull failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("TCP pull never unblocked")
+	}
+}
+
+func TestManyShardsAcrossPlacement(t *testing.T) {
+	// Simulates the paper's sharded deployment: four servers, shards spread
+	// round-robin, two workers pushing to all of them.
+	const servers = 4
+	var srvs []*Server
+	for i := 0; i < servers; i++ {
+		s, _ := NewServer(2)
+		srvs = append(srvs, s)
+	}
+	keys := make([]string, 12)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("layer%02d", i)
+	}
+	pl, _ := RoundRobin(keys, servers)
+	for _, k := range keys {
+		srv, _ := pl.ServerOf(k)
+		srvs[srv].Register(k, []float64{0})
+	}
+	for w := 0; w < 2; w++ {
+		perServer := make([]map[string]tensor.Vector, servers)
+		for i := range perServer {
+			perServer[i] = make(map[string]tensor.Vector)
+		}
+		for _, k := range keys {
+			srv, _ := pl.ServerOf(k)
+			perServer[srv][k] = tensor.Vector{1}
+		}
+		for i, updates := range perServer {
+			if _, err := srvs[i].Push(w, updates); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, k := range keys {
+		srv, _ := pl.ServerOf(k)
+		got, _, err := srvs[srv].Pull([]string{k}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[k][0] != 2 {
+			t.Errorf("shard %s = %v, want 2", k, got[k][0])
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package ps implements the parameter-server substrate HetPipe synchronizes
+// through: a sharded key-value store of weight vectors with WSP clock
+// semantics.
+//
+// Each virtual worker pushes one aggregated update per wave (Section 5); the
+// server applies updates to the global weights and advances the global clock
+// cglobal to c+1 once every worker has pushed wave c. Pulls may specify a
+// minimum global clock and block until the server reaches it — that is the
+// D-bound wait, which the caller overlaps with pipelined execution.
+//
+// The store is usable in process (Server methods are goroutine-safe) or over
+// TCP with gob encoding (see Serve and Dial in transport.go), mirroring how
+// the paper spreads parameter shards across nodes.
+package ps
+
+import (
+	"fmt"
+	"sync"
+
+	"hetpipe/internal/tensor"
+)
+
+// Server is one parameter-server shard host: a set of named weight vectors
+// plus WSP clock state for its workers.
+type Server struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	shards map[string]tensor.Vector
+	clocks []int // clocks[w] = waves pushed by worker w
+	pushes uint64
+	pulls  uint64
+	closed bool
+}
+
+// NewServer creates a server expecting pushes from n workers.
+func NewServer(n int) (*Server, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("ps: need at least one worker, got %d", n)
+	}
+	s := &Server{
+		shards: make(map[string]tensor.Vector),
+		clocks: make([]int, n),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Register installs a named weight vector with initial values. Registering
+// an existing key fails — shard layout is fixed before training.
+func (s *Server) Register(key string, init []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.shards[key]; ok {
+		return fmt.Errorf("ps: shard %q already registered", key)
+	}
+	s.shards[key] = tensor.Vector(init).Clone()
+	return nil
+}
+
+// Keys lists registered shard keys (order unspecified).
+func (s *Server) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.shards))
+	for k := range s.shards {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Push applies worker w's aggregated wave update (per-shard deltas added to
+// the global weights: wglobal += u~) and advances w's clock. It returns the
+// worker's new clock. Waking blocked pulls happens automatically.
+func (s *Server) Push(w int, updates map[string]tensor.Vector) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w < 0 || w >= len(s.clocks) {
+		return 0, fmt.Errorf("ps: worker %d out of range [0,%d)", w, len(s.clocks))
+	}
+	for key, delta := range updates {
+		shard, ok := s.shards[key]
+		if !ok {
+			return 0, fmt.Errorf("ps: push to unregistered shard %q", key)
+		}
+		if len(shard) != len(delta) {
+			return 0, fmt.Errorf("ps: shard %q length %d, delta length %d", key, len(shard), len(delta))
+		}
+		shard.AddInPlace(delta)
+	}
+	s.clocks[w]++
+	s.pushes++
+	s.cond.Broadcast()
+	return s.clocks[w], nil
+}
+
+// GlobalClock reports min over workers of pushed waves.
+func (s *Server) GlobalClock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.globalLocked()
+}
+
+func (s *Server) globalLocked() int {
+	min := s.clocks[0]
+	for _, c := range s.clocks[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Pull returns copies of the requested shards once the global clock has
+// reached minClock, blocking as needed. A minClock of zero never blocks.
+// It returns the weights and the global clock observed at read time.
+func (s *Server) Pull(keys []string, minClock int) (map[string]tensor.Vector, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.globalLocked() < minClock && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return nil, 0, fmt.Errorf("ps: server closed")
+	}
+	out := make(map[string]tensor.Vector, len(keys))
+	for _, key := range keys {
+		shard, ok := s.shards[key]
+		if !ok {
+			return nil, 0, fmt.Errorf("ps: pull of unregistered shard %q", key)
+		}
+		out[key] = shard.Clone()
+	}
+	s.pulls++
+	return out, s.globalLocked(), nil
+}
+
+// Close wakes all blocked pulls with an error and marks the server down.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.cond.Broadcast()
+}
+
+// Stats reports operation counters (pushes, pulls).
+func (s *Server) Stats() (pushes, pulls uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pushes, s.pulls
+}

@@ -1,0 +1,124 @@
+package ps
+
+import (
+	"fmt"
+
+	"hetpipe/internal/tensor"
+)
+
+// Sharded fans one worker's pushes and pulls out across multiple servers
+// according to a Placement — the client-side half of the paper's deployment,
+// where each node runs a parameter server holding a subset of the layers.
+//
+// The type works over any backend implementing Backend (the in-process
+// Server does; a set of TCP Clients can be adapted), so the same code path
+// serves simulations, tests, and real sockets.
+type Sharded struct {
+	placement *Placement
+	backends  []Backend
+}
+
+// Backend is the per-server operation set Sharded needs. *Server implements
+// it directly; *Client adds the same methods over TCP.
+type Backend interface {
+	Push(worker int, updates map[string]tensor.Vector) (int, error)
+	Pull(keys []string, minClock int) (map[string]tensor.Vector, int, error)
+	GlobalClock() (int, error)
+}
+
+// serverBackend adapts *Server (whose GlobalClock returns no error).
+type serverBackend struct{ s *Server }
+
+func (b serverBackend) Push(w int, u map[string]tensor.Vector) (int, error) { return b.s.Push(w, u) }
+func (b serverBackend) Pull(k []string, mc int) (map[string]tensor.Vector, int, error) {
+	return b.s.Pull(k, mc)
+}
+func (b serverBackend) GlobalClock() (int, error) { return b.s.GlobalClock(), nil }
+
+// AdaptServer wraps an in-process Server as a Backend.
+func AdaptServer(s *Server) Backend { return serverBackend{s} }
+
+// NewSharded builds a sharded client over one backend per placement server.
+func NewSharded(p *Placement, backends []Backend) (*Sharded, error) {
+	if p == nil {
+		return nil, fmt.Errorf("ps: nil placement")
+	}
+	if len(backends) != p.Servers() {
+		return nil, fmt.Errorf("ps: placement expects %d servers, got %d backends", p.Servers(), len(backends))
+	}
+	return &Sharded{placement: p, backends: backends}, nil
+}
+
+// Push splits the update map by placement and pushes each slice to its
+// server; every involved server's clock advances for the worker. Servers
+// holding none of the keys still receive an empty push so their clocks stay
+// aligned — WSP's global clock is the minimum across all shards.
+func (s *Sharded) Push(worker int, updates map[string]tensor.Vector) error {
+	perServer := make([]map[string]tensor.Vector, len(s.backends))
+	for i := range perServer {
+		perServer[i] = make(map[string]tensor.Vector)
+	}
+	for key, delta := range updates {
+		srv, err := s.placement.ServerOf(key)
+		if err != nil {
+			return err
+		}
+		perServer[srv][key] = delta
+	}
+	for i, b := range s.backends {
+		if _, err := b.Push(worker, perServer[i]); err != nil {
+			return fmt.Errorf("ps: shard server %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Pull gathers the requested keys from their servers, each blocking until
+// that server's global clock reaches minClock. It returns the merged weights
+// and the minimum clock observed.
+func (s *Sharded) Pull(keys []string, minClock int) (map[string]tensor.Vector, int, error) {
+	perServer := make([][]string, len(s.backends))
+	for _, key := range keys {
+		srv, err := s.placement.ServerOf(key)
+		if err != nil {
+			return nil, 0, err
+		}
+		perServer[srv] = append(perServer[srv], key)
+	}
+	out := make(map[string]tensor.Vector, len(keys))
+	clock := -1
+	for i, b := range s.backends {
+		if len(perServer[i]) == 0 {
+			continue
+		}
+		weights, c, err := b.Pull(perServer[i], minClock)
+		if err != nil {
+			return nil, 0, fmt.Errorf("ps: shard server %d: %w", i, err)
+		}
+		for k, v := range weights {
+			out[k] = v
+		}
+		if clock < 0 || c < clock {
+			clock = c
+		}
+	}
+	if clock < 0 {
+		clock = 0
+	}
+	return out, clock, nil
+}
+
+// GlobalClock reports the minimum clock across all shard servers.
+func (s *Sharded) GlobalClock() (int, error) {
+	min := -1
+	for i, b := range s.backends {
+		c, err := b.GlobalClock()
+		if err != nil {
+			return 0, fmt.Errorf("ps: shard server %d: %w", i, err)
+		}
+		if min < 0 || c < min {
+			min = c
+		}
+	}
+	return min, nil
+}

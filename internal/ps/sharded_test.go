@@ -1,0 +1,153 @@
+package ps
+
+import (
+	"sync"
+	"testing"
+
+	"hetpipe/internal/tensor"
+)
+
+func shardedFixture(t *testing.T, workers int) (*Sharded, []*Server, []string) {
+	t.Helper()
+	keys := []string{"stage0", "stage1", "stage2", "stage3"}
+	pl, err := RoundRobin(keys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var servers []*Server
+	var backends []Backend
+	for i := 0; i < 2; i++ {
+		s, err := NewServer(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range pl.KeysOn(i) {
+			if err := s.Register(k, []float64{0, 0}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		servers = append(servers, s)
+		backends = append(backends, AdaptServer(s))
+	}
+	sh, err := NewSharded(pl, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh, servers, keys
+}
+
+func TestShardedPushPullRoundTrip(t *testing.T) {
+	sh, _, keys := shardedFixture(t, 1)
+	updates := map[string]tensor.Vector{}
+	for i, k := range keys {
+		updates[k] = tensor.Vector{float64(i), 1}
+	}
+	if err := sh.Push(0, updates); err != nil {
+		t.Fatal(err)
+	}
+	got, clock, err := sh.Pull(keys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock != 1 {
+		t.Errorf("clock = %d, want 1", clock)
+	}
+	for i, k := range keys {
+		if got[k][0] != float64(i) || got[k][1] != 1 {
+			t.Errorf("shard %s = %v", k, got[k])
+		}
+	}
+}
+
+func TestShardedClockIsMinAcrossServers(t *testing.T) {
+	sh, servers, keys := shardedFixture(t, 2)
+	// Worker 0 pushes everywhere; worker 1 has not pushed yet.
+	updates := map[string]tensor.Vector{}
+	for _, k := range keys {
+		updates[k] = tensor.Vector{1, 1}
+	}
+	if err := sh.Push(0, updates); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := sh.GlobalClock(); c != 0 {
+		t.Errorf("global clock = %d, want 0 (worker 1 lags)", c)
+	}
+	if err := sh.Push(1, updates); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := sh.GlobalClock(); c != 1 {
+		t.Errorf("global clock = %d, want 1", c)
+	}
+	for i, s := range servers {
+		if s.GlobalClock() != 1 {
+			t.Errorf("server %d clock = %d, want 1 (empty pushes keep clocks aligned)", i, s.GlobalClock())
+		}
+	}
+}
+
+func TestShardedPartialKeyPush(t *testing.T) {
+	// Pushing only stage0 still ticks both servers' clocks for the worker,
+	// so the WSP global clock stays well defined.
+	sh, servers, _ := shardedFixture(t, 1)
+	if err := sh.Push(0, map[string]tensor.Vector{"stage0": {1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range servers {
+		if s.GlobalClock() != 1 {
+			t.Errorf("server %d clock = %d after partial push", i, s.GlobalClock())
+		}
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	pl, _ := RoundRobin([]string{"a"}, 2)
+	if _, err := NewSharded(nil, nil); err == nil {
+		t.Error("nil placement accepted")
+	}
+	if _, err := NewSharded(pl, nil); err == nil {
+		t.Error("backend count mismatch accepted")
+	}
+	sh, _, _ := shardedFixture(t, 1)
+	if err := sh.Push(0, map[string]tensor.Vector{"unknown": {1}}); err == nil {
+		t.Error("unplaced key accepted on push")
+	}
+	if _, _, err := sh.Pull([]string{"unknown"}, 0); err == nil {
+		t.Error("unplaced key accepted on pull")
+	}
+}
+
+func TestShardedConcurrentWorkers(t *testing.T) {
+	sh, _, keys := shardedFixture(t, 4)
+	var wg sync.WaitGroup
+	const waves = 20
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := 0; c < waves; c++ {
+				updates := map[string]tensor.Vector{}
+				for _, k := range keys {
+					updates[k] = tensor.Vector{1, 0}
+				}
+				if err := sh.Push(w, updates); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, clock, err := sh.Pull(keys, waves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock != waves {
+		t.Errorf("clock = %d, want %d", clock, waves)
+	}
+	for _, k := range keys {
+		if got[k][0] != 4*waves {
+			t.Errorf("shard %s = %v, want %d", k, got[k][0], 4*waves)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package ps
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"hetpipe/internal/tensor"
+)
+
+// The wire protocol: one gob-encoded request per message, one response back.
+// Pulls may block server-side, so each connection is served by its own
+// goroutine and a client must not interleave concurrent calls on one
+// connection (use one connection per worker thread, as the tests do).
+
+type wireOp int
+
+const (
+	opPush wireOp = iota + 1
+	opPull
+	opClock
+)
+
+type wireRequest struct {
+	Op       wireOp
+	Worker   int
+	Updates  map[string][]float64
+	Keys     []string
+	MinClock int
+}
+
+type wireResponse struct {
+	Err     string
+	Weights map[string][]float64
+	Clock   int
+}
+
+// Serve accepts connections on l and dispatches requests to s until the
+// listener closes. Each connection gets a dedicated goroutine so blocking
+// pulls do not stall other clients.
+func Serve(l net.Listener, s *Server) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			serveConn(conn, s)
+		}()
+	}
+}
+
+func serveConn(conn net.Conn, s *Server) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			return // client went away (io.EOF) or sent garbage
+		}
+		var resp wireResponse
+		switch req.Op {
+		case opPush:
+			updates := make(map[string]tensor.Vector, len(req.Updates))
+			for k, v := range req.Updates {
+				updates[k] = tensor.Vector(v)
+			}
+			clock, err := s.Push(req.Worker, updates)
+			resp.Clock = clock
+			if err != nil {
+				resp.Err = err.Error()
+			}
+		case opPull:
+			weights, clock, err := s.Pull(req.Keys, req.MinClock)
+			resp.Clock = clock
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Weights = make(map[string][]float64, len(weights))
+				for k, v := range weights {
+					resp.Weights[k] = v
+				}
+			}
+		case opClock:
+			resp.Clock = s.GlobalClock()
+		default:
+			resp.Err = fmt.Sprintf("ps: unknown op %d", req.Op)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a TCP client for one worker thread. It is not safe for
+// concurrent use; open one client per concurrent caller.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a parameter server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ps: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *wireRequest) (*wireResponse, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("ps: send: %w", err)
+	}
+	var resp wireResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("ps: server closed connection")
+		}
+		return nil, fmt.Errorf("ps: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// Push sends worker w's aggregated wave update; it returns the worker's new
+// clock.
+func (c *Client) Push(w int, updates map[string]tensor.Vector) (int, error) {
+	raw := make(map[string][]float64, len(updates))
+	for k, v := range updates {
+		raw[k] = v
+	}
+	resp, err := c.roundTrip(&wireRequest{Op: opPush, Worker: w, Updates: raw})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Clock, nil
+}
+
+// Pull fetches shards, blocking server-side until the global clock reaches
+// minClock.
+func (c *Client) Pull(keys []string, minClock int) (map[string]tensor.Vector, int, error) {
+	resp, err := c.roundTrip(&wireRequest{Op: opPull, Keys: keys, MinClock: minClock})
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make(map[string]tensor.Vector, len(resp.Weights))
+	for k, v := range resp.Weights {
+		out[k] = tensor.Vector(v)
+	}
+	return out, resp.Clock, nil
+}
+
+// GlobalClock queries the server's clock.
+func (c *Client) GlobalClock() (int, error) {
+	resp, err := c.roundTrip(&wireRequest{Op: opClock})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Clock, nil
+}

@@ -1,0 +1,147 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in scheduling order (a
+// monotonically increasing sequence number breaks ties), which makes every
+// simulation run fully reproducible.
+//
+// All durations and timestamps are in seconds of virtual time. The engine is
+// not safe for concurrent use; simulations are single-goroutine by design so
+// that results are deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is an instant in virtual time, in seconds since simulation start.
+type Time float64
+
+// Duration is a span of virtual time, in seconds.
+type Duration float64
+
+// Forever is a time later than any event a simulation will ever schedule.
+const Forever Time = Time(math.MaxFloat64)
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64
+	name string
+	fn   func()
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator.
+//
+// The zero value is not usable; construct with New.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	fired   uint64
+	maxStep uint64 // safety bound; 0 means unlimited
+}
+
+// New returns an empty engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have fired so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are scheduled but not yet fired.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// SetStepLimit bounds the total number of events the engine will fire;
+// Run returns an error if the limit is hit. Zero disables the limit.
+func (e *Engine) SetStepLimit(n uint64) { e.maxStep = n }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a bug in the simulation, never a recoverable condition.
+// The name is used only for diagnostics.
+func (e *Engine) At(t Time, name string, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: t, seq: e.seq, name: name, fn: fn})
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (e *Engine) After(d Duration, name string, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: event %q scheduled with negative delay %v", name, d))
+	}
+	e.At(e.now+Time(d), name, fn)
+}
+
+// Step fires the next event, advancing the clock to its timestamp.
+// It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(*event)
+	if ev.at < e.now {
+		panic("sim: clock went backwards")
+	}
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains. It returns an error if the
+// configured step limit is exceeded, which usually indicates a livelock in
+// the modeled system.
+func (e *Engine) Run() error {
+	for e.Step() {
+		if e.maxStep > 0 && e.fired > e.maxStep {
+			return fmt.Errorf("sim: step limit %d exceeded at t=%v", e.maxStep, e.now)
+		}
+	}
+	return nil
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the clock
+// to the deadline (even if the queue still holds later events). It returns an
+// error under the same step-limit condition as Run.
+func (e *Engine) RunUntil(deadline Time) error {
+	for len(e.pq) > 0 && e.pq[0].at <= deadline {
+		e.Step()
+		if e.maxStep > 0 && e.fired > e.maxStep {
+			return fmt.Errorf("sim: step limit %d exceeded at t=%v", e.maxStep, e.now)
+		}
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return nil
+}

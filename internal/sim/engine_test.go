@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineEmptyRun(t *testing.T) {
+	e := New()
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run on empty engine: %v", err)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock moved on empty run: %v", e.Now())
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(3, "c", func() { got = append(got, 3) })
+	e.At(1, "a", func() { got = append(got, 1) })
+	e.At(2, "b", func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("final time = %v, want 3", e.Now())
+	}
+}
+
+func TestEngineTieBreakBySchedulingOrder(t *testing.T) {
+	e := New()
+	var got []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		e.At(5, name, func() { got = append(got, name) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "first" || got[1] != "second" || got[2] != "third" {
+		t.Fatalf("simultaneous events fired out of scheduling order: %v", got)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New()
+	var trace []Time
+	e.At(1, "outer", func() {
+		trace = append(trace, e.Now())
+		e.After(2, "inner", func() {
+			trace = append(trace, e.Now())
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2 || trace[0] != 1 || trace[1] != 3 {
+		t.Fatalf("trace = %v, want [1 3]", trace)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.At(10, "late", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, "past", func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, "neg", func() {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	e.At(1, "a", func() { fired++ })
+	e.At(5, "b", func() { fired++ })
+	e.At(10, "c", func() { fired++ })
+	if err := e.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("now = %v, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	// RunUntil advances the clock to the deadline even with no events there.
+	if err := e.RunUntil(7); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 7 {
+		t.Fatalf("now = %v, want 7", e.Now())
+	}
+}
+
+func TestEngineStepLimit(t *testing.T) {
+	e := New()
+	e.SetStepLimit(10)
+	var loop func()
+	loop = func() { e.After(1, "loop", loop) }
+	e.After(1, "loop", loop)
+	if err := e.Run(); err == nil {
+		t.Fatal("expected step-limit error on infinite event chain")
+	}
+}
+
+// Property: for any multiset of event times, the engine fires them in
+// nondecreasing time order and ends with the clock at the max.
+func TestEngineMonotonicClockProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := New()
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r)
+			e.At(at, "ev", func() { fired = append(fired, e.Now()) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		max := Time(0)
+		for _, r := range raw {
+			if Time(r) > max {
+				max = Time(r)
+			}
+		}
+		return e.Now() == max && len(fired) == len(raw)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identical schedules produce identical firing orders (determinism),
+// even when many events collide at the same instant.
+func TestEngineDeterminismProperty(t *testing.T) {
+	run := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var order []int
+		for i := 0; i < 100; i++ {
+			i := i
+			e.At(Time(rng.Intn(10)), "ev", func() { order = append(order, i) })
+		}
+		if err := e.Run(); err != nil {
+			panic(err)
+		}
+		return order
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

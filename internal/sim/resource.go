@@ -1,0 +1,100 @@
+package sim
+
+// Resource models a serially shared device (a GPU execution engine, a PCIe
+// lane, a network link): at most one job occupies it at a time, and queued
+// jobs are served in FIFO order.
+//
+// Resources track their cumulative busy time so utilization can be reported
+// per device, which the Figure 3 experiment needs.
+type Resource struct {
+	eng  *Engine
+	name string
+
+	busy      bool
+	busySince Time
+	busyTotal Duration
+	served    uint64
+	queue     []job
+	maxQueue  int
+}
+
+type job struct {
+	hold   Duration
+	onDone func()
+	name   string
+}
+
+// NewResource creates an idle resource attached to the engine.
+func NewResource(eng *Engine, name string) *Resource {
+	return &Resource{eng: eng, name: name}
+}
+
+// Name reports the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Submit enqueues a job that holds the resource for d seconds; onDone fires
+// at completion (it may be nil). Jobs run in submission order.
+func (r *Resource) Submit(d Duration, name string, onDone func()) {
+	if d < 0 {
+		panic("sim: negative hold duration for " + r.name + "/" + name)
+	}
+	r.queue = append(r.queue, job{hold: d, onDone: onDone, name: name})
+	if len(r.queue) > r.maxQueue {
+		r.maxQueue = len(r.queue)
+	}
+	if !r.busy {
+		r.startNext()
+	}
+}
+
+func (r *Resource) startNext() {
+	if len(r.queue) == 0 {
+		r.busy = false
+		return
+	}
+	j := r.queue[0]
+	copy(r.queue, r.queue[1:])
+	r.queue = r.queue[:len(r.queue)-1]
+	r.busy = true
+	r.busySince = r.eng.Now()
+	r.eng.After(j.hold, r.name+"/"+j.name, func() {
+		r.busyTotal += Duration(r.eng.Now() - r.busySince)
+		r.served++
+		done := j.onDone
+		r.startNext()
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Busy reports whether a job currently occupies the resource.
+func (r *Resource) Busy() bool { return r.busy }
+
+// QueueLen reports the number of jobs waiting (not including the running one).
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// MaxQueueLen reports the maximum backlog observed.
+func (r *Resource) MaxQueueLen() int { return r.maxQueue }
+
+// Served reports how many jobs have completed.
+func (r *Resource) Served() uint64 { return r.served }
+
+// BusyTime reports cumulative time spent serving jobs, including the
+// in-progress job up to the current instant.
+func (r *Resource) BusyTime() Duration {
+	t := r.busyTotal
+	if r.busy {
+		t += Duration(r.eng.Now() - r.busySince)
+	}
+	return t
+}
+
+// Utilization reports BusyTime divided by elapsed virtual time in [0,1].
+// It returns 0 before any time has passed.
+func (r *Resource) Utilization() float64 {
+	if r.eng.Now() <= 0 {
+		return 0
+	}
+	return float64(r.BusyTime()) / float64(r.eng.Now())
+}

@@ -1,0 +1,103 @@
+// Package syncmode provides the classical parameter-synchronization clock
+// models the paper builds on and compares against: Bulk Synchronous Parallel
+// (BSP), Asynchronous Parallel (ASP), and Stale Synchronous Parallel (SSP,
+// Ho et al.). WSP itself lives in internal/wsp; these reference models back
+// the Horovod/SSP baselines and the convergence trainers.
+package syncmode
+
+import "fmt"
+
+// Kind selects a synchronization model.
+type Kind int
+
+const (
+	// BSP: every worker waits for all others at every clock boundary.
+	BSP Kind = iota
+	// ASP: workers never wait (no convergence guarantee).
+	ASP
+	// SSP: a worker may run ahead of the slowest worker by at most the
+	// staleness threshold.
+	SSP
+)
+
+func (k Kind) String() string {
+	switch k {
+	case BSP:
+		return "BSP"
+	case ASP:
+		return "ASP"
+	case SSP:
+		return "SSP"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// CanProceed reports whether a worker whose local clock is c may begin its
+// next iteration, given the minimum clock among all workers and the staleness
+// threshold s (ignored except for SSP).
+//
+// Under SSP a worker with clock c may use a stale weight version missing at
+// most the s most recent clocks: it may proceed while c - min <= s. BSP is
+// SSP with s = 0; ASP never blocks.
+func CanProceed(k Kind, c, min, s int) bool {
+	switch k {
+	case BSP:
+		return c == min
+	case ASP:
+		return true
+	case SSP:
+		return c-min <= s
+	default:
+		panic(fmt.Sprintf("syncmode: unknown kind %v", k))
+	}
+}
+
+// Tracker maintains per-worker clocks for a synchronization model and
+// enforces CanProceed on every tick.
+type Tracker struct {
+	kind      Kind
+	staleness int
+	clocks    []int
+}
+
+// NewTracker creates a tracker for n workers, all at clock zero.
+func NewTracker(k Kind, n, staleness int) (*Tracker, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("syncmode: need at least one worker, got %d", n)
+	}
+	if staleness < 0 {
+		return nil, fmt.Errorf("syncmode: negative staleness %d", staleness)
+	}
+	return &Tracker{kind: k, staleness: staleness, clocks: make([]int, n)}, nil
+}
+
+// Clock reports worker w's clock.
+func (t *Tracker) Clock(w int) int { return t.clocks[w] }
+
+// Min reports the minimum clock across workers.
+func (t *Tracker) Min() int {
+	min := t.clocks[0]
+	for _, c := range t.clocks[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// CanTick reports whether worker w may advance its clock now.
+func (t *Tracker) CanTick(w int) bool {
+	return CanProceed(t.kind, t.clocks[w], t.Min(), t.staleness)
+}
+
+// Tick advances worker w's clock; it returns an error when the model forbids
+// the advance (the caller should have consulted CanTick).
+func (t *Tracker) Tick(w int) (int, error) {
+	if !t.CanTick(w) {
+		return t.clocks[w], fmt.Errorf("syncmode: worker %d blocked at clock %d (min %d, %v s=%d)",
+			w, t.clocks[w], t.Min(), t.kind, t.staleness)
+	}
+	t.clocks[w]++
+	return t.clocks[w], nil
+}

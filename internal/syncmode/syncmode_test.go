@@ -1,0 +1,124 @@
+package syncmode
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCanProceed(t *testing.T) {
+	cases := []struct {
+		kind   Kind
+		c, min int
+		s      int
+		want   bool
+	}{
+		{BSP, 0, 0, 0, true},
+		{BSP, 1, 0, 0, false},
+		{ASP, 100, 0, 0, true},
+		{SSP, 3, 0, 3, true},
+		{SSP, 4, 0, 3, false},
+		{SSP, 4, 1, 3, true},
+	}
+	for _, c := range cases {
+		if got := CanProceed(c.kind, c.c, c.min, c.s); got != c.want {
+			t.Errorf("CanProceed(%v, c=%d, min=%d, s=%d) = %v, want %v",
+				c.kind, c.c, c.min, c.s, got, c.want)
+		}
+	}
+}
+
+func TestBSPIsSSPZero(t *testing.T) {
+	prop := func(c, min uint8) bool {
+		cc, mm := int(c%10), int(min%10)
+		if mm > cc {
+			mm = cc
+		}
+		return CanProceed(BSP, cc, mm, 0) == CanProceed(SSP, cc, mm, 0)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackerBSPLockstep(t *testing.T) {
+	tr, err := NewTracker(BSP, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Tick(0); err != nil {
+		t.Fatal(err)
+	}
+	// Worker 0 is now ahead; it must block until the others tick.
+	if tr.CanTick(0) {
+		t.Error("BSP worker ticked twice without peers")
+	}
+	if _, err := tr.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Tick(2); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.CanTick(0) {
+		t.Error("BSP worker still blocked after peers caught up")
+	}
+}
+
+func TestTrackerSSPBoundedLead(t *testing.T) {
+	tr, err := NewTracker(SSP, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := 0
+	for tr.CanTick(0) {
+		if _, err := tr.Tick(0); err != nil {
+			t.Fatal(err)
+		}
+		ticks++
+		if ticks > 100 {
+			t.Fatal("SSP worker never blocked")
+		}
+	}
+	if ticks != 4 {
+		t.Errorf("SSP lead = %d ticks, want staleness+1 = 4", ticks)
+	}
+	if _, err := tr.Tick(0); err == nil {
+		t.Error("forced tick past staleness bound should error")
+	}
+}
+
+func TestTrackerErrors(t *testing.T) {
+	if _, err := NewTracker(BSP, 0, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := NewTracker(SSP, 2, -1); err == nil {
+		t.Error("negative staleness accepted")
+	}
+}
+
+// Property: ASP never blocks; SSP blocks exactly when lead exceeds s.
+func TestTrackerProperty(t *testing.T) {
+	prop := func(schedule []uint8) bool {
+		asp, _ := NewTracker(ASP, 2, 0)
+		ssp, _ := NewTracker(SSP, 2, 2)
+		for _, pick := range schedule {
+			w := int(pick) % 2
+			if !asp.CanTick(w) {
+				return false
+			}
+			asp.Tick(w)
+			if ssp.CanTick(w) {
+				ssp.Tick(w)
+			}
+			if lead := ssp.Clock(0) - ssp.Min(); lead > 3 {
+				return false
+			}
+			if lead := ssp.Clock(1) - ssp.Min(); lead > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package tensor provides the small dense linear-algebra kernels the numeric
+// trainer needs: float64 vectors with the usual BLAS-1 operations plus a
+// row-major matrix-vector product and softmax utilities. Everything is plain
+// Go over the standard library — adequate for the convergence studies, which
+// use modest dimensionalities.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns an independent copy.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Zero sets every element to zero, in place.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// AddInPlace computes v += w.
+func (v Vector) AddInPlace(w Vector) {
+	checkLen(len(v), len(w))
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// AXPY computes v += alpha*w.
+func (v Vector) AXPY(alpha float64, w Vector) {
+	checkLen(len(v), len(w))
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+}
+
+// Scale computes v *= alpha.
+func (v Vector) Scale(alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Dot returns the inner product <v, w>.
+func (v Vector) Dot(w Vector) float64 {
+	checkLen(len(v), len(w))
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm.
+func (v Vector) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Sub returns v - w as a new vector.
+func (v Vector) Sub(w Vector) Vector {
+	checkLen(len(v), len(w))
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// DistanceSquared returns 0.5*||v-w||^2, the D(w||w') of the paper's
+// convergence analysis (Assumption 2).
+func (v Vector) DistanceSquared(w Vector) float64 {
+	checkLen(len(v), len(w))
+	var s float64
+	for i := range v {
+		d := v[i] - w[i]
+		s += d * d
+	}
+	return 0.5 * s
+}
+
+func checkLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("tensor: length mismatch %d vs %d", a, b))
+	}
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       Vector // len Rows*Cols
+}
+
+// NewMatrix returns a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: NewVector(rows * cols)}
+}
+
+// Row returns row r as a slice aliasing the matrix storage.
+func (m *Matrix) Row(r int) Vector { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// MulVec computes out = M * x. out must have length Rows.
+func (m *Matrix) MulVec(x, out Vector) {
+	checkLen(len(x), m.Cols)
+	checkLen(len(out), m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		out[r] = m.Row(r).Dot(x)
+	}
+}
+
+// Softmax overwrites v with softmax(v), numerically stabilized.
+func Softmax(v Vector) {
+	if len(v) == 0 {
+		return
+	}
+	max := v[0]
+	for _, x := range v[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	var sum float64
+	for i := range v {
+		v[i] = math.Exp(v[i] - max)
+		sum += v[i]
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// Argmax returns the index of the largest element (-1 for empty input).
+func Argmax(v Vector) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Clip bounds every element to [-c, c]; the convergence analysis assumes
+// bounded (sub)gradients (Assumption 1), and clipping enforces it.
+func Clip(v Vector, c float64) {
+	if c <= 0 {
+		panic("tensor: clip bound must be positive")
+	}
+	for i := range v {
+		if v[i] > c {
+			v[i] = c
+		} else if v[i] < -c {
+			v[i] = -c
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceSpansAndEnd(t *testing.T) {
+	tr := New(2)
+	tr.Add(0, 1, Forward, 0, 1)
+	tr.Add(0, 1, Backward, 3, 4)
+	tr.Add(1, 1, Forward, 1, 2)
+	tr.Add(1, 1, Backward, 2, 3)
+	if got := tr.End(); got != 4 {
+		t.Errorf("end = %v, want 4", got)
+	}
+	spans := tr.StageSpans(0)
+	if len(spans) != 2 {
+		t.Fatalf("stage 0 spans = %d, want 2", len(spans))
+	}
+	if spans[0].Kind != Forward || spans[1].Kind != Backward {
+		t.Errorf("span order wrong: %+v", spans)
+	}
+}
+
+func TestStageSpansExcludeTransfers(t *testing.T) {
+	tr := New(1)
+	tr.Add(0, 1, Forward, 0, 1)
+	tr.Add(0, 1, Transfer, 1, 2)
+	if got := len(tr.StageSpans(0)); got != 1 {
+		t.Errorf("spans = %d, want 1 (transfer excluded)", got)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	tr := New(2)
+	tr.Add(0, 1, Forward, 0, 0.5)
+	tr.Add(0, 1, Backward, 1.5, 2)
+	tr.Add(1, 1, Forward, 0.5, 1)
+	tr.Add(1, 1, Backward, 1, 1.5)
+	g := tr.Gantt(60)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 3 { // two stages + axis
+		t.Fatalf("gantt lines = %d, want 3:\n%s", len(lines), g)
+	}
+	if !strings.HasPrefix(lines[0], "GPU1 |") || !strings.HasPrefix(lines[1], "GPU2 |") {
+		t.Errorf("row labels wrong:\n%s", g)
+	}
+	if !strings.Contains(lines[0], "1") {
+		t.Errorf("minibatch number missing from row:\n%s", g)
+	}
+	if !strings.Contains(lines[0], "[") {
+		t.Errorf("backward bracket missing:\n%s", g)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	tr := New(1)
+	if g := tr.Gantt(40); g != "(empty trace)\n" {
+		t.Errorf("empty gantt = %q", g)
+	}
+}
+
+func TestSpanKindString(t *testing.T) {
+	if Forward.String() != "fwd" || Backward.String() != "bwd" || Transfer.String() != "xfer" {
+		t.Error("kind strings wrong")
+	}
+}

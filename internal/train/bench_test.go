@@ -1,0 +1,42 @@
+package train
+
+import (
+	"testing"
+
+	"hetpipe/internal/tensor"
+)
+
+// BenchmarkLogRegGrad measures one minibatch gradient of the convergence
+// task (batch 32, 10 classes, 40 dims).
+func BenchmarkLogRegGrad(b *testing.B) {
+	lt, err := DefaultTask(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := lt.InitWeights()
+	g := tensor.NewVector(lt.Dim())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lt.Grad(w, i, g)
+	}
+}
+
+// BenchmarkWSPCoSimulation measures the full co-simulated WSP run: 4 virtual
+// workers, 200 minibatches each, with wave pushes and lazy pulls.
+func BenchmarkWSPCoSimulation(b *testing.B) {
+	lt, err := DefaultTask(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := WSPConfig{
+		Task: lt, Workers: 4, SLocal: 3, D: 1, LR: 0.1,
+		Periods: []float64{0.1, 0.11, 0.12, 0.13}, Jitter: 0.05, Seed: 1,
+		MaxMinibatches: 200, EvalEvery: 200,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunWSP(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

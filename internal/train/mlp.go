@@ -1,0 +1,162 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hetpipe/internal/data"
+	"hetpipe/internal/tensor"
+)
+
+// MLP is a one-hidden-layer neural network with tanh activations and softmax
+// cross-entropy loss — the non-convex extension of the convergence study.
+// The paper's Theorem 1 covers only convex objectives; the MLP task lets the
+// experiments probe staleness effects beyond the theorem's assumptions, in
+// the regime where real DNN training lives.
+//
+// Parameter layout: [W1 (hidden x dim) | b1 (hidden) | W2 (classes x hidden)
+// | b2 (classes)].
+type MLP struct {
+	train  *data.Dataset
+	eval   *data.Dataset
+	hidden int
+	batch  int
+	// ClipNorm bounds each gradient coordinate; zero disables.
+	ClipNorm float64
+	seed     int64
+}
+
+// NewMLP builds the task.
+func NewMLP(train, eval *data.Dataset, hidden, batch int, seed int64) (*MLP, error) {
+	if train.Classes != eval.Classes || train.Dim != eval.Dim {
+		return nil, fmt.Errorf("train: mismatched datasets")
+	}
+	if hidden < 1 {
+		return nil, fmt.Errorf("train: need at least one hidden unit")
+	}
+	if batch < 1 || batch > train.Len() {
+		return nil, fmt.Errorf("train: bad batch size %d", batch)
+	}
+	return &MLP{train: train, eval: eval, hidden: hidden, batch: batch, ClipNorm: 5, seed: seed}, nil
+}
+
+// Dim implements Task.
+func (t *MLP) Dim() int {
+	d, h, c := t.train.Dim, t.hidden, t.train.Classes
+	return h*d + h + c*h + c
+}
+
+// InitWeights implements Task: small deterministic Gaussian init (symmetric
+// zero init would trap the hidden layer).
+func (t *MLP) InitWeights() tensor.Vector {
+	rng := rand.New(rand.NewSource(t.seed))
+	w := tensor.NewVector(t.Dim())
+	scale := 1 / math.Sqrt(float64(t.train.Dim))
+	for i := range w {
+		w[i] = rng.NormFloat64() * scale
+	}
+	return w
+}
+
+// views splits the flat parameter vector into layer views.
+func (t *MLP) views(w tensor.Vector) (w1, b1, w2, b2 tensor.Vector) {
+	d, h, c := t.train.Dim, t.hidden, t.train.Classes
+	o := 0
+	w1 = w[o : o+h*d]
+	o += h * d
+	b1 = w[o : o+h]
+	o += h
+	w2 = w[o : o+c*h]
+	o += c * h
+	b2 = w[o : o+c]
+	return
+}
+
+// forward computes hidden activations and class probabilities for sample x.
+func (t *MLP) forward(w tensor.Vector, x tensor.Vector, hid, probs tensor.Vector) {
+	w1, b1, w2, b2 := t.views(w)
+	d, h, c := t.train.Dim, t.hidden, t.train.Classes
+	for j := 0; j < h; j++ {
+		hid[j] = math.Tanh(w1[j*d:(j+1)*d].Dot(x) + b1[j])
+	}
+	for k := 0; k < c; k++ {
+		probs[k] = w2[k*h:(k+1)*h].Dot(hid) + b2[k]
+	}
+	tensor.Softmax(probs)
+}
+
+// Grad implements Task via manual backpropagation.
+func (t *MLP) Grad(w tensor.Vector, b int, out tensor.Vector) {
+	out.Zero()
+	d, h, c := t.train.Dim, t.hidden, t.train.Classes
+	w1, _, w2, _ := t.views(w)
+	g1, gb1, g2, gb2 := t.views(out)
+	hid := tensor.NewVector(h)
+	probs := tensor.NewVector(c)
+	dhid := tensor.NewVector(h)
+	idx := t.train.Batch(b, t.batch)
+	inv := 1 / float64(len(idx))
+	_ = w1
+	for _, i := range idx {
+		x := t.train.X[i]
+		t.forward(w, x, hid, probs)
+		// dL/dlogits = probs - onehot(y).
+		for k := 0; k < c; k++ {
+			delta := probs[k] * inv
+			if k == t.train.Y[i] {
+				delta -= inv
+			}
+			g2[k*h:(k+1)*h].AXPY(delta, hid)
+			gb2[k] += delta
+		}
+		// Backprop into the hidden layer: dL/dhid = W2^T (probs-onehot).
+		dhid.Zero()
+		for k := 0; k < c; k++ {
+			delta := probs[k]
+			if k == t.train.Y[i] {
+				delta -= 1
+			}
+			dhid.AXPY(delta*inv, w2[k*h:(k+1)*h])
+		}
+		// Through tanh: (1 - hid^2).
+		for j := 0; j < h; j++ {
+			dj := dhid[j] * (1 - hid[j]*hid[j])
+			g1[j*d:(j+1)*d].AXPY(dj, x)
+			gb1[j] += dj
+		}
+	}
+	if t.ClipNorm > 0 {
+		tensor.Clip(out, t.ClipNorm)
+	}
+}
+
+// Loss implements Task.
+func (t *MLP) Loss(w tensor.Vector) float64 {
+	hid := tensor.NewVector(t.hidden)
+	probs := tensor.NewVector(t.train.Classes)
+	var sum float64
+	for i := range t.train.X {
+		t.forward(w, t.train.X[i], hid, probs)
+		p := probs[t.train.Y[i]]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		sum += -math.Log(p)
+	}
+	return sum / float64(len(t.train.X))
+}
+
+// Accuracy implements Task over the held-out set.
+func (t *MLP) Accuracy(w tensor.Vector) float64 {
+	hid := tensor.NewVector(t.hidden)
+	probs := tensor.NewVector(t.eval.Classes)
+	correct := 0
+	for i := range t.eval.X {
+		t.forward(w, t.eval.X[i], hid, probs)
+		if tensor.Argmax(probs) == t.eval.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(t.eval.X))
+}

@@ -1,0 +1,361 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hetpipe/internal/metrics"
+	"hetpipe/internal/tensor"
+	"hetpipe/internal/wsp"
+)
+
+// WSPConfig parameterizes a co-simulated HetPipe training run: N pipelined
+// virtual workers training one Task under the WSP protocol, with per-worker
+// timing taken from the cluster simulator.
+type WSPConfig struct {
+	Task Task
+	// Workers is the number of virtual workers, N.
+	Workers int
+	// SLocal is the local staleness threshold (Nm-1).
+	SLocal int
+	// D is the clock distance bound.
+	D int
+	// LR is the SGD step size.
+	LR float64
+	// Periods[w] is worker w's steady-state seconds per minibatch.
+	Periods []float64
+	// FillLatency[w] is the injection-to-completion latency of worker w's
+	// pipeline; zero entries default to the period.
+	FillLatency []float64
+	// PushTime[w] / PullTime[w] are the per-wave parameter-sync transfer
+	// times between worker w and the parameter servers.
+	PushTime, PullTime []float64
+	// Jitter is the relative per-minibatch duration noise (e.g. 0.08).
+	Jitter float64
+	// Seed drives all randomness.
+	Seed int64
+	// MaxMinibatches bounds each worker's minibatch count.
+	MaxMinibatches int
+	// EvalEvery evaluates accuracy every that many global completions.
+	EvalEvery int
+	// TargetAccuracy stops the run early once reached (0 disables).
+	TargetAccuracy float64
+	// TargetLoss stops the run early once the training loss drops to it
+	// (0 disables). Loss is the sharper convergence criterion for tasks
+	// whose accuracy saturates early.
+	TargetLoss float64
+}
+
+func (c *WSPConfig) validate() error {
+	switch {
+	case c.Task == nil:
+		return fmt.Errorf("train: nil task")
+	case c.Workers < 1:
+		return fmt.Errorf("train: need at least one worker")
+	case c.SLocal < 0 || c.D < 0:
+		return fmt.Errorf("train: negative staleness parameters")
+	case c.LR <= 0:
+		return fmt.Errorf("train: learning rate must be positive")
+	case len(c.Periods) != c.Workers:
+		return fmt.Errorf("train: %d periods for %d workers", len(c.Periods), c.Workers)
+	case c.MaxMinibatches < 1:
+		return fmt.Errorf("train: zero minibatch budget")
+	case c.EvalEvery < 1:
+		return fmt.Errorf("train: EvalEvery must be >= 1")
+	case c.Jitter < 0 || c.Jitter >= 1:
+		return fmt.Errorf("train: jitter must be in [0,1)")
+	}
+	for w, p := range c.Periods {
+		if p <= 0 {
+			return fmt.Errorf("train: worker %d period %g", w, p)
+		}
+	}
+	return nil
+}
+
+// RunStats summarizes a co-simulated training run.
+type RunStats struct {
+	// Accuracy is held-out accuracy versus simulated seconds.
+	Accuracy metrics.Series
+	// Loss is training loss versus simulated seconds.
+	Loss metrics.Series
+	// TimeToTarget is the earliest simulated time TargetAccuracy was met.
+	TimeToTarget  float64
+	ReachedTarget bool
+	// Minibatches is the total processed across workers.
+	Minibatches int
+	// Elapsed is the simulated time at the end of the run.
+	Elapsed float64
+	// Waiting is total gate-waiting time summed over workers; Idle is the
+	// portion during which a worker's pipeline had fully drained — the
+	// Section 8.4 decomposition.
+	Waiting, Idle float64
+	// Pushes counts wave pushes (communication rounds to the PS); Pulls
+	// counts lazy pulls — both shrink as D grows.
+	Pushes, Pulls int
+	// FinalAccuracy and FinalLoss are the last evaluated values.
+	FinalAccuracy float64
+	FinalLoss     float64
+	// MaxClockDistance is the largest observed clock skew between workers.
+	MaxClockDistance int
+}
+
+// snapshot is an in-flight minibatch: the weights it was injected with and
+// its scheduled completion time.
+type snapshot struct {
+	mb       int
+	weights  tensor.Vector
+	complete float64
+}
+
+// wspWorker is one virtual worker's live state.
+type wspWorker struct {
+	id       int
+	wlocal   tensor.Vector
+	waveAcc  tensor.Vector
+	grad     tensor.Vector
+	inflight []snapshot
+	// lastPulled is the global clock the worker last incorporated; pulls
+	// are lazy — they happen only when the D-bound demands (which is why
+	// larger D reduces synchronization traffic, Section 8.4).
+	lastPulled int
+	// pullReadyFor/pullReadyAt latch the completion time of an in-flight
+	// pull transfer for the named minibatch, so the pull runs concurrently
+	// with the still-draining pipeline instead of chasing it.
+	pullReadyFor int
+	pullReadyAt  float64
+	// nextInject is the next 1-based minibatch to inject.
+	nextInject int
+	// lastScheduled is the completion time of the most recently scheduled
+	// minibatch (sequencing successive completions one period apart).
+	lastScheduled float64
+	lastComplete  float64
+	slotFreeAt    float64
+	rng           *rand.Rand
+	done          bool
+}
+
+// RunWSP executes the co-simulated HetPipe run.
+func RunWSP(cfg WSPConfig) (*RunStats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	params := wsp.Params{SLocal: cfg.SLocal, D: cfg.D, Workers: cfg.Workers}
+	coord, err := wsp.NewCoordinator(params)
+	if err != nil {
+		return nil, err
+	}
+	nm := params.WaveSize()
+
+	fill := make([]float64, cfg.Workers)
+	push := make([]float64, cfg.Workers)
+	pull := make([]float64, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		fill[w] = cfg.Periods[w]
+		if w < len(cfg.FillLatency) && cfg.FillLatency[w] > 0 {
+			fill[w] = cfg.FillLatency[w]
+		}
+		if w < len(cfg.PushTime) {
+			push[w] = cfg.PushTime[w]
+		}
+		if w < len(cfg.PullTime) {
+			pull[w] = cfg.PullTime[w]
+		}
+	}
+
+	wglobal := cfg.Task.InitWeights()
+	dim := len(wglobal)
+	workers := make([]*wspWorker, cfg.Workers)
+	for w := range workers {
+		workers[w] = &wspWorker{
+			id:         w,
+			wlocal:     wglobal.Clone(),
+			waveAcc:    tensor.NewVector(dim),
+			grad:       tensor.NewVector(dim),
+			nextInject: 1,
+			rng:        rand.New(rand.NewSource(cfg.Seed + int64(w)*7919)),
+		}
+	}
+
+	// pushVisible[c] is when the global clock reached c (the last push of
+	// wave c-1 arrived at the servers); index 0 is time zero. pushArrive[w]
+	// holds the arrival times of worker w's pushes, in wave order.
+	pushVisible := []float64{0}
+	pushArrive := make([][]float64, cfg.Workers)
+
+	stats := &RunStats{Accuracy: metrics.Series{Name: "accuracy"}, Loss: metrics.Series{Name: "loss"}}
+	completionsSinceEval := 0
+	now := 0.0
+
+	evaluate := func(t float64) bool {
+		acc := cfg.Task.Accuracy(wglobal)
+		loss := cfg.Task.Loss(wglobal)
+		stats.Accuracy.Append(t, acc)
+		stats.Loss.Append(t, loss)
+		stats.FinalAccuracy = acc
+		stats.FinalLoss = loss
+		hitAcc := cfg.TargetAccuracy > 0 && acc >= cfg.TargetAccuracy
+		hitLoss := cfg.TargetLoss > 0 && loss <= cfg.TargetLoss
+		if (hitAcc || hitLoss) && !stats.ReachedTarget {
+			stats.ReachedTarget = true
+			stats.TimeToTarget = t
+			return true
+		}
+		return false
+	}
+
+	// gateReady reports when worker w's next injection may happen, or
+	// (0, false) when the required global clock has not been reached yet.
+	// When the worker must actually pull (its last incorporated clock is
+	// older than required), the pull transfer runs from the moment both the
+	// clock and the worker are ready — so the pull latency is paid even
+	// when the clock requirement was satisfied long ago.
+	gateReady := func(w *wspWorker) (float64, bool) {
+		req := params.RequiredGlobalClock(w.nextInject)
+		if req == 0 {
+			return 0, true
+		}
+		if req >= len(pushVisible) {
+			return 0, false
+		}
+		ready := pushVisible[req]
+		if w.lastPulled < req {
+			if w.pullReadyFor != w.nextInject {
+				w.pullReadyFor = w.nextInject
+				w.pullReadyAt = math.Max(ready, w.slotFreeAt) + pull[w.id]
+			}
+			ready = w.pullReadyAt
+		}
+		return ready, true
+	}
+
+	// nextEvent computes worker w's earliest actionable event:
+	// kind 0 = none, 1 = completion, 2 = injection.
+	nextEvent := func(w *wspWorker) (kind int, at float64) {
+		if len(w.inflight) > 0 {
+			kind, at = 1, w.inflight[0].complete
+		}
+		if !w.done && len(w.inflight) < nm && w.nextInject <= cfg.MaxMinibatches {
+			if ready, ok := gateReady(w); ok {
+				inj := math.Max(w.slotFreeAt, ready)
+				if kind == 0 || inj < at {
+					kind, at = 2, inj
+				}
+			}
+		}
+		return kind, at
+	}
+
+	for {
+		// Pick the globally earliest event.
+		best, bestAt, bestKind := -1, math.Inf(1), 0
+		for _, w := range workers {
+			if kind, at := nextEvent(w); kind != 0 && at < bestAt {
+				best, bestAt, bestKind = w.id, at, kind
+			}
+		}
+		if best < 0 {
+			// All workers drained their budgets, or the remaining workers
+			// are gated on pushes that will never come because their peers
+			// finished — the natural end of a fixed-budget run.
+			break
+		}
+		w := workers[best]
+		if bestAt < now {
+			bestAt = now
+		}
+		now = bestAt
+
+		if bestKind == 2 {
+			// Injection of minibatch w.nextInject.
+			mb := w.nextInject
+			ready, _ := gateReady(w)
+			natural := w.slotFreeAt
+			if ready > natural {
+				stats.Waiting += ready - natural
+				if len(w.inflight) == 0 && ready > w.lastScheduled {
+					drainFrom := math.Max(natural, w.lastScheduled)
+					stats.Idle += ready - drainFrom
+				}
+			}
+			// Lazy pull: a gated wave-end minibatch that needs updates the
+			// worker has not incorporated yet triggers a pull of the global
+			// weights; the worker's uncommitted wave updates are re-applied
+			// on top. With D=0 this happens every wave; with larger D,
+			// every ~D waves.
+			if req := params.RequiredGlobalClock(mb); req > 0 && w.lastPulled < req {
+				w.wlocal = wglobal.Clone()
+				w.wlocal.AddInPlace(w.waveAcc)
+				w.lastPulled = coord.GlobalClock()
+				stats.Pulls++
+			}
+			coord.Start(w.id, mb)
+			period := cfg.Periods[w.id]
+			if cfg.Jitter > 0 {
+				period *= 1 + cfg.Jitter*(2*w.rng.Float64()-1)
+			}
+			complete := math.Max(now+fill[w.id], w.lastScheduled+period)
+			w.lastScheduled = complete
+			w.inflight = append(w.inflight, snapshot{mb: mb, weights: w.wlocal.Clone(), complete: complete})
+			w.nextInject++
+			if w.nextInject > cfg.MaxMinibatches {
+				w.done = true
+			}
+			continue
+		}
+
+		// Completion of the oldest in-flight minibatch.
+		snap := w.inflight[0]
+		w.inflight = w.inflight[1:]
+		w.slotFreeAt = now
+		w.lastComplete = now
+		cfg.Task.Grad(snap.weights, minibatchIndex(w.id, snap.mb, cfg.Workers), w.grad)
+		// Local update: wlocal += u, u = -lr * grad (Section 4).
+		w.wlocal.AXPY(-cfg.LR, w.grad)
+		w.waveAcc.AXPY(-cfg.LR, w.grad)
+		stats.Minibatches++
+		completionsSinceEval++
+
+		if params.IsWaveEnd(snap.mb) {
+			// Push the aggregated wave update (wglobal += u~) and pull the
+			// current global weights as the new local copy.
+			wglobal.AddInPlace(w.waveAcc)
+			w.waveAcc.Zero()
+			coord.Push(w.id)
+			stats.Pushes++
+			pushArrive[w.id] = append(pushArrive[w.id], now+push[w.id])
+			// When the global clock advances, wave c becomes visible once
+			// every worker's push of wave c-1 has arrived.
+			for c := len(pushVisible); c <= coord.GlobalClock(); c++ {
+				arrive := 0.0
+				for _, arr := range pushArrive {
+					if t := arr[c-1]; t > arrive {
+						arrive = t
+					}
+				}
+				pushVisible = append(pushVisible, arrive)
+			}
+		}
+
+		if completionsSinceEval >= cfg.EvalEvery {
+			completionsSinceEval = 0
+			if evaluate(now) {
+				break
+			}
+		}
+	}
+
+	stats.Elapsed = now
+	if len(stats.Accuracy.Points) == 0 || !stats.ReachedTarget {
+		evaluate(now)
+	}
+	stats.MaxClockDistance = coord.MaxClockDistance()
+	return stats, nil
+}
+
+// minibatchIndex maps (worker, local minibatch number) to a disjoint global
+// minibatch stream per worker — data parallelism splits the dataset.
+func minibatchIndex(worker, mb, workers int) int {
+	return (mb-1)*workers + worker
+}

@@ -1,0 +1,158 @@
+// Package train runs real numeric SGD under the synchronization schedules of
+// the paper — WSP (pipelined virtual workers with waves and the clock
+// distance bound D), BSP over all-reduce (the Horovod baseline), and SSP —
+// and couples each update schedule to simulated wall-clock time
+// ("co-simulation"): gradients are real, minibatch durations come from the
+// cluster simulator, waiting follows the protocol. The resulting
+// accuracy-versus-time curves regenerate Figures 5 and 6.
+//
+// The default task is multinomial logistic regression on a synthetic
+// Gaussian-mixture dataset: convex with bounded (clipped) gradients, exactly
+// the setting of the paper's convergence proof (Assumptions 1 and 2).
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"hetpipe/internal/data"
+	"hetpipe/internal/tensor"
+)
+
+// Task is a differentiable training objective over an indexed minibatch
+// stream. Implementations must be safe for concurrent Grad calls with
+// distinct out vectors.
+type Task interface {
+	// Dim is the parameter vector length.
+	Dim() int
+	// InitWeights returns the starting parameter vector w0.
+	InitWeights() tensor.Vector
+	// Grad writes the minibatch-b gradient at w into out (len Dim).
+	Grad(w tensor.Vector, b int, out tensor.Vector)
+	// Loss evaluates the mean training loss at w.
+	Loss(w tensor.Vector) float64
+	// Accuracy evaluates held-out top-1 accuracy at w, in [0,1].
+	Accuracy(w tensor.Vector) float64
+}
+
+// LogReg is L2-regularized multinomial logistic regression.
+// Parameters are laid out as classes x (dim+1) rows (weights then bias).
+type LogReg struct {
+	train *data.Dataset
+	eval  *data.Dataset
+	batch int
+	// L2 is the ridge coefficient.
+	L2 float64
+	// ClipNorm bounds each coordinate of the gradient (Assumption 1's
+	// bounded subgradients); zero disables clipping.
+	ClipNorm float64
+}
+
+// NewLogReg builds the task over a train/eval split.
+func NewLogReg(train, eval *data.Dataset, batch int) (*LogReg, error) {
+	if train.Classes != eval.Classes || train.Dim != eval.Dim {
+		return nil, fmt.Errorf("train: mismatched datasets")
+	}
+	if batch < 1 || batch > train.Len() {
+		return nil, fmt.Errorf("train: bad batch size %d for %d samples", batch, train.Len())
+	}
+	return &LogReg{train: train, eval: eval, batch: batch, L2: 1e-4, ClipNorm: 5}, nil
+}
+
+// Dim implements Task.
+func (t *LogReg) Dim() int { return t.train.Classes * (t.train.Dim + 1) }
+
+// InitWeights implements Task: zeros (a deterministic, symmetric start).
+func (t *LogReg) InitWeights() tensor.Vector { return tensor.NewVector(t.Dim()) }
+
+// row returns the parameter row of class c as a view: [w_0..w_{d-1}, bias].
+func (t *LogReg) row(w tensor.Vector, c int) tensor.Vector {
+	d := t.train.Dim + 1
+	return w[c*d : (c+1)*d]
+}
+
+// logits computes class scores for sample x into out.
+func (t *LogReg) logits(w tensor.Vector, x tensor.Vector, out tensor.Vector) {
+	for c := 0; c < t.train.Classes; c++ {
+		r := t.row(w, c)
+		out[c] = r[:len(r)-1].Dot(x) + r[len(r)-1]
+	}
+}
+
+// Grad implements Task: softmax cross-entropy gradient over minibatch b.
+func (t *LogReg) Grad(w tensor.Vector, b int, out tensor.Vector) {
+	out.Zero()
+	probs := tensor.NewVector(t.train.Classes)
+	idx := t.train.Batch(b, t.batch)
+	inv := 1 / float64(len(idx))
+	for _, i := range idx {
+		x := t.train.X[i]
+		t.logits(w, x, probs)
+		tensor.Softmax(probs)
+		for c := 0; c < t.train.Classes; c++ {
+			coef := probs[c] * inv
+			if c == t.train.Y[i] {
+				coef -= inv
+			}
+			g := t.gradRow(out, c)
+			g[:len(g)-1].AXPY(coef, x)
+			g[len(g)-1] += coef
+		}
+	}
+	if t.L2 > 0 {
+		out.AXPY(t.L2, w)
+	}
+	if t.ClipNorm > 0 {
+		tensor.Clip(out, t.ClipNorm)
+	}
+}
+
+func (t *LogReg) gradRow(g tensor.Vector, c int) tensor.Vector {
+	d := t.train.Dim + 1
+	return g[c*d : (c+1)*d]
+}
+
+// Loss implements Task: mean cross-entropy over the training set plus the
+// ridge term.
+func (t *LogReg) Loss(w tensor.Vector) float64 {
+	probs := tensor.NewVector(t.train.Classes)
+	var sum float64
+	for i := range t.train.X {
+		t.logits(w, t.train.X[i], probs)
+		tensor.Softmax(probs)
+		p := probs[t.train.Y[i]]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		sum += -math.Log(p)
+	}
+	reg := 0.5 * t.L2 * w.Dot(w)
+	return sum/float64(len(t.train.X)) + reg
+}
+
+// Accuracy implements Task over the held-out set.
+func (t *LogReg) Accuracy(w tensor.Vector) float64 {
+	probs := tensor.NewVector(t.eval.Classes)
+	correct := 0
+	for i := range t.eval.X {
+		t.logits(w, t.eval.X[i], probs)
+		if tensor.Argmax(probs) == t.eval.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(t.eval.X))
+}
+
+// DefaultTask builds the standard convergence-study task: 6000 samples,
+// 10 classes, 40 dimensions, moderate noise, batch 32, deterministic seed.
+func DefaultTask(seed int64) (*LogReg, error) {
+	ds, err := data.SyntheticClassification(seed, 6000, 40, 10, 0.35)
+	if err != nil {
+		return nil, err
+	}
+	tr, ev, err := ds.Split(0.8)
+	if err != nil {
+		return nil, err
+	}
+	return NewLogReg(tr, ev, 32)
+}

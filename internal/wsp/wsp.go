@@ -1,0 +1,199 @@
+// Package wsp implements the Wave Synchronous Parallel model (Section 5),
+// the paper's parameter-synchronization scheme for data parallelism over
+// pipelined virtual workers.
+//
+// A wave is a sequence of slocal+1 minibatches processed concurrently inside
+// one virtual worker; within a wave a later minibatch never waits for an
+// earlier one (local staleness threshold slocal = Nm-1). At the end of every
+// wave — one clock — the virtual worker pushes a single aggregated update to
+// the parameter server, cutting push traffic by a factor of the wave size.
+// The parameter server advances the global clock to c+1 once every virtual
+// worker has pushed wave c. A virtual worker may run ahead of the global
+// clock by at most D waves (the clock distance bound): the *last* minibatch
+// of wave w may only start once the global clock has reached w-D, i.e. every
+// other virtual worker has pushed wave w-D-1. While blocked, the virtual
+// worker still processes the first slocal minibatches of the next wave —
+// pipelined execution overlaps the wait, which is why WSP's idle time is a
+// small fraction of its waiting time (Section 8.4).
+//
+// The package is a pure protocol state machine: the discrete-event
+// coordinator (internal/core) and the numeric trainer (internal/train) both
+// drive it, so protocol invariants are tested once, here.
+package wsp
+
+import "fmt"
+
+// Params fixes a WSP configuration.
+type Params struct {
+	// SLocal is the local staleness threshold, Nm-1.
+	SLocal int
+	// D is the clock distance bound between the fastest and slowest
+	// virtual workers. D=0 gives BSP-like behaviour with pipelined overlap.
+	D int
+	// Workers is the number of virtual workers, N.
+	Workers int
+}
+
+// Validate checks the configuration.
+func (p Params) Validate() error {
+	if p.SLocal < 0 {
+		return fmt.Errorf("wsp: slocal must be >= 0, got %d", p.SLocal)
+	}
+	if p.D < 0 {
+		return fmt.Errorf("wsp: D must be >= 0, got %d", p.D)
+	}
+	if p.Workers < 1 {
+		return fmt.Errorf("wsp: need at least one worker, got %d", p.Workers)
+	}
+	return nil
+}
+
+// WaveSize is the number of minibatches per wave, slocal+1 = Nm.
+func (p Params) WaveSize() int { return p.SLocal + 1 }
+
+// SGlobal is the global staleness bound of Section 5:
+// (D+1)*(slocal+1) + slocal - 1. A minibatch beyond the initial window must
+// see every other worker's updates up to minibatch p-(SGlobal+1).
+func (p Params) SGlobal() int { return (p.D+1)*(p.SLocal+1) + p.SLocal - 1 }
+
+// Wave reports the 0-based wave index of 1-based minibatch p.
+func (p Params) Wave(mb int) int {
+	if mb < 1 {
+		panic(fmt.Sprintf("wsp: minibatch numbers are 1-based, got %d", mb))
+	}
+	return (mb - 1) / p.WaveSize()
+}
+
+// PosInWave reports the 0-based position of minibatch mb within its wave.
+func (p Params) PosInWave(mb int) int { return (mb - 1) % p.WaveSize() }
+
+// IsWaveEnd reports whether minibatch mb is the last of its wave — the one
+// whose start is gated on the global clock.
+func (p Params) IsWaveEnd(mb int) bool { return p.PosInWave(mb) == p.SLocal }
+
+// RequiredGlobalClock reports the minimum global clock needed before
+// minibatch mb may start: the last minibatch of wave w requires global clock
+// >= w-D (every worker has pushed wave w-D-1); all other minibatches are
+// admitted by pipelining. Results <= 0 mean "no requirement".
+func (p Params) RequiredGlobalClock(mb int) int {
+	if !p.IsWaveEnd(mb) {
+		return 0
+	}
+	req := p.Wave(mb) - p.D
+	if req < 0 {
+		return 0
+	}
+	return req
+}
+
+// LocalVisibleThrough reports the newest local minibatch whose update is
+// reflected in the weights minibatch mb trains with: mb-(slocal+1). The
+// first slocal+1 minibatches run on the initial weights (result <= 0).
+func (p Params) LocalVisibleThrough(mb int) int { return mb - p.WaveSize() }
+
+// Coordinator tracks per-worker wave progress and the global clock, and
+// answers gate queries. It enforces the protocol ordering rules and panics
+// on out-of-order pushes, which are always caller bugs.
+type Coordinator struct {
+	params Params
+	// pushed[w] is the number of waves worker w has pushed (its clock).
+	pushed []int
+	// started[w] is the highest minibatch worker w has started.
+	started []int
+	// maxDistance records the largest observed clock distance.
+	maxDistance int
+}
+
+// NewCoordinator validates p and returns a fresh coordinator.
+func NewCoordinator(p Params) (*Coordinator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Coordinator{
+		params:  p,
+		pushed:  make([]int, p.Workers),
+		started: make([]int, p.Workers),
+	}, nil
+}
+
+// Params returns the configuration.
+func (c *Coordinator) Params() Params { return c.params }
+
+// GlobalClock is the parameter server's clock: the minimum pushed-wave count
+// across workers.
+func (c *Coordinator) GlobalClock() int {
+	min := c.pushed[0]
+	for _, p := range c.pushed[1:] {
+		if p < min {
+			min = p
+		}
+	}
+	return min
+}
+
+// Clock reports worker w's local clock (waves pushed).
+func (c *Coordinator) Clock(w int) int { return c.pushed[w] }
+
+// MaxClockDistance reports the largest clock distance observed so far.
+func (c *Coordinator) MaxClockDistance() int { return c.maxDistance }
+
+// CanStart reports whether worker w may start minibatch mb now. Minibatches
+// must be started in order; gating applies only to wave-end minibatches.
+func (c *Coordinator) CanStart(w, mb int) bool {
+	if mb != c.started[w]+1 {
+		panic(fmt.Sprintf("wsp: worker %d starting minibatch %d out of order (last started %d)",
+			w, mb, c.started[w]))
+	}
+	return c.GlobalClock() >= c.params.RequiredGlobalClock(mb)
+}
+
+// Start records that worker w started minibatch mb. It panics if the gate
+// would have refused — callers must consult CanStart first.
+func (c *Coordinator) Start(w, mb int) {
+	if !c.CanStart(w, mb) {
+		panic(fmt.Sprintf("wsp: worker %d started gated minibatch %d (global clock %d < %d)",
+			w, mb, c.GlobalClock(), c.params.RequiredGlobalClock(mb)))
+	}
+	c.started[w] = mb
+}
+
+// Push records that worker w pushed the aggregated update of its next wave
+// and returns the worker's new clock. Pushing wave c requires having started
+// (and by protocol completed) all its minibatches.
+func (c *Coordinator) Push(w int) int {
+	wave := c.pushed[w] // the wave being pushed
+	lastMB := (wave + 1) * c.params.WaveSize()
+	if c.started[w] < lastMB {
+		panic(fmt.Sprintf("wsp: worker %d pushing wave %d before starting minibatch %d", w, wave, lastMB))
+	}
+	c.pushed[w]++
+	if d := c.distance(); d > c.maxDistance {
+		c.maxDistance = d
+	}
+	return c.pushed[w]
+}
+
+func (c *Coordinator) distance() int {
+	min, max := c.pushed[0], c.pushed[0]
+	for _, p := range c.pushed[1:] {
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	return max - min
+}
+
+// BlockedWorkers lists workers whose next minibatch is currently gated.
+func (c *Coordinator) BlockedWorkers() []int {
+	var out []int
+	g := c.GlobalClock()
+	for w := range c.pushed {
+		if g < c.params.RequiredGlobalClock(c.started[w]+1) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
