@@ -22,8 +22,8 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, n := range experiment.Names() {
-			fmt.Println(n)
+		for _, d := range experiment.Defs() {
+			fmt.Printf("%-20s %-12s %s\n", d.Name, d.Paper, d.Title)
 		}
 		return
 	}

@@ -6,6 +6,7 @@
 //
 //	hetpipe -model vgg19 -policy ED -local -d 4
 //	hetpipe -model resnet152 -specs VRQ,VRQ,VRQ,VRQ -nm 4
+//	hetpipe -model resnet152 -cluster paper-x2 -policy HD
 //	hetpipe -model vgg19 -horovod
 package main
 
@@ -19,7 +20,8 @@ import (
 )
 
 func main() {
-	modelName := flag.String("model", "vgg19", "DNN model: vgg19 or resnet152")
+	modelName := flag.String("model", "vgg19", "DNN model (see hetpipe.Models: vgg19, resnet152, ...)")
+	clusterName := flag.String("cluster", "paper", "cluster-catalog shape (see hetsweep -list)")
 	policy := flag.String("policy", "ED", "allocation policy: NP, ED, or HD")
 	specs := flag.String("specs", "", "explicit VW specs, comma separated (e.g. VRQ,VRQ,VRQ,VRQ); overrides -policy")
 	nm := flag.Int("nm", 0, "concurrent minibatches per VW (0 = auto)")
@@ -31,7 +33,7 @@ func main() {
 	flag.Parse()
 
 	if *horovod {
-		b, err := hetpipe.Horovod(*modelName, *batch)
+		b, err := hetpipe.Horovod(*modelName, *clusterName, *batch)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -45,6 +47,7 @@ func main() {
 
 	cfg := hetpipe.Config{
 		Model:          *modelName,
+		Cluster:        *clusterName,
 		Policy:         *policy,
 		Batch:          *batch,
 		Nm:             *nm,
@@ -76,7 +79,7 @@ func main() {
 	}
 	if *gantt {
 		spec := res.VirtualWorkers[0]
-		g, err := hetpipe.Gantt(*modelName, spec, res.Nm, 4*res.Nm, 110)
+		g, err := hetpipe.Gantt(*modelName, *clusterName, spec, res.Nm, 4*res.Nm, 110)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

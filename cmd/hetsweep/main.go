@@ -1,0 +1,174 @@
+// Command hetsweep explores HetPipe configuration grids in parallel: it
+// expands a scenario grid (models x clusters x allocation policies x sync
+// modes x D x Nm), simulates every scenario on a bounded worker pool, writes
+// structured JSON and CSV results, and prints a ranked best-configuration
+// summary.
+//
+// Usage:
+//
+//	hetsweep                                  # default 24-scenario grid
+//	hetsweep -workers 1                       # same grid, serial (identical output)
+//	hetsweep -models vgg19 -clusters paper,mini -policies ED -d 0,1,2,4 -nm 1,2,4
+//	hetsweep -sync wsp,horovod -placements default,local
+//	hetsweep -list                            # show the available axis values
+//
+// Results land in -json and -csv (set either to "" to skip). The output is
+// deterministic: for a given grid, every worker count produces byte-identical
+// files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hetpipe/internal/hw"
+	"hetpipe/internal/model"
+	"hetpipe/internal/sweep"
+)
+
+func main() {
+	def := sweep.DefaultGrid()
+	models := flag.String("models", strings.Join(def.Models, ","), "comma-separated model-zoo keys")
+	clusters := flag.String("clusters", strings.Join(def.Clusters, ","), "comma-separated cluster-catalog keys")
+	policies := flag.String("policies", strings.Join(def.Policies, ","), "comma-separated allocation policies (NP, ED, HD)")
+	syncModes := flag.String("sync", "wsp", "comma-separated sync modes (wsp, horovod)")
+	placements := flag.String("placements", "default", "comma-separated parameter placements (default, local)")
+	dValues := flag.String("d", intsJoin(def.DValues), "comma-separated WSP clock-distance bounds")
+	nmValues := flag.String("nm", "0", "comma-separated concurrent-minibatch counts (0 = auto)")
+	batch := flag.Int("batch", 0, "minibatch size (0 = 32)")
+	mbs := flag.Int("mbs", 0, "minibatches per virtual worker per scenario (0 = D-aware default, at least 24 waves)")
+	workers := flag.Int("workers", 0, "max concurrent scenario simulations (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "hetsweep.json", "JSON results path (empty = skip)")
+	csvPath := flag.String("csv", "hetsweep.csv", "CSV results path (empty = skip)")
+	list := flag.Bool("list", false, "list the available axis values and exit")
+	quiet := flag.Bool("quiet", false, "suppress per-scenario progress lines")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("models:")
+		for _, m := range model.Names() {
+			fmt.Printf("  %s\n", m)
+		}
+		fmt.Println("clusters:")
+		for _, c := range hw.ClusterCatalog() {
+			fmt.Printf("  %-10s %s\n", c.Name, c.Description)
+		}
+		fmt.Println("policies: NP, ED, HD")
+		fmt.Println("sync modes: wsp, horovod")
+		fmt.Println("placements: default, local")
+		return
+	}
+
+	grid := sweep.Grid{
+		Models:           splitList(*models),
+		Clusters:         splitList(*clusters),
+		Policies:         splitList(*policies),
+		SyncModes:        splitList(*syncModes),
+		Placements:       splitList(*placements),
+		Batch:            *batch,
+		MinibatchesPerVW: *mbs,
+	}
+	var err error
+	if grid.DValues, err = splitInts(*dValues); err != nil {
+		fatalf("-d: %v", err)
+	}
+	if grid.NmValues, err = splitInts(*nmValues); err != nil {
+		fatalf("-nm: %v", err)
+	}
+
+	scenarios, err := grid.Expand()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opt := sweep.Options{Workers: *workers}
+	fmt.Printf("sweeping %d scenarios (workers=%d)\n", len(scenarios), opt.ResolvedWorkers(len(scenarios)))
+
+	done := 0
+	if !*quiet {
+		opt.OnResult = func(r sweep.Result) {
+			done++
+			status := fmt.Sprintf("%8.0f samples/s", r.Throughput)
+			if r.Error != "" {
+				status = "error: " + r.Error
+			}
+			fmt.Printf("  [%*d/%d] %-45s %s\n", digits(len(scenarios)), done, len(scenarios), r.Scenario.ID(), status)
+		}
+	}
+	set, err := sweep.Run(grid, opt)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *jsonPath != "" {
+		if err := writeFile(*jsonPath, func(f *os.File) error { return sweep.WriteJSON(f, set) }); err != nil {
+			fatalf("writing %s: %v", *jsonPath, err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, func(f *os.File) error { return sweep.WriteCSV(f, set) }); err != nil {
+			fatalf("writing %s: %v", *csvPath, err)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+
+	fmt.Println()
+	if err := sweep.WriteSummary(os.Stdout, set); err != nil {
+		fatalf("%v", err)
+	}
+	if n := set.Failures(); n > 0 {
+		fmt.Printf("\n%d of %d scenarios failed (see the error column)\n", n, len(set.Results))
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func intsJoin(vs []int) string {
+	var parts []string
+	for _, v := range vs {
+		parts = append(parts, strconv.Itoa(v))
+	}
+	return strings.Join(parts, ",")
+}
+
+func digits(n int) int { return len(strconv.Itoa(n)) }
+
+func writeFile(path string, fill func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "hetsweep: "+format+"\n", args...)
+	os.Exit(1)
+}

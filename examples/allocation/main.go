@@ -14,7 +14,7 @@ import (
 func main() {
 	for _, model := range []string{"resnet152", "vgg19"} {
 		fmt.Printf("%s:\n", model)
-		base, err := hetpipe.Horovod(model, 32)
+		base, err := hetpipe.Horovod(model, "", 32)
 		if err != nil {
 			log.Fatal(err)
 		}

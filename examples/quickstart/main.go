@@ -25,7 +25,7 @@ func main() {
 		fmt.Printf("  virtual worker %d [%s]: %.0f samples/s\n", i+1, res.VirtualWorkers[i], tp)
 	}
 
-	base, err := hetpipe.Horovod("vgg19", 32)
+	base, err := hetpipe.Horovod("vgg19", "", 32)
 	if err != nil {
 		log.Fatal(err)
 	}

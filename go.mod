@@ -1,0 +1,3 @@
+module hetpipe
+
+go 1.24

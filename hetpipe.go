@@ -21,13 +21,13 @@
 //		LocalPlacement: true,
 //	})
 //
-// See examples/ for complete programs and cmd/hetbench for the experiment
-// harness.
+// See examples/ for complete programs, cmd/hetbench for the experiment
+// harness, and cmd/hetsweep for parallel exploration of configuration grids
+// (internal/sweep) across the model zoo and the cluster catalog.
 package hetpipe
 
 import (
 	"fmt"
-	"strings"
 
 	"hetpipe/internal/core"
 	"hetpipe/internal/experiment"
@@ -39,10 +39,15 @@ import (
 	"hetpipe/internal/trace"
 )
 
-// Config selects a HetPipe deployment on the paper's 16-GPU cluster.
+// Config selects a HetPipe deployment on a cataloged cluster (the paper's
+// 16-GPU testbed by default).
 type Config struct {
-	// Model names the DNN: "vgg19" or "resnet152".
+	// Model names the DNN, e.g. "vgg19" or "resnet152" (see Models for the
+	// full zoo).
 	Model string
+	// Cluster names a cluster-catalog shape (see Clusters); empty means
+	// "paper", the Section 8.1 testbed.
+	Cluster string
 	// Policy selects a Table 3 allocation: "NP", "ED", or "HD". Leave empty
 	// to use Specs instead.
 	Policy string
@@ -59,7 +64,8 @@ type Config struct {
 	// LocalPlacement co-locates parameter shards with pipeline stages
 	// (the paper's ED-local policy). Requires stage/node alignment.
 	LocalPlacement bool
-	// MinibatchesPerVW sizes the simulation; 0 defaults to 24*Nm.
+	// MinibatchesPerVW sizes the simulation; 0 picks a D-aware default of
+	// at least 24 waves.
 	MinibatchesPerVW int
 }
 
@@ -99,6 +105,15 @@ type StageView struct {
 	MemoryCap   int64
 }
 
+// clusterByName resolves a cluster-catalog key, defaulting to the paper
+// testbed when empty.
+func clusterByName(name string) (*hw.Cluster, error) {
+	if name == "" {
+		name = "paper"
+	}
+	return hw.ClusterByName(name)
+}
+
 func (c *Config) system() (*core.System, *hw.Allocation, error) {
 	m, err := model.ByName(c.Model)
 	if err != nil {
@@ -108,7 +123,10 @@ func (c *Config) system() (*core.System, *hw.Allocation, error) {
 	if batch == 0 {
 		batch = 32
 	}
-	cluster := hw.Paper()
+	cluster, err := clusterByName(c.Cluster)
+	if err != nil {
+		return nil, nil, err
+	}
 	sys, err := core.NewSystem(cluster, m, profile.Default(), batch)
 	if err != nil {
 		return nil, nil, err
@@ -118,16 +136,9 @@ func (c *Config) system() (*core.System, *hw.Allocation, error) {
 	case len(c.Specs) > 0:
 		alloc, err = hw.AllocateByTypes(cluster, c.Specs)
 	case c.Policy != "":
-		var p hw.Policy
-		switch strings.ToUpper(c.Policy) {
-		case "NP":
-			p = hw.NodePartition
-		case "ED":
-			p = hw.EqualDistribution
-		case "HD":
-			p = hw.HybridDistribution
-		default:
-			return nil, nil, fmt.Errorf("hetpipe: unknown policy %q (want NP, ED, or HD)", c.Policy)
+		p, perr := hw.PolicyByName(c.Policy)
+		if perr != nil {
+			return nil, nil, perr
 		}
 		alloc, err = hw.Allocate(cluster, p)
 	default:
@@ -155,7 +166,7 @@ func Run(c Config) (*Result, error) {
 	}
 	mbs := c.MinibatchesPerVW
 	if mbs == 0 {
-		mbs = 24 * dep.Nm
+		mbs = dep.DefaultMinibatches()
 	}
 	mr, err := dep.SimulateWSP(mbs, 4*dep.Nm)
 	if err != nil {
@@ -165,7 +176,7 @@ func Run(c Config) (*Result, error) {
 		Throughput: mr.Aggregate,
 		PerVW:      mr.PerVW,
 		Nm:         dep.Nm,
-		SGlobal:    (c.D+1)*dep.Nm + dep.Nm - 2,
+		SGlobal:    dep.SGlobal(),
 		Waiting:    mr.Waiting,
 		Idle:       mr.Idle,
 	}
@@ -200,8 +211,9 @@ type Baseline struct {
 	Excluded []string
 }
 
-// Horovod evaluates the DP baseline for a model on the full cluster.
-func Horovod(modelName string, batch int) (*Baseline, error) {
+// Horovod evaluates the DP baseline for a model on every GPU of a cataloged
+// cluster (empty clusterName means "paper").
+func Horovod(modelName, clusterName string, batch int) (*Baseline, error) {
 	m, err := model.ByName(modelName)
 	if err != nil {
 		return nil, err
@@ -209,7 +221,11 @@ func Horovod(modelName string, batch int) (*Baseline, error) {
 	if batch == 0 {
 		batch = 32
 	}
-	sys, err := core.NewSystem(hw.Paper(), m, profile.Default(), batch)
+	cluster, err := clusterByName(clusterName)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(cluster, m, profile.Default(), batch)
 	if err != nil {
 		return nil, err
 	}
@@ -250,14 +266,18 @@ func Plan(modelName, spec string, nm, batch int) (*PlanView, error) {
 	return planView(plan), nil
 }
 
-// Gantt simulates one virtual worker and renders its pipeline schedule as an
-// ASCII chart (the Figure 1 view). width is the chart width in columns.
-func Gantt(modelName, spec string, nm, minibatches, width int) (string, error) {
+// Gantt simulates one virtual worker on a cataloged cluster (empty
+// clusterName means "paper") and renders its pipeline schedule as an ASCII
+// chart (the Figure 1 view). width is the chart width in columns.
+func Gantt(modelName, clusterName, spec string, nm, minibatches, width int) (string, error) {
 	m, err := model.ByName(modelName)
 	if err != nil {
 		return "", err
 	}
-	cluster := hw.Paper()
+	cluster, err := clusterByName(clusterName)
+	if err != nil {
+		return "", err
+	}
 	sys, err := core.NewSystem(cluster, m, profile.Default(), 32)
 	if err != nil {
 		return "", err
@@ -279,6 +299,12 @@ func Gantt(modelName, spec string, nm, minibatches, width int) (string, error) {
 	}
 	return tr.Gantt(width), nil
 }
+
+// Models lists the model-zoo keys Config.Model accepts.
+func Models() []string { return model.Names() }
+
+// Clusters lists the cluster-catalog keys Config.Cluster accepts.
+func Clusters() []string { return hw.ClusterNames() }
 
 // Experiments lists the paper-reproduction experiments available through
 // RunExperiment (tables, figures, and analyses of Section 8).

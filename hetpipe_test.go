@@ -59,7 +59,7 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestHorovodBaseline(t *testing.T) {
-	b, err := Horovod("resnet152", 32)
+	b, err := Horovod("resnet152", "", 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestPlanView(t *testing.T) {
 }
 
 func TestGanttOutput(t *testing.T) {
-	g, err := Gantt("vgg19", "VVVV", 4, 10, 80)
+	g, err := Gantt("vgg19", "", "VVVV", 4, 10, 80)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -91,6 +91,16 @@ type Deployment struct {
 	PushTime, PullTime []float64
 }
 
+// SGlobal returns the deployment's global staleness bound: with wave size Nm
+// and clock distance bound D, a minibatch may miss the updates of at most
+// (D+1)*Nm + Nm - 2 other minibatches (Section 5.2).
+func (d *Deployment) SGlobal() int { return (d.D+1)*d.Nm + d.Nm - 2 }
+
+// SLocal returns the deployment's local staleness bound, Nm - 1: within a
+// virtual worker, minibatch p+1 starts from weights missing at most the Nm-1
+// in-flight predecessors' updates (Section 4).
+func (d *Deployment) SLocal() int { return d.Nm - 1 }
+
 // SoloVW partitions the model onto one virtual worker at the given Nm and
 // simulates its pipeline alone (the Figure 3 experiment). minibatches and
 // warmup control the measurement window.

@@ -37,26 +37,43 @@ type vwSync struct {
 	lastDone   sim.Time // time of the VW's most recent completion
 }
 
+// DefaultMinibatches returns the simulation budget used when a caller does
+// not specify one: 24 waves, raised for large D so the budget always meets
+// SimulateWSP's (D+2)-wave minimum.
+func (d *Deployment) DefaultMinibatches() int {
+	waves := 24
+	if min := d.D + 2; min > waves {
+		waves = min
+	}
+	return waves * d.Nm
+}
+
 // SimulateWSP runs all virtual workers' pipelines on one discrete-event
 // engine, coupled through the WSP protocol: per-wave pushes arrive at the
 // parameter servers after the push transfer time, the global clock advances
 // when the slowest push of a wave arrives, and a gated wave-end minibatch
 // additionally waits for its pull transfer. Each virtual worker processes
-// minibatchesPerVW minibatches; warmup are excluded from throughput.
+// minibatchesPerVW minibatches; warmup are excluded from throughput (warmup
+// is clamped below the budget, so a deliberately short simulation still
+// leaves a measurement window).
 func (d *Deployment) SimulateWSP(minibatchesPerVW, warmup int) (*MultiResult, error) {
 	n := len(d.VWs)
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty deployment")
 	}
-	if minibatchesPerVW < d.Nm*(d.D+2) {
-		return nil, fmt.Errorf("core: need at least %d minibatches per VW to exercise WSP", d.Nm*(d.D+2))
-	}
 	// Every virtual worker must finish on a wave boundary, or its peers
-	// would wait forever on a push that never comes.
+	// would wait forever on a push that never comes. Round up before the
+	// minimum check so a budget the round-up satisfies is not rejected.
 	if rem := minibatchesPerVW % d.Nm; rem != 0 {
 		minibatchesPerVW += d.Nm - rem
 	}
-	params := wsp.Params{SLocal: d.Nm - 1, D: d.D, Workers: n}
+	if minibatchesPerVW < d.Nm*(d.D+2) {
+		return nil, fmt.Errorf("core: need at least %d minibatches per VW to exercise WSP", d.Nm*(d.D+2))
+	}
+	if warmup >= minibatchesPerVW {
+		warmup = minibatchesPerVW / 2
+	}
+	params := wsp.Params{SLocal: d.SLocal(), D: d.D, Workers: n}
 	coord, err := wsp.NewCoordinator(params)
 	if err != nil {
 		return nil, err

@@ -11,28 +11,27 @@ import (
 )
 
 func init() {
-	register("ablation-wavepush", AblationWavePush)
-	register("ablation-memaware", AblationMemoryAwarePartitioning)
-	register("ablation-nmsweep", AblationNmSweep)
-	register("ablation-dsweep", AblationDSweep)
+	register("ablation-wavepush", "Section 5", "Ablation: per-wave vs per-minibatch push traffic", AblationWavePush)
+	register("ablation-memaware", "Section 7", "Ablation: memory-aware vs uniform partitioning (ResNet-152 on GGGG, 6 GiB GPUs)", AblationMemoryAwarePartitioning)
+	register("ablation-nmsweep", "Section 4", "Ablation: aggregate throughput vs forced Nm (ED-local)", AblationNmSweep)
+	register("ablation-dsweep", "Section 5", "Ablation: throughput and waiting vs D (ResNet-152, NP)", AblationDSweep)
 }
 
 // AblationWavePush quantifies WSP's wave-aggregated push against SSP-style
 // per-minibatch pushes: the communication volume shrinks by the wave size.
-func AblationWavePush() (*Report, error) {
-	r := &Report{Name: "ablation-wavepush", Title: "Ablation: per-wave vs per-minibatch push traffic"}
+func AblationWavePush(r *Report) error {
 	for _, m := range model.PaperModels() {
 		s, err := core.NewSystem(hw.Paper(), m, profile.Default(), batchSize)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		alloc, err := hw.Allocate(s.Cluster, hw.EqualDistribution)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dep, err := s.Deploy(alloc, 0, 0, core.PlacementLocal)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		perWave := float64(m.ParamBytes()) / 1e6
 		perMB := perWave * float64(dep.Nm)
@@ -40,19 +39,18 @@ func AblationWavePush() (*Report, error) {
 			m.Name, dep.Nm, perWave, perMB, dep.Nm)
 	}
 	r.notef("Section 5: pushing u~ once per wave instead of per minibatch cuts PS traffic by the wave size")
-	return r, nil
+	return nil
 }
 
 // AblationMemoryAwarePartitioning contrasts the Section 7 memory-aware
 // partitioner against a naive uniform-layer split on memory-poor GPUs.
-func AblationMemoryAwarePartitioning() (*Report, error) {
-	r := &Report{Name: "ablation-memaware", Title: "Ablation: memory-aware vs uniform partitioning (ResNet-152 on GGGG, 6 GiB GPUs)"}
+func AblationMemoryAwarePartitioning(r *Report) error {
 	m := model.ResNet152()
 	perf := profile.Default()
 	cluster := hw.Paper()
 	alloc, err := hw.AllocateByTypes(cluster, []string{"GGGG"})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	vw := alloc.VWs[0]
 	k := len(vw.GPUs)
@@ -82,24 +80,23 @@ func AblationMemoryAwarePartitioning() (*Report, error) {
 			nm, violated, k, worst, aware)
 	}
 	r.notef("the Figure 1 memory-variance observation: early stages stash more in-flight activations")
-	return r, nil
+	return nil
 }
 
 // AblationNmSweep shows aggregate ED-local throughput versus the forced Nm,
 // demonstrating why HetPipe picks Nm by measured throughput rather than
 // simply maximizing concurrency.
-func AblationNmSweep() (*Report, error) {
-	r := &Report{Name: "ablation-nmsweep", Title: "Ablation: aggregate throughput vs forced Nm (ED-local)"}
+func AblationNmSweep(r *Report) error {
 	for _, m := range model.PaperModels() {
 		s, err := core.NewSystem(hw.Paper(), m, profile.Default(), batchSize)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := m.Name + ":"
 		for nm := 1; nm <= 8; nm++ {
 			alloc, err := hw.Allocate(s.Cluster, hw.EqualDistribution)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			dep, err := s.Deploy(alloc, nm, 0, core.PlacementLocal)
 			if err != nil {
@@ -116,33 +113,32 @@ func AblationNmSweep() (*Report, error) {
 		r.addf("%s", row)
 	}
 	r.notef("throughput rises with pipelining then falls when memory pressure unbalances the partitions")
-	return r, nil
+	return nil
 }
 
 // AblationDSweep shows throughput and waiting versus the clock-distance
 // bound D under the straggler-prone NP allocation.
-func AblationDSweep() (*Report, error) {
-	r := &Report{Name: "ablation-dsweep", Title: "Ablation: throughput and waiting vs D (ResNet-152, NP)"}
+func AblationDSweep(r *Report) error {
 	s, err := core.NewSystem(hw.Paper(), model.ResNet152(), profile.Default(), batchSize)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for _, d := range []int{0, 1, 2, 4, 8} {
 		alloc, err := hw.Allocate(s.Cluster, hw.NodePartition)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dep, err := s.Deploy(alloc, 0, d, core.PlacementDefault)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := dep.SimulateWSP(30*dep.Nm, 5*dep.Nm)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r.addf("D=%d: %4.0f img/s aggregate, waiting %6.1fs, idle %5.1fs, max clock distance %d",
 			d, res.Aggregate, res.Waiting, res.Idle, res.MaxClockDistance)
 	}
 	r.notef("larger D absorbs the straggler VW's lag until the budget, not the bound, limits skew")
-	return r, nil
+	return nil
 }

@@ -13,11 +13,11 @@ import (
 )
 
 func init() {
-	register("figure5", Figure5)
-	register("figure6", Figure6)
-	register("syncoverhead", SyncOverhead)
-	register("theorem1", Theorem1)
-	register("traffic", Traffic)
+	register("figure5", "Figure 5", "ResNet-152 accuracy over time (Figure 5): Horovod vs HetPipe 12/16 GPUs, D=0", Figure5)
+	register("figure6", "Figure 6", "VGG-19 accuracy over time (Figure 6): Horovod vs HetPipe D=0/4/32, ED-local", Figure6)
+	register("syncoverhead", "Section 8.4", "Synchronization overhead vs D (Section 8.4), VGG-19 ED-local", SyncOverhead)
+	register("theorem1", "Theorem 1", "WSP convergence: measured regret vs Theorem 1 bound", Theorem1)
+	register("traffic", "Section 8.3", "Cross-node traffic per minibatch (Section 8.3)", Traffic)
 }
 
 // Convergence-study constants: the synthetic task's analog of the paper's
@@ -86,7 +86,7 @@ func hetpipeTimings(m *model.Model, specs []string, d int) (*core.Deployment, tr
 	cfg := train.WSPConfig{
 		Task:           task,
 		Workers:        len(dep.VWs),
-		SLocal:         dep.Nm - 1,
+		SLocal:         dep.SLocal(),
 		D:              d,
 		LR:             convergeLR,
 		Jitter:         convergeJitter,
@@ -149,12 +149,11 @@ func describeRun(label string, st *train.RunStats, baseline float64) string {
 // Figure5 reproduces the ResNet-152 convergence comparison: Horovod on 12
 // GPUs (the G parts cannot hold the model) versus HetPipe on the same 12
 // GPUs and on all 16, D=0.
-func Figure5() (*Report, error) {
-	r := &Report{Name: "figure5", Title: "ResNet-152 accuracy over time (Figure 5): Horovod vs HetPipe 12/16 GPUs, D=0"}
+func Figure5(r *Report) error {
 	m := model.ResNet152()
 	hv, workers, err := horovodRun(m)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	r.addf("%s", describeRun(fmt.Sprintf("Horovod (%d GPUs)", workers), hv, 0))
 	base := hv.TimeToTarget
@@ -167,61 +166,59 @@ func Figure5() (*Report, error) {
 	} {
 		_, cfg, err := hetpipeTimings(m, c.specs, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		st, err := train.RunWSP(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r.addf("%s", describeRun(c.label, st, base))
 	}
 	r.notef("paper: HetPipe-12 converges 35%% faster and HetPipe-16 39%% faster than Horovod-12")
 	r.notef("convergence target is training loss <= %.2f, the task-relative analog of the paper's 74%% top-1", targetLoss)
-	return r, nil
+	return nil
 }
 
 // Figure6 reproduces the VGG-19 convergence comparison on 16 GPUs with
 // ED-local: Horovod versus HetPipe at D = 0, 4, and 32.
-func Figure6() (*Report, error) {
-	r := &Report{Name: "figure6", Title: "VGG-19 accuracy over time (Figure 6): Horovod vs HetPipe D=0/4/32, ED-local"}
+func Figure6(r *Report) error {
 	m := model.VGG19()
 	hv, workers, err := horovodRun(m)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	r.addf("%s", describeRun(fmt.Sprintf("Horovod (%d GPUs)", workers), hv, 0))
 	base := hv.TimeToTarget
 	for _, d := range []int{0, 4, 32} {
 		_, cfg, err := hetpipeTimings(m, []string{"VRGQ", "VRGQ", "VRGQ", "VRGQ"}, d)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		st, err := train.RunWSP(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r.addf("%s", describeRun(fmt.Sprintf("HetPipe D=%d", d), st, base))
 	}
 	r.notef("paper: D=0 converges 29%% faster than Horovod, D=4 49%% faster; D=32 degrades 4.7%% vs D=4")
-	return r, nil
+	return nil
 }
 
 // SyncOverhead reproduces the Section 8.4 analysis: waiting time shrinks as
 // D grows, and pipelining hides most of the wait (idle << waiting).
-func SyncOverhead() (*Report, error) {
-	r := &Report{Name: "syncoverhead", Title: "Synchronization overhead vs D (Section 8.4), VGG-19 ED-local"}
+func SyncOverhead(r *Report) error {
 	m := model.VGG19()
 	var waitD0 float64
 	for _, d := range []int{0, 4, 32} {
 		_, cfg, err := hetpipeTimings(m, []string{"VRGQ", "VRGQ", "VRGQ", "VRGQ"}, d)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg.TargetAccuracy = 0 // fixed budget: compare equal work
 		cfg.MaxMinibatches = 2000
 		st, err := train.RunWSP(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		line := fmt.Sprintf("D=%-3d waiting=%7.1fs idle=%6.1fs (%.0f%% of waiting) pulls=%d pushes=%d",
 			d, st.Waiting, st.Idle, safePct(st.Idle, st.Waiting), st.Pulls, st.Pushes)
@@ -233,7 +230,7 @@ func SyncOverhead() (*Report, error) {
 		r.addf("%s", line)
 	}
 	r.notef("paper: average waiting time at D=4 is 62%% of D=0, and idle time is 18%% of waiting")
-	return r, nil
+	return nil
 }
 
 func safePct(num, den float64) float64 {
@@ -245,8 +242,7 @@ func safePct(num, den float64) float64 {
 
 // Theorem1 measures regret under the real WSP schedule on a convex problem
 // and compares against the Section 6 bound.
-func Theorem1() (*Report, error) {
-	r := &Report{Name: "theorem1", Title: "WSP convergence: measured regret vs Theorem 1 bound"}
+func Theorem1(r *Report) error {
 	configs := []convergence.Config{
 		{Workers: 1, SLocal: 0, D: 0, T: 4000, Dim: 12, Seed: 1},
 		{Workers: 1, SLocal: 3, D: 0, T: 4000, Dim: 12, Seed: 2},
@@ -257,13 +253,13 @@ func Theorem1() (*Report, error) {
 	for _, cfg := range configs {
 		res, err := convergence.Measure(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r.addf("N=%d slocal=%d D=%d sglobal=%-3d T=%-5d regret=%8.5f bound=%8.5f  %s",
 			cfg.Workers, cfg.SLocal, cfg.D, res.SGlobal, res.T, res.Regret, res.Bound, verdict(res.Regret <= res.Bound))
 	}
 	r.notef("the bound is R[W] <= 4ML*sqrt((2*sglobal+slocal+1)*N/T) with measured M and L=1")
-	return r, nil
+	return nil
 }
 
 func verdict(ok bool) string {
@@ -274,8 +270,7 @@ func verdict(ok bool) string {
 }
 
 // Traffic reproduces the Section 8.3 cross-node traffic accounting.
-func Traffic() (*Report, error) {
-	r := &Report{Name: "traffic", Title: "Cross-node traffic per minibatch (Section 8.3)"}
+func Traffic(r *Report) error {
 	paper := map[string]struct{ horovod, edlocal float64 }{
 		"VGG-19":     {515, 103},
 		"ResNet-152": {211, 298},
@@ -283,19 +278,19 @@ func Traffic() (*Report, error) {
 	for _, m := range model.PaperModels() {
 		s, err := core.NewSystem(hw.Paper(), m, profile.Default(), batchSize)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hr, err := s.Horovod(nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		alloc, err := hw.Allocate(s.Cluster, hw.EqualDistribution)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dep, err := s.Deploy(alloc, 0, 0, core.PlacementLocal)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r.addf("%-11s Horovod %4.0f MB/worker (paper %3.0f)   ED-local %4.0f MB/VW (paper %3.0f)",
 			m.Name,
@@ -303,5 +298,5 @@ func Traffic() (*Report, error) {
 			float64(dep.CrossNodeBytesPerMinibatch())/1e6, paper[m.Name].edlocal)
 	}
 	r.notef("ED-local moves only pipeline activations across nodes; parameters sync within each node")
-	return r, nil
+	return nil
 }

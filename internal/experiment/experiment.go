@@ -6,9 +6,16 @@
 // (convergence over time for ResNet-152 and VGG-19), the Section 8.4
 // synchronization-overhead analysis, and the Theorem 1 regret check.
 //
-// Each experiment returns a Report: structured rows plus a formatted text
-// rendering that cmd/hetbench prints. EXPERIMENTS.md records the
-// paper-versus-measured comparison for every row.
+// Experiments are registered as Defs — name, paper reference, title, and a
+// Runner that fills in a pre-built Report — so the registry doubles as a
+// machine-readable catalog: cmd/hetbench's -list and the EXPERIMENTS.md
+// document are both views of Defs. Each Runner produces structured rows plus
+// notes; Report.String renders them as the text cmd/hetbench prints.
+// EXPERIMENTS.md records the paper-versus-measured comparison for every row.
+//
+// Grid-shaped studies beyond the paper's fixed tables live in
+// internal/sweep, which generalizes these hand-enumerated configurations
+// into declarative scenario grids.
 package experiment
 
 import (
@@ -21,6 +28,8 @@ import (
 type Report struct {
 	// Name is the registry key, e.g. "figure4".
 	Name string
+	// Paper cites the reproduced artifact, e.g. "Figure 4" or "Section 8.4".
+	Paper string
 	// Title describes the experiment.
 	Title string
 	// Lines are formatted result rows.
@@ -50,16 +59,31 @@ func (r *Report) notef(format string, args ...interface{}) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
 }
 
-// Runner produces a report.
-type Runner func() (*Report, error)
+// Runner fills a pre-built report whose Name, Paper, and Title are already
+// set from the experiment's Def.
+type Runner func(*Report) error
 
-var registry = map[string]Runner{}
+// Def is one registered experiment: the registry metadata plus its runner.
+// Defs are the single source of truth behind Names, Run, cmd/hetbench's
+// -list output, and the EXPERIMENTS.md catalog.
+type Def struct {
+	// Name is the registry key, e.g. "figure4".
+	Name string
+	// Paper cites the reproduced artifact, e.g. "Figure 4" or "Section 8.4".
+	Paper string
+	// Title describes the experiment in one line.
+	Title string
+	// Run fills the report.
+	Run Runner
+}
 
-func register(name string, fn Runner) {
+var registry = map[string]*Def{}
+
+func register(name, paper, title string, fn Runner) {
 	if _, dup := registry[name]; dup {
 		panic("experiment: duplicate registration of " + name)
 	}
-	registry[name] = fn
+	registry[name] = &Def{Name: name, Paper: paper, Title: title, Run: fn}
 }
 
 // Names lists registered experiments in sorted order.
@@ -72,13 +96,26 @@ func Names() []string {
 	return out
 }
 
+// Defs lists the registered experiments' metadata in name order.
+func Defs() []Def {
+	var out []Def
+	for _, name := range Names() {
+		out = append(out, *registry[name])
+	}
+	return out
+}
+
 // Run executes one experiment by name.
 func Run(name string) (*Report, error) {
-	fn, ok := registry[name]
+	def, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("experiment: unknown experiment %q (have %s)", name, strings.Join(Names(), ", "))
 	}
-	return fn()
+	r := &Report{Name: def.Name, Paper: def.Paper, Title: def.Title}
+	if err := def.Run(r); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // RunAll executes every registered experiment in name order.

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"fmt"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
@@ -25,6 +27,32 @@ func TestRegistryListsAllExperiments(t *testing.T) {
 	}
 	if !strings.Contains(strings.Join(names, ","), "figure4") {
 		t.Error("names missing figure4")
+	}
+}
+
+func TestDefsCarryMetadata(t *testing.T) {
+	defs := Defs()
+	if len(defs) != len(Names()) {
+		t.Fatalf("defs = %d, names = %d", len(defs), len(Names()))
+	}
+	for _, d := range defs {
+		if d.Name == "" || d.Paper == "" || d.Title == "" || d.Run == nil {
+			t.Errorf("incomplete def: %+v", d)
+		}
+	}
+}
+
+// TestCatalogDocumentsEveryExperiment keeps EXPERIMENTS.md in lockstep with
+// the registry: every registered experiment must have a catalog section.
+func TestCatalogDocumentsEveryExperiment(t *testing.T) {
+	doc, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatalf("EXPERIMENTS.md missing: %v", err)
+	}
+	for _, name := range Names() {
+		if !strings.Contains(string(doc), fmt.Sprintf("`%s`", name)) {
+			t.Errorf("EXPERIMENTS.md does not document %q", name)
+		}
 	}
 }
 

@@ -14,35 +14,33 @@ import (
 const batchSize = 32
 
 func init() {
-	register("table1", Table1)
-	register("table3", Table3)
-	register("figure1", Figure1)
-	register("figure3", Figure3)
-	register("figure4", Figure4)
-	register("table4", Table4)
+	register("table1", "Table 1", "Heterogeneous GPUs (hardware catalog)", Table1)
+	register("table3", "Table 3", "Resource allocation per policy (Table 3)", Table3)
+	register("figure1", "Figure 1", "Pipelined execution of minibatches within a virtual worker (Figure 1)", Figure1)
+	register("figure3", "Figure 3", "Single virtual worker: throughput and max GPU utilization vs Nm (Figure 3)", Figure3)
+	register("figure4", "Figure 4", "Throughput of allocation policies vs Horovod, D=0 (Figure 4)", Figure4)
+	register("table4", "Table 4", "Adding whimpy GPUs (Table 4)", Table4)
 }
 
 // Table1 prints the GPU catalog.
-func Table1() (*Report, error) {
-	r := &Report{Name: "table1", Title: "Heterogeneous GPUs (hardware catalog)"}
+func Table1(r *Report) error {
 	r.addf("%-18s %-7s %9s %11s %11s %12s", "GPU", "Arch", "CUDACore", "Boost(MHz)", "Memory(GB)", "MemBW(GB/s)")
 	for _, g := range hw.Catalog() {
 		r.addf("%-18s %-7s %9d %11d %11d %12.0f",
 			g.Name, g.Arch, g.CUDACores, g.BoostMHz, g.MemoryBytes>>30, g.MemBandwidth/1e9)
 	}
-	return r, nil
+	return nil
 }
 
 // Table3 prints the resource allocation of the three policies.
-func Table3() (*Report, error) {
-	r := &Report{Name: "table3", Title: "Resource allocation per policy (Table 3)"}
+func Table3(r *Report) error {
 	c := hw.Paper()
 	r.addf("%-5s %-16s %-18s %-18s", "", "NodePartition", "EqualDistribution", "HybridDistribution")
 	allocs := map[hw.Policy]*hw.Allocation{}
 	for _, p := range hw.Policies() {
 		a, err := hw.Allocate(c, p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		allocs[p] = a
 	}
@@ -52,37 +50,36 @@ func Table3() (*Report, error) {
 			allocs[hw.EqualDistribution].VWs[i].TypeString(),
 			allocs[hw.HybridDistribution].VWs[i].TypeString())
 	}
-	return r, nil
+	return nil
 }
 
 // Figure1 renders the pipelined execution schedule of one virtual worker
 // (VGG-19 on VVVV, Nm=4) as an ASCII Gantt chart.
-func Figure1() (*Report, error) {
-	r := &Report{Name: "figure1", Title: "Pipelined execution of minibatches within a virtual worker (Figure 1)"}
+func Figure1(r *Report) error {
 	s, err := core.NewSystem(hw.Paper(), model.VGG19(), profile.Default(), batchSize)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	alloc, err := hw.AllocateByTypes(s.Cluster, []string{"VVVV"})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	vp, _, err := s.SoloVW(alloc.VWs[0], 4, 12, 1)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	tr := trace.New(4)
 	if _, err := pipeline.Run(pipeline.Config{
 		Plan: vp.Plan, Cluster: s.Cluster, Perf: s.Perf,
 		Minibatches: 12, Warmup: 1, Trace: tr,
 	}); err != nil {
-		return nil, err
+		return err
 	}
 	for _, line := range splitLines(tr.Gantt(110)) {
 		r.addf("%s", line)
 	}
 	r.notef("numbers are forward passes, bracketed numbers backward passes; dots are idle time")
-	return r, nil
+	return nil
 }
 
 func splitLines(s string) []string {
@@ -105,8 +102,7 @@ func splitLines(s string) []string {
 // Figure3 sweeps Nm for the seven single-virtual-worker configurations and
 // reports absolute and normalized throughput plus the maximum per-GPU
 // utilization.
-func Figure3() (*Report, error) {
-	r := &Report{Name: "figure3", Title: "Single virtual worker: throughput and max GPU utilization vs Nm (Figure 3)"}
+func Figure3(r *Report) error {
 	paperNm1 := map[string]map[string]float64{
 		"ResNet-152": {"VVVV": 96, "RRRR": 87, "GGGG": 58, "QQQQ": 43, "VRGQ": 42, "VVQQ": 53, "RRGG": 58},
 		"VGG-19":     {"VVVV": 119, "RRRR": 107, "GGGG": 62, "QQQQ": 51, "VRGQ": 60, "VVQQ": 116, "RRGG": 68},
@@ -116,11 +112,11 @@ func Figure3() (*Report, error) {
 		for _, spec := range hw.SingleVWConfigs() {
 			s, err := core.NewSystem(hw.Paper(), m, profile.Default(), batchSize)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			alloc, err := hw.AllocateByTypes(s.Cluster, []string{spec})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			var base float64
 			row := fmt.Sprintf("  %-5s paperNm1=%-4.0f", spec, paperNm1[m.Name][spec])
@@ -142,7 +138,7 @@ func Figure3() (*Report, error) {
 	}
 	r.notef("normalized throughput is relative to Nm=1 for the same configuration, as in the paper")
 	r.notef("'--' marks memory-infeasible Nm values (Maxm exceeded)")
-	return r, nil
+	return nil
 }
 
 // figure4Deployment runs one policy deployment and returns its aggregate
@@ -165,8 +161,7 @@ func figure4Deployment(s *core.System, policy hw.Policy, placement core.Placemen
 
 // Figure4 compares the three allocation policies (plus ED-local) against
 // Horovod at D=0.
-func Figure4() (*Report, error) {
-	r := &Report{Name: "figure4", Title: "Throughput of allocation policies vs Horovod, D=0 (Figure 4)"}
+func Figure4(r *Report) error {
 	paper := map[string]map[string]float64{
 		"ResNet-152": {"Horovod": 415, "NP": 380, "ED": 570, "ED-local": 580, "HD": 570},
 		"VGG-19":     {"Horovod": 339, "NP": 260, "ED": 280, "ED-local": 610, "HD": 310},
@@ -174,11 +169,11 @@ func Figure4() (*Report, error) {
 	for _, m := range model.PaperModels() {
 		s, err := core.NewSystem(hw.Paper(), m, profile.Default(), batchSize)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hr, err := s.Horovod(nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r.addf("%s:", m.Name)
 		r.addf("  %-9s %8.0f img/s  (paper ~%3.0f; %d workers, %d excluded)",
@@ -204,13 +199,12 @@ func Figure4() (*Report, error) {
 		}
 	}
 	r.notef("paper reference values are read off Figure 4's bars (approximate)")
-	return r, nil
+	return nil
 }
 
 // Table4 measures throughput as whimpy GPUs are added: Horovod vs HetPipe
 // with ED-local-style placement over the Table 4 GPU sets.
-func Table4() (*Report, error) {
-	r := &Report{Name: "table4", Title: "Adding whimpy GPUs (Table 4)"}
+func Table4(r *Report) error {
 	paper := map[string]map[string]float64{
 		"VGG-19":     {"4 GPUs 4[V]": 300, "8 GPUs 4[VR]": 530, "12 GPUs 4[VRQ]": 572, "16 GPUs 4[VRQG]": 606},
 		"ResNet-152": {"4 GPUs 4[V]": 256, "8 GPUs 4[VR]": 516, "12 GPUs 4[VRQ]": 538, "16 GPUs 4[VRQG]": 580},
@@ -224,12 +218,12 @@ func Table4() (*Report, error) {
 		for _, set := range hw.Table4Sets() {
 			s, err := core.NewSystem(hw.Paper(), m, profile.Default(), batchSize)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			// Horovod on exactly the set's GPUs.
 			alloc, err := hw.AllocateByTypes(s.Cluster, set.Specs)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			var gpus []*hw.GPU
 			for _, vw := range alloc.VWs {
@@ -262,7 +256,7 @@ func Table4() (*Report, error) {
 		}
 	}
 	r.notef("(n) is the total number of concurrent minibatches across virtual workers; X marks infeasible Horovod")
-	return r, nil
+	return nil
 }
 
 func paperConcurrent(modelName, setName string) string {

@@ -138,6 +138,83 @@ func TestAllocateHD(t *testing.T) {
 	}
 }
 
+func TestClusterCatalog(t *testing.T) {
+	wantGPUs := map[string]int{"paper": 16, "paper-x2": 32, "mini": 8, "whimpy": 16}
+	names := ClusterNames()
+	if len(names) != len(wantGPUs) {
+		t.Fatalf("catalog has %d entries, want %d", len(names), len(wantGPUs))
+	}
+	for name, n := range wantGPUs {
+		c, err := ClusterByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := len(c.GPUs()); got != n {
+			t.Errorf("%s: %d GPUs, want %d", name, got, n)
+		}
+		// Fresh inventory per call: allocations on one instance must not
+		// consume another's GPUs.
+		c2, _ := ClusterByName(name)
+		if c == c2 || c.GPUs()[0] == c2.GPUs()[0] {
+			t.Errorf("%s: ClusterByName returned a shared instance", name)
+		}
+	}
+	if _, err := ClusterByName("dgx"); err == nil {
+		t.Error("unknown cluster accepted")
+	}
+	if spec := ClusterCatalog()[0]; spec.Name != "paper" || spec.Description == "" {
+		t.Errorf("catalog should lead with a described paper entry, got %+v", spec.Name)
+	}
+}
+
+func TestAllocateHDGeneralizes(t *testing.T) {
+	cases := []struct {
+		cluster string
+		want    []string
+	}{
+		{"paper", []string{"VVQQ", "VVQQ", "RRGG", "RRGG"}},
+		{"mini", []string{"VQ", "VQ", "RG", "RG"}},
+		{"paper-x2", []string{"VVQQ", "VVQQ", "VVQQ", "VVQQ", "RRGG", "RRGG", "RRGG", "RRGG"}},
+	}
+	for _, c := range cases {
+		cl, err := ClusterByName(c.cluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Allocate(cl, HybridDistribution)
+		if err != nil {
+			t.Fatalf("%s: %v", c.cluster, err)
+		}
+		if len(a.VWs) != len(c.want) {
+			t.Fatalf("%s: %d VWs, want %d", c.cluster, len(a.VWs), len(c.want))
+		}
+		for i, vw := range a.VWs {
+			if vw.TypeString() != c.want[i] {
+				t.Errorf("%s VW%d = %s, want %s", c.cluster, i, vw.TypeString(), c.want[i])
+			}
+		}
+	}
+	// HD is undefined without four distinct types.
+	whimpy, _ := ClusterByName("whimpy")
+	if _, err := Allocate(whimpy, HybridDistribution); err == nil {
+		t.Error("HD on a two-type cluster should fail")
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for name, want := range map[string]Policy{
+		"NP": NodePartition, "ed": EqualDistribution, "Hd": HybridDistribution,
+	} {
+		got, err := PolicyByName(name)
+		if err != nil || got != want {
+			t.Errorf("PolicyByName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := PolicyByName("XX"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
 func TestAllocationsAreDisjoint(t *testing.T) {
 	for _, p := range Policies() {
 		a, err := Allocate(Paper(), p)

@@ -2,6 +2,8 @@ package hw
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 )
 
 // Policy selects one of the Table 3 resource-allocation policies.
@@ -39,6 +41,21 @@ func Policies() []Policy {
 	return []Policy{NodePartition, EqualDistribution, HybridDistribution}
 }
 
+// PolicyByName resolves a policy abbreviation ("NP", "ED", "HD"), case
+// insensitively.
+func PolicyByName(name string) (Policy, error) {
+	switch strings.ToUpper(name) {
+	case "NP":
+		return NodePartition, nil
+	case "ED":
+		return EqualDistribution, nil
+	case "HD":
+		return HybridDistribution, nil
+	default:
+		return 0, fmt.Errorf("hw: unknown policy %q (want NP, ED, or HD)", name)
+	}
+}
+
 // VirtualWorker is an ordered set of GPUs acting as one DP worker; position i
 // hosts pipeline stage i.
 type VirtualWorker struct {
@@ -70,11 +87,11 @@ type Allocation struct {
 	VWs    []*VirtualWorker
 }
 
-// Allocate applies one of the Table 3 policies to the paper's 4x4 cluster
-// layout. It works for any cluster whose nodes all hold the same GPU count;
-// NP needs nothing more, ED needs gpusPerNode >= nodeCount divisibility as in
-// the paper (4 nodes x 4 GPUs), HD is defined only for the paper cluster
-// shape (V/R/G/Q nodes with 4 GPUs each).
+// Allocate applies one of the Table 3 policies to a cluster. NP works for
+// any cluster; ED requires every node to hold the same GPU count; HD
+// requires four distinct cataloged GPU types in equal numbers with a
+// uniform, even per-node count (see allocateHD for the memory-ranked
+// pairing rule that generalizes the paper's VVQQ/RRGG allocation).
 func Allocate(c *Cluster, p Policy) (*Allocation, error) {
 	switch p {
 	case NodePartition:
@@ -116,12 +133,78 @@ func allocateED(c *Cluster) (*Allocation, error) {
 	return a, nil
 }
 
-// allocateHD builds the paper's hybrid allocation: VVQQ, VVQQ, RRGG, RRGG.
-// Pairing rationale (Section 8.1): compute power V>R>G>Q and memory R>V>Q>G,
-// so pairing the best compute with the most whimpy memory (and vice versa)
-// balances aggregate capability across virtual workers.
+// allocateHD builds the hybrid allocation. On the paper cluster it yields
+// exactly Table 3's VVQQ, VVQQ, RRGG, RRGG. Pairing rationale (Section 8.1):
+// compute power V>R>G>Q and memory R>V>Q>G, so pairing the strongest compute
+// with the most whimpy parts (and vice versa) balances aggregate capability
+// across virtual workers.
+//
+// The rule generalizes to any cluster with four distinct GPU types in equal
+// numbers and a uniform, even per-node GPU count: rank the types by memory
+// capacity and pair the extremes — (1st,4th) and (2nd,3rd) — so every
+// virtual worker mixes a memory-rich type with a memory-poor one. On the
+// paper types (R 24 > V 12 > Q 8 > G 6 GiB) that yields exactly the paper's
+// R+G and V+Q pairings. Virtual workers are emitted with the pair whose
+// weaker member has more memory first (V+Q before R+G, matching Table 3's
+// row order), each spec listing the higher-memory type first. "mini" yields
+// VQ,VQ,RG,RG; "paper-x2" yields four VVQQ and four RRGG virtual workers.
 func allocateHD(c *Cluster) (*Allocation, error) {
-	return AllocateByTypes(c, []string{"VVQQ", "VVQQ", "RRGG", "RRGG"})
+	per := len(c.Nodes[0].GPUs)
+	for _, n := range c.Nodes {
+		if len(n.GPUs) != per {
+			return nil, fmt.Errorf("hw: HD requires equal GPU counts per node; node %d has %d, node 0 has %d",
+				n.Index, len(n.GPUs), per)
+		}
+	}
+	if per%2 != 0 {
+		return nil, fmt.Errorf("hw: HD requires an even per-node GPU count, got %d", per)
+	}
+	counts := c.CountByType()
+	if len(counts) != 4 {
+		return nil, fmt.Errorf("hw: HD requires exactly 4 distinct GPU types, got %d", len(counts))
+	}
+	var types []*GPUType
+	typeCount := 0
+	for _, t := range Catalog() {
+		if n, ok := counts[t.Code]; ok {
+			if typeCount == 0 {
+				typeCount = n
+			} else if n != typeCount {
+				return nil, fmt.Errorf("hw: HD requires equal counts per GPU type; %c has %d, want %d",
+					t.Code, n, typeCount)
+			}
+			types = append(types, t)
+		}
+	}
+	if len(types) != 4 {
+		return nil, fmt.Errorf("hw: HD requires the 4 cataloged GPU types, found %d in the cluster", len(types))
+	}
+	// Rank by memory capacity, largest first. The catalog iteration above
+	// makes the pre-sort order deterministic, so equal-memory ties are
+	// stable.
+	sort.SliceStable(types, func(i, j int) bool {
+		return types[i].MemoryBytes > types[j].MemoryBytes
+	})
+	pairs := [][2]*GPUType{{types[0], types[3]}, {types[1], types[2]}}
+	// The pair whose weaker member has more memory leads (Table 3 lists the
+	// V+Q virtual workers before R+G).
+	sort.SliceStable(pairs, func(i, j int) bool {
+		return pairs[i][1].MemoryBytes > pairs[j][1].MemoryBytes
+	})
+	half := per / 2
+	var specs []string
+	for _, pair := range pairs {
+		spec := strings.Repeat(string(pair[0].Code), half) + strings.Repeat(string(pair[1].Code), half)
+		for i := 0; i < typeCount/half; i++ {
+			specs = append(specs, spec)
+		}
+	}
+	a, err := AllocateByTypes(c, specs)
+	if err != nil {
+		return nil, err
+	}
+	a.Policy = "HD"
+	return a, nil
 }
 
 // AllocateByTypes builds virtual workers from explicit GPU type-code strings,

@@ -72,6 +72,15 @@ type Summary struct {
 	Min, Max, Mean float64
 }
 
+// String renders the summary compactly, e.g. "n=4 min=1.2 mean=2.0 max=3.1".
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4g mean=%.4g max=%.4g", s.N, s.Min, s.Mean, s.Max)
+}
+
+// Spread reports Max-Min: the absolute imbalance across the summarized
+// values (e.g. the straggler gap between virtual-worker throughputs).
+func (s Summary) Spread() float64 { return s.Max - s.Min }
+
 // Summarize computes a summary; empty input yields a zero Summary.
 func Summarize(vals []float64) Summary {
 	if len(vals) == 0 {

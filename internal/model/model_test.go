@@ -163,13 +163,13 @@ func TestSkewed(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"vgg19", "resnet152"} {
+	for _, name := range Names() {
 		if _, err := ByName(name); err != nil {
 			t.Errorf("ByName(%q): %v", name, err)
 		}
 	}
-	if _, err := ByName("alexnet"); err == nil {
-		t.Error("ByName(alexnet) should fail")
+	if _, err := ByName("lenet"); err == nil {
+		t.Error("ByName(lenet) should fail")
 	}
 }
 

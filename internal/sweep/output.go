@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hetpipe/internal/metrics"
+)
+
+// WriteJSON serializes the full sweep — grid, scenarios, structured results,
+// partition plans — as indented JSON. The encoding is deterministic: the
+// same grid always produces the same bytes, regardless of worker count.
+func WriteJSON(w io.Writer, set *Set) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(set)
+}
+
+// csvHeader lists the flat per-scenario columns of WriteCSV.
+var csvHeader = []string{
+	"index", "id", "model", "cluster", "sync", "policy", "placement",
+	"d", "nm_requested", "batch", "error",
+	"throughput", "workers", "nm", "slocal", "sglobal",
+	"waiting", "idle", "pushes", "max_clock_distance",
+	"vw_types", "per_vw_throughput", "stage_layers",
+}
+
+// WriteCSV serializes one flat row per scenario (see csvHeader for the
+// columns). List-valued fields are joined with ';' inside the cell; floats
+// use the shortest round-trip decimal form, so the encoding is deterministic.
+func WriteCSV(w io.Writer, set *Set) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for i := range set.Results {
+		r := &set.Results[i]
+		sc := &r.Scenario
+		var perVW []string
+		for _, v := range r.PerVW {
+			perVW = append(perVW, ftoa(v))
+		}
+		var vwTypes, stages []string
+		for _, p := range r.Plans {
+			vwTypes = append(vwTypes, p.GPUs)
+			var parts []string
+			for _, st := range p.Stages {
+				parts = append(parts, fmt.Sprintf("%d-%d", st.Lo, st.Hi))
+			}
+			stages = append(stages, strings.Join(parts, "|"))
+		}
+		row := []string{
+			strconv.Itoa(sc.Index), sc.ID(), sc.Model, sc.Cluster,
+			sc.SyncMode, sc.Policy, sc.Placement,
+			strconv.Itoa(sc.D), strconv.Itoa(sc.Nm), strconv.Itoa(sc.Batch),
+			r.Error,
+			ftoa(r.Throughput), strconv.Itoa(r.Workers), strconv.Itoa(r.Nm),
+			strconv.Itoa(r.SLocal), strconv.Itoa(r.SGlobal),
+			ftoa(r.Waiting), ftoa(r.Idle),
+			strconv.Itoa(r.Pushes), strconv.Itoa(r.MaxClockDistance),
+			strings.Join(vwTypes, ";"),
+			strings.Join(perVW, ";"),
+			strings.Join(stages, ";"),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// SummaryRow ranks the best configuration found for one model/cluster pair.
+type SummaryRow struct {
+	// Model and Cluster identify the pair.
+	Model, Cluster string
+	// Best is the winning scenario's result.
+	Best *Result
+	// Candidates counts the scenarios tried for the pair; Failed counts
+	// those that ended in an error.
+	Candidates, Failed int
+	// PerVW summarizes the winning configuration's per-virtual-worker
+	// throughput (zero Summary for Horovod winners).
+	PerVW metrics.Summary
+}
+
+// Summarize ranks each model/cluster pair's best configuration by aggregate
+// throughput, best pair first. Pairs whose every scenario failed appear at
+// the end with a nil Best.
+func Summarize(set *Set) []SummaryRow {
+	type key struct{ model, cluster string }
+	byPair := map[key]*SummaryRow{}
+	var order []key
+	for i := range set.Results {
+		r := &set.Results[i]
+		k := key{r.Scenario.Model, r.Scenario.Cluster}
+		row, ok := byPair[k]
+		if !ok {
+			row = &SummaryRow{Model: k.model, Cluster: k.cluster}
+			byPair[k] = row
+			order = append(order, k)
+		}
+		row.Candidates++
+		if r.Error != "" {
+			row.Failed++
+			continue
+		}
+		if row.Best == nil || r.Throughput > row.Best.Throughput {
+			row.Best = r
+		}
+	}
+	var rows []SummaryRow
+	for _, k := range order {
+		row := byPair[k]
+		if row.Best != nil {
+			row.PerVW = metrics.Summarize(row.Best.PerVW)
+		}
+		rows = append(rows, *row)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		ti, tj := -1.0, -1.0
+		if rows[i].Best != nil {
+			ti = rows[i].Best.Throughput
+		}
+		if rows[j].Best != nil {
+			tj = rows[j].Best.Throughput
+		}
+		return ti > tj
+	})
+	return rows
+}
+
+// WriteSummary renders the Summarize ranking as a text table: the winning
+// configuration per model/cluster pair, its throughput, staleness bounds,
+// and the per-virtual-worker throughput spread.
+func WriteSummary(w io.Writer, set *Set) error {
+	rows := Summarize(set)
+	if _, err := fmt.Fprintf(w, "%-11s %-9s %-46s %12s %8s %8s  %s\n",
+		"MODEL", "CLUSTER", "BEST CONFIG", "SAMPLES/S", "SGLOBAL", "OK/ALL", "PER-VW THROUGHPUT"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		ok := row.Candidates - row.Failed
+		if row.Best == nil {
+			if _, err := fmt.Fprintf(w, "%-11s %-9s %-46s %12s %8s %5d/%-3d\n",
+				row.Model, row.Cluster, "(all scenarios failed)", "-", "-", ok, row.Candidates); err != nil {
+				return err
+			}
+			continue
+		}
+		sc := &row.Best.Scenario
+		sglobal := "-"
+		perVW := "single straggler-paced BSP group"
+		if sc.SyncMode != SyncHorovod {
+			sglobal = strconv.Itoa(row.Best.SGlobal)
+			perVW = fmt.Sprintf("%v spread=%.3g", row.PerVW, row.PerVW.Spread())
+		}
+		if _, err := fmt.Fprintf(w, "%-11s %-9s %-46s %12.0f %8s %5d/%-3d  %s\n",
+			row.Model, row.Cluster, sc.ID(), row.Best.Throughput, sglobal,
+			ok, row.Candidates, perVW); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+
+	"hetpipe/internal/core"
+	"hetpipe/internal/hw"
+	"hetpipe/internal/model"
+	"hetpipe/internal/profile"
+)
+
+// Options tunes a sweep run.
+type Options struct {
+	// Workers bounds the number of scenarios simulated concurrently;
+	// <= 0 means GOMAXPROCS. Each worker goroutine owns its scenario's
+	// entire simulation — cluster inventory, model graph, discrete-event
+	// engine — so results are independent of the worker count.
+	Workers int
+	// OnResult, when non-nil, observes each finished scenario. Calls are
+	// serialized but arrive in completion order, not scenario order.
+	OnResult func(Result)
+}
+
+// Result is the structured outcome of one scenario.
+type Result struct {
+	// Scenario is the configuration that produced this result.
+	Scenario Scenario `json:"scenario"`
+	// Error is the failure message for infeasible scenarios (e.g. a model
+	// that fits no partition of a whimpy virtual worker); empty on success.
+	Error string `json:"error,omitempty"`
+	// Throughput is the aggregate steady-state samples/sec.
+	Throughput float64 `json:"throughput,omitempty"`
+	// PerVW is each virtual worker's throughput (WSP only).
+	PerVW []float64 `json:"perVW,omitempty"`
+	// Workers counts data-parallel workers: virtual workers under WSP,
+	// participating GPUs under Horovod.
+	Workers int `json:"workers,omitempty"`
+	// Excluded lists GPUs the Horovod baseline had to drop because the
+	// whole model exceeds their memory.
+	Excluded []string `json:"excluded,omitempty"`
+	// Nm is the concurrent-minibatch count actually used (resolved from 0
+	// = auto).
+	Nm int `json:"nmResolved,omitempty"`
+	// SLocal and SGlobal are the staleness bounds implied by Nm and D.
+	SLocal  int `json:"slocal,omitempty"`
+	SGlobal int `json:"sglobal,omitempty"`
+	// Waiting and Idle decompose synchronization overhead in seconds
+	// summed over virtual workers; Idle is the unhidden part.
+	Waiting float64 `json:"waiting,omitempty"`
+	Idle    float64 `json:"idle,omitempty"`
+	// Pushes counts wave pushes to the parameter servers.
+	Pushes int `json:"pushes,omitempty"`
+	// MaxClockDistance is the largest observed clock skew between virtual
+	// workers.
+	MaxClockDistance int `json:"maxClockDistance,omitempty"`
+	// Plans carries each virtual worker's partition plan (Plans[i].GPUs is
+	// virtual worker i's GPU mix).
+	Plans []PlanSummary `json:"plans,omitempty"`
+}
+
+// PlanSummary is one virtual worker's partition plan in a serializable form.
+type PlanSummary struct {
+	// GPUs is the VW's GPU mix as a type string, e.g. "VVQQ".
+	GPUs string `json:"gpus"`
+	// Stages lists the per-stage layer assignments.
+	Stages []StageSummary `json:"stages"`
+	// BottleneckSec is the slowest stage's per-minibatch time.
+	BottleneckSec float64 `json:"bottleneckSec"`
+}
+
+// StageSummary is one pipeline stage of a partition plan.
+type StageSummary struct {
+	// GPU names the hosting device, e.g. "n1g2(R)".
+	GPU string `json:"gpu"`
+	// Lo and Hi bound the stage's layer range [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// ExecSec is the stage's per-minibatch execution time.
+	ExecSec float64 `json:"execSec"`
+	// MemoryBytes is the stage's working set; MemoryCapBytes the device
+	// capacity it must fit in.
+	MemoryBytes    int64 `json:"memoryBytes"`
+	MemoryCapBytes int64 `json:"memoryCapBytes"`
+}
+
+// Set is a completed sweep: the grid and one result per scenario, in
+// expansion order. The layout is deliberately free of wall-clock timestamps
+// and worker counts so that serialized output is reproducible run-to-run.
+type Set struct {
+	// Grid is the declaration that was expanded.
+	Grid Grid `json:"grid"`
+	// Results holds one entry per scenario, indexed by Scenario.Index.
+	Results []Result `json:"results"`
+}
+
+// Failures counts scenarios that ended in an error.
+func (s *Set) Failures() int {
+	n := 0
+	for i := range s.Results {
+		if s.Results[i].Error != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// ResolvedWorkers reports the pool size Run will actually use for a sweep of
+// n scenarios: Options.Workers, defaulted to GOMAXPROCS and capped at n.
+func (o Options) ResolvedWorkers(n int) int {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// Run expands the grid and simulates every scenario on a bounded worker
+// pool. Per-scenario failures are recorded in Result.Error rather than
+// aborting the sweep; Run itself fails only on an invalid grid.
+//
+// Determinism guarantee: every scenario builds its own system (fresh
+// cluster, model, performance profile) and runs on its own single-goroutine
+// discrete-event engine, so Results is identical — bit for bit — whatever
+// Options.Workers is.
+func Run(g Grid, opt Options) (*Set, error) {
+	scenarios, err := g.Expand()
+	if err != nil {
+		return nil, err
+	}
+	workers := opt.ResolvedWorkers(len(scenarios))
+	results := make([]Result, len(scenarios))
+	var notify sync.Mutex
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runScenario(scenarios[i])
+				if opt.OnResult != nil {
+					notify.Lock()
+					opt.OnResult(results[i])
+					notify.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range scenarios {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return &Set{Grid: g, Results: results}, nil
+}
+
+// runScenario simulates one scenario from scratch. Everything it touches is
+// scenario-local: the cluster inventory, the model graph, the performance
+// profile, and the event engine inside SimulateWSP.
+func runScenario(sc Scenario) Result {
+	res := Result{Scenario: sc}
+	fail := func(err error) Result {
+		res.Error = err.Error()
+		return res
+	}
+	m, err := model.ByName(sc.Model)
+	if err != nil {
+		return fail(err)
+	}
+	cluster, err := hw.ClusterByName(sc.Cluster)
+	if err != nil {
+		return fail(err)
+	}
+	sys, err := core.NewSystem(cluster, m, profile.Default(), sc.Batch)
+	if err != nil {
+		return fail(err)
+	}
+	if sc.SyncMode == SyncHorovod {
+		hr, err := sys.Horovod(nil)
+		if err != nil {
+			return fail(err)
+		}
+		res.Throughput = hr.Throughput
+		res.Workers = len(hr.Workers)
+		for _, g := range hr.Excluded {
+			res.Excluded = append(res.Excluded, g.Name())
+		}
+		return res
+	}
+	pol, err := hw.PolicyByName(sc.Policy)
+	if err != nil {
+		return fail(err)
+	}
+	alloc, err := hw.Allocate(cluster, pol)
+	if err != nil {
+		return fail(err)
+	}
+	placement := core.PlacementDefault
+	if sc.Placement == PlacementLocal {
+		placement = core.PlacementLocal
+	}
+	dep, err := sys.Deploy(alloc, sc.Nm, sc.D, placement)
+	if err != nil {
+		return fail(err)
+	}
+	mbs := sc.MinibatchesPerVW
+	if mbs == 0 {
+		mbs = dep.DefaultMinibatches()
+	}
+	mr, err := dep.SimulateWSP(mbs, 4*dep.Nm)
+	if err != nil {
+		return fail(err)
+	}
+	res.Throughput = mr.Aggregate
+	res.PerVW = mr.PerVW
+	res.Workers = len(dep.VWs)
+	res.Nm = dep.Nm
+	res.SLocal = dep.SLocal()
+	res.SGlobal = dep.SGlobal()
+	res.Waiting = mr.Waiting
+	res.Idle = mr.Idle
+	res.Pushes = mr.Pushes
+	res.MaxClockDistance = mr.MaxClockDistance
+	for _, vp := range dep.VWs {
+		ps := PlanSummary{GPUs: vp.VW.TypeString(), BottleneckSec: vp.Plan.Bottleneck}
+		for i := range vp.Plan.Stages {
+			st := &vp.Plan.Stages[i]
+			ps.Stages = append(ps.Stages, StageSummary{
+				GPU: st.GPU.Name(), Lo: st.Lo, Hi: st.Hi,
+				ExecSec:        st.ExecTime(),
+				MemoryBytes:    st.MemoryBytes,
+				MemoryCapBytes: st.MemoryCap,
+			})
+		}
+		res.Plans = append(res.Plans, ps)
+	}
+	return res
+}

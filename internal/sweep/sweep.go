@@ -1,0 +1,264 @@
+// Package sweep is the parallel configuration-exploration engine: it expands
+// a scenario grid — model zoo x cluster catalog x allocation policy x sync
+// mode x staleness bound D x concurrent-minibatch count Nm — into concrete
+// simulation runs and executes them on a bounded worker pool, one
+// deterministic discrete-event engine per goroutine.
+//
+// HetPipe's contribution is itself a search over heterogeneous
+// configurations (which allocation policy, which D, which Nm for a given
+// model and cluster), and the paper's evaluation walks exactly such grids by
+// hand. This package makes that search a first-class, parallel operation:
+// every scenario is self-contained (fresh cluster inventory, fresh model
+// graph, fresh simulator), so a grid run with workers=8 produces
+// byte-identical results to the same grid run serially — only faster.
+//
+// Typical use:
+//
+//	set, err := sweep.Run(sweep.DefaultGrid(), sweep.Options{Workers: 8})
+//	sweep.WriteJSON(os.Stdout, set)
+//
+// cmd/hetsweep wraps this package in a CLI.
+package sweep
+
+import (
+	"fmt"
+
+	"hetpipe/internal/hw"
+	"hetpipe/internal/model"
+)
+
+// Sync-mode axis values.
+const (
+	// SyncWSP runs HetPipe proper: pipelined virtual workers coupled through
+	// the Wave Synchronous Parallel protocol (Section 5).
+	SyncWSP = "wsp"
+	// SyncHorovod runs the all-reduce BSP baseline the paper compares
+	// against. Policy, placement, D, and Nm do not apply; the grid collapses
+	// those axes to a single scenario per model and cluster.
+	SyncHorovod = "horovod"
+)
+
+// Placement axis values.
+const (
+	// PlacementDefault spreads parameter shards round-robin over all nodes.
+	PlacementDefault = "default"
+	// PlacementLocal co-locates each stage's shard with the stage's node
+	// (the paper's ED-local; requires ED-style stage/node alignment).
+	PlacementLocal = "local"
+)
+
+// Grid declares one axis list per configuration dimension. Expand takes the
+// cross product. Empty optional axes fall back to single-element defaults
+// (see Expand); Models, Clusters, and Policies must be non-empty.
+type Grid struct {
+	// Models lists model-zoo keys (model.Names), e.g. "vgg19".
+	Models []string `json:"models"`
+	// Clusters lists cluster-catalog keys (hw.ClusterNames), e.g. "paper".
+	Clusters []string `json:"clusters"`
+	// Policies lists allocation policies: "NP", "ED", "HD".
+	Policies []string `json:"policies"`
+	// SyncModes lists synchronization modes: SyncWSP and/or SyncHorovod.
+	// Empty means [SyncWSP].
+	SyncModes []string `json:"syncModes,omitempty"`
+	// Placements lists parameter placements: PlacementDefault and/or
+	// PlacementLocal. Empty means [PlacementDefault].
+	Placements []string `json:"placements,omitempty"`
+	// DValues lists WSP clock-distance bounds (>= 0). Empty means [0].
+	DValues []int `json:"dValues,omitempty"`
+	// NmValues lists concurrent-minibatch counts; 0 lets the deployment pick
+	// the throughput-maximizing Nm. Empty means [0].
+	NmValues []int `json:"nmValues,omitempty"`
+	// Batch is the per-minibatch sample count; 0 means 32.
+	Batch int `json:"batch,omitempty"`
+	// MinibatchesPerVW sizes each simulation; 0 picks a D-aware default of
+	// at least 24 waves per virtual worker.
+	MinibatchesPerVW int `json:"minibatchesPerVW,omitempty"`
+}
+
+// DefaultGrid is the out-of-the-box exploration: both paper models, the
+// paper cluster and its doubled variant, all three allocation policies, WSP
+// at D=0 and D=4 with automatic Nm — 24 scenarios.
+func DefaultGrid() Grid {
+	return Grid{
+		Models:   []string{"vgg19", "resnet152"},
+		Clusters: []string{"paper", "paper-x2"},
+		Policies: []string{"NP", "ED", "HD"},
+		DValues:  []int{0, 4},
+	}
+}
+
+// Scenario is one fully-specified simulation run: a single point of the
+// grid's cross product.
+type Scenario struct {
+	// Index is the scenario's position in expansion order (dense from 0).
+	Index int `json:"index"`
+	// Model is the model-zoo key.
+	Model string `json:"model"`
+	// Cluster is the cluster-catalog key.
+	Cluster string `json:"cluster"`
+	// SyncMode is SyncWSP or SyncHorovod.
+	SyncMode string `json:"sync"`
+	// Policy is the allocation policy; empty for Horovod scenarios.
+	Policy string `json:"policy,omitempty"`
+	// Placement is the parameter placement; empty for Horovod scenarios.
+	Placement string `json:"placement,omitempty"`
+	// D is the WSP clock-distance bound.
+	D int `json:"d"`
+	// Nm is the requested concurrent-minibatch count (0 = auto).
+	Nm int `json:"nm"`
+	// Batch is the per-minibatch sample count.
+	Batch int `json:"batch"`
+	// MinibatchesPerVW sizes the simulation (0 = D-aware default).
+	MinibatchesPerVW int `json:"minibatchesPerVW,omitempty"`
+}
+
+// ID renders a compact, unique scenario label, e.g.
+// "vgg19/paper/wsp/ED/default/d0/nm-auto".
+func (s *Scenario) ID() string {
+	if s.SyncMode == SyncHorovod {
+		return fmt.Sprintf("%s/%s/%s", s.Model, s.Cluster, s.SyncMode)
+	}
+	nm := fmt.Sprintf("nm%d", s.Nm)
+	if s.Nm == 0 {
+		nm = "nm-auto"
+	}
+	return fmt.Sprintf("%s/%s/%s/%s/%s/d%d/%s",
+		s.Model, s.Cluster, s.SyncMode, s.Policy, s.Placement, s.D, nm)
+}
+
+// Expand validates every axis value and returns the grid's scenarios in
+// deterministic order (model-major, then cluster, sync mode, policy,
+// placement, D, Nm). Repeated axis values are deduplicated, and Horovod
+// scenarios collapse the policy, placement, D, and Nm axes: exactly one
+// baseline run per model and cluster.
+func (g Grid) Expand() ([]Scenario, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	syncModes := dedup(g.SyncModes)
+	if len(syncModes) == 0 {
+		syncModes = []string{SyncWSP}
+	}
+	placements := dedup(g.Placements)
+	if len(placements) == 0 {
+		placements = []string{PlacementDefault}
+	}
+	dValues := dedup(g.DValues)
+	if len(dValues) == 0 {
+		dValues = []int{0}
+	}
+	nmValues := dedup(g.NmValues)
+	if len(nmValues) == 0 {
+		nmValues = []int{0}
+	}
+	batch := g.Batch
+	if batch == 0 {
+		batch = 32
+	}
+	var out []Scenario
+	for _, m := range dedup(g.Models) {
+		for _, cl := range dedup(g.Clusters) {
+			for _, sync := range syncModes {
+				if sync == SyncHorovod {
+					out = append(out, Scenario{
+						Index: len(out), Model: m, Cluster: cl,
+						SyncMode: SyncHorovod, Batch: batch,
+					})
+					continue
+				}
+				for _, pol := range dedup(g.Policies) {
+					for _, pl := range placements {
+						for _, d := range dValues {
+							for _, nm := range nmValues {
+								out = append(out, Scenario{
+									Index: len(out), Model: m, Cluster: cl,
+									SyncMode: sync, Policy: pol, Placement: pl,
+									D: d, Nm: nm, Batch: batch,
+									MinibatchesPerVW: g.MinibatchesPerVW,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// dedup drops repeated axis values, keeping first-occurrence order, so a
+// grid like DValues: [0,4,0] cannot emit duplicate scenarios (Scenario.ID
+// stays unique and Summarize's candidate counts stay honest).
+func dedup[T comparable](vals []T) []T {
+	seen := make(map[T]bool, len(vals))
+	var out []T
+	for _, v := range vals {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// validate rejects unknown or out-of-range axis values before any
+// simulation starts, so a typo fails the whole sweep instead of producing a
+// grid of per-scenario errors.
+func (g Grid) validate() error {
+	if len(g.Models) == 0 {
+		return fmt.Errorf("sweep: grid needs at least one model (have %v)", model.Names())
+	}
+	if len(g.Clusters) == 0 {
+		return fmt.Errorf("sweep: grid needs at least one cluster (have %v)", hw.ClusterNames())
+	}
+	for _, m := range g.Models {
+		if _, err := model.ByName(m); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, c := range g.Clusters {
+		if _, err := hw.ClusterByName(c); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	wsp := len(g.SyncModes) == 0
+	for _, s := range g.SyncModes {
+		switch s {
+		case SyncWSP:
+			wsp = true
+		case SyncHorovod:
+		default:
+			return fmt.Errorf("sweep: unknown sync mode %q (want %q or %q)", s, SyncWSP, SyncHorovod)
+		}
+	}
+	if wsp && len(g.Policies) == 0 {
+		return fmt.Errorf("sweep: WSP scenarios need at least one policy (want NP, ED, or HD)")
+	}
+	for _, p := range g.Policies {
+		if _, err := hw.PolicyByName(p); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, p := range g.Placements {
+		if p != PlacementDefault && p != PlacementLocal {
+			return fmt.Errorf("sweep: unknown placement %q (want %q or %q)", p, PlacementDefault, PlacementLocal)
+		}
+	}
+	for _, d := range g.DValues {
+		if d < 0 {
+			return fmt.Errorf("sweep: D must be >= 0, got %d", d)
+		}
+	}
+	for _, nm := range g.NmValues {
+		if nm < 0 {
+			return fmt.Errorf("sweep: Nm must be >= 0 (0 = auto), got %d", nm)
+		}
+	}
+	if g.Batch < 0 {
+		return fmt.Errorf("sweep: batch must be >= 0 (0 = 32), got %d", g.Batch)
+	}
+	if g.MinibatchesPerVW < 0 {
+		return fmt.Errorf("sweep: minibatches per VW must be >= 0 (0 = D-aware default), got %d", g.MinibatchesPerVW)
+	}
+	return nil
+}
