@@ -1,0 +1,98 @@
+// Command hetlive runs WSP training for real: N virtual workers as
+// goroutines against M real parameter-server shards (internal/cluster), with
+// the clock-distance bound D enforced by blocking pulls on the servers. By
+// default it also runs the same configuration through the discrete-event
+// simulator (train.RunWSP) and prints the differential-conformance report —
+// matching minibatch/push/pull counts, the D-bound, and final-weight
+// agreement.
+//
+// Usage:
+//
+//	hetlive                                  # 4 workers, 2 shards, conformance on
+//	hetlive -model mlp -workers 3 -shards 2 -d 1 -nm 4
+//	hetlive -tcp                             # workers reach the shards over TCP
+//	hetlive -conform=false -mb 200           # live run only, bigger budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetpipe/internal/cluster"
+	"hetpipe/internal/train"
+)
+
+func main() {
+	modelName := flag.String("model", "logreg", "training task: logreg (convex) or mlp (non-convex)")
+	workers := flag.Int("workers", 4, "virtual workers N (one goroutine each)")
+	shards := flag.Int("shards", 2, "parameter-server shard hosts M")
+	d := flag.Int("d", 1, "WSP clock distance bound D")
+	nm := flag.Int("nm", 4, "concurrent minibatches per worker (wave size, slocal = Nm-1)")
+	tcp := flag.Bool("tcp", false, "reach the shards over real TCP sockets instead of in-process")
+	lr := flag.Float64("lr", 0.2, "SGD step size")
+	mb := flag.Int("mb", 96, "minibatch budget per worker")
+	chunks := flag.Int("chunks", 0, "parameter chunks spread over the shards (0 = 4 per shard)")
+	seed := flag.Int64("seed", 13, "task seed")
+	tol := flag.Float64("tol", 1e-6, "final-weight conformance tolerance (negative = exact bit-equality)")
+	conform := flag.Bool("conform", true, "also run the simulator and report conformance")
+	flag.Parse()
+
+	if *nm < 1 {
+		fatalf("-nm must be >= 1")
+	}
+	var task train.Task
+	var err error
+	switch *modelName {
+	case "logreg":
+		task, err = train.DefaultTask(*seed)
+	case "mlp":
+		task, err = train.DefaultMLPTask(*seed)
+	default:
+		err = fmt.Errorf("unknown model %q (want logreg or mlp)", *modelName)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *conform {
+		report, err := cluster.RunConformance(cluster.ConformanceConfig{
+			Task: task, Workers: *workers, SLocal: *nm - 1, D: *d,
+			LR: *lr, MaxMinibatches: *mb,
+			Servers: *shards, Chunks: *chunks, TCP: *tcp,
+			Seed: *seed, Tolerance: *tol,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(report)
+		if err := report.Err(); err != nil {
+			os.Exit(1)
+		}
+		return
+	}
+
+	stats, err := cluster.Run(cluster.Config{
+		Task: task, Workers: *workers, Servers: *shards,
+		SLocal: *nm - 1, D: *d, LR: *lr,
+		MaxMinibatches: *mb, Chunks: *chunks, TCP: *tcp,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	mode := "in-process"
+	if *tcp {
+		mode = "TCP"
+	}
+	fmt.Printf("live WSP run (%s): %d workers x %d minibatches over %d shards, Nm=%d D=%d\n",
+		mode, *workers, *mb, *shards, *nm, *d)
+	fmt.Printf("minibatches=%d pushes=%d pulls=%d globalClock=%d maxClockDistance=%d (bound %d)\n",
+		stats.Minibatches, stats.Pushes, stats.Pulls, stats.GlobalClock, stats.MaxClockDistance, *d+1)
+	fmt.Printf("final accuracy=%.3f loss=%.4f wall=%.3fs\n",
+		task.Accuracy(stats.FinalWeights), task.Loss(stats.FinalWeights), stats.Elapsed.Seconds())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hetlive: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -29,6 +29,7 @@ package hetpipe
 import (
 	"fmt"
 
+	"hetpipe/internal/cluster"
 	"hetpipe/internal/core"
 	"hetpipe/internal/experiment"
 	"hetpipe/internal/hw"
@@ -37,6 +38,7 @@ import (
 	"hetpipe/internal/pipeline"
 	"hetpipe/internal/profile"
 	"hetpipe/internal/trace"
+	"hetpipe/internal/train"
 )
 
 // Config selects a HetPipe deployment on a cataloged cluster (the paper's
@@ -67,6 +69,14 @@ type Config struct {
 	// MinibatchesPerVW sizes the simulation; 0 picks a D-aware default of
 	// at least 24 waves.
 	MinibatchesPerVW int
+	// Backend selects the execution substrate. "" or "sim" runs the
+	// discrete-event co-simulation. "live" additionally drives the
+	// internal/cluster runtime: one goroutine per virtual worker training a
+	// real numeric task against one parameter-server shard host per cluster
+	// node, with the D-bound enforced by blocking pulls — Result.Live then
+	// carries the measured counts. The two backends are conformance-tested
+	// against each other (see cmd/hetlive).
+	Backend string
 }
 
 // Result summarizes a simulated HetPipe deployment.
@@ -87,6 +97,24 @@ type Result struct {
 	VirtualWorkers []string
 	// Plans carries the per-VW partition plans for inspection.
 	Plans []*PlanView
+	// Live summarizes the live sharded-PS run when Config.Backend is
+	// "live"; nil for the pure simulation.
+	Live *LiveSummary
+}
+
+// LiveSummary reports what the live training runtime actually did.
+type LiveSummary struct {
+	// Minibatches, Pushes, Pulls are protocol-action counts summed over
+	// workers.
+	Minibatches, Pushes, Pulls int
+	// MaxClockDistance is the largest clock spread any shard observed
+	// (bounded by D+1).
+	MaxClockDistance int
+	// FinalAccuracy is the numeric task's held-out accuracy on the final
+	// server-held weights.
+	FinalAccuracy float64
+	// WallSeconds is the measured wall-clock duration of the worker phase.
+	WallSeconds float64
 }
 
 // PlanView is a read-only view of one virtual worker's partition plan.
@@ -150,8 +178,15 @@ func (c *Config) system() (*core.System, *hw.Allocation, error) {
 	return sys, alloc, nil
 }
 
-// Run deploys and simulates the configuration.
+// Run deploys and simulates the configuration; with Config.Backend "live"
+// it also executes the deployment's WSP schedule on the real sharded
+// parameter-server runtime.
 func Run(c Config) (*Result, error) {
+	switch c.Backend {
+	case "", "sim", "live":
+	default:
+		return nil, fmt.Errorf("hetpipe: unknown backend %q (want sim or live)", c.Backend)
+	}
 	sys, alloc, err := c.system()
 	if err != nil {
 		return nil, err
@@ -183,6 +218,36 @@ func Run(c Config) (*Result, error) {
 	for _, vp := range dep.VWs {
 		res.VirtualWorkers = append(res.VirtualWorkers, vp.VW.TypeString())
 		res.Plans = append(res.Plans, planView(vp.Plan))
+	}
+	if c.Backend == "live" {
+		cl, err := clusterByName(c.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		task, err := train.DefaultTask(1)
+		if err != nil {
+			return nil, err
+		}
+		live, err := cluster.Run(cluster.Config{
+			Task:           task,
+			Workers:        len(dep.VWs),
+			Servers:        len(cl.Nodes), // one PS shard host per node, as deployed in the paper
+			SLocal:         dep.Nm - 1,
+			D:              c.D,
+			LR:             0.2,
+			MaxMinibatches: mbs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Live = &LiveSummary{
+			Minibatches:      live.Minibatches,
+			Pushes:           live.Pushes,
+			Pulls:            live.Pulls,
+			MaxClockDistance: live.MaxClockDistance,
+			FinalAccuracy:    task.Accuracy(live.FinalWeights),
+			WallSeconds:      live.Elapsed.Seconds(),
+		}
 	}
 	return res, nil
 }

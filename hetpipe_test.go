@@ -43,6 +43,38 @@ func TestRunWithSpecs(t *testing.T) {
 	}
 }
 
+func TestRunLiveBackend(t *testing.T) {
+	res, err := Run(Config{
+		Model: "vgg19", Policy: "ED", D: 1, Nm: 2,
+		MinibatchesPerVW: 16, Backend: "live",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Live == nil {
+		t.Fatal("live backend produced no live summary")
+	}
+	if want := 4 * 16; res.Live.Minibatches != want {
+		t.Errorf("live minibatches = %d, want %d", res.Live.Minibatches, want)
+	}
+	if res.Live.Pushes != 4*16/2 {
+		t.Errorf("live pushes = %d, want %d (one per wave)", res.Live.Pushes, 4*16/2)
+	}
+	if res.Live.MaxClockDistance > 2 {
+		t.Errorf("live clock distance %d exceeds D+1=2", res.Live.MaxClockDistance)
+	}
+	if res.Live.WallSeconds <= 0 {
+		t.Error("live run reported no wall time")
+	}
+	// The simulated deployment is still fully reported alongside.
+	if res.Throughput <= 0 || len(res.Plans) != 4 {
+		t.Error("live backend dropped the simulated deployment results")
+	}
+	if _, err := Run(Config{Model: "vgg19", Policy: "ED", Backend: "warp"}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	if _, err := Run(Config{Model: "vgg19"}); err == nil {
 		t.Error("missing policy and specs accepted")

@@ -1,0 +1,300 @@
+// Package cluster is the live WSP training runtime: N virtual workers run as
+// goroutines training a real numeric task against M real parameter-server
+// shards (internal/ps), either in-process or over TCP. Where the simulator
+// (internal/train.RunWSP) models the protocol's timing, this package
+// executes its dataflow for real — the clock-distance bound D is enforced by
+// each worker blocking on the servers' Pull(keys, minClock) wait, with no
+// central coordinator anywhere.
+//
+// The runtime reproduces the simulator's numeric trajectory exactly: the
+// same logical pipeline depth (a minibatch trains on weights missing exactly
+// the last slocal local updates), the same lazy pulls of clock-versioned
+// snapshots, the same gradient stream. RunConformance (conformance.go) runs
+// both backends on one configuration and asserts they agree on minibatch,
+// push, and pull counts, on the D-bound, and on the final weights.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hetpipe/internal/ps"
+	"hetpipe/internal/tensor"
+	"hetpipe/internal/train"
+	"hetpipe/internal/wsp"
+)
+
+// Config describes a live training run.
+type Config struct {
+	// Task is the training objective; gradients must be safe for concurrent
+	// calls (train.LogReg and train.MLP are).
+	Task train.Task
+	// Workers is the number of virtual workers, N — one goroutine each.
+	Workers int
+	// Servers is the number of parameter-server shard hosts, M.
+	Servers int
+	// SLocal is the local staleness threshold (Nm-1 concurrent minibatches).
+	SLocal int
+	// D is the WSP clock-distance bound, enforced by blocking pulls.
+	D int
+	// LR is the SGD step size.
+	LR float64
+	// MaxMinibatches bounds each worker's minibatch count. Every worker gets
+	// the same budget, which guarantees every blocking pull is eventually
+	// satisfiable (no worker waits on a peer that already finished).
+	MaxMinibatches int
+	// Chunks is the number of named parameter shards spread over the
+	// servers; 0 picks 4 per server.
+	Chunks int
+	// TCP runs every worker<->server interaction over real sockets
+	// (ps.Serve / ps.Dial on loopback) instead of in-process calls.
+	TCP bool
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Task == nil:
+		return fmt.Errorf("cluster: nil task")
+	case c.Workers < 1:
+		return fmt.Errorf("cluster: need at least one worker")
+	case c.Servers < 1:
+		return fmt.Errorf("cluster: need at least one server")
+	case c.SLocal < 0 || c.D < 0:
+		return fmt.Errorf("cluster: negative staleness parameters")
+	case c.LR <= 0:
+		return fmt.Errorf("cluster: learning rate must be positive")
+	case c.MaxMinibatches < 1:
+		return fmt.Errorf("cluster: zero minibatch budget")
+	}
+	return nil
+}
+
+// WorkerStats counts one worker's protocol actions.
+type WorkerStats struct {
+	Minibatches, Pushes, Pulls int
+}
+
+// Stats summarizes a live run.
+type Stats struct {
+	// Minibatches, Pushes, Pulls aggregate the per-worker counts.
+	Minibatches, Pushes, Pulls int
+	PerWorker                  []WorkerStats
+	// FinalWeights is the clock-versioned snapshot at the final global
+	// clock: the initial weights plus every pushed wave update, folded in
+	// (wave, worker) order — directly comparable with the simulator's
+	// RunStats.FinalWeights.
+	FinalWeights tensor.Vector
+	// GlobalClock is the final global clock (complete waves per worker).
+	GlobalClock int
+	// MaxClockDistance is the largest clock spread any shard observed; the
+	// WSP bound guarantees <= D+1.
+	MaxClockDistance int
+	// Elapsed is wall-clock runtime of the worker phase.
+	Elapsed time.Duration
+}
+
+// Run executes a live WSP training run and reports its statistics.
+func Run(cfg Config) (*Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	chunks := cfg.Chunks
+	if chunks == 0 {
+		chunks = 4 * cfg.Servers
+	}
+	space, err := newShardSpace(cfg.Task.Dim(), chunks)
+	if err != nil {
+		return nil, err
+	}
+	placement, err := ps.RoundRobin(space.Keys(), cfg.Servers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stand up the shard servers with the task's initial weights.
+	w0 := cfg.Task.InitWeights()
+	chunked := space.Split(w0)
+	servers := make([]*ps.Server, cfg.Servers)
+	for i := range servers {
+		s, err := ps.NewServer(cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		for _, key := range placement.KeysOn(i) {
+			if err := s.Register(key, chunked[key]); err != nil {
+				return nil, err
+			}
+		}
+		servers[i] = s
+	}
+
+	// dial hands each worker its own backend set: shared in-process adapters,
+	// or per-worker TCP clients (a ps.Client is single-caller by design).
+	net, err := newNetwork(servers, cfg.TCP)
+	if err != nil {
+		return nil, err
+	}
+	defer net.shutdown()
+
+	var (
+		wg       sync.WaitGroup
+		once     sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			// Unblock every peer stuck in a D-bound pull; they unwind with
+			// "server closed" errors which are suppressed below.
+			for _, s := range servers {
+				s.Close()
+			}
+		})
+	}
+
+	perWorker := make([]WorkerStats, cfg.Workers)
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			backends, err := net.dial()
+			if err != nil {
+				fail(fmt.Errorf("cluster: worker %d: %w", w, err))
+				return
+			}
+			defer net.hangup(backends)
+			sh, err := ps.NewSharded(placement, backends)
+			if err != nil {
+				fail(fmt.Errorf("cluster: worker %d: %w", w, err))
+				return
+			}
+			st, err := runWorker(cfg, w, space, sh)
+			if err != nil {
+				fail(fmt.Errorf("cluster: worker %d: %w", w, err))
+				return
+			}
+			perWorker[w] = st
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Read the final state directly off the servers we own.
+	stats := &Stats{PerWorker: perWorker, Elapsed: elapsed}
+	for _, st := range perWorker {
+		stats.Minibatches += st.Minibatches
+		stats.Pushes += st.Pushes
+		stats.Pulls += st.Pulls
+	}
+	backends := make([]ps.Backend, len(servers))
+	for i, s := range servers {
+		backends[i] = ps.AdaptServer(s)
+	}
+	sh, err := ps.NewSharded(placement, backends)
+	if err != nil {
+		return nil, err
+	}
+	if stats.GlobalClock, err = sh.GlobalClock(); err != nil {
+		return nil, err
+	}
+	final, err := sh.PullAt(space.Keys(), stats.GlobalClock)
+	if err != nil {
+		return nil, err
+	}
+	if stats.FinalWeights, err = space.Join(final); err != nil {
+		return nil, err
+	}
+	if stats.MaxClockDistance, err = sh.MaxClockDistance(); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// runWorker is one virtual worker's training loop: the same logical pipeline
+// the simulator executes, against real servers. The snapshot for minibatch m
+// reflects local updates through exactly m-Nm (retirement happens at a fixed
+// logical lag of Nm), pushes carry one aggregated update per wave, and the
+// D-bound gate is the servers' blocking snapshot pull.
+func runWorker(cfg Config, id int, space *shardSpace, sh *ps.Sharded) (WorkerStats, error) {
+	params := wsp.Params{SLocal: cfg.SLocal, D: cfg.D, Workers: cfg.Workers}
+	if err := params.Validate(); err != nil {
+		return WorkerStats{}, err
+	}
+	dim := cfg.Task.Dim()
+
+	var st WorkerStats
+	wlocal := cfg.Task.InitWeights()
+	waveAcc := tensor.NewVector(dim)
+	grad := tensor.NewVector(dim)
+	type pendingMB struct {
+		mb      int
+		weights tensor.Vector
+	}
+	var pending []pendingMB
+	// waveDeltas[v] is this worker's pushed update of wave v, kept for the
+	// own-update add-back after a pull: a clock-req snapshot excludes the
+	// worker's own waves >= req, which it must not lose.
+	var waveDeltas []tensor.Vector
+	lastPulled := 0
+
+	retire := func() error {
+		p := pending[0]
+		pending = pending[1:]
+		cfg.Task.Grad(p.weights, train.MinibatchIndex(id, p.mb, cfg.Workers), grad)
+		wlocal.AXPY(-cfg.LR, grad)
+		waveAcc.AXPY(-cfg.LR, grad)
+		st.Minibatches++
+		if params.IsWaveEnd(p.mb) {
+			delta := waveAcc.Clone()
+			if err := sh.Push(id, space.Split(delta)); err != nil {
+				return err
+			}
+			waveDeltas = append(waveDeltas, delta)
+			waveAcc.Zero()
+			st.Pushes++
+		}
+		return nil
+	}
+
+	for mb := 1; mb <= cfg.MaxMinibatches; mb++ {
+		// The WSP gate: the last minibatch of wave w may only start once the
+		// global clock has reached w-D. Blocking on the servers' snapshot
+		// pull IS the wait — every shard holds the worker until its clock
+		// arrives, then answers from the same clock boundary.
+		if req := params.RequiredGlobalClock(mb); req > 0 && lastPulled < req {
+			snap, err := sh.PullAt(space.Keys(), req)
+			if err != nil {
+				return st, err
+			}
+			pulled, err := space.Join(snap)
+			if err != nil {
+				return st, err
+			}
+			wlocal = pulled
+			for v := req; v < len(waveDeltas); v++ {
+				wlocal.AddInPlace(waveDeltas[v])
+			}
+			wlocal.AddInPlace(waveAcc)
+			lastPulled = req
+			st.Pulls++
+		}
+		pending = append(pending, pendingMB{mb: mb, weights: wlocal.Clone()})
+		if len(pending) > cfg.SLocal {
+			if err := retire(); err != nil {
+				return st, err
+			}
+		}
+	}
+	// End-of-run drain: retire the still-pending tail in order.
+	for len(pending) > 0 {
+		if err := retire(); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}

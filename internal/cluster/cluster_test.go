@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"hetpipe/internal/tensor"
+	"hetpipe/internal/train"
+	"hetpipe/internal/wsp"
+)
+
+func testTask(t *testing.T) *train.LogReg {
+	t.Helper()
+	lt, err := train.DefaultTask(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lt
+}
+
+func TestShardSpaceSplitJoinRoundTrip(t *testing.T) {
+	s, err := newShardSpace(11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tensor.NewVector(11)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	back, err := s.Join(s.Split(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if back[i] != v[i] {
+			t.Fatalf("round trip diverges at %d: %g vs %g", i, back[i], v[i])
+		}
+	}
+	// More chunks than parameters degrades gracefully.
+	if _, err := newShardSpace(3, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newShardSpace(0, 1); err == nil {
+		t.Error("empty vector accepted")
+	}
+}
+
+func TestLiveRunCountsAndDistanceBound(t *testing.T) {
+	lt := testTask(t)
+	const workers, slocal, d, maxMB = 4, 2, 1, 36
+	stats, err := Run(Config{
+		Task: lt, Workers: workers, Servers: 2, SLocal: slocal, D: d,
+		LR: 0.2, MaxMinibatches: maxMB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := wsp.Params{SLocal: slocal, D: d, Workers: workers}
+	if want := workers * maxMB; stats.Minibatches != want {
+		t.Errorf("minibatches = %d, want %d", stats.Minibatches, want)
+	}
+	if want := workers * params.CompleteWaves(maxMB); stats.Pushes != want {
+		t.Errorf("pushes = %d, want %d", stats.Pushes, want)
+	}
+	if want := workers * params.GatedPulls(maxMB); stats.Pulls != want {
+		t.Errorf("pulls = %d, want %d", stats.Pulls, want)
+	}
+	if want := params.CompleteWaves(maxMB); stats.GlobalClock != want {
+		t.Errorf("global clock = %d, want %d", stats.GlobalClock, want)
+	}
+	if stats.MaxClockDistance > d+1 {
+		t.Errorf("clock distance %d exceeds D+1=%d", stats.MaxClockDistance, d+1)
+	}
+	// The model actually learned on the live path.
+	if acc := lt.Accuracy(stats.FinalWeights); acc < 0.6 {
+		t.Errorf("live accuracy = %.3f, want > 0.6", acc)
+	}
+}
+
+func TestLiveRunDeterministicAcrossSchedules(t *testing.T) {
+	// Goroutine scheduling varies run to run; the trajectory must not.
+	lt := testTask(t)
+	cfg := Config{
+		Task: lt, Workers: 3, Servers: 2, SLocal: 1, D: 2,
+		LR: 0.25, MaxMinibatches: 24,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.FinalWeights {
+		if a.FinalWeights[i] != b.FinalWeights[i] {
+			t.Fatalf("live runs diverge at %d: %g vs %g", i, a.FinalWeights[i], b.FinalWeights[i])
+		}
+	}
+	if a.Pulls != b.Pulls || a.Pushes != b.Pushes {
+		t.Errorf("counts diverge across runs: %d/%d vs %d/%d", a.Pushes, a.Pulls, b.Pushes, b.Pulls)
+	}
+}
+
+func TestLiveRunValidation(t *testing.T) {
+	lt := testTask(t)
+	bad := []Config{
+		{Workers: 1, Servers: 1, LR: 0.1, MaxMinibatches: 1},           // nil task
+		{Task: lt, Workers: 0, Servers: 1, LR: 0.1, MaxMinibatches: 1}, // workers
+		{Task: lt, Workers: 1, Servers: 0, LR: 0.1, MaxMinibatches: 1}, // servers
+		{Task: lt, Workers: 1, Servers: 1, LR: 0, MaxMinibatches: 1},   // lr
+		{Task: lt, Workers: 1, Servers: 1, LR: 0.1, MaxMinibatches: 0}, // budget
+		{Task: lt, Workers: 1, Servers: 1, SLocal: -1, LR: 0.1, MaxMinibatches: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestLiveRunShortBudgetNeverPulls(t *testing.T) {
+	// A run shorter than D+1 waves has no gated wave-end: no worker ever
+	// blocks, and the final weights are just the pushed-sum of local SGD.
+	lt := testTask(t)
+	stats, err := Run(Config{
+		Task: lt, Workers: 2, Servers: 1, SLocal: 0, D: 0,
+		LR: 0.2, MaxMinibatches: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Minibatches != 2 {
+		t.Errorf("minibatches = %d, want 2", stats.Minibatches)
+	}
+	if stats.Pulls != 0 {
+		t.Errorf("pulls = %d, want 0 (run shorter than D+1 waves)", stats.Pulls)
+	}
+}
+
+// brokenTask reports a dimension its weights cannot satisfy, to exercise the
+// setup error path.
+type brokenTask struct{ *train.LogReg }
+
+func (b brokenTask) Dim() int { return 0 }
+
+func TestLiveRunSetupErrors(t *testing.T) {
+	lt := testTask(t)
+	if _, err := Run(Config{
+		Task: brokenTask{lt}, Workers: 1, Servers: 1, LR: 0.1, MaxMinibatches: 1,
+	}); err == nil || !strings.Contains(err.Error(), "empty parameter vector") {
+		t.Errorf("broken task error = %v", err)
+	}
+}

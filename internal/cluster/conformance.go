@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"hetpipe/internal/train"
+	"hetpipe/internal/wsp"
+)
+
+// ConformanceConfig fixes one (task, N, Nm, D) configuration to run through
+// both backends: the discrete-event simulator (train.RunWSP) and the live
+// sharded-PS runtime (Run).
+type ConformanceConfig struct {
+	Task           train.Task
+	Workers        int
+	SLocal         int
+	D              int
+	LR             float64
+	MaxMinibatches int
+	// Servers / Chunks / TCP configure the live side.
+	Servers int
+	Chunks  int
+	TCP     bool
+	// Periods / PushTime / PullTime / Jitter / Seed configure the simulated
+	// timing. Timing shapes the simulator's clock, never its numerics, so
+	// ANY timing here must conform — nil Periods defaults to a deliberately
+	// heterogeneous mix to make that point.
+	Periods            []float64
+	PushTime, PullTime []float64
+	Jitter             float64
+	Seed               int64
+	// Tolerance bounds the final-weight disagreement; 0 means the default
+	// 1e-6, negative demands exact bit-equality.
+	Tolerance float64
+}
+
+// SideCounts are one backend's protocol counters.
+type SideCounts struct {
+	Minibatches, Pushes, Pulls, MaxClockDistance int
+}
+
+// ConformanceReport compares the two backends on one configuration.
+type ConformanceReport struct {
+	Sim, Live SideCounts
+	// Want holds the analytically expected counts from the protocol
+	// arithmetic (wsp.Params), which both backends must hit exactly.
+	Want SideCounts
+	// MaxWeightDiff is the largest absolute per-coordinate difference
+	// between the two final weight vectors.
+	MaxWeightDiff float64
+	// DBound is the protocol guarantee D+1 on the clock distance.
+	DBound    int
+	Tolerance float64
+}
+
+// Err reports nil when the backends conform: counts match the protocol
+// arithmetic, neither side violates the D-bound, and the final weights agree
+// within tolerance.
+func (r *ConformanceReport) Err() error {
+	if r.Sim.Minibatches != r.Want.Minibatches || r.Live.Minibatches != r.Want.Minibatches {
+		return fmt.Errorf("cluster: minibatches sim=%d live=%d want=%d", r.Sim.Minibatches, r.Live.Minibatches, r.Want.Minibatches)
+	}
+	if r.Sim.Pushes != r.Want.Pushes || r.Live.Pushes != r.Want.Pushes {
+		return fmt.Errorf("cluster: pushes sim=%d live=%d want=%d", r.Sim.Pushes, r.Live.Pushes, r.Want.Pushes)
+	}
+	if r.Sim.Pulls != r.Want.Pulls || r.Live.Pulls != r.Want.Pulls {
+		return fmt.Errorf("cluster: pulls sim=%d live=%d want=%d", r.Sim.Pulls, r.Live.Pulls, r.Want.Pulls)
+	}
+	if r.Sim.MaxClockDistance > r.DBound {
+		return fmt.Errorf("cluster: simulator clock distance %d exceeds D+1=%d", r.Sim.MaxClockDistance, r.DBound)
+	}
+	if r.Live.MaxClockDistance > r.DBound {
+		return fmt.Errorf("cluster: live clock distance %d exceeds D+1=%d", r.Live.MaxClockDistance, r.DBound)
+	}
+	if r.MaxWeightDiff > r.Tolerance {
+		return fmt.Errorf("cluster: final weights diverge by %g (tolerance %g)", r.MaxWeightDiff, r.Tolerance)
+	}
+	return nil
+}
+
+// String renders the report for CLIs.
+func (r *ConformanceReport) String() string {
+	verdict := "CONFORMANT"
+	if err := r.Err(); err != nil {
+		verdict = "DIVERGENT: " + err.Error()
+	}
+	return fmt.Sprintf(
+		"sim:  minibatches=%d pushes=%d pulls=%d maxClockDistance=%d\n"+
+			"live: minibatches=%d pushes=%d pulls=%d maxClockDistance=%d\n"+
+			"want: minibatches=%d pushes=%d pulls=%d (D-bound %d)\n"+
+			"max |w_sim - w_live| = %.3g (tolerance %g)\n%s",
+		r.Sim.Minibatches, r.Sim.Pushes, r.Sim.Pulls, r.Sim.MaxClockDistance,
+		r.Live.Minibatches, r.Live.Pushes, r.Live.Pulls, r.Live.MaxClockDistance,
+		r.Want.Minibatches, r.Want.Pushes, r.Want.Pulls, r.DBound,
+		r.MaxWeightDiff, r.Tolerance, verdict)
+}
+
+// RunConformance executes the same configuration through the simulator and
+// the live runtime and compares them. This is the differential harness that
+// flushed out the clock/timing fidelity bugs this package exists to guard
+// against (PipeDream and Narayanan et al. validate their schedulers the same
+// way: real execution path against the analytical model).
+func RunConformance(cfg ConformanceConfig) (*ConformanceReport, error) {
+	periods := cfg.Periods
+	if periods == nil {
+		periods = make([]float64, cfg.Workers)
+		for w := range periods {
+			// A deliberately whimpy-heterogeneous default: 1x..~3x spread.
+			periods[w] = 0.1 * (1 + 0.7*float64(w%4))
+		}
+	}
+	tol := cfg.Tolerance
+	switch {
+	case tol == 0:
+		tol = 1e-6
+	case tol < 0:
+		tol = 0 // exact bit-equality
+	}
+
+	sim, err := train.RunWSP(train.WSPConfig{
+		Task: cfg.Task, Workers: cfg.Workers, SLocal: cfg.SLocal, D: cfg.D,
+		LR: cfg.LR, Periods: periods, PushTime: cfg.PushTime, PullTime: cfg.PullTime,
+		Jitter: cfg.Jitter, Seed: cfg.Seed,
+		MaxMinibatches: cfg.MaxMinibatches,
+		// Evaluation cadence is irrelevant to conformance; keep it rare.
+		EvalEvery: cfg.MaxMinibatches * cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: simulator: %w", err)
+	}
+
+	live, err := Run(Config{
+		Task: cfg.Task, Workers: cfg.Workers, Servers: cfg.Servers,
+		SLocal: cfg.SLocal, D: cfg.D, LR: cfg.LR,
+		MaxMinibatches: cfg.MaxMinibatches, Chunks: cfg.Chunks, TCP: cfg.TCP,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: live runtime: %w", err)
+	}
+
+	params := wsp.Params{SLocal: cfg.SLocal, D: cfg.D, Workers: cfg.Workers}
+	report := &ConformanceReport{
+		Sim:  SideCounts{sim.Minibatches, sim.Pushes, sim.Pulls, sim.MaxClockDistance},
+		Live: SideCounts{live.Minibatches, live.Pushes, live.Pulls, live.MaxClockDistance},
+		Want: SideCounts{
+			Minibatches: cfg.Workers * cfg.MaxMinibatches,
+			Pushes:      cfg.Workers * params.CompleteWaves(cfg.MaxMinibatches),
+			Pulls:       cfg.Workers * params.GatedPulls(cfg.MaxMinibatches),
+		},
+		DBound:    cfg.D + 1,
+		Tolerance: tol,
+	}
+	if len(sim.FinalWeights) != len(live.FinalWeights) {
+		return nil, fmt.Errorf("cluster: weight dimensions diverge: %d vs %d", len(sim.FinalWeights), len(live.FinalWeights))
+	}
+	for i := range sim.FinalWeights {
+		if d := math.Abs(sim.FinalWeights[i] - live.FinalWeights[i]); d > report.MaxWeightDiff {
+			report.MaxWeightDiff = d
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"testing"
+
+	"hetpipe/internal/train"
+)
+
+// TestSimLiveConformance is the differential acceptance suite: the same
+// (task, N, Nm, D) configuration runs through the discrete-event simulator
+// and the live sharded-PS runtime, and the two must agree on every protocol
+// count, respect the D-bound, and land on the same weights within 1e-6 —
+// across worker counts, staleness settings, shard counts, and one real-TCP
+// configuration.
+func TestSimLiveConformance(t *testing.T) {
+	lt, err := train.DefaultTask(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlp, err := train.DefaultMLPTask(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  ConformanceConfig
+	}{
+		{"N2_Nm1_D0", ConformanceConfig{
+			Task: lt, Workers: 2, SLocal: 0, D: 0, LR: 0.3,
+			MaxMinibatches: 24, Servers: 2,
+		}},
+		{"N3_Nm3_D1_heterogeneous_timing", ConformanceConfig{
+			Task: lt, Workers: 3, SLocal: 2, D: 1, LR: 0.2,
+			MaxMinibatches: 36, Servers: 2, Chunks: 7,
+			Periods:  []float64{0.05, 0.3, 1.1},
+			PushTime: []float64{0.4, 0, 0.1},
+			PullTime: []float64{0.2, 0.6, 0},
+			Jitter:   0.15, Seed: 9,
+		}},
+		{"N4_Nm4_D4_many_shards", ConformanceConfig{
+			Task: lt, Workers: 4, SLocal: 3, D: 4, LR: 0.2,
+			MaxMinibatches: 48, Servers: 3, Chunks: 16,
+		}},
+		{"N3_Nm2_D0_tcp", ConformanceConfig{
+			Task: lt, Workers: 3, SLocal: 1, D: 0, LR: 0.25,
+			MaxMinibatches: 20, Servers: 2, TCP: true,
+		}},
+		{"N2_Nm2_D1_mlp", ConformanceConfig{
+			Task: mlp, Workers: 2, SLocal: 1, D: 1, LR: 0.15,
+			MaxMinibatches: 24, Servers: 2,
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			report, err := RunConformance(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := report.Err(); err != nil {
+				t.Fatalf("%v\n%s", err, report)
+			}
+			if report.MaxWeightDiff > 1e-9 {
+				// Not a failure — the bound is 1e-6 — but worth surfacing:
+				// the two backends fold identical update sets, so the drift
+				// should stay in round-off territory.
+				t.Logf("weight drift %g larger than round-off", report.MaxWeightDiff)
+			}
+		})
+	}
+}

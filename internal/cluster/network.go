@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"hetpipe/internal/ps"
+)
+
+// network hands workers their backend sets: shared in-process adapters, or
+// per-worker TCP clients over loopback listeners (a ps.Client serves one
+// caller at a time, so every worker dials its own connections — exactly how
+// the paper's per-node servers are reached).
+type network struct {
+	tcp       bool
+	inprocess []ps.Backend
+	listeners []net.Listener
+	addrs     []string
+	served    sync.WaitGroup
+}
+
+func newNetwork(servers []*ps.Server, tcp bool) (*network, error) {
+	n := &network{tcp: tcp}
+	if !tcp {
+		for _, s := range servers {
+			n.inprocess = append(n.inprocess, ps.AdaptServer(s))
+		}
+		return n, nil
+	}
+	for i, s := range servers {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			n.shutdown()
+			return nil, fmt.Errorf("cluster: listen for shard %d: %w", i, err)
+		}
+		n.listeners = append(n.listeners, l)
+		n.addrs = append(n.addrs, l.Addr().String())
+		n.served.Add(1)
+		go func(l net.Listener, s *ps.Server) {
+			defer n.served.Done()
+			ps.Serve(l, s)
+		}(l, s)
+	}
+	return n, nil
+}
+
+// dial returns one backend per shard server for a single worker.
+func (n *network) dial() ([]ps.Backend, error) {
+	if !n.tcp {
+		return n.inprocess, nil
+	}
+	backends := make([]ps.Backend, 0, len(n.addrs))
+	for i, addr := range n.addrs {
+		c, err := ps.Dial(addr)
+		if err != nil {
+			n.hangup(backends)
+			return nil, fmt.Errorf("cluster: dial shard %d: %w", i, err)
+		}
+		backends = append(backends, c)
+	}
+	return backends, nil
+}
+
+// hangup closes a worker's TCP clients (no-op for in-process backends).
+func (n *network) hangup(backends []ps.Backend) {
+	for _, b := range backends {
+		if c, ok := b.(*ps.Client); ok {
+			c.Close()
+		}
+	}
+}
+
+// shutdown closes the listeners and waits for their serve loops.
+func (n *network) shutdown() {
+	for _, l := range n.listeners {
+		l.Close()
+	}
+	n.served.Wait()
+}

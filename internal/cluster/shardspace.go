@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hetpipe/internal/tensor"
+)
+
+// shardSpace chunks a flat parameter vector into named contiguous ranges —
+// the unit of placement across parameter servers. The paper shards model
+// layers over per-node servers; for the numeric tasks the "layers" are
+// equal slices of the weight vector.
+type shardSpace struct {
+	dim    int
+	keys   []string
+	ranges [][2]int // [lo, hi) per key
+}
+
+// newShardSpace splits dim parameters into `chunks` near-equal ranges.
+func newShardSpace(dim, chunks int) (*shardSpace, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("cluster: empty parameter vector")
+	}
+	if chunks < 1 {
+		return nil, fmt.Errorf("cluster: need at least one chunk")
+	}
+	if chunks > dim {
+		chunks = dim
+	}
+	s := &shardSpace{dim: dim}
+	size := (dim + chunks - 1) / chunks
+	for lo := 0; lo < dim; lo += size {
+		hi := lo + size
+		if hi > dim {
+			hi = dim
+		}
+		s.ranges = append(s.ranges, [2]int{lo, hi})
+		s.keys = append(s.keys, fmt.Sprintf("chunk%04d", len(s.keys)))
+	}
+	return s, nil
+}
+
+// Keys lists the chunk keys in range order.
+func (s *shardSpace) Keys() []string { return s.keys }
+
+// Split views a flat vector as per-chunk slices (no copies).
+func (s *shardSpace) Split(v tensor.Vector) map[string]tensor.Vector {
+	out := make(map[string]tensor.Vector, len(s.keys))
+	for i, k := range s.keys {
+		out[k] = v[s.ranges[i][0]:s.ranges[i][1]]
+	}
+	return out
+}
+
+// Join assembles per-chunk slices back into a flat vector.
+func (s *shardSpace) Join(m map[string]tensor.Vector) (tensor.Vector, error) {
+	v := tensor.NewVector(s.dim)
+	for i, k := range s.keys {
+		chunk, ok := m[k]
+		if !ok {
+			return nil, fmt.Errorf("cluster: missing chunk %q", k)
+		}
+		lo, hi := s.ranges[i][0], s.ranges[i][1]
+		if len(chunk) != hi-lo {
+			return nil, fmt.Errorf("cluster: chunk %q length %d, want %d", k, len(chunk), hi-lo)
+		}
+		copy(v[lo:hi], chunk)
+	}
+	return v, nil
+}

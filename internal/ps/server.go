@@ -22,14 +22,35 @@ import (
 
 // Server is one parameter-server shard host: a set of named weight vectors
 // plus WSP clock state for its workers.
+//
+// Besides the latest weights (Pull), the server retains clock-versioned
+// snapshots: the weights as of each global-clock boundary c, defined as the
+// initial weights plus every wave-v update with v < c, regardless of push
+// arrival order. PullAt reads such a snapshot, which makes the value a pull
+// observes a deterministic function of the update schedule — the property
+// the sim-vs-live conformance harness (internal/cluster) relies on.
+// Materialized snapshots are retained for the whole run (one weight copy
+// per clock boundary; per-wave deltas are freed once folded), since the
+// server cannot know which old boundary a lagging worker may still demand;
+// runs are bounded by their minibatch budget, which bounds this too.
 type Server struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	shards map[string]tensor.Vector
-	clocks []int // clocks[w] = waves pushed by worker w
-	pushes uint64
-	pulls  uint64
-	closed bool
+	// initial holds the registered starting weights, the clock-0 snapshot.
+	initial map[string]tensor.Vector
+	clocks  []int // clocks[w] = waves pushed by worker w
+	// waveDeltas[v][w] is worker w's aggregated update of wave v (nil until
+	// pushed); snapshots[c] is the materialized clock-c snapshot, built
+	// lazily from waveDeltas in (wave, worker) order so the result does not
+	// depend on push arrival order.
+	waveDeltas [][]map[string]tensor.Vector
+	snapshots  []map[string]tensor.Vector
+	// maxDistance is the largest max-min clock spread observed at any push.
+	maxDistance int
+	pushes      uint64
+	pulls       uint64
+	closed      bool
 }
 
 // NewServer creates a server expecting pushes from n workers.
@@ -38,8 +59,9 @@ func NewServer(n int) (*Server, error) {
 		return nil, fmt.Errorf("ps: need at least one worker, got %d", n)
 	}
 	s := &Server{
-		shards: make(map[string]tensor.Vector),
-		clocks: make([]int, n),
+		shards:  make(map[string]tensor.Vector),
+		initial: make(map[string]tensor.Vector),
+		clocks:  make([]int, n),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
@@ -54,6 +76,7 @@ func (s *Server) Register(key string, init []float64) error {
 		return fmt.Errorf("ps: shard %q already registered", key)
 	}
 	s.shards[key] = tensor.Vector(init).Clone()
+	s.initial[key] = tensor.Vector(init).Clone()
 	return nil
 }
 
@@ -85,12 +108,47 @@ func (s *Server) Push(w int, updates map[string]tensor.Vector) (int, error) {
 		if len(shard) != len(delta) {
 			return 0, fmt.Errorf("ps: shard %q length %d, delta length %d", key, len(shard), len(delta))
 		}
-		shard.AddInPlace(delta)
+	}
+	wave := s.clocks[w]
+	for len(s.waveDeltas) <= wave {
+		s.waveDeltas = append(s.waveDeltas, make([]map[string]tensor.Vector, len(s.clocks)))
+	}
+	if s.waveDeltas[wave][w] == nil {
+		s.waveDeltas[wave][w] = make(map[string]tensor.Vector)
+	}
+	for key, delta := range updates {
+		s.shards[key].AddInPlace(delta)
+		s.waveDeltas[wave][w][key] = delta.Clone()
 	}
 	s.clocks[w]++
+	if d := s.distanceLocked(); d > s.maxDistance {
+		s.maxDistance = d
+	}
 	s.pushes++
 	s.cond.Broadcast()
 	return s.clocks[w], nil
+}
+
+func (s *Server) distanceLocked() int {
+	min, max := s.clocks[0], s.clocks[0]
+	for _, c := range s.clocks[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return max - min
+}
+
+// MaxClockDistance reports the largest max-min clock spread across workers
+// observed at any push — the live counterpart of the WSP coordinator's
+// distance tracking, used to check the D+1 bound.
+func (s *Server) MaxClockDistance() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxDistance
 }
 
 // GlobalClock reports min over workers of pushed waves.
@@ -132,6 +190,93 @@ func (s *Server) Pull(keys []string, minClock int) (map[string]tensor.Vector, in
 	}
 	s.pulls++
 	return out, s.globalLocked(), nil
+}
+
+// PullAt returns copies of the requested shards as of global-clock boundary
+// `clock`: the initial weights plus every wave-v update with v < clock from
+// every worker, blocking until the global clock reaches `clock`. Unlike
+// Pull, the result is independent of push arrival order — the deterministic
+// read the WSP staleness analysis reasons about, and the one the live
+// training runtime uses so its trajectory matches the simulator's.
+func (s *Server) PullAt(keys []string, clock int) (map[string]tensor.Vector, error) {
+	if clock < 0 {
+		return nil, fmt.Errorf("ps: negative snapshot clock %d", clock)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.globalLocked() < clock && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return nil, fmt.Errorf("ps: server closed")
+	}
+	snap, err := s.snapshotLocked(clock)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]tensor.Vector, len(keys))
+	for _, key := range keys {
+		shard, ok := snap[key]
+		if !ok {
+			return nil, fmt.Errorf("ps: pull of unregistered shard %q", key)
+		}
+		out[key] = shard.Clone()
+	}
+	s.pulls++
+	return out, nil
+}
+
+// snapshotLocked materializes (and caches) the clock-c weight snapshot.
+// Requires the global clock to have reached c, so every wave < c is fully
+// pushed. Deltas are folded in (wave, worker) order, never arrival order.
+func (s *Server) snapshotLocked(c int) (map[string]tensor.Vector, error) {
+	if s.globalLocked() < c {
+		return nil, fmt.Errorf("ps: snapshot %d ahead of global clock %d", c, s.globalLocked())
+	}
+	if len(s.snapshots) == 0 {
+		base := make(map[string]tensor.Vector, len(s.initial))
+		for k, v := range s.initial {
+			base[k] = v.Clone()
+		}
+		s.snapshots = append(s.snapshots, base)
+	}
+	for len(s.snapshots) <= c {
+		wave := len(s.snapshots) - 1
+		next := make(map[string]tensor.Vector, len(s.initial))
+		for k, v := range s.snapshots[wave] {
+			next[k] = v.Clone()
+		}
+		for w := range s.clocks {
+			for k, delta := range s.waveDeltas[wave][w] {
+				next[k].AddInPlace(delta)
+			}
+		}
+		// The per-worker deltas of this wave are only ever read by this
+		// fold; drop them so a long run retains one snapshot per clock
+		// (O(clocks x keys)), not additionally O(workers) delta clones.
+		s.waveDeltas[wave] = nil
+		s.snapshots = append(s.snapshots, next)
+	}
+	return s.snapshots[c], nil
+}
+
+// Meta describes a server to its clients: the expected worker count and the
+// registered shard keys with their lengths. The sharded client fetches it
+// once to validate pushes before any shard's clock can advance.
+type Meta struct {
+	Workers int
+	Dims    map[string]int
+}
+
+// Meta reports the server's shard layout and worker count.
+func (s *Server) Meta() (Meta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Meta{Workers: len(s.clocks), Dims: make(map[string]int, len(s.shards))}
+	for k, v := range s.shards {
+		m.Dims[k] = len(v)
+	}
+	return m, nil
 }
 
 // Close wakes all blocked pulls with an error and marks the server down.

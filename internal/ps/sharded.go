@@ -16,6 +16,11 @@ import (
 type Sharded struct {
 	placement *Placement
 	backends  []Backend
+	// workers and dims come from each backend's Meta at construction time;
+	// Push validates against them before touching any backend, so a bad
+	// update can never advance a subset of the shard clocks.
+	workers int
+	dims    []map[string]int
 }
 
 // Backend is the per-server operation set Sharded needs. *Server implements
@@ -23,7 +28,10 @@ type Sharded struct {
 type Backend interface {
 	Push(worker int, updates map[string]tensor.Vector) (int, error)
 	Pull(keys []string, minClock int) (map[string]tensor.Vector, int, error)
+	PullAt(keys []string, clock int) (map[string]tensor.Vector, error)
 	GlobalClock() (int, error)
+	Meta() (Meta, error)
+	MaxClockDistance() (int, error)
 }
 
 // serverBackend adapts *Server (whose GlobalClock returns no error).
@@ -33,12 +41,19 @@ func (b serverBackend) Push(w int, u map[string]tensor.Vector) (int, error) { re
 func (b serverBackend) Pull(k []string, mc int) (map[string]tensor.Vector, int, error) {
 	return b.s.Pull(k, mc)
 }
-func (b serverBackend) GlobalClock() (int, error) { return b.s.GlobalClock(), nil }
+func (b serverBackend) PullAt(k []string, c int) (map[string]tensor.Vector, error) {
+	return b.s.PullAt(k, c)
+}
+func (b serverBackend) GlobalClock() (int, error)      { return b.s.GlobalClock(), nil }
+func (b serverBackend) Meta() (Meta, error)            { return b.s.Meta() }
+func (b serverBackend) MaxClockDistance() (int, error) { return b.s.MaxClockDistance(), nil }
 
 // AdaptServer wraps an in-process Server as a Backend.
 func AdaptServer(s *Server) Backend { return serverBackend{s} }
 
 // NewSharded builds a sharded client over one backend per placement server.
+// It fetches each backend's Meta so pushes can be validated client-side, and
+// checks that every placed key is registered on its server.
 func NewSharded(p *Placement, backends []Backend) (*Sharded, error) {
 	if p == nil {
 		return nil, fmt.Errorf("ps: nil placement")
@@ -46,14 +61,45 @@ func NewSharded(p *Placement, backends []Backend) (*Sharded, error) {
 	if len(backends) != p.Servers() {
 		return nil, fmt.Errorf("ps: placement expects %d servers, got %d backends", p.Servers(), len(backends))
 	}
-	return &Sharded{placement: p, backends: backends}, nil
+	s := &Sharded{placement: p, backends: backends, dims: make([]map[string]int, len(backends))}
+	for i, b := range backends {
+		m, err := b.Meta()
+		if err != nil {
+			return nil, fmt.Errorf("ps: shard server %d meta: %w", i, err)
+		}
+		if i == 0 {
+			s.workers = m.Workers
+		} else if m.Workers != s.workers {
+			return nil, fmt.Errorf("ps: shard server %d expects %d workers, server 0 expects %d", i, m.Workers, s.workers)
+		}
+		s.dims[i] = m.Dims
+	}
+	for srv := 0; srv < p.Servers(); srv++ {
+		for _, key := range p.KeysOn(srv) {
+			if _, ok := s.dims[srv][key]; !ok {
+				return nil, fmt.Errorf("ps: placed shard %q not registered on server %d", key, srv)
+			}
+		}
+	}
+	return s, nil
 }
 
 // Push splits the update map by placement and pushes each slice to its
 // server; every involved server's clock advances for the worker. Servers
 // holding none of the keys still receive an empty push so their clocks stay
 // aligned — WSP's global clock is the minimum across all shards.
+//
+// Every slice is validated (worker range, placement, shard existence, and
+// lengths) before anything is sent, so a REJECTED push leaves every shard's
+// clock untouched — no server can refuse what its peers already accepted.
+// A transport failure mid-fan-out (a TCP server dying between shards) can
+// still leave the clocks skewed; there is no unpush, so callers must treat
+// that error as poisoning the run (internal/cluster closes every server,
+// which unblocks and fails all peers).
 func (s *Sharded) Push(worker int, updates map[string]tensor.Vector) error {
+	if worker < 0 || worker >= s.workers {
+		return fmt.Errorf("ps: worker %d out of range [0,%d)", worker, s.workers)
+	}
 	perServer := make([]map[string]tensor.Vector, len(s.backends))
 	for i := range perServer {
 		perServer[i] = make(map[string]tensor.Vector)
@@ -62,6 +108,13 @@ func (s *Sharded) Push(worker int, updates map[string]tensor.Vector) error {
 		srv, err := s.placement.ServerOf(key)
 		if err != nil {
 			return err
+		}
+		dim, ok := s.dims[srv][key]
+		if !ok {
+			return fmt.Errorf("ps: shard %q not registered on server %d", key, srv)
+		}
+		if dim != len(delta) {
+			return fmt.Errorf("ps: shard %q length %d, delta length %d", key, dim, len(delta))
 		}
 		perServer[srv][key] = delta
 	}
@@ -75,7 +128,9 @@ func (s *Sharded) Push(worker int, updates map[string]tensor.Vector) error {
 
 // Pull gathers the requested keys from their servers, each blocking until
 // that server's global clock reaches minClock. It returns the merged weights
-// and the minimum clock observed.
+// and the minimum clock across ALL shard servers — including ones that hold
+// none of the keys — so successive pulls never observe a clock regression.
+// An empty key set degenerates to a GlobalClock query.
 func (s *Sharded) Pull(keys []string, minClock int) (map[string]tensor.Vector, int, error) {
 	perServer := make([][]string, len(s.backends))
 	for _, key := range keys {
@@ -88,24 +143,68 @@ func (s *Sharded) Pull(keys []string, minClock int) (map[string]tensor.Vector, i
 	out := make(map[string]tensor.Vector, len(keys))
 	clock := -1
 	for i, b := range s.backends {
+		var c int
 		if len(perServer[i]) == 0 {
-			continue
-		}
-		weights, c, err := b.Pull(perServer[i], minClock)
-		if err != nil {
-			return nil, 0, fmt.Errorf("ps: shard server %d: %w", i, err)
-		}
-		for k, v := range weights {
-			out[k] = v
+			// Not involved in the transfer, but its clock still bounds the
+			// global clock the caller observes.
+			gc, err := b.GlobalClock()
+			if err != nil {
+				return nil, 0, fmt.Errorf("ps: shard server %d: %w", i, err)
+			}
+			c = gc
+		} else {
+			weights, pc, err := b.Pull(perServer[i], minClock)
+			if err != nil {
+				return nil, 0, fmt.Errorf("ps: shard server %d: %w", i, err)
+			}
+			for k, v := range weights {
+				out[k] = v
+			}
+			c = pc
 		}
 		if clock < 0 || c < clock {
 			clock = c
 		}
 	}
 	if clock < 0 {
-		clock = 0
+		// No backends at all cannot happen (NewSharded requires >= 1), but
+		// keep the fallback total.
+		gc, err := s.GlobalClock()
+		if err != nil {
+			return nil, 0, err
+		}
+		clock = gc
 	}
 	return out, clock, nil
+}
+
+// PullAt gathers the clock-versioned snapshot of the requested keys, each
+// involved server blocking until its global clock reaches `clock`. All
+// shards answer from the same clock boundary, so the merged result is the
+// deterministic snapshot the WSP analysis reasons about.
+func (s *Sharded) PullAt(keys []string, clock int) (map[string]tensor.Vector, error) {
+	perServer := make([][]string, len(s.backends))
+	for _, key := range keys {
+		srv, err := s.placement.ServerOf(key)
+		if err != nil {
+			return nil, err
+		}
+		perServer[srv] = append(perServer[srv], key)
+	}
+	out := make(map[string]tensor.Vector, len(keys))
+	for i, b := range s.backends {
+		if len(perServer[i]) == 0 {
+			continue
+		}
+		weights, err := b.PullAt(perServer[i], clock)
+		if err != nil {
+			return nil, fmt.Errorf("ps: shard server %d: %w", i, err)
+		}
+		for k, v := range weights {
+			out[k] = v
+		}
+	}
+	return out, nil
 }
 
 // GlobalClock reports the minimum clock across all shard servers.
@@ -121,4 +220,19 @@ func (s *Sharded) GlobalClock() (int, error) {
 		}
 	}
 	return min, nil
+}
+
+// MaxClockDistance reports the largest clock spread observed by any shard.
+func (s *Sharded) MaxClockDistance() (int, error) {
+	max := 0
+	for i, b := range s.backends {
+		d, err := b.MaxClockDistance()
+		if err != nil {
+			return 0, fmt.Errorf("ps: shard server %d: %w", i, err)
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
 }

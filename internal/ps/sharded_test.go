@@ -3,6 +3,7 @@ package ps
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"hetpipe/internal/tensor"
 )
@@ -113,6 +114,161 @@ func TestShardedValidation(t *testing.T) {
 	}
 	if _, _, err := sh.Pull([]string{"unknown"}, 0); err == nil {
 		t.Error("unplaced key accepted on pull")
+	}
+}
+
+func TestShardedPushFailureLeavesClocksUnchanged(t *testing.T) {
+	// A push that cannot land in full must not advance any shard's clock:
+	// before the client-side validation, backends 0..i-1 would have already
+	// ticked when backend i rejected, permanently desynchronizing the shards.
+	sh, servers, keys := shardedFixture(t, 2)
+	bad := []map[string]tensor.Vector{
+		{"stage0": {1, 1}, "unplaced": {1}},     // unplaced key
+		{"stage0": {1, 1}, "stage3": {1, 2, 3}}, // length mismatch on a later server's key
+		{"stage0": {1, 1, 1}},                   // length mismatch on the first key
+	}
+	for i, updates := range bad {
+		if err := sh.Push(0, updates); err == nil {
+			t.Fatalf("bad push %d accepted", i)
+		}
+		for srv, s := range servers {
+			if c := s.GlobalClock(); c != 0 {
+				t.Fatalf("bad push %d advanced server %d clock to %d", i, srv, c)
+			}
+			pushes, _ := s.Stats()
+			if pushes != 0 {
+				t.Fatalf("bad push %d reached server %d", i, srv)
+			}
+		}
+	}
+	if err := sh.Push(-1, map[string]tensor.Vector{keys[0]: {1, 1}}); err == nil {
+		t.Error("negative worker accepted")
+	}
+	if err := sh.Push(2, map[string]tensor.Vector{keys[0]: {1, 1}}); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+	// A valid push still works after the rejections.
+	if err := sh.Push(0, map[string]tensor.Vector{keys[0]: {1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedPullClockNeverRegresses(t *testing.T) {
+	sh, _, keys := shardedFixture(t, 1)
+	updates := map[string]tensor.Vector{}
+	for _, k := range keys {
+		updates[k] = tensor.Vector{1, 1}
+	}
+	if err := sh.Push(0, updates); err != nil {
+		t.Fatal(err)
+	}
+	// Empty key set degenerates to a global-clock query, not clock 0.
+	_, clock, err := sh.Pull(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock != 1 {
+		t.Errorf("empty pull clock = %d, want 1 (global clock)", clock)
+	}
+	// A pull touching a single server still reports the min over ALL shard
+	// servers, so it can never exceed what a later full pull observes.
+	full, fullClock, err := sh.Pull(keys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, subClock, err := sh.Pull(keys[:1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subClock > fullClock {
+		t.Errorf("subset pull clock %d exceeds full pull clock %d", subClock, fullClock)
+	}
+	if len(full) != len(keys) {
+		t.Errorf("full pull returned %d keys, want %d", len(full), len(keys))
+	}
+}
+
+func TestShardedPullAtReturnsClockSnapshot(t *testing.T) {
+	sh, _, keys := shardedFixture(t, 2)
+	push := func(w int, val float64) {
+		t.Helper()
+		updates := map[string]tensor.Vector{}
+		for _, k := range keys {
+			updates[k] = tensor.Vector{val, val}
+		}
+		if err := sh.Push(w, updates); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push(0, 1) // worker 0, wave 0
+	push(1, 2) // worker 1, wave 0 -> global clock 1
+	push(0, 4) // worker 0, wave 1 (ahead of the clock)
+	// Snapshot at clock 1 contains exactly the wave-0 updates, even though a
+	// wave-1 push has already been applied to the latest weights.
+	snap, err := sh.PullAt(keys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if snap[k][0] != 3 {
+			t.Errorf("snapshot at clock 1, shard %s = %v, want 3", k, snap[k])
+		}
+	}
+	// Snapshot at clock 0 is the initial weights.
+	snap0, err := sh.PullAt(keys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if snap0[k][0] != 0 {
+			t.Errorf("snapshot at clock 0, shard %s = %v, want 0", k, snap0[k])
+		}
+	}
+	// The latest weights include everything pushed so far.
+	latest, _, err := sh.Pull(keys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if latest[k][0] != 7 {
+			t.Errorf("latest shard %s = %v, want 7", k, latest[k])
+		}
+	}
+	if d, _ := sh.MaxClockDistance(); d != 1 {
+		t.Errorf("max clock distance = %d, want 1", d)
+	}
+}
+
+func TestShardedPullAtBlocksUntilClock(t *testing.T) {
+	sh, _, keys := shardedFixture(t, 2)
+	done := make(chan map[string]tensor.Vector, 1)
+	go func() {
+		snap, err := sh.PullAt(keys, 1)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- snap
+	}()
+	updates := map[string]tensor.Vector{}
+	for _, k := range keys {
+		updates[k] = tensor.Vector{1, 1}
+	}
+	if err := sh.Push(0, updates); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+		t.Fatal("PullAt(clock=1) returned before every worker pushed wave 0")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := sh.Push(1, updates); err != nil {
+		t.Fatal(err)
+	}
+	snap := <-done
+	for _, k := range keys {
+		if snap[k][0] != 2 {
+			t.Errorf("snapshot shard %s = %v, want 2", k, snap[k])
+		}
 	}
 }
 

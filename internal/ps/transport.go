@@ -22,6 +22,9 @@ const (
 	opPush wireOp = iota + 1
 	opPull
 	opClock
+	opPullAt
+	opMeta
+	opDistance
 )
 
 type wireRequest struct {
@@ -36,6 +39,8 @@ type wireResponse struct {
 	Err     string
 	Weights map[string][]float64
 	Clock   int
+	Workers int
+	Dims    map[string]int
 }
 
 // Serve accepts connections on l and dispatches requests to s until the
@@ -94,6 +99,27 @@ func serveConn(conn net.Conn, s *Server) {
 			}
 		case opClock:
 			resp.Clock = s.GlobalClock()
+		case opPullAt:
+			weights, err := s.PullAt(req.Keys, req.MinClock)
+			resp.Clock = req.MinClock
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Weights = make(map[string][]float64, len(weights))
+				for k, v := range weights {
+					resp.Weights[k] = v
+				}
+			}
+		case opMeta:
+			m, err := s.Meta()
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Workers = m.Workers
+				resp.Dims = m.Dims
+			}
+		case opDistance:
+			resp.Clock = s.MaxClockDistance()
 		default:
 			resp.Err = fmt.Sprintf("ps: unknown op %d", req.Op)
 		}
@@ -171,6 +197,38 @@ func (c *Client) Pull(keys []string, minClock int) (map[string]tensor.Vector, in
 // GlobalClock queries the server's clock.
 func (c *Client) GlobalClock() (int, error) {
 	resp, err := c.roundTrip(&wireRequest{Op: opClock})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Clock, nil
+}
+
+// PullAt fetches the clock-versioned snapshot of the requested shards,
+// blocking server-side until the global clock reaches `clock`.
+func (c *Client) PullAt(keys []string, clock int) (map[string]tensor.Vector, error) {
+	resp, err := c.roundTrip(&wireRequest{Op: opPullAt, Keys: keys, MinClock: clock})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]tensor.Vector, len(resp.Weights))
+	for k, v := range resp.Weights {
+		out[k] = tensor.Vector(v)
+	}
+	return out, nil
+}
+
+// Meta queries the server's shard layout and worker count.
+func (c *Client) Meta() (Meta, error) {
+	resp, err := c.roundTrip(&wireRequest{Op: opMeta})
+	if err != nil {
+		return Meta{}, err
+	}
+	return Meta{Workers: resp.Workers, Dims: resp.Dims}, nil
+}
+
+// MaxClockDistance queries the largest clock spread the server has observed.
+func (c *Client) MaxClockDistance() (int, error) {
+	resp, err := c.roundTrip(&wireRequest{Op: opDistance})
 	if err != nil {
 		return 0, err
 	}

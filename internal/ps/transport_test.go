@@ -1,0 +1,201 @@
+package ps
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hetpipe/internal/tensor"
+)
+
+// serveFixture starts a TCP-served server with one registered shard and
+// returns the server, its address, and a cleanup-registered listener.
+func serveFixture(t *testing.T, workers int) (*Server, string) {
+	t.Helper()
+	s, err := NewServer(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("w", []float64{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan struct{})
+	go func() {
+		Serve(l, s)
+		close(served)
+	}()
+	t.Cleanup(func() {
+		l.Close()
+		<-served
+	})
+	return s, l.Addr().String()
+}
+
+func TestTCPCloseDuringBlockedPullReturnsServerClosed(t *testing.T) {
+	s, addr := serveFixture(t, 2)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Pull([]string{"w"}, 5)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("pull returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Close()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "server closed") {
+			t.Fatalf("blocked pull error = %v, want server closed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked pull never unblocked after Close")
+	}
+}
+
+func TestTCPCloseDuringBlockedPullAtReturnsServerClosed(t *testing.T) {
+	s, addr := serveFixture(t, 2)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.PullAt([]string{"w"}, 3)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("snapshot pull returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Close()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "server closed") {
+			t.Fatalf("blocked PullAt error = %v, want server closed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked PullAt never unblocked after Close")
+	}
+}
+
+func TestTCPGarbageRequestDropsOnlyThatConnection(t *testing.T) {
+	_, addr := serveFixture(t, 1)
+	good, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if _, err := good.Push(0, map[string]tensor.Vector{"w": {1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A raw connection that sends bytes gob cannot decode: the server must
+	// drop it without killing the listener or other connections.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write([]byte("definitely not gob\n")); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := raw.Read(buf); err == nil {
+		t.Error("garbage connection got a response, want drop")
+	}
+	raw.Close()
+
+	// An unknown-but-well-formed op gets an error response instead.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	if err := enc.Encode(&wireRequest{Op: 99}); err != nil {
+		t.Fatal(err)
+	}
+	var resp wireResponse
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Err, "unknown op") {
+		t.Errorf("unknown op response = %q", resp.Err)
+	}
+
+	// The healthy client still works after both bad peers.
+	if g, err := good.GlobalClock(); err != nil || g != 1 {
+		t.Errorf("healthy client after garbage peer: clock=%d err=%v", g, err)
+	}
+}
+
+func TestTCPConcurrentPushersAndPullers(t *testing.T) {
+	// Hammer one server with concurrent pushers and snapshot pullers over
+	// separate connections; meant to run under -race.
+	const workers = 4
+	const waves = 12
+	_, addr := serveFixture(t, workers)
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for v := 0; v < waves; v++ {
+				if _, err := c.Push(w, map[string]tensor.Vector{"w": {1, 1}}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for v := 1; v <= waves; v++ {
+				snap, err := c.PullAt([]string{"w"}, v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got, want := snap["w"][0], float64(workers*v); got != want {
+					errs <- fmt.Errorf("snapshot at clock %d = %g, want %g", v, got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

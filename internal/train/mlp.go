@@ -160,3 +160,17 @@ func (t *MLP) Accuracy(w tensor.Vector) float64 {
 	}
 	return float64(correct) / float64(len(t.eval.X))
 }
+
+// DefaultMLPTask builds the standard non-convex study task: 2000 samples,
+// 4 classes, 16 dimensions, 24 hidden units, batch 32, deterministic seed.
+func DefaultMLPTask(seed int64) (*MLP, error) {
+	ds, err := data.SyntheticClassification(seed, 2000, 16, 4, 0.45)
+	if err != nil {
+		return nil, err
+	}
+	tr, ev, err := ds.Split(0.8)
+	if err != nil {
+		return nil, err
+	}
+	return NewMLP(tr, ev, 24, 32, seed)
+}

@@ -126,7 +126,7 @@ func TestWSPOverRealParameterServer(t *testing.T) {
 			}
 			snap := w.inflight[0]
 			w.inflight = w.inflight[1:]
-			lt.Grad(snap, minibatchIndex(wi, mb-slocal, workers), grad)
+			lt.Grad(snap, MinibatchIndex(wi, mb-slocal, workers), grad)
 			w.wlocal.AXPY(-lr, grad)
 			w.waveAcc.AXPY(-lr, grad)
 			if params.IsWaveEnd(mb - slocal) {

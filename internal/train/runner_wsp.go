@@ -97,34 +97,53 @@ type RunStats struct {
 	// FinalAccuracy and FinalLoss are the last evaluated values.
 	FinalAccuracy float64
 	FinalLoss     float64
+	// FinalWeights is the parameter-server global weight vector at the end
+	// of the run (w0 plus every pushed wave update) — the value the live
+	// sharded-PS runtime (internal/cluster) must reproduce.
+	FinalWeights tensor.Vector
 	// MaxClockDistance is the largest observed clock skew between workers.
 	MaxClockDistance int
 }
 
-// snapshot is an in-flight minibatch: the weights it was injected with and
-// its scheduled completion time.
+// snapshot is an in-flight minibatch's timing: its scheduled completion.
 type snapshot struct {
 	mb       int
-	weights  tensor.Vector
 	complete float64
+}
+
+// pendingMB is an injected-but-not-retired minibatch's numeric state: the
+// weights it was injected with. The numeric pipeline retires minibatches at
+// a fixed logical lag of Nm (retiring r when r+Nm-1 is injected), so the
+// weights minibatch m trains with reflect local updates through exactly
+// m-Nm — the paper's slocal staleness window — independent of timing.
+type pendingMB struct {
+	mb      int
+	weights tensor.Vector
 }
 
 // wspWorker is one virtual worker's live state.
 type wspWorker struct {
-	id       int
-	wlocal   tensor.Vector
-	waveAcc  tensor.Vector
-	grad     tensor.Vector
+	id      int
+	wlocal  tensor.Vector
+	waveAcc tensor.Vector
+	grad    tensor.Vector
+	// inflight tracks timing (completion events); pending tracks numerics
+	// (the logical depth-Nm weight window). They pop at different moments:
+	// inflight at completion events, pending at the fixed logical lag.
 	inflight []snapshot
-	// lastPulled is the global clock the worker last incorporated; pulls
+	pending  []pendingMB
+	// waveDeltas[v] is this worker's aggregated update of wave v, recorded
+	// at the numeric retirement of the wave's last minibatch. It feeds the
+	// global-weight fold at the wave-end completion event, the clock-c
+	// prefix snapshots pulls read, and the own-update add-back after pulls.
+	waveDeltas []tensor.Vector
+	// lastPulled is the snapshot clock the worker last incorporated; pulls
 	// are lazy — they happen only when the D-bound demands (which is why
-	// larger D reduces synchronization traffic, Section 8.4).
+	// larger D reduces synchronization traffic, Section 8.4). Only the
+	// clock the gate actually required (and the worker has provably seen)
+	// is credited, never the coordinator's instantaneous clock, which can
+	// run ahead of what has arrived at simulated time now.
 	lastPulled int
-	// pullReadyFor/pullReadyAt latch the completion time of an in-flight
-	// pull transfer for the named minibatch, so the pull runs concurrently
-	// with the still-draining pipeline instead of chasing it.
-	pullReadyFor int
-	pullReadyAt  float64
 	// nextInject is the next 1-based minibatch to inject.
 	nextInject int
 	// lastScheduled is the completion time of the most recently scheduled
@@ -137,6 +156,15 @@ type wspWorker struct {
 }
 
 // RunWSP executes the co-simulated HetPipe run.
+//
+// Timing and numerics are deliberately decoupled: the discrete-event side
+// decides WHEN injections, completions, pushes, and gate waits happen, while
+// the numeric dataflow (which updates each minibatch's weights reflect) is a
+// pure function of the protocol parameters — snapshots at a fixed logical
+// lag of Nm, pulls that read the clock-versioned global prefix. Periods,
+// jitter, and transfer times therefore shape the time axis but never the
+// trajectory, and the live sharded-PS runtime (internal/cluster) reproduces
+// the exact same numbers, which the conformance harness asserts.
 func RunWSP(cfg WSPConfig) (*RunStats, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -178,6 +206,23 @@ func RunWSP(cfg WSPConfig) (*RunStats, error) {
 		}
 	}
 
+	// prefix[c] is the clock-c snapshot of the global weights: w0 plus every
+	// worker's wave-v update with v < c — what ps.Server.PullAt serves in
+	// the live runtime. Built lazily; a pull at clock c is only reachable
+	// once every worker's wave c-1 delta has been recorded.
+	prefix := []tensor.Vector{wglobal.Clone()}
+	snapshotAt := func(c int) tensor.Vector {
+		for len(prefix) <= c {
+			wave := len(prefix) - 1
+			next := prefix[wave].Clone()
+			for _, w := range workers {
+				next.AddInPlace(w.waveDeltas[wave])
+			}
+			prefix = append(prefix, next)
+		}
+		return prefix[c]
+	}
+
 	// pushVisible[c] is when the global clock reached c (the last push of
 	// wave c-1 arrived at the servers); index 0 is time zero. pushArrive[w]
 	// holds the arrival times of worker w's pushes, in wave order.
@@ -205,12 +250,29 @@ func RunWSP(cfg WSPConfig) (*RunStats, error) {
 		return false
 	}
 
+	// retire folds the oldest pending minibatch's gradient into the local
+	// weights; at a wave end it also seals the wave's aggregated delta (the
+	// push CONTENT — the push TIME is the wave-end completion event).
+	retire := func(w *wspWorker) {
+		p := w.pending[0]
+		w.pending = w.pending[1:]
+		cfg.Task.Grad(p.weights, MinibatchIndex(w.id, p.mb, cfg.Workers), w.grad)
+		// Local update: wlocal += u, u = -lr * grad (Section 4).
+		w.wlocal.AXPY(-cfg.LR, w.grad)
+		w.waveAcc.AXPY(-cfg.LR, w.grad)
+		if params.IsWaveEnd(p.mb) {
+			w.waveDeltas = append(w.waveDeltas, w.waveAcc.Clone())
+			w.waveAcc.Zero()
+		}
+	}
+
 	// gateReady reports when worker w's next injection may happen, or
 	// (0, false) when the required global clock has not been reached yet.
-	// When the worker must actually pull (its last incorporated clock is
-	// older than required), the pull transfer runs from the moment both the
-	// clock and the worker are ready — so the pull latency is paid even
-	// when the clock requirement was satisfied long ago.
+	// When the worker must actually pull, the transfer starts once the
+	// clock is visible AND the worker is free to issue it; both inputs are
+	// re-read on every query because slotFreeAt advances as in-flight
+	// minibatches complete — a latched value could let the pull "finish"
+	// before the worker was free to start it.
 	gateReady := func(w *wspWorker) (float64, bool) {
 		req := params.RequiredGlobalClock(w.nextInject)
 		if req == 0 {
@@ -221,11 +283,7 @@ func RunWSP(cfg WSPConfig) (*RunStats, error) {
 		}
 		ready := pushVisible[req]
 		if w.lastPulled < req {
-			if w.pullReadyFor != w.nextInject {
-				w.pullReadyFor = w.nextInject
-				w.pullReadyAt = math.Max(ready, w.slotFreeAt) + pull[w.id]
-			}
-			ready = w.pullReadyAt
+			ready = math.Max(ready, w.slotFreeAt) + pull[w.id]
 		}
 		return ready, true
 	}
@@ -281,13 +339,19 @@ func RunWSP(cfg WSPConfig) (*RunStats, error) {
 			}
 			// Lazy pull: a gated wave-end minibatch that needs updates the
 			// worker has not incorporated yet triggers a pull of the global
-			// weights; the worker's uncommitted wave updates are re-applied
-			// on top. With D=0 this happens every wave; with larger D,
-			// every ~D waves.
+			// weights. The worker is credited only with the clock the gate
+			// required — what it has provably seen — and receives that
+			// clock's snapshot, with its own not-yet-globally-visible wave
+			// updates and the open wave's accumulator re-applied on top.
+			// With D=0 this happens every wave; with larger D, every wave
+			// past the first D+1.
 			if req := params.RequiredGlobalClock(mb); req > 0 && w.lastPulled < req {
-				w.wlocal = wglobal.Clone()
+				w.wlocal = snapshotAt(req).Clone()
+				for v := req; v < len(w.waveDeltas); v++ {
+					w.wlocal.AddInPlace(w.waveDeltas[v])
+				}
 				w.wlocal.AddInPlace(w.waveAcc)
-				w.lastPulled = coord.GlobalClock()
+				w.lastPulled = req
 				stats.Pulls++
 			}
 			coord.Start(w.id, mb)
@@ -297,10 +361,16 @@ func RunWSP(cfg WSPConfig) (*RunStats, error) {
 			}
 			complete := math.Max(now+fill[w.id], w.lastScheduled+period)
 			w.lastScheduled = complete
-			w.inflight = append(w.inflight, snapshot{mb: mb, weights: w.wlocal.Clone(), complete: complete})
+			w.inflight = append(w.inflight, snapshot{mb: mb, complete: complete})
+			w.pending = append(w.pending, pendingMB{mb: mb, weights: w.wlocal.Clone()})
 			w.nextInject++
 			if w.nextInject > cfg.MaxMinibatches {
 				w.done = true
+			}
+			// Injecting mb retires minibatch mb-Nm+1: the fixed logical lag
+			// that pins each snapshot's staleness to exactly slocal.
+			if mb-nm+1 >= 1 {
+				retire(w)
 			}
 			continue
 		}
@@ -310,18 +380,26 @@ func RunWSP(cfg WSPConfig) (*RunStats, error) {
 		w.inflight = w.inflight[1:]
 		w.slotFreeAt = now
 		w.lastComplete = now
-		cfg.Task.Grad(snap.weights, minibatchIndex(w.id, snap.mb, cfg.Workers), w.grad)
-		// Local update: wlocal += u, u = -lr * grad (Section 4).
-		w.wlocal.AXPY(-cfg.LR, w.grad)
-		w.waveAcc.AXPY(-cfg.LR, w.grad)
 		stats.Minibatches++
 		completionsSinceEval++
 
+		// Once the worker has no more injections, completions drive the
+		// remaining retirements (the live runtime's end-of-run drain).
+		if w.done {
+			for len(w.pending) > 0 && w.pending[0].mb <= snap.mb {
+				retire(w)
+			}
+		}
+
 		if params.IsWaveEnd(snap.mb) {
-			// Push the aggregated wave update (wglobal += u~) and pull the
-			// current global weights as the new local copy.
-			wglobal.AddInPlace(w.waveAcc)
-			w.waveAcc.Zero()
+			// Push the wave's aggregated update (wglobal += u~). Its content
+			// was sealed at the wave-end's numeric retirement, which always
+			// precedes this completion event.
+			wave := params.Wave(snap.mb)
+			if wave >= len(w.waveDeltas) {
+				panic(fmt.Sprintf("train: worker %d pushing wave %d before its delta is sealed", w.id, wave))
+			}
+			wglobal.AddInPlace(w.waveDeltas[wave])
 			coord.Push(w.id)
 			stats.Pushes++
 			pushArrive[w.id] = append(pushArrive[w.id], now+push[w.id])
@@ -347,15 +425,38 @@ func RunWSP(cfg WSPConfig) (*RunStats, error) {
 	}
 
 	stats.Elapsed = now
-	if len(stats.Accuracy.Points) == 0 || !stats.ReachedTarget {
+	// Final evaluation — unless one already ran at exactly this time, which
+	// would duplicate the curve's last point.
+	if last, ok := stats.Accuracy.Last(); !ok || last.T != now {
 		evaluate(now)
 	}
+	// FinalWeights carries the same pushed-update set as wglobal, but folded
+	// in (wave, worker) order — the order the parameter servers' snapshots
+	// use — so the value is bit-stable across timing configurations and
+	// directly comparable with the live runtime's.
+	final := prefix[0].Clone()
+	maxPushed := 0
+	for _, w := range workers {
+		if c := coord.Clock(w.id); c > maxPushed {
+			maxPushed = c
+		}
+	}
+	for v := 0; v < maxPushed; v++ {
+		for _, w := range workers {
+			if v < coord.Clock(w.id) {
+				final.AddInPlace(w.waveDeltas[v])
+			}
+		}
+	}
+	stats.FinalWeights = final
 	stats.MaxClockDistance = coord.MaxClockDistance()
 	return stats, nil
 }
 
-// minibatchIndex maps (worker, local minibatch number) to a disjoint global
-// minibatch stream per worker — data parallelism splits the dataset.
-func minibatchIndex(worker, mb, workers int) int {
+// MinibatchIndex maps (worker, local minibatch number) to a disjoint global
+// minibatch stream per worker — data parallelism splits the dataset. The
+// live runtime (internal/cluster) uses the same mapping so both backends
+// consume identical gradients.
+func MinibatchIndex(worker, mb, workers int) int {
 	return (mb-1)*workers + worker
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hetpipe/internal/tensor"
+	"hetpipe/internal/wsp"
 )
 
 func task(t *testing.T) *LogReg {
@@ -187,6 +188,123 @@ func TestLargerDReducesWaitingWithStraggler(t *testing.T) {
 	// Pipelining hides most of the wait: idle is a fraction of waiting.
 	if r0.Idle > r0.Waiting {
 		t.Errorf("idle %.2f exceeds waiting %.2f", r0.Idle, r0.Waiting)
+	}
+}
+
+func TestLazyPullCreditsOnlyVisibleClock(t *testing.T) {
+	// Regression: on a lazy pull the worker used to credit itself with the
+	// coordinator's instantaneous clock, which can run ahead of the clock
+	// actually visible at simulated time now when pushes have asymmetric
+	// latencies — so later pulls it should have paid for were skipped. With
+	// only the gate's required clock credited, every gated wave-end pulls:
+	// exactly GatedPulls per worker, whatever the transfer times.
+	lt := task(t)
+	const workers, slocal, d, maxMB = 3, 1, 1, 32
+	for _, pushTimes := range [][]float64{
+		{0, 0, 0},
+		{0.9, 0.05, 0.3}, // strongly asymmetric arrival times
+	} {
+		stats, err := RunWSP(WSPConfig{
+			Task: lt, Workers: workers, SLocal: slocal, D: d, LR: 0.2,
+			Periods:  []float64{0.1, 0.14, 0.2},
+			PushTime: pushTimes, Seed: 17,
+			MaxMinibatches: maxMB, EvalEvery: 1000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := wsp.Params{SLocal: slocal, D: d, Workers: workers}
+		want := workers * params.GatedPulls(maxMB)
+		if stats.Pulls != want {
+			t.Errorf("push times %v: pulls = %d, want %d", pushTimes, stats.Pulls, want)
+		}
+	}
+}
+
+func TestPullTransferWaitsForWorkerFree(t *testing.T) {
+	// Regression for the stale pullReadyAt latch: the pull transfer's start
+	// was latched with the slotFreeAt seen on the first gate query and never
+	// refreshed, so the pull could "finish" before the worker was free to
+	// issue it.
+	//
+	// Hand-traced schedule (2 workers, Nm=2, D=0, no jitter): worker 1 races
+	// ahead (period 0.1); worker 0 (period 1) completes wave 0 at t=2, which
+	// is when the global clock becomes visible. Worker 0's minibatch 3 is
+	// still in flight until t=3, inside the latched pull window [2, 4). The
+	// pull for the gated minibatch 4 must therefore start at t=3, finish at
+	// t=5, and complete the run at t=6 — the buggy latch injected at t=4 and
+	// finished at t=5.
+	lt := task(t)
+	stats, err := RunWSP(WSPConfig{
+		Task: lt, Workers: 2, SLocal: 1, D: 0, LR: 0.2,
+		Periods:  []float64{1, 0.1},
+		PullTime: []float64{2, 0}, Seed: 1,
+		MaxMinibatches: 4, EvalEvery: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats.Elapsed-6) > 1e-9 {
+		t.Errorf("elapsed = %g, want 6 (pull start must track slotFreeAt)", stats.Elapsed)
+	}
+}
+
+func TestWSPNumericsIndependentOfTiming(t *testing.T) {
+	// The co-simulation separates timing from numerics: periods, jitter, and
+	// transfer times decide WHEN things happen, while the update schedule —
+	// snapshots at logical lag Nm, pulls of clock-versioned prefixes — is a
+	// pure function of the protocol parameters. Two runs with wildly
+	// different timing must produce bit-identical weights; this is also what
+	// lets the live sharded-PS runtime (internal/cluster) reproduce the
+	// simulator's trajectory.
+	lt := task(t)
+	base := WSPConfig{
+		Task: lt, Workers: 3, SLocal: 2, D: 1, LR: 0.2, Seed: 5,
+		MaxMinibatches: 60, EvalEvery: 25,
+	}
+	a := base
+	a.Periods = []float64{0.1, 0.1, 0.1}
+	ra, err := RunWSP(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := base
+	b.Periods = []float64{0.05, 0.4, 1.3}
+	b.Jitter = 0.2
+	b.PushTime = []float64{0.3, 0, 0.9}
+	b.PullTime = []float64{0.2, 0.7, 0}
+	rb, err := RunWSP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Minibatches != rb.Minibatches || ra.Pushes != rb.Pushes || ra.Pulls != rb.Pulls {
+		t.Fatalf("counts diverge across timings: %d/%d/%d vs %d/%d/%d",
+			ra.Minibatches, ra.Pushes, ra.Pulls, rb.Minibatches, rb.Pushes, rb.Pulls)
+	}
+	for i := range ra.FinalWeights {
+		if ra.FinalWeights[i] != rb.FinalWeights[i] {
+			t.Fatalf("weights diverge at %d: %g vs %g", i, ra.FinalWeights[i], rb.FinalWeights[i])
+		}
+	}
+	if ra.Elapsed == rb.Elapsed {
+		t.Error("timing configs were supposed to differ")
+	}
+}
+
+func TestNoDuplicateFinalEvalPoint(t *testing.T) {
+	// Regression: when the last scheduled evaluation already ran at the final
+	// simulated time, RunWSP appended a second, identical point.
+	lt := task(t)
+	stats, err := RunWSP(WSPConfig{
+		Task: lt, Workers: 2, SLocal: 1, D: 0, LR: 0.2,
+		Periods: []float64{0.1, 0.1}, Seed: 3,
+		MaxMinibatches: 8, EvalEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(stats.Accuracy.Points), stats.Minibatches; got != want {
+		t.Errorf("eval points = %d, want %d (one per completion, no duplicate tail)", got, want)
 	}
 }
 

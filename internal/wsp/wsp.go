@@ -91,6 +91,26 @@ func (p Params) RequiredGlobalClock(mb int) int {
 // first slocal+1 minibatches run on the initial weights (result <= 0).
 func (p Params) LocalVisibleThrough(mb int) int { return mb - p.WaveSize() }
 
+// CompleteWaves reports how many full waves fit in a per-worker budget of
+// maxMB minibatches — the number of pushes a worker performs over the run.
+func (p Params) CompleteWaves(maxMB int) int { return maxMB / p.WaveSize() }
+
+// GatedPulls reports how many lazy pulls a worker performs over a budget of
+// maxMB minibatches: one per wave-end whose required global clock is
+// positive. Waves 0..D need no pull, so the count is CompleteWaves-(D+1),
+// clamped at zero. Both the simulator and the live sharded-PS runtime must
+// match this number exactly — the conformance harness asserts it.
+func (p Params) GatedPulls(maxMB int) int {
+	n := p.CompleteWaves(maxMB) - (p.D + 1)
+	// A partial trailing wave can still contain a gated wave-end only if it
+	// is complete, which it is not by definition; wave-ends beyond the last
+	// complete wave exceed maxMB.
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
 // Coordinator tracks per-worker wave progress and the global clock, and
 // answers gate queries. It enforces the protocol ordering rules and panics
 // on out-of-order pushes, which are always caller bugs.

@@ -94,6 +94,40 @@ func TestLocalVisibleThrough(t *testing.T) {
 	}
 }
 
+func TestCompleteWavesAndGatedPulls(t *testing.T) {
+	cases := []struct {
+		slocal, d, maxMB     int
+		wantWaves, wantPulls int
+	}{
+		{3, 0, 400, 100, 99}, // every wave past the first is gated
+		{3, 1, 400, 100, 98},
+		{3, 4, 400, 100, 95},
+		{0, 0, 10, 10, 9},    // Nm=1: every minibatch is a wave
+		{3, 0, 402, 100, 99}, // trailing partial wave never pushes or pulls
+		{3, 10, 8, 2, 0},     // short run: no wave-end is ever gated
+	}
+	for _, c := range cases {
+		p := params(c.slocal, c.d, 2)
+		if got := p.CompleteWaves(c.maxMB); got != c.wantWaves {
+			t.Errorf("slocal=%d D=%d maxMB=%d: waves = %d, want %d", c.slocal, c.d, c.maxMB, got, c.wantWaves)
+		}
+		if got := p.GatedPulls(c.maxMB); got != c.wantPulls {
+			t.Errorf("slocal=%d D=%d maxMB=%d: pulls = %d, want %d", c.slocal, c.d, c.maxMB, got, c.wantPulls)
+		}
+	}
+	// Cross-check GatedPulls against a direct count over the wave-ends.
+	p := params(2, 1, 3)
+	direct := 0
+	for mb := 1; mb <= 100; mb++ {
+		if p.RequiredGlobalClock(mb) > 0 {
+			direct++
+		}
+	}
+	if got := p.GatedPulls(100); got != direct {
+		t.Errorf("GatedPulls(100) = %d, direct count %d", got, direct)
+	}
+}
+
 func TestCoordinatorBSPLikeD0(t *testing.T) {
 	// Two workers, D=0: neither may finish wave 1 before both push wave 0.
 	c, err := NewCoordinator(params(3, 0, 2))
