@@ -1,5 +1,6 @@
 // Command hetbench regenerates the paper's tables and figures on the
-// simulated cluster.
+// simulated cluster, through the public experiment catalog
+// (hetpipe.ExperimentCatalog / hetpipe.RunExperiment).
 //
 // Usage:
 //
@@ -13,7 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"hetpipe/internal/experiment"
+	"hetpipe"
 )
 
 func main() {
@@ -22,23 +23,23 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, d := range experiment.Defs() {
+		for _, d := range hetpipe.ExperimentCatalog() {
 			fmt.Printf("%-20s %-12s %s\n", d.Name, d.Paper, d.Title)
 		}
 		return
 	}
 	if *exp == "all" {
-		reports, err := experiment.RunAll()
-		for _, r := range reports {
+		for _, d := range hetpipe.ExperimentCatalog() {
+			r, err := hetpipe.RunExperiment(d.Name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			fmt.Println(r)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
 		}
 		return
 	}
-	r, err := experiment.Run(*exp)
+	r, err := hetpipe.RunExperiment(*exp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

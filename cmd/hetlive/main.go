@@ -1,32 +1,45 @@
-// Command hetlive runs WSP training for real: N virtual workers as
-// goroutines against M real parameter-server shards (internal/cluster), with
-// the clock-distance bound D enforced by blocking pulls on the servers. By
-// default it also runs the same configuration through the discrete-event
-// simulator (train.RunWSP) and prints the differential-conformance report —
-// matching minibatch/push/pull counts, the D-bound, and final-weight
-// agreement.
+// Command hetlive runs WSP training for real: virtual workers as goroutines
+// against real parameter-server shards (internal/cluster), with the
+// clock-distance bound D enforced by blocking pulls on the servers. Ctrl-C
+// cancels a run in flight — every worker goroutine and socket is reaped.
+//
+// Three modes:
+//
+//   - Conformance (the default): runs one protocol-level configuration
+//     through both the discrete-event simulator (train.RunWSP) and the live
+//     runtime and prints the differential-conformance report — matching
+//     minibatch/push/pull counts, the D-bound, and final-weight agreement.
+//   - Raw (-conform=false): the live runtime alone, with explicit worker and
+//     shard counts.
+//   - Deploy (-deploy): resolves a real model deployment through the public
+//     API (hetpipe.New) and executes it on the live runtime
+//     (Deployment.Train), streaming per-wave progress with -progress.
 //
 // Usage:
 //
 //	hetlive                                  # 4 workers, 2 shards, conformance on
-//	hetlive -model mlp -workers 3 -shards 2 -d 1 -nm 4
+//	hetlive -task mlp -workers 3 -shards 2 -d 1 -nm 4
 //	hetlive -tcp                             # workers reach the shards over TCP
 //	hetlive -conform=false -mb 200           # live run only, bigger budget
+//	hetlive -deploy -model vgg19 -policy ED -d 1 -nm 2 -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"hetpipe"
 	"hetpipe/internal/cluster"
 	"hetpipe/internal/train"
 )
 
 func main() {
-	modelName := flag.String("model", "logreg", "training task: logreg (convex) or mlp (non-convex)")
-	workers := flag.Int("workers", 4, "virtual workers N (one goroutine each)")
-	shards := flag.Int("shards", 2, "parameter-server shard hosts M")
+	taskName := flag.String("task", "logreg", "training task: logreg (convex) or mlp (non-convex)")
+	workers := flag.Int("workers", 4, "virtual workers N, one goroutine each (conformance/raw modes)")
+	shards := flag.Int("shards", 2, "parameter-server shard hosts M (conformance/raw modes)")
 	d := flag.Int("d", 1, "WSP clock distance bound D")
 	nm := flag.Int("nm", 4, "concurrent minibatches per worker (wave size, slocal = Nm-1)")
 	tcp := flag.Bool("tcp", false, "reach the shards over real TCP sockets instead of in-process")
@@ -36,27 +49,41 @@ func main() {
 	seed := flag.Int64("seed", 13, "task seed")
 	tol := flag.Float64("tol", 1e-6, "final-weight conformance tolerance (negative = exact bit-equality)")
 	conform := flag.Bool("conform", true, "also run the simulator and report conformance")
+	deploy := flag.Bool("deploy", false, "resolve a model deployment via hetpipe.New and run Deployment.Train")
+	modelName := flag.String("model", "vgg19", "DNN model for -deploy mode (see hetpipe.Models)")
+	clusterName := flag.String("cluster", "paper", "cluster-catalog shape for -deploy mode")
+	policy := flag.String("policy", "ED", "allocation policy for -deploy mode")
+	progress := flag.Bool("progress", false, "stream push/pull/clock events while training (-deploy mode)")
 	flag.Parse()
 
 	if *nm < 1 {
 		fatalf("-nm must be >= 1")
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *deploy {
+		runDeploy(ctx, *modelName, *clusterName, *policy, *taskName,
+			*d, *nm, *mb, *chunks, *seed, *lr, *tcp, *progress)
+		return
+	}
+
 	var task train.Task
 	var err error
-	switch *modelName {
+	switch *taskName {
 	case "logreg":
 		task, err = train.DefaultTask(*seed)
 	case "mlp":
 		task, err = train.DefaultMLPTask(*seed)
 	default:
-		err = fmt.Errorf("unknown model %q (want logreg or mlp)", *modelName)
+		err = fmt.Errorf("unknown task %q (want logreg or mlp)", *taskName)
 	}
 	if err != nil {
 		fatalf("%v", err)
 	}
 
 	if *conform {
-		report, err := cluster.RunConformance(cluster.ConformanceConfig{
+		report, err := cluster.RunConformance(ctx, cluster.ConformanceConfig{
 			Task: task, Workers: *workers, SLocal: *nm - 1, D: *d,
 			LR: *lr, MaxMinibatches: *mb,
 			Servers: *shards, Chunks: *chunks, TCP: *tcp,
@@ -72,7 +99,7 @@ func main() {
 		return
 	}
 
-	stats, err := cluster.Run(cluster.Config{
+	stats, err := cluster.Run(ctx, cluster.Config{
 		Task: task, Workers: *workers, Servers: *shards,
 		SLocal: *nm - 1, D: *d, LR: *lr,
 		MaxMinibatches: *mb, Chunks: *chunks, TCP: *tcp,
@@ -90,6 +117,58 @@ func main() {
 		stats.Minibatches, stats.Pushes, stats.Pulls, stats.GlobalClock, stats.MaxClockDistance, *d+1)
 	fmt.Printf("final accuracy=%.3f loss=%.4f wall=%.3fs\n",
 		task.Accuracy(stats.FinalWeights), task.Loss(stats.FinalWeights), stats.Elapsed.Seconds())
+}
+
+// runDeploy resolves a deployment through the public API and trains it live:
+// worker and shard counts come from the deployment (one worker per virtual
+// worker, one shard host per cluster node), exactly as hetpipe.Run's live
+// backend deploys them.
+func runDeploy(ctx context.Context, modelName, clusterName, policy, taskName string,
+	d, nm, mb, chunks int, seed int64, lr float64, tcp, progress bool) {
+	opts := []hetpipe.Option{
+		hetpipe.WithModel(modelName),
+		hetpipe.WithCluster(clusterName),
+		hetpipe.WithPolicy(policy),
+		hetpipe.WithD(d),
+		hetpipe.WithNm(nm),
+		hetpipe.WithMinibatchesPerVW(mb),
+		hetpipe.WithTrainTask(taskName),
+		hetpipe.WithSeed(seed),
+		hetpipe.WithLearningRate(lr),
+		hetpipe.WithTCP(tcp),
+		hetpipe.WithChunks(chunks),
+	}
+	if progress {
+		opts = append(opts, hetpipe.WithObserver(func(e hetpipe.Event) {
+			switch e.Kind {
+			case hetpipe.EventPush:
+				fmt.Printf("  t=%7.3fs  VW%d pushed wave %d\n", e.Time, e.VW+1, e.Wave)
+			case hetpipe.EventPull:
+				fmt.Printf("  t=%7.3fs  VW%d pulled at global clock %d\n", e.Time, e.VW+1, e.Clock)
+			case hetpipe.EventClockAdvance:
+				fmt.Printf("  t=%7.3fs  global clock -> %d\n", e.Time, e.Clock)
+			}
+		}))
+	}
+	dep, err := hetpipe.New(opts...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	mode := "in-process"
+	if tcp {
+		mode = "TCP"
+	}
+	fmt.Printf("live deployment (%s): %s on %s/%s, %d VWs [%s], Nm=%d D=%d, %d minibatches per VW\n",
+		mode, dep.Model(), dep.ClusterName(), policy,
+		len(dep.VirtualWorkers()), dep.VirtualWorkers()[0], dep.Nm(), dep.D(), mb)
+	sum, err := dep.Train(ctx)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("minibatches=%d pushes=%d pulls=%d globalClock=%d maxClockDistance=%d (bound %d)\n",
+		sum.Minibatches, sum.Pushes, sum.Pulls, sum.GlobalClock, sum.MaxClockDistance, dep.D()+1)
+	fmt.Printf("final accuracy=%.3f loss=%.4f wall=%.3fs\n",
+		sum.FinalAccuracy, sum.FinalLoss, sum.WallSeconds)
 }
 
 func fatalf(format string, args ...any) {

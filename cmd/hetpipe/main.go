@@ -1,19 +1,22 @@
 // Command hetpipe simulates one HetPipe deployment on the paper's 16-GPU
 // heterogeneous cluster and reports throughput, partition plans, and
-// synchronization overhead.
+// synchronization overhead. Ctrl-C cancels a run in flight.
 //
 // Usage:
 //
 //	hetpipe -model vgg19 -policy ED -local -d 4
 //	hetpipe -model resnet152 -specs VRQ,VRQ,VRQ,VRQ -nm 4
 //	hetpipe -model resnet152 -cluster paper-x2 -policy HD
+//	hetpipe -model vgg19 -policy ED -progress   # stream wave/clock events
 //	hetpipe -model vgg19 -horovod
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"hetpipe"
@@ -30,7 +33,11 @@ func main() {
 	local := flag.Bool("local", false, "use local parameter placement (ED only)")
 	horovod := flag.Bool("horovod", false, "run the Horovod baseline instead")
 	gantt := flag.Bool("gantt", false, "print the pipeline schedule of VW 0")
+	progress := flag.Bool("progress", false, "stream wave-push and clock-advance events while simulating")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *horovod {
 		b, err := hetpipe.Horovod(*modelName, *clusterName, *batch)
@@ -45,20 +52,36 @@ func main() {
 		return
 	}
 
-	cfg := hetpipe.Config{
-		Model:          *modelName,
-		Cluster:        *clusterName,
-		Policy:         *policy,
-		Batch:          *batch,
-		Nm:             *nm,
-		D:              *d,
-		LocalPlacement: *local,
+	opts := []hetpipe.Option{
+		hetpipe.WithModel(*modelName),
+		hetpipe.WithCluster(*clusterName),
+		hetpipe.WithBatch(*batch),
+		hetpipe.WithNm(*nm),
+		hetpipe.WithD(*d),
+		hetpipe.WithLocalPlacement(*local),
 	}
 	if *specs != "" {
-		cfg.Specs = strings.Split(*specs, ",")
-		cfg.Policy = ""
+		opts = append(opts, hetpipe.WithSpecs(strings.Split(*specs, ",")...))
+	} else {
+		opts = append(opts, hetpipe.WithPolicy(*policy))
 	}
-	res, err := hetpipe.Run(cfg)
+	if *progress {
+		opts = append(opts, hetpipe.WithObserver(func(e hetpipe.Event) {
+			switch e.Kind {
+			case hetpipe.EventPush:
+				fmt.Printf("  t=%8.2fs  VW%d pushed wave %d (global clock %d)\n", e.Time, e.VW+1, e.Wave, e.Clock)
+			case hetpipe.EventClockAdvance:
+				fmt.Printf("  t=%8.2fs  global clock -> %d\n", e.Time, e.Clock)
+			}
+		}))
+	}
+
+	dep, err := hetpipe.New(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := dep.Simulate(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -68,7 +91,8 @@ func main() {
 	for i, tp := range res.PerVW {
 		fmt.Printf("  VW%d [%s]: %.0f samples/s\n", i+1, res.VirtualWorkers[i], tp)
 	}
-	fmt.Printf("  waiting %.1fs, idle %.1fs across VWs\n", res.Waiting, res.Idle)
+	fmt.Printf("  waiting %.1fs, idle %.1fs across VWs; %d pushes, %d pulls, max clock distance %d\n",
+		res.Waiting, res.Idle, res.Pushes, res.Pulls, res.MaxClockDistance)
 	for i, plan := range res.Plans {
 		fmt.Printf("  VW%d partition (bottleneck %.1f ms):\n", i+1, plan.Bottleneck*1e3)
 		for s, st := range plan.Stages {
@@ -78,8 +102,7 @@ func main() {
 		}
 	}
 	if *gantt {
-		spec := res.VirtualWorkers[0]
-		g, err := hetpipe.Gantt(*modelName, *clusterName, spec, res.Nm, 4*res.Nm, 110)
+		g, err := dep.Gantt(0, 4*res.Nm, 110)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -14,13 +14,17 @@
 //
 // Results land in -json and -csv (set either to "" to skip). The output is
 // deterministic: for a given grid, every worker count produces byte-identical
-// files.
+// files. Scenarios differing only in D share one resolved deployment
+// (partitioning and auto-Nm run once per family), and Ctrl-C cancels the
+// sweep cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -79,6 +83,9 @@ func main() {
 		fatalf("-nm: %v", err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	scenarios, err := grid.Expand()
 	if err != nil {
 		fatalf("%v", err)
@@ -97,7 +104,7 @@ func main() {
 			fmt.Printf("  [%*d/%d] %-45s %s\n", digits(len(scenarios)), done, len(scenarios), r.Scenario.ID(), status)
 		}
 	}
-	set, err := sweep.Run(grid, opt)
+	set, err := sweep.Run(ctx, grid, opt)
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -1,0 +1,263 @@
+package hetpipe
+
+import (
+	"context"
+	"fmt"
+
+	"hetpipe/internal/cluster"
+	"hetpipe/internal/core"
+	"hetpipe/internal/hw"
+	"hetpipe/internal/model"
+	"hetpipe/internal/pipeline"
+	"hetpipe/internal/profile"
+	"hetpipe/internal/trace"
+	"hetpipe/internal/train"
+)
+
+// Deployment is a fully-resolved HetPipe configuration: the model, cluster,
+// allocation, per-virtual-worker partition plans, and the chosen Nm, bound
+// together once by New. It is the plan/execute split of the paper's Section 5
+// deployment flow made explicit: resolution happens exactly once, the result
+// is inspectable (Plans, SGlobal, VirtualWorkers), and the deployment can
+// then be run any number of times — Simulate drives the discrete-event
+// co-simulation, Train drives the live sharded parameter-server runtime —
+// each run independently cancellable through its context.
+//
+// A Deployment is immutable after New and safe for concurrent use: multiple
+// Simulate and Train calls may run at the same time.
+type Deployment struct {
+	set settings
+	sys *core.System
+	cl  *hw.Cluster
+	// clusterName is the catalog key actually resolved ("paper" when the
+	// options left it empty).
+	clusterName string
+	alloc       *hw.Allocation
+	dep         *core.Deployment
+}
+
+// New resolves a deployment from functional options: the model graph, the
+// cluster inventory, the resource allocation (policy or explicit specs), the
+// per-virtual-worker partition plans, and the concurrent-minibatch count Nm.
+// All validation happens here — unknown names are reported through the
+// package's sentinel errors (ErrUnknownModel, ErrUnknownCluster, ...), so
+// callers can errors.Is them.
+func New(opts ...Option) (*Deployment, error) {
+	set := defaultSettings()
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&set)
+		}
+	}
+
+	m, err := model.ByName(set.model)
+	if err != nil {
+		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownModel, set.model, Models())
+	}
+	cl, clusterName, err := clusterByName(set.cluster)
+	if err != nil {
+		return nil, err
+	}
+	switch set.task {
+	case "logreg", "mlp":
+	default:
+		return nil, fmt.Errorf("%w %q (want logreg or mlp)", ErrUnknownTask, set.task)
+	}
+	batch := set.batch
+	if batch == 0 {
+		batch = 32
+		set.batch = batch
+	}
+	sys, err := core.NewSystem(cl, m, profile.Default(), batch)
+	if err != nil {
+		return nil, err
+	}
+
+	var alloc *hw.Allocation
+	switch {
+	case len(set.specs) > 0:
+		alloc, err = hw.AllocateByTypes(cl, set.specs)
+	case set.policy != "":
+		p, perr := hw.PolicyByName(set.policy)
+		if perr != nil {
+			return nil, fmt.Errorf("%w %q (want NP, ED, or HD)", ErrUnknownPolicy, set.policy)
+		}
+		alloc, err = hw.Allocate(cl, p)
+	default:
+		return nil, fmt.Errorf("%w: use WithPolicy or WithSpecs", ErrNoAllocation)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	placement := core.PlacementDefault
+	if set.local {
+		placement = core.PlacementLocal
+	}
+	dep, err := sys.Deploy(alloc, set.nm, set.d, placement)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{set: set, sys: sys, cl: cl, clusterName: clusterName, alloc: alloc, dep: dep}, nil
+}
+
+// Model reports the deployed model's zoo key, as given to WithModel.
+func (d *Deployment) Model() string { return d.set.model }
+
+// ClusterName reports the cluster-catalog key the deployment resolved
+// ("paper" when none was given).
+func (d *Deployment) ClusterName() string { return d.clusterName }
+
+// Batch reports the per-minibatch sample count (default 32), used
+// consistently by partitioning, simulation, and the gantt renderer.
+func (d *Deployment) Batch() int { return d.sys.Batch }
+
+// Nm reports the concurrent-minibatch count per virtual worker, resolved
+// from WithNm or chosen to maximize throughput.
+func (d *Deployment) Nm() int { return d.dep.Nm }
+
+// D reports the WSP clock-distance bound.
+func (d *Deployment) D() int { return d.dep.D }
+
+// SLocal reports the local staleness bound, Nm-1 (Section 4).
+func (d *Deployment) SLocal() int { return d.dep.SLocal() }
+
+// SGlobal reports the WSP global staleness bound, (D+1)*Nm + Nm - 2
+// (Section 5.2).
+func (d *Deployment) SGlobal() int { return d.dep.SGlobal() }
+
+// VirtualWorkers lists each virtual worker's GPU mix as a type string, e.g.
+// "VRGQ".
+func (d *Deployment) VirtualWorkers() []string {
+	out := make([]string, 0, len(d.dep.VWs))
+	for _, vp := range d.dep.VWs {
+		out = append(out, vp.VW.TypeString())
+	}
+	return out
+}
+
+// Plans returns a read-only view of every virtual worker's partition plan.
+func (d *Deployment) Plans() []*PlanView {
+	out := make([]*PlanView, 0, len(d.dep.VWs))
+	for _, vp := range d.dep.VWs {
+		out = append(out, planView(vp.Plan))
+	}
+	return out
+}
+
+// minibatchBudget resolves the per-VW run length.
+func (d *Deployment) minibatchBudget() int {
+	if d.set.minibatches != 0 {
+		return d.set.minibatches
+	}
+	return d.dep.DefaultMinibatches()
+}
+
+// Simulate runs the deployment through the discrete-event co-simulation and
+// reports throughput, staleness bounds, and synchronization overhead. The
+// run is aborted with ctx.Err() when ctx is cancelled or its deadline
+// passes; a configured observer (WithObserver) streams events in virtual
+// time while the run is in flight. Simulate may be called many times; runs
+// are deterministic and independent.
+func (d *Deployment) Simulate(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	mr, err := d.dep.SimulateWSPContext(ctx, d.minibatchBudget(), 4*d.dep.Nm, d.set.obsFunc())
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Throughput:       mr.Aggregate,
+		PerVW:            mr.PerVW,
+		Nm:               d.dep.Nm,
+		SGlobal:          d.dep.SGlobal(),
+		Waiting:          mr.Waiting,
+		Idle:             mr.Idle,
+		Pushes:           mr.Pushes,
+		Pulls:            mr.Pulls,
+		MaxClockDistance: mr.MaxClockDistance,
+	}
+	res.VirtualWorkers = d.VirtualWorkers()
+	res.Plans = d.Plans()
+	return res, nil
+}
+
+// newTask instantiates the live backend's training task from the settings.
+// Task names are validated in New, so an error here is a task-construction
+// failure, not a lookup failure.
+func (d *Deployment) newTask() (train.Task, error) {
+	switch d.set.task {
+	case "mlp":
+		return train.DefaultMLPTask(d.set.seed)
+	default:
+		return train.DefaultTask(d.set.seed)
+	}
+}
+
+// Train executes the deployment's WSP schedule on the live sharded
+// parameter-server runtime: one goroutine per virtual worker training a real
+// numeric task (WithTrainTask) against one shard host per cluster node, with
+// the clock-distance bound D enforced by blocking pulls, in process or over
+// TCP (WithTCP). Cancelling ctx aborts the run cleanly — every worker
+// goroutine, blocked pull, TCP connection, and listener is reaped — and
+// Train returns ctx.Err(). A configured observer streams protocol events in
+// wall-clock time. Train may be called many times; each run stands up and
+// tears down its own servers.
+func (d *Deployment) Train(ctx context.Context) (*LiveSummary, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	task, err := d.newTask()
+	if err != nil {
+		return nil, err
+	}
+	live, err := cluster.Run(ctx, cluster.Config{
+		Task:           task,
+		Workers:        len(d.dep.VWs),
+		Servers:        len(d.cl.Nodes), // one PS shard host per node, as deployed in the paper
+		SLocal:         d.dep.Nm - 1,
+		D:              d.dep.D,
+		LR:             d.set.lr,
+		MaxMinibatches: d.minibatchBudget(),
+		Chunks:         d.set.chunks,
+		TCP:            d.set.tcp,
+		Observer:       d.set.obsFunc(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LiveSummary{
+		Minibatches:      live.Minibatches,
+		Pushes:           live.Pushes,
+		Pulls:            live.Pulls,
+		GlobalClock:      live.GlobalClock,
+		MaxClockDistance: live.MaxClockDistance,
+		FinalAccuracy:    task.Accuracy(live.FinalWeights),
+		FinalLoss:        task.Loss(live.FinalWeights),
+		WallSeconds:      live.Elapsed.Seconds(),
+	}, nil
+}
+
+// Gantt simulates virtual worker vw's pipeline alone and renders its
+// schedule as an ASCII chart (the Figure 1 view), using the deployment's own
+// partition plan and batch size — the batch set through WithBatch (default
+// 32) rather than a hard-coded one. width is the chart width in columns;
+// minibatches <= 0 defaults to 4*Nm.
+func (d *Deployment) Gantt(vw, minibatches, width int) (string, error) {
+	if vw < 0 || vw >= len(d.dep.VWs) {
+		return "", fmt.Errorf("hetpipe: virtual worker %d out of range [0,%d)", vw, len(d.dep.VWs))
+	}
+	if minibatches <= 0 {
+		minibatches = 4 * d.dep.Nm
+	}
+	plan := d.dep.VWs[vw].Plan
+	tr := trace.New(len(plan.Stages))
+	if _, err := pipeline.Run(pipeline.Config{
+		Plan: plan, Cluster: d.sys.Cluster, Perf: d.sys.Perf,
+		Minibatches: minibatches, Warmup: 1, Trace: tr,
+	}); err != nil {
+		return "", err
+	}
+	return tr.Gantt(width), nil
+}

@@ -1,10 +1,12 @@
 // Allocation study (the Figure 4 scenario): how the choice of resource
 // allocation policy — NP, ED, ED with local parameter placement, HD —
 // changes aggregate throughput relative to Horovod, for both evaluation
-// models, at D=0.
+// models, at D=0. Each configuration is resolved once with hetpipe.New and
+// then simulated.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	for _, model := range []string{"resnet152", "vgg19"} {
 		fmt.Printf("%s:\n", model)
 		base, err := hetpipe.Horovod(model, "", 32)
@@ -34,11 +37,16 @@ func main() {
 			{"ED-local", "ED", true},
 			{"HD", "HD", false},
 		} {
-			res, err := hetpipe.Run(hetpipe.Config{
-				Model:          model,
-				Policy:         cfg.policy,
-				LocalPlacement: cfg.local,
-			})
+			dep, err := hetpipe.New(
+				hetpipe.WithModel(model),
+				hetpipe.WithPolicy(cfg.policy),
+				hetpipe.WithLocalPlacement(cfg.local),
+			)
+			if err != nil {
+				fmt.Printf("  %-9s failed: %v\n", cfg.label, err)
+				continue
+			}
+			res, err := dep.Simulate(ctx)
 			if err != nil {
 				fmt.Printf("  %-9s failed: %v\n", cfg.label, err)
 				continue

@@ -1,7 +1,8 @@
 // Convergence study (the Figure 6 scenario): real numeric SGD under the WSP
 // synchronization schedule, co-simulated with cluster timing. Compares
 // Horovod against HetPipe at several clock-distance bounds D and prints the
-// loss trajectory of each run.
+// loss trajectory of each run, through the public experiment catalog
+// (hetpipe.RunExperiment).
 package main
 
 import (

@@ -1,92 +1,64 @@
-// Parameter-server demo: the TCP-based sharded parameter server substrate
-// carrying real WSP traffic. Four simulated virtual workers (goroutines)
-// push one aggregated update per wave and pull lazily under the
-// clock-distance bound D, over real sockets with gob encoding.
-//
-// This example exercises internal machinery directly (it lives in the same
-// module), showing the substrate the simulations model.
+// Parameter-server demo: real WSP traffic over the TCP sharded
+// parameter-server substrate, driven through the public API. A VGG-19 ED
+// deployment is resolved once with hetpipe.New, then trained live
+// (Deployment.Train): one goroutine per virtual worker pushes one aggregated
+// update per wave and pulls lazily under the clock-distance bound D, over
+// real loopback sockets with gob encoding. An observer streams every push,
+// pull, and observed clock advance; a context deadline shows that a live
+// TCP run cancels cleanly, with all goroutines and sockets reaped.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
-	"net"
-	"sync"
+	"time"
 
-	"hetpipe/internal/ps"
-	"hetpipe/internal/tensor"
-	"hetpipe/internal/wsp"
-)
-
-const (
-	workers  = 4
-	waves    = 12
-	waveSize = 4 // slocal + 1
-	dim      = 1 << 16
-	d        = 1 // clock distance bound
+	"hetpipe"
 )
 
 func main() {
-	server, err := ps.NewServer(workers)
+	observer := func(e hetpipe.Event) {
+		switch e.Kind {
+		case hetpipe.EventPush:
+			fmt.Printf("  t=%7.3fs  worker %d pushed wave %2d\n", e.Time, e.VW, e.Wave)
+		case hetpipe.EventPull:
+			fmt.Printf("  t=%7.3fs  worker %d pulled at global clock %2d\n", e.Time, e.VW, e.Clock)
+		case hetpipe.EventClockAdvance:
+			fmt.Printf("  t=%7.3fs  global clock -> %2d\n", e.Time, e.Clock)
+		}
+	}
+	dep, err := hetpipe.New(
+		hetpipe.WithModel("vgg19"),
+		hetpipe.WithPolicy("ED"),
+		hetpipe.WithNm(4), // wave size 4, slocal = 3
+		hetpipe.WithD(1),
+		hetpipe.WithMinibatchesPerVW(48), // 12 waves per worker
+		hetpipe.WithTCP(true),
+		hetpipe.WithObserver(observer),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := server.Register("weights", make([]float64, dim)); err != nil {
-		log.Fatal(err)
-	}
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer l.Close()
-	go ps.Serve(l, server)
-	fmt.Printf("parameter server listening on %s (%d-float shard)\n", l.Addr(), dim)
+	fmt.Printf("live TCP WSP training: %d workers (one per virtual worker), D=%d, wave size %d\n",
+		len(dep.VirtualWorkers()), dep.D(), dep.Nm())
 
-	params := wsp.Params{SLocal: waveSize - 1, D: d, Workers: workers}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			client, err := ps.Dial(l.Addr().String())
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer client.Close()
-			lastPulled := 0
-			for wave := 0; wave < waves; wave++ {
-				// One aggregated update per wave (all-ones scaled by the
-				// wave size, standing in for -lr * sum of gradients).
-				update := tensor.NewVector(dim)
-				for i := range update {
-					update[i] = 1.0 / dim * float64(waveSize)
-				}
-				clock, err := client.Push(w, map[string]tensor.Vector{"weights": update})
-				if err != nil {
-					log.Fatal(err)
-				}
-				// Lazy pull: only when the next wave's gate demands it.
-				req := params.RequiredGlobalClock((wave + 2) * waveSize)
-				if req > lastPulled {
-					_, got, err := client.Pull([]string{"weights"}, req)
-					if err != nil {
-						log.Fatal(err)
-					}
-					lastPulled = got
-					fmt.Printf("worker %d: wave %2d pushed (clock %2d), pulled at global clock %2d\n",
-						w, wave, clock, got)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	weights, clock, err := server.Pull([]string{"weights"}, waves)
+	sum, err := dep.Train(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	pushes, pulls := server.Stats()
-	fmt.Printf("final: global clock %d, weights[0] = %.4f (expect %.4f), %d pushes, %d pulls\n",
-		clock, weights["weights"][0], float64(workers*waves*waveSize)/dim, pushes, pulls)
+	fmt.Printf("final: global clock %d, %d pushes, %d pulls, max clock distance %d (bound %d), accuracy %.3f\n",
+		sum.GlobalClock, sum.Pushes, sum.Pulls, sum.MaxClockDistance, dep.D()+1, sum.FinalAccuracy)
+
+	// The same deployment, run again under a deadline that cannot be met:
+	// the run aborts mid-flight with context.DeadlineExceeded and every
+	// worker goroutine, blocked pull, and TCP socket is reaped.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := dep.Train(ctx); errors.Is(err, context.DeadlineExceeded) {
+		fmt.Println("deadlined rerun: cancelled cleanly with context.DeadlineExceeded")
+	} else {
+		fmt.Printf("deadlined rerun: unexpected result: %v\n", err)
+	}
 }

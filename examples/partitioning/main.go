@@ -1,7 +1,8 @@
 // Partitioning study: how the Section 7 partitioner splits ResNet-152 and
 // VGG-19 across heterogeneous virtual workers, and how the memory pressure
 // of deeper pipelines (larger Nm) reshapes the split — the effect that bounds
-// Maxm on whimpy GPUs.
+// Maxm on whimpy GPUs. Each (model, spec, Nm) point is resolved as a
+// single-VW deployment with hetpipe.New and its plan read back with Plans.
 package main
 
 import (
@@ -14,13 +15,18 @@ func main() {
 	for _, model := range []string{"resnet152", "vgg19"} {
 		for _, spec := range []string{"VVVV", "VRGQ", "GGGG"} {
 			for _, nm := range []int{1, 4, 7} {
-				plan, err := hetpipe.Plan(model, spec, nm, 32)
+				dep, err := hetpipe.New(
+					hetpipe.WithModel(model),
+					hetpipe.WithSpecs(spec),
+					hetpipe.WithNm(nm),
+				)
 				if err != nil {
 					fmt.Printf("%s on %s, Nm=%d: %v\n\n", model, spec, nm, err)
 					continue
 				}
+				plan := dep.Plans()[0]
 				fmt.Printf("%s on %s, Nm=%d  (bottleneck %.1f ms => at most %.0f samples/s)\n",
-					model, spec, nm, plan.Bottleneck*1e3, 32/plan.Bottleneck)
+					model, spec, nm, plan.Bottleneck*1e3, float64(dep.Batch())/plan.Bottleneck)
 				for i, st := range plan.Stages {
 					fmt.Printf("  stage %d %-10s layers [%3d,%3d)  exec %6.1f ms  mem %5.2f/%5.2f GiB\n",
 						i+1, st.GPU, st.Layers[0], st.Layers[1], st.ExecTime*1e3,

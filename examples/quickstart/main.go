@@ -1,9 +1,11 @@
-// Quickstart: train VGG-19 on the paper's 16-GPU heterogeneous cluster with
-// the ED allocation policy and local parameter placement (the paper's best
-// configuration), and compare against the Horovod baseline.
+// Quickstart: resolve a deployment of VGG-19 on the paper's 16-GPU
+// heterogeneous cluster with the ED allocation policy and local parameter
+// placement (the paper's best configuration), inspect it, simulate it, and
+// compare against the Horovod baseline.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,16 +13,26 @@ import (
 )
 
 func main() {
-	res, err := hetpipe.Run(hetpipe.Config{
-		Model:          "vgg19",
-		Policy:         "ED",
-		LocalPlacement: true,
-		D:              0,
-	})
+	// New resolves everything once: model, cluster, allocation, per-VW
+	// partition plans, and the throughput-maximizing Nm. The deployment can
+	// then be inspected and run any number of times.
+	dep, err := hetpipe.New(
+		hetpipe.WithModel("vgg19"),
+		hetpipe.WithPolicy("ED"),
+		hetpipe.WithLocalPlacement(true),
+		hetpipe.WithD(0),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("HetPipe ED-local VGG-19: %.0f samples/s aggregate (Nm=%d)\n", res.Throughput, res.Nm)
+	fmt.Printf("deployment: %s on %s, %d virtual workers, Nm=%d, slocal=%d, sglobal=%d\n",
+		dep.Model(), dep.ClusterName(), len(dep.VirtualWorkers()), dep.Nm(), dep.SLocal(), dep.SGlobal())
+
+	res, err := dep.Simulate(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HetPipe ED-local VGG-19: %.0f samples/s aggregate\n", res.Throughput)
 	for i, tp := range res.PerVW {
 		fmt.Printf("  virtual worker %d [%s]: %.0f samples/s\n", i+1, res.VirtualWorkers[i], tp)
 	}

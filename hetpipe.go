@@ -1,7 +1,8 @@
 // Package hetpipe is a reproduction of "HetPipe: Enabling Large DNN Training
 // on (Whimpy) Heterogeneous GPU Clusters through Integration of Pipelined
 // Model Parallelism and Data Parallelism" (Park et al., USENIX ATC 2020) as
-// a Go library over a discrete-event cluster simulator.
+// a Go library over a discrete-event cluster simulator and a live sharded
+// parameter-server runtime.
 //
 // The library models the paper's heterogeneous testbed (four nodes of TITAN
 // V / TITAN RTX / GeForce RTX 2060 / Quadro P4000 GPUs), partitions DNN
@@ -9,74 +10,107 @@
 // virtual workers of possibly whimpy GPUs, executes pipelined model
 // parallelism within each virtual worker, and synchronizes virtual workers
 // through the Wave Synchronous Parallel (WSP) protocol with a configurable
-// clock-distance bound D. A Horovod-style all-reduce BSP baseline, real
-// numeric convergence co-simulation, and regenerators for every table and
-// figure of the paper's evaluation are included.
+// clock-distance bound D.
 //
-// Quick start:
+// The API follows the paper's plan/execute split: New resolves a deployment
+// once — model, cluster, allocation, partition plans, Nm — and the resulting
+// Deployment is inspectable and runnable many times:
 //
-//	res, err := hetpipe.Run(hetpipe.Config{
-//		Model:          "vgg19",
-//		Policy:         "ED",
-//		LocalPlacement: true,
-//	})
+//	dep, err := hetpipe.New(
+//		hetpipe.WithModel("vgg19"),
+//		hetpipe.WithPolicy("ED"),
+//		hetpipe.WithLocalPlacement(true),
+//	)
+//	if err != nil { ... }
+//	res, err := dep.Simulate(ctx)  // discrete-event co-simulation
+//	sum, err := dep.Train(ctx)     // live sharded-PS runtime, real goroutines/sockets
+//
+// Both run methods honor context cancellation and deadlines — a cancelled
+// live run reaps every worker goroutine, blocked pull, and TCP socket and
+// returns ctx.Err() — and stream in-flight progress to an observer attached
+// with WithObserver. Configuration errors are reported through sentinel
+// errors (ErrUnknownModel, ErrUnknownCluster, ...) matchable with errors.Is.
+//
+// Run and Config remain as a thin compatibility wrapper over New for
+// existing callers.
 //
 // See examples/ for complete programs, cmd/hetbench for the experiment
+// harness, cmd/hetlive for the live runtime and its sim-vs-live conformance
 // harness, and cmd/hetsweep for parallel exploration of configuration grids
 // (internal/sweep) across the model zoo and the cluster catalog.
 package hetpipe
 
 import (
+	"context"
 	"fmt"
 
-	"hetpipe/internal/cluster"
 	"hetpipe/internal/core"
 	"hetpipe/internal/experiment"
 	"hetpipe/internal/hw"
 	"hetpipe/internal/model"
 	"hetpipe/internal/partition"
-	"hetpipe/internal/pipeline"
 	"hetpipe/internal/profile"
-	"hetpipe/internal/trace"
-	"hetpipe/internal/train"
 )
 
 // Config selects a HetPipe deployment on a cataloged cluster (the paper's
 // 16-GPU testbed by default).
+//
+// Config and Run are the package's compatibility surface: they are a thin
+// wrapper over New and Deployment, which new code should use directly for
+// cancellation, observability, and plan-once/run-many reuse. Each Config
+// field maps to one functional option (see the README migration table).
 type Config struct {
 	// Model names the DNN, e.g. "vgg19" or "resnet152" (see Models for the
-	// full zoo).
+	// full zoo). Maps to WithModel.
 	Model string
 	// Cluster names a cluster-catalog shape (see Clusters); empty means
-	// "paper", the Section 8.1 testbed.
+	// "paper", the Section 8.1 testbed. Maps to WithCluster.
 	Cluster string
 	// Policy selects a Table 3 allocation: "NP", "ED", or "HD". Leave empty
-	// to use Specs instead.
+	// to use Specs instead. Maps to WithPolicy.
 	Policy string
 	// Specs gives explicit virtual-worker GPU type strings (e.g.
-	// ["VRQ","VRQ","VRQ","VRQ"]), overriding Policy.
+	// ["VRQ","VRQ","VRQ","VRQ"]), overriding Policy. Maps to WithSpecs.
 	Specs []string
-	// Batch is the per-minibatch sample count; 0 defaults to 32.
+	// Batch is the per-minibatch sample count; 0 defaults to 32. Maps to
+	// WithBatch.
 	Batch int
 	// Nm is the number of concurrent minibatches per virtual worker;
-	// 0 picks the throughput-maximizing value automatically.
+	// 0 picks the throughput-maximizing value automatically. Maps to WithNm.
 	Nm int
-	// D is the WSP clock-distance bound (0 = BSP-like waves).
+	// D is the WSP clock-distance bound (0 = BSP-like waves). Maps to WithD.
 	D int
 	// LocalPlacement co-locates parameter shards with pipeline stages
-	// (the paper's ED-local policy). Requires stage/node alignment.
+	// (the paper's ED-local policy). Requires stage/node alignment. Maps to
+	// WithLocalPlacement.
 	LocalPlacement bool
 	// MinibatchesPerVW sizes the simulation; 0 picks a D-aware default of
-	// at least 24 waves.
+	// at least 24 waves. Maps to WithMinibatchesPerVW.
 	MinibatchesPerVW int
 	// Backend selects the execution substrate. "" or "sim" runs the
-	// discrete-event co-simulation. "live" additionally drives the
-	// internal/cluster runtime: one goroutine per virtual worker training a
-	// real numeric task against one parameter-server shard host per cluster
-	// node, with the D-bound enforced by blocking pulls — Result.Live then
-	// carries the measured counts. The two backends are conformance-tested
-	// against each other (see cmd/hetlive).
+	// discrete-event co-simulation (Deployment.Simulate). "live"
+	// additionally drives the internal/cluster runtime
+	// (Deployment.Train) — Result.Live then carries the measured counts.
 	Backend string
+}
+
+// options translates the flat Config into the option list New consumes.
+func (c Config) options() []Option {
+	opts := []Option{
+		WithModel(c.Model),
+		WithCluster(c.Cluster),
+		WithBatch(c.Batch),
+		WithNm(c.Nm),
+		WithD(c.D),
+		WithLocalPlacement(c.LocalPlacement),
+		WithMinibatchesPerVW(c.MinibatchesPerVW),
+	}
+	if len(c.Specs) > 0 {
+		opts = append(opts, WithSpecs(c.Specs...))
+	} else if c.Policy != "" {
+		opts = append(opts, WithPolicy(c.Policy))
+	}
+	return opts
 }
 
 // Result summarizes a simulated HetPipe deployment.
@@ -93,6 +127,12 @@ type Result struct {
 	// Waiting and Idle decompose synchronization overhead (seconds summed
 	// over virtual workers; idle is the unhidden part).
 	Waiting, Idle float64
+	// Pushes and Pulls count parameter-server synchronization actions over
+	// the simulated run; both shrink as D grows.
+	Pushes, Pulls int
+	// MaxClockDistance is the largest clock skew observed between virtual
+	// workers (bounded by D+1).
+	MaxClockDistance int
 	// VirtualWorkers describes each VW's GPU mix.
 	VirtualWorkers []string
 	// Plans carries the per-VW partition plans for inspection.
@@ -107,12 +147,15 @@ type LiveSummary struct {
 	// Minibatches, Pushes, Pulls are protocol-action counts summed over
 	// workers.
 	Minibatches, Pushes, Pulls int
+	// GlobalClock is the final global clock (complete waves per worker).
+	GlobalClock int
 	// MaxClockDistance is the largest clock spread any shard observed
 	// (bounded by D+1).
 	MaxClockDistance int
-	// FinalAccuracy is the numeric task's held-out accuracy on the final
+	// FinalAccuracy and FinalLoss evaluate the numeric task on the final
 	// server-held weights.
 	FinalAccuracy float64
+	FinalLoss     float64
 	// WallSeconds is the measured wall-clock duration of the worker phase.
 	WallSeconds float64
 }
@@ -134,120 +177,46 @@ type StageView struct {
 }
 
 // clusterByName resolves a cluster-catalog key, defaulting to the paper
-// testbed when empty.
-func clusterByName(name string) (*hw.Cluster, error) {
+// testbed when empty; it reports the name it actually looked up.
+func clusterByName(name string) (*hw.Cluster, string, error) {
 	if name == "" {
 		name = "paper"
 	}
-	return hw.ClusterByName(name)
-}
-
-func (c *Config) system() (*core.System, *hw.Allocation, error) {
-	m, err := model.ByName(c.Model)
+	c, err := hw.ClusterByName(name)
 	if err != nil {
-		return nil, nil, err
+		return nil, name, fmt.Errorf("%w %q (have %v)", ErrUnknownCluster, name, Clusters())
 	}
-	batch := c.Batch
-	if batch == 0 {
-		batch = 32
-	}
-	cluster, err := clusterByName(c.Cluster)
-	if err != nil {
-		return nil, nil, err
-	}
-	sys, err := core.NewSystem(cluster, m, profile.Default(), batch)
-	if err != nil {
-		return nil, nil, err
-	}
-	var alloc *hw.Allocation
-	switch {
-	case len(c.Specs) > 0:
-		alloc, err = hw.AllocateByTypes(cluster, c.Specs)
-	case c.Policy != "":
-		p, perr := hw.PolicyByName(c.Policy)
-		if perr != nil {
-			return nil, nil, perr
-		}
-		alloc, err = hw.Allocate(cluster, p)
-	default:
-		return nil, nil, fmt.Errorf("hetpipe: set Policy or Specs")
-	}
-	if err != nil {
-		return nil, nil, err
-	}
-	return sys, alloc, nil
+	return c, name, nil
 }
 
 // Run deploys and simulates the configuration; with Config.Backend "live"
 // it also executes the deployment's WSP schedule on the real sharded
 // parameter-server runtime.
+//
+// Run is the compatibility path: it resolves a Deployment with New, runs
+// Simulate, and (for the live backend) Train, all under
+// context.Background(). Callers that need cancellation, deadlines, run
+// observation, or plan-once/run-many reuse should use New directly.
 func Run(c Config) (*Result, error) {
 	switch c.Backend {
 	case "", "sim", "live":
 	default:
-		return nil, fmt.Errorf("hetpipe: unknown backend %q (want sim or live)", c.Backend)
+		return nil, fmt.Errorf("%w %q (want sim or live)", ErrUnknownBackend, c.Backend)
 	}
-	sys, alloc, err := c.system()
+	dep, err := New(c.options()...)
 	if err != nil {
 		return nil, err
 	}
-	placement := core.PlacementDefault
-	if c.LocalPlacement {
-		placement = core.PlacementLocal
-	}
-	dep, err := sys.Deploy(alloc, c.Nm, c.D, placement)
+	res, err := dep.Simulate(context.Background())
 	if err != nil {
 		return nil, err
-	}
-	mbs := c.MinibatchesPerVW
-	if mbs == 0 {
-		mbs = dep.DefaultMinibatches()
-	}
-	mr, err := dep.SimulateWSP(mbs, 4*dep.Nm)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{
-		Throughput: mr.Aggregate,
-		PerVW:      mr.PerVW,
-		Nm:         dep.Nm,
-		SGlobal:    dep.SGlobal(),
-		Waiting:    mr.Waiting,
-		Idle:       mr.Idle,
-	}
-	for _, vp := range dep.VWs {
-		res.VirtualWorkers = append(res.VirtualWorkers, vp.VW.TypeString())
-		res.Plans = append(res.Plans, planView(vp.Plan))
 	}
 	if c.Backend == "live" {
-		cl, err := clusterByName(c.Cluster)
+		live, err := dep.Train(context.Background())
 		if err != nil {
 			return nil, err
 		}
-		task, err := train.DefaultTask(1)
-		if err != nil {
-			return nil, err
-		}
-		live, err := cluster.Run(cluster.Config{
-			Task:           task,
-			Workers:        len(dep.VWs),
-			Servers:        len(cl.Nodes), // one PS shard host per node, as deployed in the paper
-			SLocal:         dep.Nm - 1,
-			D:              c.D,
-			LR:             0.2,
-			MaxMinibatches: mbs,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Live = &LiveSummary{
-			Minibatches:      live.Minibatches,
-			Pushes:           live.Pushes,
-			Pulls:            live.Pulls,
-			MaxClockDistance: live.MaxClockDistance,
-			FinalAccuracy:    task.Accuracy(live.FinalWeights),
-			WallSeconds:      live.Elapsed.Seconds(),
-		}
+		res.Live = live
 	}
 	return res, nil
 }
@@ -281,12 +250,12 @@ type Baseline struct {
 func Horovod(modelName, clusterName string, batch int) (*Baseline, error) {
 	m, err := model.ByName(modelName)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownModel, modelName, Models())
 	}
 	if batch == 0 {
 		batch = 32
 	}
-	cluster, err := clusterByName(clusterName)
+	cluster, _, err := clusterByName(clusterName)
 	if err != nil {
 		return nil, err
 	}
@@ -311,7 +280,7 @@ func Horovod(modelName, clusterName string, batch int) (*Baseline, error) {
 func Plan(modelName, spec string, nm, batch int) (*PlanView, error) {
 	m, err := model.ByName(modelName)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownModel, modelName, Models())
 	}
 	if batch == 0 {
 		batch = 32
@@ -334,35 +303,22 @@ func Plan(modelName, spec string, nm, batch int) (*PlanView, error) {
 // Gantt simulates one virtual worker on a cataloged cluster (empty
 // clusterName means "paper") and renders its pipeline schedule as an ASCII
 // chart (the Figure 1 view). width is the chart width in columns.
+//
+// Gantt is a convenience over New: it resolves a single-VW deployment for
+// spec and calls Deployment.Gantt, so the batch size is the consistent
+// package default (32) rather than a separate hard-coded value. Use
+// New(WithBatch(...)) and Deployment.Gantt to render at another batch size.
 func Gantt(modelName, clusterName, spec string, nm, minibatches, width int) (string, error) {
-	m, err := model.ByName(modelName)
+	dep, err := New(
+		WithModel(modelName),
+		WithCluster(clusterName),
+		WithSpecs(spec),
+		WithNm(nm),
+	)
 	if err != nil {
 		return "", err
 	}
-	cluster, err := clusterByName(clusterName)
-	if err != nil {
-		return "", err
-	}
-	sys, err := core.NewSystem(cluster, m, profile.Default(), 32)
-	if err != nil {
-		return "", err
-	}
-	alloc, err := hw.AllocateByTypes(cluster, []string{spec})
-	if err != nil {
-		return "", err
-	}
-	plan, err := partition.New(profile.Default()).Partition(cluster, m, alloc.VWs[0], nm, 32)
-	if err != nil {
-		return "", err
-	}
-	tr := trace.New(len(plan.Stages))
-	if _, err := pipeline.Run(pipeline.Config{
-		Plan: plan, Cluster: cluster, Perf: sys.Perf,
-		Minibatches: minibatches, Warmup: 1, Trace: tr,
-	}); err != nil {
-		return "", err
-	}
-	return tr.Gantt(width), nil
+	return dep.Gantt(0, minibatches, width)
 }
 
 // Models lists the model-zoo keys Config.Model accepts.
@@ -374,6 +330,27 @@ func Clusters() []string { return hw.ClusterNames() }
 // Experiments lists the paper-reproduction experiments available through
 // RunExperiment (tables, figures, and analyses of Section 8).
 func Experiments() []string { return experiment.Names() }
+
+// ExperimentInfo describes one registered paper-reproduction experiment.
+type ExperimentInfo struct {
+	// Name is the registry key RunExperiment accepts, e.g. "figure4".
+	Name string
+	// Paper cites the reproduced artifact, e.g. "Figure 4" or "Section 8.4".
+	Paper string
+	// Title describes the experiment in one line.
+	Title string
+}
+
+// ExperimentCatalog lists every registered experiment's metadata in name
+// order — the structured counterpart of Experiments.
+func ExperimentCatalog() []ExperimentInfo {
+	defs := experiment.Defs()
+	out := make([]ExperimentInfo, 0, len(defs))
+	for _, d := range defs {
+		out = append(out, ExperimentInfo{Name: d.Name, Paper: d.Paper, Title: d.Title})
+	}
+	return out
+}
 
 // RunExperiment regenerates one paper table or figure and returns its
 // formatted report.

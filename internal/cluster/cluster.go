@@ -15,10 +15,12 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
+	"hetpipe/internal/obs"
 	"hetpipe/internal/ps"
 	"hetpipe/internal/tensor"
 	"hetpipe/internal/train"
@@ -50,6 +52,11 @@ type Config struct {
 	// TCP runs every worker<->server interaction over real sockets
 	// (ps.Serve / ps.Dial on loopback) instead of in-process calls.
 	TCP bool
+	// Observer, when non-nil, receives protocol events (minibatch
+	// completions, pushes, pulls, observed clock advances) while the run is
+	// in flight. Calls are serialized across workers; Event.Time is
+	// wall-clock seconds since the worker phase started.
+	Observer obs.Func
 }
 
 func (c *Config) validate() error {
@@ -95,7 +102,18 @@ type Stats struct {
 }
 
 // Run executes a live WSP training run and reports its statistics.
-func Run(cfg Config) (*Stats, error) {
+//
+// The run can be cancelled or deadlined through ctx: cancellation closes the
+// shard servers, which wakes every worker blocked in a D-bound pull (in
+// process or over TCP), unwinds all worker goroutines, reaps the TCP
+// listeners and their per-connection serve goroutines, and returns ctx.Err().
+func Run(ctx context.Context, cfg Config) (*Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -155,6 +173,50 @@ func Run(cfg Config) (*Stats, error) {
 
 	perWorker := make([]WorkerStats, cfg.Workers)
 	start := time.Now()
+
+	// emit serializes observer calls across worker goroutines and stamps
+	// events with the wall clock. A nil observer costs one nil check.
+	// Clock events are deduplicated under the same lock: each worker only
+	// learns the global clock at its own gated pulls, so without the filter
+	// a slow worker's later pull would replay an older clock value.
+	var (
+		obsMu        sync.Mutex
+		clockEmitted int
+	)
+	emit := func(e obs.Event) {
+		if cfg.Observer == nil {
+			return
+		}
+		e.Backend = "live"
+		e.Time = time.Since(start).Seconds()
+		obsMu.Lock()
+		defer obsMu.Unlock()
+		if e.Kind == obs.KindClock {
+			if e.Clock <= clockEmitted {
+				return
+			}
+			clockEmitted = e.Clock
+		}
+		cfg.Observer(e)
+	}
+
+	// The context watcher turns cancellation into the same server-close
+	// unblocking path worker failures use: every blocked pull wakes with a
+	// "server closed" error and the workers unwind. firstErr records the
+	// bare ctx.Err() so callers can errors.Is it. The watcher is joined
+	// right after the workers, before firstErr or the servers' final state
+	// is read — a cancellation from here on no longer affects this run.
+	watcherStop := make(chan struct{})
+	watcherExited := make(chan struct{})
+	go func() {
+		defer close(watcherExited)
+		select {
+		case <-ctx.Done():
+			fail(ctx.Err())
+		case <-watcherStop:
+		}
+	}()
+
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -170,7 +232,7 @@ func Run(cfg Config) (*Stats, error) {
 				fail(fmt.Errorf("cluster: worker %d: %w", w, err))
 				return
 			}
-			st, err := runWorker(cfg, w, space, sh)
+			st, err := runWorker(cfg, w, space, sh, emit)
 			if err != nil {
 				fail(fmt.Errorf("cluster: worker %d: %w", w, err))
 				return
@@ -179,6 +241,8 @@ func Run(cfg Config) (*Stats, error) {
 		}(w)
 	}
 	wg.Wait()
+	close(watcherStop)
+	<-watcherExited
 	elapsed := time.Since(start)
 	if firstErr != nil {
 		return nil, firstErr
@@ -220,7 +284,7 @@ func Run(cfg Config) (*Stats, error) {
 // reflects local updates through exactly m-Nm (retirement happens at a fixed
 // logical lag of Nm), pushes carry one aggregated update per wave, and the
 // D-bound gate is the servers' blocking snapshot pull.
-func runWorker(cfg Config, id int, space *shardSpace, sh *ps.Sharded) (WorkerStats, error) {
+func runWorker(cfg Config, id int, space *shardSpace, sh *ps.Sharded, emit obs.Func) (WorkerStats, error) {
 	params := wsp.Params{SLocal: cfg.SLocal, D: cfg.D, Workers: cfg.Workers}
 	if err := params.Validate(); err != nil {
 		return WorkerStats{}, err
@@ -249,6 +313,7 @@ func runWorker(cfg Config, id int, space *shardSpace, sh *ps.Sharded) (WorkerSta
 		wlocal.AXPY(-cfg.LR, grad)
 		waveAcc.AXPY(-cfg.LR, grad)
 		st.Minibatches++
+		emit(obs.Event{Kind: obs.KindMinibatch, VW: id, Minibatch: p.mb, Wave: params.Wave(p.mb)})
 		if params.IsWaveEnd(p.mb) {
 			delta := waveAcc.Clone()
 			if err := sh.Push(id, space.Split(delta)); err != nil {
@@ -257,6 +322,7 @@ func runWorker(cfg Config, id int, space *shardSpace, sh *ps.Sharded) (WorkerSta
 			waveDeltas = append(waveDeltas, delta)
 			waveAcc.Zero()
 			st.Pushes++
+			emit(obs.Event{Kind: obs.KindPush, VW: id, Wave: len(waveDeltas) - 1})
 		}
 		return nil
 	}
@@ -282,6 +348,11 @@ func runWorker(cfg Config, id int, space *shardSpace, sh *ps.Sharded) (WorkerSta
 			wlocal.AddInPlace(waveAcc)
 			lastPulled = req
 			st.Pulls++
+			// The pull's return proves the global clock reached req — the
+			// only moment a live worker learns the global clock without
+			// extra traffic.
+			emit(obs.Event{Kind: obs.KindPull, VW: id, Clock: req})
+			emit(obs.Event{Kind: obs.KindClock, VW: -1, Clock: req})
 		}
 		pending = append(pending, pendingMB{mb: mb, weights: wlocal.Clone()})
 		if len(pending) > cfg.SLocal {

@@ -1,6 +1,13 @@
 package cluster
 
 import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"context"
+	"hetpipe/internal/obs"
 	"strings"
 	"testing"
 
@@ -48,7 +55,7 @@ func TestShardSpaceSplitJoinRoundTrip(t *testing.T) {
 func TestLiveRunCountsAndDistanceBound(t *testing.T) {
 	lt := testTask(t)
 	const workers, slocal, d, maxMB = 4, 2, 1, 36
-	stats, err := Run(Config{
+	stats, err := Run(context.Background(), Config{
 		Task: lt, Workers: workers, Servers: 2, SLocal: slocal, D: d,
 		LR: 0.2, MaxMinibatches: maxMB,
 	})
@@ -84,11 +91,11 @@ func TestLiveRunDeterministicAcrossSchedules(t *testing.T) {
 		Task: lt, Workers: 3, Servers: 2, SLocal: 1, D: 2,
 		LR: 0.25, MaxMinibatches: 24,
 	}
-	a, err := Run(cfg)
+	a, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg)
+	b, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +120,7 @@ func TestLiveRunValidation(t *testing.T) {
 		{Task: lt, Workers: 1, Servers: 1, SLocal: -1, LR: 0.1, MaxMinibatches: 1},
 	}
 	for i, cfg := range bad {
-		if _, err := Run(cfg); err == nil {
+		if _, err := Run(context.Background(), cfg); err == nil {
 			t.Errorf("bad config %d accepted", i)
 		}
 	}
@@ -123,7 +130,7 @@ func TestLiveRunShortBudgetNeverPulls(t *testing.T) {
 	// A run shorter than D+1 waves has no gated wave-end: no worker ever
 	// blocks, and the final weights are just the pushed-sum of local SGD.
 	lt := testTask(t)
-	stats, err := Run(Config{
+	stats, err := Run(context.Background(), Config{
 		Task: lt, Workers: 2, Servers: 1, SLocal: 0, D: 0,
 		LR: 0.2, MaxMinibatches: 1,
 	})
@@ -146,9 +153,93 @@ func (b brokenTask) Dim() int { return 0 }
 
 func TestLiveRunSetupErrors(t *testing.T) {
 	lt := testTask(t)
-	if _, err := Run(Config{
+	if _, err := Run(context.Background(), Config{
 		Task: brokenTask{lt}, Workers: 1, Servers: 1, LR: 0.1, MaxMinibatches: 1,
 	}); err == nil || !strings.Contains(err.Error(), "empty parameter vector") {
 		t.Errorf("broken task error = %v", err)
+	}
+}
+
+func TestLiveRunContextCancellation(t *testing.T) {
+	lt := testTask(t)
+
+	// Pre-cancelled: nothing starts.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if _, err := Run(pre, Config{
+		Task: lt, Workers: 2, Servers: 1, SLocal: 1, D: 0,
+		LR: 0.2, MaxMinibatches: 8,
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Run = %v, want context.Canceled", err)
+	}
+
+	// Cancelled mid-run, for both transports: the run must return
+	// ctx.Err() with every worker goroutine and serve loop reaped.
+	for _, tcp := range []bool{false, true} {
+		name := "inprocess"
+		if tcp {
+			name = "tcp"
+		}
+		t.Run(name, func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			errc := make(chan error, 1)
+			go func() {
+				_, err := Run(ctx, Config{
+					Task: lt, Workers: 3, Servers: 2, SLocal: 1, D: 0,
+					LR: 0.2, MaxMinibatches: 1_000_000, TCP: tcp,
+				})
+				errc <- err
+			}()
+			time.Sleep(30 * time.Millisecond)
+			cancel()
+			select {
+			case err := <-errc:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("Run(cancelled) = %v, want context.Canceled", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("cancelled Run did not return")
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for runtime.NumGoroutine() > baseline+2 {
+				if time.Now().After(deadline) {
+					t.Fatalf("goroutines leaked: %d > baseline %d",
+						runtime.NumGoroutine(), baseline)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}
+
+func TestLiveRunObserverStream(t *testing.T) {
+	lt := testTask(t)
+	const workers, slocal, d, maxMB = 3, 1, 1, 20
+	var mu sync.Mutex
+	counts := map[obs.Kind]int{}
+	stats, err := Run(context.Background(), Config{
+		Task: lt, Workers: workers, Servers: 2, SLocal: slocal, D: d,
+		LR: 0.2, MaxMinibatches: maxMB,
+		Observer: func(e obs.Event) {
+			if e.Backend != "live" {
+				t.Errorf("event backend = %q, want live", e.Backend)
+			}
+			mu.Lock()
+			counts[e.Kind]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[obs.KindMinibatch] != stats.Minibatches {
+		t.Errorf("minibatch events = %d, want %d", counts[obs.KindMinibatch], stats.Minibatches)
+	}
+	if counts[obs.KindPush] != stats.Pushes {
+		t.Errorf("push events = %d, want %d", counts[obs.KindPush], stats.Pushes)
+	}
+	if counts[obs.KindPull] != stats.Pulls {
+		t.Errorf("pull events = %d, want %d", counts[obs.KindPull], stats.Pulls)
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -100,8 +101,9 @@ func (r *ConformanceReport) String() string {
 // the live runtime and compares them. This is the differential harness that
 // flushed out the clock/timing fidelity bugs this package exists to guard
 // against (PipeDream and Narayanan et al. validate their schedulers the same
-// way: real execution path against the analytical model).
-func RunConformance(cfg ConformanceConfig) (*ConformanceReport, error) {
+// way: real execution path against the analytical model). ctx cancels the
+// live half (the simulator half is a bounded pure computation).
+func RunConformance(ctx context.Context, cfg ConformanceConfig) (*ConformanceReport, error) {
 	periods := cfg.Periods
 	if periods == nil {
 		periods = make([]float64, cfg.Workers)
@@ -130,7 +132,7 @@ func RunConformance(cfg ConformanceConfig) (*ConformanceReport, error) {
 		return nil, fmt.Errorf("cluster: simulator: %w", err)
 	}
 
-	live, err := Run(Config{
+	live, err := Run(ctx, Config{
 		Task: cfg.Task, Workers: cfg.Workers, Servers: cfg.Servers,
 		SLocal: cfg.SLocal, D: cfg.D, LR: cfg.LR,
 		MaxMinibatches: cfg.MaxMinibatches, Chunks: cfg.Chunks, TCP: cfg.TCP,

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 
 	"hetpipe/internal/train"
@@ -52,7 +53,7 @@ func TestSimLiveConformance(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			report, err := RunConformance(c.cfg)
+			report, err := RunConformance(context.Background(), c.cfg)
 			if err != nil {
 				t.Fatal(err)
 			}

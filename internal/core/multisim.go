@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"hetpipe/internal/obs"
 	"hetpipe/internal/pipeline"
 	"hetpipe/internal/sim"
 	"hetpipe/internal/wsp"
@@ -24,6 +26,8 @@ type MultiResult struct {
 	Idle float64
 	// Pushes counts wave pushes to the parameter servers.
 	Pushes int
+	// Pulls counts completed pull transfers of the global weights.
+	Pulls int
 	// MaxClockDistance is the largest clock skew observed.
 	MaxClockDistance int
 }
@@ -48,6 +52,22 @@ func (d *Deployment) DefaultMinibatches() int {
 	return waves * d.Nm
 }
 
+// WithD returns a copy of the deployment under a different clock-distance
+// bound. Partition plans, Nm, and the parameter-sync transfer times are all
+// D-independent, so the copy shares them with the receiver (they are
+// read-only during simulation); only the staleness bounds and the WSP gating
+// of subsequent simulations change. This is what lets a sweep resolve one
+// deployment per (model, cluster, policy, placement, Nm, batch) family and
+// reuse it across every D value of the grid.
+func (d *Deployment) WithD(dd int) (*Deployment, error) {
+	if dd < 0 {
+		return nil, fmt.Errorf("core: D must be >= 0")
+	}
+	c := *d
+	c.D = dd
+	return &c, nil
+}
+
 // SimulateWSP runs all virtual workers' pipelines on one discrete-event
 // engine, coupled through the WSP protocol: per-wave pushes arrive at the
 // parameter servers after the push transfer time, the global clock advances
@@ -57,6 +77,16 @@ func (d *Deployment) DefaultMinibatches() int {
 // is clamped below the budget, so a deliberately short simulation still
 // leaves a measurement window).
 func (d *Deployment) SimulateWSP(minibatchesPerVW, warmup int) (*MultiResult, error) {
+	return d.SimulateWSPContext(context.Background(), minibatchesPerVW, warmup, nil)
+}
+
+// SimulateWSPContext is SimulateWSP with cancellation and streaming
+// observation: the event loop polls ctx between events and aborts with
+// ctx.Err() when it is cancelled or its deadline passes, and ob (when
+// non-nil) receives minibatch completions, push arrivals, pull completions,
+// and global-clock advances as they happen in virtual time. The observer is
+// called synchronously from the single simulation goroutine.
+func (d *Deployment) SimulateWSPContext(ctx context.Context, minibatchesPerVW, warmup int, ob obs.Func) (*MultiResult, error) {
 	n := len(d.VWs)
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty deployment")
@@ -87,6 +117,14 @@ func (d *Deployment) SimulateWSP(minibatchesPerVW, warmup int) (*MultiResult, er
 		syncs[i] = &vwSync{}
 	}
 	pipes := make([]*pipeline.Pipeline, n)
+
+	emit := func(e obs.Event) {
+		if ob != nil {
+			e.Backend = "sim"
+			e.Time = float64(eng.Now())
+			ob(e)
+		}
+	}
 
 	pokeAll := func() {
 		for _, p := range pipes {
@@ -133,6 +171,8 @@ func (d *Deployment) SimulateWSP(minibatchesPerVW, warmup int) (*MultiResult, er
 						eng.After(sim.Duration(d.PullTime[w]), fmt.Sprintf("pull.vw%d", w), func() {
 							st.pullGoing = false
 							st.pullDone = target
+							res.Pulls++
+							emit(obs.Event{Kind: obs.KindPull, VW: w, Clock: target})
 							pipes[w].Poke()
 						})
 					}
@@ -145,12 +185,17 @@ func (d *Deployment) SimulateWSP(minibatchesPerVW, warmup int) (*MultiResult, er
 			},
 			OnComplete: func(mb int, at sim.Time) {
 				st.lastDone = at
+				emit(obs.Event{Kind: obs.KindMinibatch, VW: w, Minibatch: mb, Wave: params.Wave(mb), Clock: coord.GlobalClock()})
 				if params.IsWaveEnd(mb) {
 					res.Pushes++
+					wave := params.Wave(mb)
 					eng.After(sim.Duration(d.PushTime[w]), fmt.Sprintf("push.vw%d", w), func() {
 						before := coord.GlobalClock()
 						coord.Push(w)
-						if coord.GlobalClock() > before {
+						after := coord.GlobalClock()
+						emit(obs.Event{Kind: obs.KindPush, VW: w, Wave: wave, Clock: after})
+						if after > before {
+							emit(obs.Event{Kind: obs.KindClock, VW: -1, Clock: after})
 							pokeAll()
 						}
 					})
@@ -166,7 +211,7 @@ func (d *Deployment) SimulateWSP(minibatchesPerVW, warmup int) (*MultiResult, er
 	for _, p := range pipes {
 		p.Start()
 	}
-	if err := eng.Run(); err != nil {
+	if err := eng.RunContext(ctx); err != nil {
 		return nil, err
 	}
 	for w, p := range pipes {

@@ -1,0 +1,49 @@
+// Package obs defines the run-observation events both execution backends
+// emit while a HetPipe run is in flight: the discrete-event simulator
+// (internal/core.SimulateWSPContext) and the live sharded-PS runtime
+// (internal/cluster.Run) both stream the same event vocabulary, which the
+// public API (hetpipe.WithObserver) re-exports. Keeping the event type here
+// lets the two backends share one definition without either importing the
+// root package.
+package obs
+
+// Kind discriminates observation events.
+type Kind int
+
+const (
+	// KindMinibatch fires when a virtual worker completes one minibatch.
+	KindMinibatch Kind = iota + 1
+	// KindPush fires when a virtual worker's per-wave aggregated update
+	// reaches the parameter servers.
+	KindPush
+	// KindPull fires when a virtual worker's gated pull of the global
+	// weights is satisfied.
+	KindPull
+	// KindClock fires when the WSP global clock is observed to advance.
+	KindClock
+)
+
+// Event is one observation. Fields that do not apply to a kind are zero.
+type Event struct {
+	// Backend names the emitting substrate: "sim" or "live".
+	Backend string
+	// Kind discriminates the event.
+	Kind Kind
+	// VW is the 0-based virtual worker index; -1 for cluster-wide events.
+	VW int
+	// Minibatch is the VW's 1-based minibatch number (KindMinibatch).
+	Minibatch int
+	// Wave is the 0-based wave index (KindMinibatch, KindPush).
+	Wave int
+	// Clock is the global clock after the event, where the emitting backend
+	// knows it (KindClock and KindPull always; sim pushes too).
+	Clock int
+	// Time is seconds since run start: virtual seconds for the simulator,
+	// wall-clock seconds for the live runtime.
+	Time float64
+}
+
+// Func observes a stream of events. The simulator calls it from its single
+// event-loop goroutine; the live runtime serializes calls, so an observer
+// never needs its own locking.
+type Func func(Event)

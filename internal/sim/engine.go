@@ -12,6 +12,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 )
@@ -122,9 +123,39 @@ func (e *Engine) Step() bool {
 // configured step limit is exceeded, which usually indicates a livelock in
 // the modeled system.
 func (e *Engine) Run() error {
+	return e.RunContext(context.Background())
+}
+
+// ctxCheckInterval is how many fired events elapse between context polls in
+// RunContext. Polling a Done channel costs a select per check; amortizing it
+// over a batch of events keeps the hot loop tight while still bounding
+// cancellation latency to a fraction of a millisecond of real time.
+const ctxCheckInterval = 256
+
+// RunContext fires events until the queue drains or ctx is cancelled,
+// whichever comes first. On cancellation it stops between events (an event
+// callback is never interrupted mid-flight) and returns ctx.Err(), so a
+// caller can distinguish context.Canceled / context.DeadlineExceeded from
+// simulation failures. The step-limit error behaves as in Run.
+func (e *Engine) RunContext(ctx context.Context) error {
+	done := ctx.Done()
+	if done != nil {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+	}
 	for e.Step() {
 		if e.maxStep > 0 && e.fired > e.maxStep {
 			return fmt.Errorf("sim: step limit %d exceeded at t=%v", e.maxStep, e.now)
+		}
+		if done != nil && e.fired%ctxCheckInterval == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 		}
 	}
 	return nil

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
@@ -185,5 +187,49 @@ func TestEngineDeterminismProperty(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
 		}
+	}
+}
+
+func TestEngineRunContextCancellation(t *testing.T) {
+	// Pre-cancelled: no event fires at all.
+	e := New()
+	fired := 0
+	e.At(1, "x", func() { fired++ })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext(cancelled) = %v, want context.Canceled", err)
+	}
+	if fired != 0 {
+		t.Fatalf("pre-cancelled run fired %d events", fired)
+	}
+
+	// Cancelled mid-run: an event callback cancels the context; the engine
+	// stops within one check interval even though the queue never drains.
+	e2 := New()
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var reschedule func()
+	count := 0
+	reschedule = func() {
+		count++
+		if count == 10 {
+			cancel2()
+		}
+		e2.After(1, "tick", reschedule)
+	}
+	e2.After(1, "tick", reschedule)
+	if err := e2.RunContext(ctx2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext mid-run = %v, want context.Canceled", err)
+	}
+	if count >= 10+2*ctxCheckInterval {
+		t.Fatalf("engine fired %d events after cancellation", count)
+	}
+
+	// A background context behaves exactly like Run.
+	e3 := New()
+	done := false
+	e3.At(5, "y", func() { done = true })
+	if err := e3.RunContext(context.Background()); err != nil || !done {
+		t.Fatalf("RunContext(Background) = %v, done = %v", err, done)
 	}
 }

@@ -1,8 +1,10 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hetpipe/internal/core"
 	"hetpipe/internal/hw"
@@ -14,8 +16,7 @@ import (
 type Options struct {
 	// Workers bounds the number of scenarios simulated concurrently;
 	// <= 0 means GOMAXPROCS. Each worker goroutine owns its scenario's
-	// entire simulation — cluster inventory, model graph, discrete-event
-	// engine — so results are independent of the worker count.
+	// discrete-event engine, so results are independent of the worker count.
 	Workers int
 	// OnResult, when non-nil, observes each finished scenario. Calls are
 	// serialized but arrive in completion order, not scenario order.
@@ -118,21 +119,131 @@ func (o Options) ResolvedWorkers(n int) int {
 	return workers
 }
 
+// deployKey identifies a grid-cell family: scenarios that share everything a
+// deployment resolution depends on. D is deliberately absent — partition
+// plans, Nm selection, and sync transfer times are all D-independent, so one
+// resolved deployment serves every D value of the family via
+// core.Deployment.WithD.
+type deployKey struct {
+	model, cluster, policy, placement string
+	nm, batch                         int
+}
+
+// deployEntry is one family's lazily-resolved deployment.
+type deployEntry struct {
+	once sync.Once
+	dep  *core.Deployment
+	err  error
+}
+
+// resolver caches one resolved deployment per grid-cell family. Deployment
+// resolution — model graph, cluster inventory, allocation, per-VW
+// partitioning, and the Nm sweep when Nm is auto — dominates a scenario's
+// cost, and a grid with a D axis of k values would otherwise repeat it k
+// times per family. The cache is safe for concurrent scenario workers (the
+// per-entry once serializes resolution; the resolved deployment is read-only
+// during simulation) and does not affect determinism: resolution is a pure
+// function of the family key.
+type resolver struct {
+	mu      sync.Mutex
+	entries map[deployKey]*deployEntry
+	// resolutions counts actual (non-cached) deployment resolutions — the
+	// reuse observability hook the tests assert on.
+	resolutions atomic.Int64
+}
+
+func newResolver() *resolver {
+	return &resolver{entries: make(map[deployKey]*deployEntry)}
+}
+
+// deployment returns the family deployment for sc, resolving it on first
+// use, re-bound to the scenario's D.
+func (r *resolver) deployment(sc Scenario) (*core.Deployment, error) {
+	key := deployKey{
+		model: sc.Model, cluster: sc.Cluster,
+		policy: sc.Policy, placement: sc.Placement,
+		nm: sc.Nm, batch: sc.Batch,
+	}
+	r.mu.Lock()
+	e := r.entries[key]
+	if e == nil {
+		e = &deployEntry{}
+		r.entries[key] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		r.resolutions.Add(1)
+		e.dep, e.err = resolveDeployment(sc)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.dep.WithD(sc.D)
+}
+
+// resolveDeployment builds one family's deployment from scratch. It resolves
+// at D=0; callers re-bind the actual D with WithD.
+func resolveDeployment(sc Scenario) (*core.Deployment, error) {
+	m, err := model.ByName(sc.Model)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := hw.ClusterByName(sc.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(cluster, m, profile.Default(), sc.Batch)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := hw.PolicyByName(sc.Policy)
+	if err != nil {
+		return nil, err
+	}
+	alloc, err := hw.Allocate(cluster, pol)
+	if err != nil {
+		return nil, err
+	}
+	placement := core.PlacementDefault
+	if sc.Placement == PlacementLocal {
+		placement = core.PlacementLocal
+	}
+	return sys.Deploy(alloc, sc.Nm, 0, placement)
+}
+
 // Run expands the grid and simulates every scenario on a bounded worker
 // pool. Per-scenario failures are recorded in Result.Error rather than
-// aborting the sweep; Run itself fails only on an invalid grid.
+// aborting the sweep; Run itself fails on an invalid grid or when ctx is
+// cancelled (no partial Set is returned — a cancelled sweep's output would
+// not be reproducible).
 //
-// Determinism guarantee: every scenario builds its own system (fresh
-// cluster, model, performance profile) and runs on its own single-goroutine
+// Scenarios sharing a grid-cell family — same model, cluster, policy,
+// placement, Nm, and batch — reuse one resolved deployment (partition plans
+// and the auto-Nm choice are computed once per family, not once per D
+// value); only the per-scenario WSP simulation runs fresh.
+//
+// Determinism guarantee: deployment resolution is a pure function of the
+// family key and every scenario runs on its own single-goroutine
 // discrete-event engine, so Results is identical — bit for bit — whatever
 // Options.Workers is.
-func Run(g Grid, opt Options) (*Set, error) {
+func Run(ctx context.Context, g Grid, opt Options) (*Set, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	scenarios, err := g.Expand()
 	if err != nil {
 		return nil, err
 	}
+	set, _, err := run(ctx, g, scenarios, opt)
+	return set, err
+}
+
+// run is the shared engine behind Run; it also reports the resolver so
+// tests can assert on deployment reuse.
+func run(ctx context.Context, g Grid, scenarios []Scenario, opt Options) (*Set, *resolver, error) {
 	workers := opt.ResolvedWorkers(len(scenarios))
 	results := make([]Result, len(scenarios))
+	res := newResolver()
 	var notify sync.Mutex
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -141,7 +252,7 @@ func Run(g Grid, opt Options) (*Set, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = runScenario(scenarios[i])
+				results[i] = runScenario(ctx, scenarios[i], res)
 				if opt.OnResult != nil {
 					notify.Lock()
 					opt.OnResult(results[i])
@@ -150,60 +261,55 @@ func Run(g Grid, opt Options) (*Set, error) {
 			}
 		}()
 	}
+dispatch:
 	for i := range scenarios {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	return &Set{Grid: g, Results: results}, nil
+	if err := ctx.Err(); err != nil {
+		return nil, res, err
+	}
+	return &Set{Grid: g, Results: results}, res, nil
 }
 
-// runScenario simulates one scenario from scratch. Everything it touches is
-// scenario-local: the cluster inventory, the model graph, the performance
-// profile, and the event engine inside SimulateWSP.
-func runScenario(sc Scenario) Result {
-	res := Result{Scenario: sc}
+// runScenario simulates one scenario: the shared family deployment (via the
+// resolver) plus a scenario-local discrete-event simulation.
+func runScenario(ctx context.Context, sc Scenario, res *resolver) Result {
+	out := Result{Scenario: sc}
 	fail := func(err error) Result {
-		res.Error = err.Error()
-		return res
-	}
-	m, err := model.ByName(sc.Model)
-	if err != nil {
-		return fail(err)
-	}
-	cluster, err := hw.ClusterByName(sc.Cluster)
-	if err != nil {
-		return fail(err)
-	}
-	sys, err := core.NewSystem(cluster, m, profile.Default(), sc.Batch)
-	if err != nil {
-		return fail(err)
+		out.Error = err.Error()
+		return out
 	}
 	if sc.SyncMode == SyncHorovod {
+		m, err := model.ByName(sc.Model)
+		if err != nil {
+			return fail(err)
+		}
+		cluster, err := hw.ClusterByName(sc.Cluster)
+		if err != nil {
+			return fail(err)
+		}
+		sys, err := core.NewSystem(cluster, m, profile.Default(), sc.Batch)
+		if err != nil {
+			return fail(err)
+		}
 		hr, err := sys.Horovod(nil)
 		if err != nil {
 			return fail(err)
 		}
-		res.Throughput = hr.Throughput
-		res.Workers = len(hr.Workers)
+		out.Throughput = hr.Throughput
+		out.Workers = len(hr.Workers)
 		for _, g := range hr.Excluded {
-			res.Excluded = append(res.Excluded, g.Name())
+			out.Excluded = append(out.Excluded, g.Name())
 		}
-		return res
+		return out
 	}
-	pol, err := hw.PolicyByName(sc.Policy)
-	if err != nil {
-		return fail(err)
-	}
-	alloc, err := hw.Allocate(cluster, pol)
-	if err != nil {
-		return fail(err)
-	}
-	placement := core.PlacementDefault
-	if sc.Placement == PlacementLocal {
-		placement = core.PlacementLocal
-	}
-	dep, err := sys.Deploy(alloc, sc.Nm, sc.D, placement)
+	dep, err := res.deployment(sc)
 	if err != nil {
 		return fail(err)
 	}
@@ -211,20 +317,20 @@ func runScenario(sc Scenario) Result {
 	if mbs == 0 {
 		mbs = dep.DefaultMinibatches()
 	}
-	mr, err := dep.SimulateWSP(mbs, 4*dep.Nm)
+	mr, err := dep.SimulateWSPContext(ctx, mbs, 4*dep.Nm, nil)
 	if err != nil {
 		return fail(err)
 	}
-	res.Throughput = mr.Aggregate
-	res.PerVW = mr.PerVW
-	res.Workers = len(dep.VWs)
-	res.Nm = dep.Nm
-	res.SLocal = dep.SLocal()
-	res.SGlobal = dep.SGlobal()
-	res.Waiting = mr.Waiting
-	res.Idle = mr.Idle
-	res.Pushes = mr.Pushes
-	res.MaxClockDistance = mr.MaxClockDistance
+	out.Throughput = mr.Aggregate
+	out.PerVW = mr.PerVW
+	out.Workers = len(dep.VWs)
+	out.Nm = dep.Nm
+	out.SLocal = dep.SLocal()
+	out.SGlobal = dep.SGlobal()
+	out.Waiting = mr.Waiting
+	out.Idle = mr.Idle
+	out.Pushes = mr.Pushes
+	out.MaxClockDistance = mr.MaxClockDistance
 	for _, vp := range dep.VWs {
 		ps := PlanSummary{GPUs: vp.VW.TypeString(), BottleneckSec: vp.Plan.Bottleneck}
 		for i := range vp.Plan.Stages {
@@ -236,7 +342,7 @@ func runScenario(sc Scenario) Result {
 				MemoryCapBytes: st.MemoryCap,
 			})
 		}
-		res.Plans = append(res.Plans, ps)
+		out.Plans = append(out.Plans, ps)
 	}
-	return res
+	return out
 }

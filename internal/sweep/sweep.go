@@ -8,13 +8,16 @@
 // configurations (which allocation policy, which D, which Nm for a given
 // model and cluster), and the paper's evaluation walks exactly such grids by
 // hand. This package makes that search a first-class, parallel operation:
-// every scenario is self-contained (fresh cluster inventory, fresh model
-// graph, fresh simulator), so a grid run with workers=8 produces
-// byte-identical results to the same grid run serially — only faster.
+// scenarios in the same grid-cell family (same model, cluster, policy,
+// placement, Nm, batch) share one resolved deployment — partitioning and the
+// auto-Nm sweep run once per family, not once per D value — while each
+// scenario's WSP simulation runs on its own deterministic discrete-event
+// engine, so a grid run with workers=8 produces byte-identical results to
+// the same grid run serially — only faster.
 //
 // Typical use:
 //
-//	set, err := sweep.Run(sweep.DefaultGrid(), sweep.Options{Workers: 8})
+//	set, err := sweep.Run(ctx, sweep.DefaultGrid(), sweep.Options{Workers: 8})
 //	sweep.WriteJSON(os.Stdout, set)
 //
 // cmd/hetsweep wraps this package in a CLI.

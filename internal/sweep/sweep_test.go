@@ -2,6 +2,8 @@ package sweep
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -76,7 +78,7 @@ func TestExpandDeduplicatesAxes(t *testing.T) {
 // minibatch budget smaller than the usual four-wave warmup must still
 // simulate rather than fail inside the pipeline.
 func TestShortSimulationStaysFeasible(t *testing.T) {
-	set, err := Run(Grid{
+	set, err := Run(context.Background(), Grid{
 		Models: []string{"vgg19"}, Clusters: []string{"paper"},
 		Policies: []string{"ED"}, NmValues: []int{2}, DValues: []int{1},
 		MinibatchesPerVW: 8,
@@ -137,11 +139,11 @@ func TestExpandRejectsInvalidAxes(t *testing.T) {
 // eight workers serializes to exactly the bytes of a serial run.
 func TestParallelMatchesSerial(t *testing.T) {
 	grid := testGrid()
-	serial, err := Run(grid, Options{Workers: 1})
+	serial, err := Run(context.Background(), grid, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Run(grid, Options{Workers: 8})
+	parallel, err := Run(context.Background(), grid, Options{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +176,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 }
 
 func TestResultsCarryStructure(t *testing.T) {
-	set, err := Run(testGrid(), Options{})
+	set, err := Run(context.Background(), testGrid(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +211,7 @@ func TestResultsCarryStructure(t *testing.T) {
 
 func TestOnResultObservesEveryScenario(t *testing.T) {
 	seen := map[int]bool{}
-	set, err := Run(testGrid(), Options{Workers: 4, OnResult: func(r Result) {
+	set, err := Run(context.Background(), testGrid(), Options{Workers: 4, OnResult: func(r Result) {
 		if seen[r.Scenario.Index] {
 			t.Errorf("scenario %d observed twice", r.Scenario.Index)
 		}
@@ -224,7 +226,7 @@ func TestOnResultObservesEveryScenario(t *testing.T) {
 }
 
 func TestSummarizeRanksPairs(t *testing.T) {
-	set, err := Run(testGrid(), Options{})
+	set, err := Run(context.Background(), testGrid(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +265,7 @@ func TestSummarizeRanksPairs(t *testing.T) {
 }
 
 func TestCSVShape(t *testing.T) {
-	set, err := Run(Grid{
+	set, err := Run(context.Background(), Grid{
 		Models: []string{"vgg19"}, Clusters: []string{"paper"},
 		Policies: []string{"ED"}, NmValues: []int{2},
 	}, Options{})
@@ -281,5 +283,42 @@ func TestCSVShape(t *testing.T) {
 	wantCols := len(strings.Split(lines[0], ","))
 	if wantCols != len(csvHeader) {
 		t.Fatalf("CSV header has %d columns, want %d", wantCols, len(csvHeader))
+	}
+}
+
+func TestDeploymentReusePerFamily(t *testing.T) {
+	// testGrid has 2 clusters x 3 policies = 6 WSP families, each swept at
+	// 2 D values (12 WSP scenarios): exactly one deployment resolution per
+	// family, never one per scenario.
+	g := testGrid()
+	scenarios, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, res, err := run(context.Background(), g, scenarios, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.resolutions.Load(); got != 6 {
+		t.Errorf("deployment resolutions = %d, want 6 (one per family)", got)
+	}
+	// The reused deployment is re-bound per scenario: staleness bounds
+	// still reflect each scenario's own D.
+	for i := range set.Results {
+		r := &set.Results[i]
+		if r.Scenario.SyncMode != SyncWSP || r.Error != "" {
+			continue
+		}
+		if want := (r.Scenario.D+1)*r.Nm + r.Nm - 2; r.SGlobal != want {
+			t.Errorf("%s: sglobal = %d, want %d", r.Scenario.ID(), r.SGlobal, want)
+		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, testGrid(), Options{Workers: 2}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Run(cancelled) = %v, want context.Canceled", err)
 	}
 }

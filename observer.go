@@ -1,0 +1,99 @@
+package hetpipe
+
+import "hetpipe/internal/obs"
+
+// EventKind discriminates run-observation events.
+type EventKind int
+
+const (
+	// EventMinibatch fires when a virtual worker completes one minibatch.
+	EventMinibatch EventKind = iota + 1
+	// EventPush fires when a virtual worker's per-wave aggregated update
+	// reaches the parameter servers.
+	EventPush
+	// EventPull fires when a virtual worker's gated pull of the global
+	// weights is satisfied.
+	EventPull
+	// EventClockAdvance fires when the WSP global clock is observed to
+	// advance.
+	EventClockAdvance
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventMinibatch:
+		return "minibatch"
+	case EventPush:
+		return "push"
+	case EventPull:
+		return "pull"
+	case EventClockAdvance:
+		return "clock"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one observation from an in-flight run. Fields that do not apply
+// to a kind are zero.
+type Event struct {
+	// Backend names the emitting substrate: "sim" (Simulate) or "live"
+	// (Train) — useful when one observer watches both.
+	Backend string
+	// Kind discriminates the event.
+	Kind EventKind
+	// VW is the 0-based virtual worker index; -1 for cluster-wide events.
+	VW int
+	// Minibatch is the VW's 1-based minibatch number (EventMinibatch).
+	Minibatch int
+	// Wave is the 0-based wave index (EventMinibatch, EventPush).
+	Wave int
+	// Clock is the global clock after the event, where the emitting backend
+	// knows it (clock advances and pulls always; sim pushes too).
+	Clock int
+	// Time is seconds since run start: virtual seconds under Simulate,
+	// wall-clock seconds under Train.
+	Time float64
+}
+
+// Observer receives the event stream of a run (see WithObserver). Both
+// backends serialize their calls, so an Observer needs no internal locking;
+// it runs on the hot path, so it should return quickly (hand expensive work
+// to a channel or goroutine of your own).
+type Observer func(Event)
+
+// kindOf maps the internal event vocabulary onto the public one.
+func kindOf(k obs.Kind) EventKind {
+	switch k {
+	case obs.KindMinibatch:
+		return EventMinibatch
+	case obs.KindPush:
+		return EventPush
+	case obs.KindPull:
+		return EventPull
+	case obs.KindClock:
+		return EventClockAdvance
+	default:
+		return 0
+	}
+}
+
+// obsFunc adapts the configured Observer to the internal backends' callback,
+// or nil when no observer is configured (backends skip emission entirely).
+func (s *settings) obsFunc() obs.Func {
+	o := s.observer
+	if o == nil {
+		return nil
+	}
+	return func(e obs.Event) {
+		o(Event{
+			Backend:   e.Backend,
+			Kind:      kindOf(e.Kind),
+			VW:        e.VW,
+			Minibatch: e.Minibatch,
+			Wave:      e.Wave,
+			Clock:     e.Clock,
+			Time:      e.Time,
+		})
+	}
+}

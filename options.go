@@ -1,0 +1,117 @@
+package hetpipe
+
+import "errors"
+
+// Sentinel errors returned by New, Run, and the Deployment methods. They are
+// always wrapped with context (the offending name, the valid values), so
+// match them with errors.Is rather than string comparison.
+var (
+	// ErrUnknownModel reports a model name outside the zoo (see Models).
+	ErrUnknownModel = errors.New("hetpipe: unknown model")
+	// ErrUnknownCluster reports a cluster name outside the catalog (see
+	// Clusters).
+	ErrUnknownCluster = errors.New("hetpipe: unknown cluster")
+	// ErrUnknownPolicy reports an allocation policy other than NP, ED, HD.
+	ErrUnknownPolicy = errors.New("hetpipe: unknown policy")
+	// ErrUnknownBackend reports a Config.Backend other than "", "sim", "live".
+	ErrUnknownBackend = errors.New("hetpipe: unknown backend")
+	// ErrUnknownTask reports a live-training task other than logreg or mlp.
+	ErrUnknownTask = errors.New("hetpipe: unknown training task")
+	// ErrNoAllocation reports a deployment with neither a policy nor
+	// explicit virtual-worker specs.
+	ErrNoAllocation = errors.New("hetpipe: no allocation policy or specs")
+)
+
+// settings is the resolved option set behind New. Zero values mean "default";
+// defaults are applied once, in New, so every entry point sees the same ones
+// (batch in particular defaults to 32 exactly once — partitioning, the
+// system model, and the gantt renderer can no longer disagree on it).
+type settings struct {
+	model       string
+	cluster     string
+	policy      string
+	specs       []string
+	batch       int
+	nm          int
+	d           int
+	local       bool
+	minibatches int
+
+	// Live-backend (Train) knobs.
+	task   string
+	lr     float64
+	seed   int64
+	tcp    bool
+	chunks int
+
+	observer Observer
+}
+
+func defaultSettings() settings {
+	return settings{task: "logreg", lr: 0.2, seed: 1}
+}
+
+// An Option configures a deployment under construction; pass them to New.
+// Options replace the flat Config struct of the compatibility API — see the
+// field-by-field migration table in the README.
+type Option func(*settings)
+
+// WithModel selects the DNN by zoo key, e.g. "vgg19" or "resnet152" (see
+// Models). A model is required; there is no default.
+func WithModel(name string) Option { return func(s *settings) { s.model = name } }
+
+// WithCluster selects a cluster-catalog shape (see Clusters). Empty means
+// "paper", the Section 8.1 testbed.
+func WithCluster(name string) Option { return func(s *settings) { s.cluster = name } }
+
+// WithPolicy selects a Table 3 allocation policy: "NP", "ED", or "HD".
+// Ignored when WithSpecs is also given.
+func WithPolicy(name string) Option { return func(s *settings) { s.policy = name } }
+
+// WithSpecs pins explicit virtual-worker GPU type strings (e.g. "VRQ",
+// "VRQ"), overriding any policy.
+func WithSpecs(specs ...string) Option {
+	return func(s *settings) { s.specs = append([]string(nil), specs...) }
+}
+
+// WithBatch sets the per-minibatch sample count; 0 (the default) means 32.
+func WithBatch(n int) Option { return func(s *settings) { s.batch = n } }
+
+// WithNm fixes the number of concurrent minibatches per virtual worker;
+// 0 (the default) picks the throughput-maximizing value automatically.
+func WithNm(n int) Option { return func(s *settings) { s.nm = n } }
+
+// WithD sets the WSP clock-distance bound (0 = BSP-like waves).
+func WithD(d int) Option { return func(s *settings) { s.d = d } }
+
+// WithLocalPlacement co-locates parameter shards with pipeline stages (the
+// paper's ED-local policy). Requires ED-style stage/node alignment.
+func WithLocalPlacement(on bool) Option { return func(s *settings) { s.local = on } }
+
+// WithMinibatchesPerVW sizes each run; 0 (the default) picks a D-aware
+// default of at least 24 waves per virtual worker.
+func WithMinibatchesPerVW(n int) Option { return func(s *settings) { s.minibatches = n } }
+
+// WithObserver streams run events (minibatch completions, wave pushes, pulls,
+// global-clock advances) to o while Simulate or Train is in flight — the
+// hook progress bars and metrics exporters attach to. Both backends call the
+// observer from a serialized context, so it needs no locking of its own.
+func WithObserver(o Observer) Option { return func(s *settings) { s.observer = o } }
+
+// WithTrainTask selects the live backend's numeric training task: "logreg"
+// (convex, the default) or "mlp" (non-convex).
+func WithTrainTask(name string) Option { return func(s *settings) { s.task = name } }
+
+// WithLearningRate sets the live backend's SGD step size (default 0.2).
+func WithLearningRate(lr float64) Option { return func(s *settings) { s.lr = lr } }
+
+// WithSeed seeds the live backend's task data (default 1).
+func WithSeed(seed int64) Option { return func(s *settings) { s.seed = seed } }
+
+// WithTCP makes Train reach the parameter-server shards over real loopback
+// sockets instead of in-process calls.
+func WithTCP(on bool) Option { return func(s *settings) { s.tcp = on } }
+
+// WithChunks sets how many named parameter shards Train spreads over the
+// shard servers; 0 (the default) picks 4 per server.
+func WithChunks(n int) Option { return func(s *settings) { s.chunks = n } }
