@@ -53,6 +53,7 @@ func main() {
 	modelName := flag.String("model", "vgg19", "DNN model for -deploy mode (see hetpipe.Models)")
 	clusterName := flag.String("cluster", "paper", "cluster-catalog shape for -deploy mode")
 	policy := flag.String("policy", "ED", "allocation policy for -deploy mode")
+	schedule := flag.String("schedule", "", "pipeline schedule for -deploy mode (see hetpipe.Schedules; empty = hetpipe-fifo)")
 	progress := flag.Bool("progress", false, "stream push/pull/clock events while training (-deploy mode)")
 	flag.Parse()
 
@@ -63,7 +64,7 @@ func main() {
 	defer stop()
 
 	if *deploy {
-		runDeploy(ctx, *modelName, *clusterName, *policy, *taskName,
+		runDeploy(ctx, *modelName, *clusterName, *policy, *schedule, *taskName,
 			*d, *nm, *mb, *chunks, *seed, *lr, *tcp, *progress)
 		return
 	}
@@ -123,12 +124,13 @@ func main() {
 // worker and shard counts come from the deployment (one worker per virtual
 // worker, one shard host per cluster node), exactly as hetpipe.Run's live
 // backend deploys them.
-func runDeploy(ctx context.Context, modelName, clusterName, policy, taskName string,
+func runDeploy(ctx context.Context, modelName, clusterName, policy, schedule, taskName string,
 	d, nm, mb, chunks int, seed int64, lr float64, tcp, progress bool) {
 	opts := []hetpipe.Option{
 		hetpipe.WithModel(modelName),
 		hetpipe.WithCluster(clusterName),
 		hetpipe.WithPolicy(policy),
+		hetpipe.WithSchedule(schedule),
 		hetpipe.WithD(d),
 		hetpipe.WithNm(nm),
 		hetpipe.WithMinibatchesPerVW(mb),
@@ -158,9 +160,9 @@ func runDeploy(ctx context.Context, modelName, clusterName, policy, taskName str
 	if tcp {
 		mode = "TCP"
 	}
-	fmt.Printf("live deployment (%s): %s on %s/%s, %d VWs [%s], Nm=%d D=%d, %d minibatches per VW\n",
+	fmt.Printf("live deployment (%s): %s on %s/%s, %d VWs [%s], schedule=%s, Nm=%d D=%d, %d minibatches per VW\n",
 		mode, dep.Model(), dep.ClusterName(), policy,
-		len(dep.VirtualWorkers()), dep.VirtualWorkers()[0], dep.Nm(), dep.D(), mb)
+		len(dep.VirtualWorkers()), dep.VirtualWorkers()[0], dep.Schedule(), dep.Nm(), dep.D(), mb)
 	sum, err := dep.Train(ctx)
 	if err != nil {
 		fatalf("%v", err)

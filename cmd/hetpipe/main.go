@@ -7,6 +7,8 @@
 //	hetpipe -model vgg19 -policy ED -local -d 4
 //	hetpipe -model resnet152 -specs VRQ,VRQ,VRQ,VRQ -nm 4
 //	hetpipe -model resnet152 -cluster paper-x2 -policy HD
+//	hetpipe -model vgg19 -policy ED -schedule 1f1b         # pipeline schedule
+//	hetpipe -model vgg19 -policy ED -gantt -trace-out t.json  # chrome://tracing
 //	hetpipe -model vgg19 -policy ED -progress   # stream wave/clock events
 //	hetpipe -model vgg19 -horovod
 package main
@@ -32,7 +34,10 @@ func main() {
 	batch := flag.Int("batch", 32, "minibatch size")
 	local := flag.Bool("local", false, "use local parameter placement (ED only)")
 	horovod := flag.Bool("horovod", false, "run the Horovod baseline instead")
-	gantt := flag.Bool("gantt", false, "print the pipeline schedule of VW 0")
+	gantt := flag.Bool("gantt", false, "print the pipeline schedule of VW 1")
+	schedule := flag.String("schedule", "", "pipeline schedule: "+strings.Join(hetpipe.Schedules(), ", ")+" (empty = hetpipe-fifo)")
+	warmup := flag.Int("warmup", 1, "warmup minibatches excluded from -gantt/-trace-out rendering")
+	traceOut := flag.String("trace-out", "", "write VW 1's pipeline schedule as chrome://tracing JSON to this path")
 	progress := flag.Bool("progress", false, "stream wave-push and clock-advance events while simulating")
 	flag.Parse()
 
@@ -59,6 +64,8 @@ func main() {
 		hetpipe.WithNm(*nm),
 		hetpipe.WithD(*d),
 		hetpipe.WithLocalPlacement(*local),
+		hetpipe.WithSchedule(*schedule),
+		hetpipe.WithWarmup(*warmup),
 	}
 	if *specs != "" {
 		opts = append(opts, hetpipe.WithSpecs(strings.Split(*specs, ",")...))
@@ -86,8 +93,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("HetPipe %s: %.0f samples/s aggregate (Nm=%d, slocal=%d, D=%d, sglobal=%d)\n",
-		*modelName, res.Throughput, res.Nm, res.Nm-1, *d, res.SGlobal)
+	fmt.Printf("HetPipe %s: %.0f samples/s aggregate (schedule=%s, Nm=%d, slocal=%d, D=%d, sglobal=%d)\n",
+		*modelName, res.Throughput, dep.Schedule(), res.Nm, res.Nm-1, *d, res.SGlobal)
 	for i, tp := range res.PerVW {
 		fmt.Printf("  VW%d [%s]: %.0f samples/s\n", i+1, res.VirtualWorkers[i], tp)
 	}
@@ -109,5 +116,21 @@ func main() {
 		}
 		fmt.Println("\npipeline schedule (VW 1):")
 		fmt.Print(g)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		werr := dep.WriteChromeTrace(f, 0, 4*res.Nm)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote chrome://tracing schedule of VW 1 to %s\n", *traceOut)
 	}
 }

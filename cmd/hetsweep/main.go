@@ -10,6 +10,7 @@
 //	hetsweep -workers 1                       # same grid, serial (identical output)
 //	hetsweep -models vgg19 -clusters paper,mini -policies ED -d 0,1,2,4 -nm 1,2,4
 //	hetsweep -sync wsp,horovod -placements default,local
+//	hetsweep -schedules hetpipe-fifo,1f1b,hetpipe-overlap   # pipeline-schedule axis
 //	hetsweep -list                            # show the available axis values
 //
 // Results land in -json and -csv (set either to "" to skip). The output is
@@ -30,6 +31,7 @@ import (
 
 	"hetpipe/internal/hw"
 	"hetpipe/internal/model"
+	"hetpipe/internal/sched"
 	"hetpipe/internal/sweep"
 )
 
@@ -40,6 +42,7 @@ func main() {
 	policies := flag.String("policies", strings.Join(def.Policies, ","), "comma-separated allocation policies (NP, ED, HD)")
 	syncModes := flag.String("sync", "wsp", "comma-separated sync modes (wsp, horovod)")
 	placements := flag.String("placements", "default", "comma-separated parameter placements (default, local)")
+	schedules := flag.String("schedules", sched.Default().Name(), "comma-separated pipeline schedules ("+strings.Join(sched.Names(), ", ")+")")
 	dValues := flag.String("d", intsJoin(def.DValues), "comma-separated WSP clock-distance bounds")
 	nmValues := flag.String("nm", "0", "comma-separated concurrent-minibatch counts (0 = auto)")
 	batch := flag.Int("batch", 0, "minibatch size (0 = 32)")
@@ -63,6 +66,11 @@ func main() {
 		fmt.Println("policies: NP, ED, HD")
 		fmt.Println("sync modes: wsp, horovod")
 		fmt.Println("placements: default, local")
+		fmt.Println("schedules:")
+		for _, n := range sched.Names() {
+			s, _ := sched.ByName(n)
+			fmt.Printf("  %-16s %s\n", n, s.Description())
+		}
 		return
 	}
 
@@ -72,6 +80,7 @@ func main() {
 		Policies:         splitList(*policies),
 		SyncModes:        splitList(*syncModes),
 		Placements:       splitList(*placements),
+		Schedules:        splitList(*schedules),
 		Batch:            *batch,
 		MinibatchesPerVW: *mbs,
 	}

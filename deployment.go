@@ -3,6 +3,7 @@ package hetpipe
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"hetpipe/internal/cluster"
 	"hetpipe/internal/core"
@@ -10,6 +11,7 @@ import (
 	"hetpipe/internal/model"
 	"hetpipe/internal/pipeline"
 	"hetpipe/internal/profile"
+	"hetpipe/internal/sched"
 	"hetpipe/internal/trace"
 	"hetpipe/internal/train"
 )
@@ -58,17 +60,25 @@ func New(opts ...Option) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
+	schedule, err := sched.ByName(set.schedule)
+	if err != nil {
+		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownSchedule, set.schedule, Schedules())
+	}
+	set.schedule = schedule.Name()
 	switch set.task {
 	case "logreg", "mlp":
 	default:
 		return nil, fmt.Errorf("%w %q (want logreg or mlp)", ErrUnknownTask, set.task)
+	}
+	if set.warmup < 0 {
+		return nil, fmt.Errorf("hetpipe: warmup must be >= 0, got %d", set.warmup)
 	}
 	batch := set.batch
 	if batch == 0 {
 		batch = 32
 		set.batch = batch
 	}
-	sys, err := core.NewSystem(cl, m, profile.Default(), batch)
+	sys, err := core.NewSystemSched(cl, m, profile.Default(), batch, schedule)
 	if err != nil {
 		return nil, err
 	}
@@ -115,6 +125,10 @@ func (d *Deployment) Batch() int { return d.sys.Batch }
 // Nm reports the concurrent-minibatch count per virtual worker, resolved
 // from WithNm or chosen to maximize throughput.
 func (d *Deployment) Nm() int { return d.dep.Nm }
+
+// Schedule reports the pipeline schedule the deployment runs, resolved from
+// WithSchedule ("hetpipe-fifo" when none was given).
+func (d *Deployment) Schedule() string { return d.dep.ScheduleName() }
 
 // D reports the WSP clock-distance bound.
 func (d *Deployment) D() int { return d.dep.D }
@@ -239,25 +253,55 @@ func (d *Deployment) Train(ctx context.Context) (*LiveSummary, error) {
 	}, nil
 }
 
-// Gantt simulates virtual worker vw's pipeline alone and renders its
-// schedule as an ASCII chart (the Figure 1 view), using the deployment's own
-// partition plan and batch size — the batch set through WithBatch (default
-// 32) rather than a hard-coded one. width is the chart width in columns;
-// minibatches <= 0 defaults to 4*Nm.
-func (d *Deployment) Gantt(vw, minibatches, width int) (string, error) {
+// soloTrace simulates virtual worker vw's pipeline alone under the
+// deployment's schedule and returns the recorded execution trace. The
+// warmup comes from WithWarmup (default 1) and is validated against the
+// minibatch count here, where the run length is finally known.
+func (d *Deployment) soloTrace(vw, minibatches int) (*trace.Trace, error) {
 	if vw < 0 || vw >= len(d.dep.VWs) {
-		return "", fmt.Errorf("hetpipe: virtual worker %d out of range [0,%d)", vw, len(d.dep.VWs))
+		return nil, fmt.Errorf("hetpipe: virtual worker %d out of range [0,%d)", vw, len(d.dep.VWs))
 	}
 	if minibatches <= 0 {
 		minibatches = 4 * d.dep.Nm
 	}
+	if d.set.warmup >= minibatches {
+		return nil, fmt.Errorf("hetpipe: warmup %d must be below the %d rendered minibatches (WithWarmup)",
+			d.set.warmup, minibatches)
+	}
 	plan := d.dep.VWs[vw].Plan
 	tr := trace.New(len(plan.Stages))
 	if _, err := pipeline.Run(pipeline.Config{
-		Plan: plan, Cluster: d.sys.Cluster, Perf: d.sys.Perf,
-		Minibatches: minibatches, Warmup: 1, Trace: tr,
+		Plan: plan, Cluster: d.sys.Cluster, Perf: d.sys.Perf, Schedule: d.sys.Schedule,
+		Minibatches: minibatches, Warmup: d.set.warmup, Trace: tr,
 	}); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Gantt simulates virtual worker vw's pipeline alone and renders its
+// schedule as an ASCII chart (the Figure 1 view), using the deployment's own
+// partition plan, schedule, and batch size — the batch set through WithBatch
+// (default 32) rather than a hard-coded one. width is the chart width in
+// columns; minibatches <= 0 defaults to 4*Nm. The warmup minibatches
+// excluded from the underlying measurement come from WithWarmup (default 1)
+// and must be below the rendered minibatch count.
+func (d *Deployment) Gantt(vw, minibatches, width int) (string, error) {
+	tr, err := d.soloTrace(vw, minibatches)
+	if err != nil {
 		return "", err
 	}
 	return tr.Gantt(width), nil
+}
+
+// WriteChromeTrace simulates virtual worker vw's pipeline alone (like Gantt)
+// and writes the schedule as chrome://tracing / Perfetto JSON: one thread
+// per stage, one complete event per forward, backward, and (under the
+// overlap schedule) transfer span. minibatches <= 0 defaults to 4*Nm.
+func (d *Deployment) WriteChromeTrace(w io.Writer, vw, minibatches int) error {
+	tr, err := d.soloTrace(vw, minibatches)
+	if err != nil {
+		return err
+	}
+	return tr.WriteChromeTrace(w)
 }

@@ -50,6 +50,7 @@ import (
 	"hetpipe/internal/model"
 	"hetpipe/internal/partition"
 	"hetpipe/internal/profile"
+	"hetpipe/internal/sched"
 )
 
 // Config selects a HetPipe deployment on a cataloged cluster (the paper's
@@ -87,6 +88,9 @@ type Config struct {
 	// MinibatchesPerVW sizes the simulation; 0 picks a D-aware default of
 	// at least 24 waves. Maps to WithMinibatchesPerVW.
 	MinibatchesPerVW int
+	// Schedule selects the pipeline execution discipline (see Schedules);
+	// empty means "hetpipe-fifo", the paper's own. Maps to WithSchedule.
+	Schedule string
 	// Backend selects the execution substrate. "" or "sim" runs the
 	// discrete-event co-simulation (Deployment.Simulate). "live"
 	// additionally drives the internal/cluster runtime
@@ -104,6 +108,7 @@ func (c Config) options() []Option {
 		WithD(c.D),
 		WithLocalPlacement(c.LocalPlacement),
 		WithMinibatchesPerVW(c.MinibatchesPerVW),
+		WithSchedule(c.Schedule),
 	}
 	if len(c.Specs) > 0 {
 		opts = append(opts, WithSpecs(c.Specs...))
@@ -326,6 +331,12 @@ func Models() []string { return model.Names() }
 
 // Clusters lists the cluster-catalog keys Config.Cluster accepts.
 func Clusters() []string { return hw.ClusterNames() }
+
+// Schedules lists the pipeline-schedule names WithSchedule accepts:
+// "hetpipe-fifo" (the paper's Section 4 discipline, the default), "gpipe"
+// (fill-drain waves), "1f1b" (strict one-forward-one-backward), and
+// "hetpipe-overlap" (FIFO with communication/computation overlap).
+func Schedules() []string { return sched.Names() }
 
 // Experiments lists the paper-reproduction experiments available through
 // RunExperiment (tables, figures, and analyses of Section 8).

@@ -17,6 +17,7 @@ import (
 	"hetpipe/internal/partition"
 	"hetpipe/internal/pipeline"
 	"hetpipe/internal/profile"
+	"hetpipe/internal/sched"
 )
 
 // System bundles the fixed ingredients of an experiment.
@@ -25,9 +26,16 @@ type System struct {
 	Model   *model.Model
 	Perf    *profile.Perf
 	Batch   int
+	// Schedule is the pipeline execution discipline every virtual worker
+	// runs; nil means sched.Default() (hetpipe-fifo, the paper's own). It
+	// shapes both the partitioner's memory model and the simulated task
+	// graph.
+	Schedule sched.Schedule
 }
 
-// NewSystem validates and bundles the ingredients.
+// NewSystem validates and bundles the ingredients, under the default
+// hetpipe-fifo schedule; assign Schedule (or use NewSystemSched) to deploy
+// another discipline.
 func NewSystem(c *hw.Cluster, m *model.Model, perf *profile.Perf, batch int) (*System, error) {
 	if c == nil || m == nil || perf == nil {
 		return nil, fmt.Errorf("core: nil system ingredient")
@@ -39,6 +47,24 @@ func NewSystem(c *hw.Cluster, m *model.Model, perf *profile.Perf, batch int) (*S
 		return nil, err
 	}
 	return &System{Cluster: c, Model: m, Perf: perf, Batch: batch}, nil
+}
+
+// NewSystemSched is NewSystem with an explicit pipeline schedule.
+func NewSystemSched(c *hw.Cluster, m *model.Model, perf *profile.Perf, batch int, s sched.Schedule) (*System, error) {
+	sys, err := NewSystem(c, m, perf, batch)
+	if err != nil {
+		return nil, err
+	}
+	sys.Schedule = s
+	return sys, nil
+}
+
+// schedule resolves the system's schedule, defaulting to hetpipe-fifo.
+func (s *System) schedule() sched.Schedule { return sched.Or(s.Schedule) }
+
+// partitioner builds the schedule-aware partitioner for the system.
+func (s *System) partitioner() *partition.Partitioner {
+	return partition.NewSched(s.Perf, s.schedule())
 }
 
 // PlacementKind selects the parameter-shard placement policy (Section 8.1).
@@ -96,6 +122,10 @@ type Deployment struct {
 // (D+1)*Nm + Nm - 2 other minibatches (Section 5.2).
 func (d *Deployment) SGlobal() int { return (d.D+1)*d.Nm + d.Nm - 2 }
 
+// ScheduleName reports the pipeline schedule the deployment's virtual
+// workers run, e.g. "hetpipe-fifo".
+func (d *Deployment) ScheduleName() string { return sched.Or(d.Sys.Schedule).Name() }
+
 // SLocal returns the deployment's local staleness bound, Nm - 1: within a
 // virtual worker, minibatch p+1 starts from weights missing at most the Nm-1
 // in-flight predecessors' updates (Section 4).
@@ -105,12 +135,12 @@ func (d *Deployment) SLocal() int { return d.Nm - 1 }
 // simulates its pipeline alone (the Figure 3 experiment). minibatches and
 // warmup control the measurement window.
 func (s *System) SoloVW(vw *hw.VirtualWorker, nm, minibatches, warmup int) (*VWPlan, *pipeline.Result, error) {
-	plan, err := partition.New(s.Perf).Partition(s.Cluster, s.Model, vw, nm, s.Batch)
+	plan, err := s.partitioner().Partition(s.Cluster, s.Model, vw, nm, s.Batch)
 	if err != nil {
 		return nil, nil, err
 	}
 	res, err := pipeline.Run(pipeline.Config{
-		Plan: plan, Cluster: s.Cluster, Perf: s.Perf,
+		Plan: plan, Cluster: s.Cluster, Perf: s.Perf, Schedule: s.Schedule,
 		Minibatches: minibatches, Warmup: warmup,
 	})
 	if err != nil {
@@ -141,7 +171,7 @@ func serialTime(p *partition.Plan) float64 {
 // paper's "Nm is set such that performance is maximized" rule with the
 // constraint that every VW uses the same Nm.
 func (s *System) ChooseNm(alloc *hw.Allocation, cap int) (int, error) {
-	pt := partition.New(s.Perf)
+	pt := s.partitioner()
 	limit := cap
 	for _, vw := range alloc.VWs {
 		m := pt.MaxNm(s.Cluster, s.Model, vw, s.Batch, cap)

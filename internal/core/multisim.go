@@ -141,6 +141,7 @@ func (d *Deployment) SimulateWSPContext(ctx context.Context, minibatchesPerVW, w
 			Plan:        d.VWs[w].Plan,
 			Cluster:     d.Sys.Cluster,
 			Perf:        d.Sys.Perf,
+			Schedule:    d.Sys.Schedule,
 			Minibatches: minibatchesPerVW,
 			Warmup:      warmup,
 			InjectGate: func(mb int) bool {

@@ -19,6 +19,7 @@ import (
 	"hetpipe/internal/hw"
 	"hetpipe/internal/model"
 	"hetpipe/internal/profile"
+	"hetpipe/internal/sched"
 )
 
 // Stage is one pipeline stage of a plan: a contiguous layer range bound to
@@ -58,6 +59,10 @@ type Plan struct {
 	// Nm is the number of concurrent minibatches the plan supports.
 	Nm     int
 	Stages []Stage
+	// Schedule names the pipeline schedule the plan was sized for (its
+	// in-flight-activation model decided the memory feasibility), e.g.
+	// "hetpipe-fifo" or "1f1b".
+	Schedule string
 	// Bottleneck is the maximum stage execution time; the pipeline's
 	// steady-state period can never beat it.
 	Bottleneck float64
@@ -101,12 +106,27 @@ func (p *Plan) Validate() error {
 // Partitioner computes plans using a performance model.
 type Partitioner struct {
 	Perf *profile.Perf
+	// Sched is the pipeline schedule the plans are sized for; nil means
+	// sched.Default() (hetpipe-fifo). The schedule's in-flight-activation
+	// model decides memory feasibility — 1F1B's smaller footprint admits
+	// splits (and Nm values, see MaxNm) that FIFO cannot.
+	Sched sched.Schedule
 }
 
-// New returns a partitioner over the given performance model.
+// New returns a partitioner over the given performance model, sized for the
+// default hetpipe-fifo schedule.
 func New(perf *profile.Perf) *Partitioner {
 	return &Partitioner{Perf: perf}
 }
+
+// NewSched returns a partitioner whose memory model follows the given
+// pipeline schedule.
+func NewSched(perf *profile.Perf, s sched.Schedule) *Partitioner {
+	return &Partitioner{Perf: perf, Sched: s}
+}
+
+// schedule resolves the partitioner's schedule, defaulting to hetpipe-fifo.
+func (pt *Partitioner) schedule() sched.Schedule { return sched.Or(pt.Sched) }
 
 // Partition computes the optimal plan for running m on the virtual worker's
 // GPUs (in stage order) with Nm concurrent minibatches. The cluster provides
@@ -133,9 +153,13 @@ func (pt *Partitioner) Partition(c *hw.Cluster, m *model.Model, vw *hw.VirtualWo
 	}
 
 	// cost returns the execution time of layers [lo,hi) as stage s, or +Inf
-	// when it violates stage s's memory cap.
+	// when it violates stage s's memory cap. The memory term follows the
+	// partitioner's schedule; the time term keeps the paper's Section 7
+	// definition (compute plus serialized receives) for every schedule, so
+	// plans stay comparable across schedules and overlap's gains show up in
+	// the executor rather than being double-counted here.
 	cost := func(lo, hi, s int) float64 {
-		mem := pt.Perf.StageMemory(m, lo, hi, s, k, nm, batch)
+		mem := pt.Perf.StageMemorySched(pt.schedule(), m, lo, hi, s, k, nm, batch)
 		if mem > vw.GPUs[s].Type.MemoryBytes {
 			return math.Inf(1)
 		}
@@ -198,7 +222,7 @@ func (pt *Partitioner) Partition(c *hw.Cluster, m *model.Model, vw *hw.VirtualWo
 		cuts[s] = choice[cuts[s+1]][s]
 	}
 
-	plan := &Plan{Model: m, Batch: batch, Nm: nm}
+	plan := &Plan{Model: m, Batch: batch, Nm: nm, Schedule: pt.schedule().Name()}
 	for s := 0; s < k; s++ {
 		lo, hi := cuts[s], cuts[s+1]
 		fwd, bwd, err := pt.Perf.StageTime(m, lo, hi, vw.GPUs[s].Type, batch)
@@ -208,7 +232,7 @@ func (pt *Partitioner) Partition(c *hw.Cluster, m *model.Model, vw *hw.VirtualWo
 		st := Stage{
 			GPU: vw.GPUs[s], Lo: lo, Hi: hi,
 			FwdTime: fwd, BwdTime: bwd,
-			MemoryBytes: pt.Perf.StageMemory(m, lo, hi, s, k, nm, batch),
+			MemoryBytes: pt.Perf.StageMemorySched(pt.schedule(), m, lo, hi, s, k, nm, batch),
 			MemoryCap:   vw.GPUs[s].Type.MemoryBytes,
 		}
 		if s > 0 {
@@ -229,8 +253,11 @@ func (pt *Partitioner) Partition(c *hw.Cluster, m *model.Model, vw *hw.VirtualWo
 }
 
 // MaxNm finds the largest Nm in [1, cap] for which a memory-feasible plan
-// exists — the paper's Maxm for the virtual worker. It returns 0 when even
-// Nm=1 does not fit.
+// exists — the paper's Maxm for the virtual worker — under the
+// partitioner's schedule. A 1F1B partitioner admits a larger Maxm than a
+// FIFO one on memory-constrained workers because its per-stage stash stops
+// growing once Nm exceeds the stage depth. It returns 0 when even Nm=1 does
+// not fit.
 func (pt *Partitioner) MaxNm(c *hw.Cluster, m *model.Model, vw *hw.VirtualWorker, batch, cap int) int {
 	lo, hi := 1, cap
 	if _, err := pt.Partition(c, m, vw, 1, batch); err != nil {

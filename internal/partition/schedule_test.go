@@ -1,0 +1,108 @@
+package partition
+
+import (
+	"testing"
+
+	"hetpipe/internal/hw"
+	"hetpipe/internal/model"
+	"hetpipe/internal/profile"
+	"hetpipe/internal/sched"
+)
+
+// TestOneF1BAdmitsLargerMaxNm is the schedule-subsystem differential: on a
+// memory-constrained zoo/cluster pair, strict 1F1B's smaller activation
+// footprint (at most stage-depth stashes instead of FIFO's 2*(k-stage)-1)
+// admits a strictly larger Maxm. The pinned pair — ResNet-152 on a
+// two-GPU RTX 2060 worker of the "mini" cluster — was found by scanning the
+// zoo x catalog grid: FIFO tops out at Nm=2 while 1F1B runs to the cap
+// because its stash stops growing once Nm exceeds the stage depth.
+func TestOneF1BAdmitsLargerMaxNm(t *testing.T) {
+	perf := profile.Default()
+	cl, err := hw.ClusterByName("mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := hw.AllocateByTypes(cl, []string{"GG"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.ResNet152()
+	vw := alloc.VWs[0]
+	fifoMax := NewSched(perf, sched.FIFO).MaxNm(cl, m, vw, 32, 16)
+	f1bMax := NewSched(perf, sched.OneF1B).MaxNm(cl, m, vw, 32, 16)
+	if fifoMax != 2 {
+		t.Errorf("fifo MaxNm = %d, want 2 (memory-constrained pair drifted; re-scan the grid)", fifoMax)
+	}
+	if f1bMax <= fifoMax {
+		t.Errorf("1f1b MaxNm = %d, not strictly above fifo's %d", f1bMax, fifoMax)
+	}
+	// The larger Nm is real: a 1F1B plan at a Nm FIFO cannot host must
+	// partition successfully, and the same Nm must fail under FIFO.
+	if _, err := NewSched(perf, sched.OneF1B).Partition(cl, m, vw, fifoMax+1, 32); err != nil {
+		t.Errorf("1f1b partition at Nm=%d failed: %v", fifoMax+1, err)
+	}
+	if _, err := NewSched(perf, sched.FIFO).Partition(cl, m, vw, fifoMax+1, 32); err == nil {
+		t.Errorf("fifo partition at Nm=%d unexpectedly feasible", fifoMax+1)
+	}
+}
+
+// TestMaxNmMatchesBruteForce is the property test for the MaxNm binary
+// search: across the model zoo x cluster catalog (first virtual worker of
+// the first feasible allocation policy, FIFO and 1F1B schedules), the binary
+// search must agree with a brute-force linear scan — the property holds
+// because stage memory is monotone non-decreasing in Nm, so feasibility is a
+// prefix of [1, cap].
+func TestMaxNmMatchesBruteForce(t *testing.T) {
+	perf := profile.Default()
+	const cap = 8
+	bruteForce := func(t *testing.T, pt *Partitioner, c *hw.Cluster, m *model.Model, vw *hw.VirtualWorker, batch int) int {
+		// Scan the whole range rather than stopping at the first failure:
+		// this both finds the true maximum and checks the prefix property
+		// the binary search depends on.
+		best, failed := 0, false
+		for nm := 1; nm <= cap; nm++ {
+			if _, err := pt.Partition(c, m, vw, nm, batch); err == nil {
+				if failed {
+					t.Errorf("%s/%s: feasibility not monotone — Nm=%d feasible after a smaller Nm failed",
+						m.Name, pt.schedule().Name(), nm)
+				}
+				best = nm
+			} else {
+				failed = true
+			}
+		}
+		return best
+	}
+	for _, ci := range hw.ClusterCatalog() {
+		cl, err := hw.ClusterByName(ci.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var alloc *hw.Allocation
+		for _, pol := range hw.Policies() {
+			if a, err := hw.Allocate(cl, pol); err == nil {
+				alloc = a
+				break
+			}
+		}
+		if alloc == nil {
+			t.Fatalf("%s: no feasible allocation policy", ci.Name)
+		}
+		vw := alloc.VWs[0]
+		for _, mn := range model.Names() {
+			m, err := model.ByName(mn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range []sched.Schedule{sched.FIFO, sched.OneF1B} {
+				pt := NewSched(perf, s)
+				got := pt.MaxNm(cl, m, vw, 32, cap)
+				want := bruteForce(t, pt, cl, m, vw, 32)
+				if got != want {
+					t.Errorf("%s/%s/%s: MaxNm binary search = %d, brute force = %d",
+						ci.Name, mn, s.Name(), got, want)
+				}
+			}
+		}
+	}
+}

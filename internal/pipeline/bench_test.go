@@ -7,6 +7,7 @@ import (
 	"hetpipe/internal/model"
 	"hetpipe/internal/partition"
 	"hetpipe/internal/profile"
+	"hetpipe/internal/sched"
 )
 
 // BenchmarkPipelineSimulation measures the discrete-event cost of simulating
@@ -29,5 +30,38 @@ func BenchmarkPipelineSimulation(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPipelineSchedules measures the same 100-minibatch simulation
+// under each schedule executor, so a regression in any runner's event count
+// or allocation profile shows up against the committed BENCH_pipeline.json
+// baseline.
+func BenchmarkPipelineSchedules(b *testing.B) {
+	c := hw.Paper()
+	alloc, err := hw.AllocateByTypes(c, []string{"VRGQ"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	perf := profile.Default()
+	for _, name := range sched.Names() {
+		s, err := sched.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := partition.NewSched(perf, s).Partition(c, model.ResNet152(), alloc.VWs[0], 4, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(Config{
+					Plan: plan, Cluster: c, Perf: perf, Schedule: s,
+					Minibatches: 100, Warmup: 20,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

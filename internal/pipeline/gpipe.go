@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"hetpipe/internal/sim"
+	"hetpipe/internal/trace"
+)
+
+// gpipeRunner is the gpipe schedule: fill-drain with a sync barrier per
+// Nm-wave. A wave of up to Nm minibatches is injected, every forward runs to
+// the last stage (receives serialize with compute, as in the paper's cost
+// model), and only when the whole wave's forwards have finished does the
+// drain start — backwards propagate from the last stage to the first, in
+// minibatch order so the WSP wave-end push still fires after its
+// predecessors complete. The next wave is injected only once the pipeline
+// has fully drained, which is exactly why every stage stashes the whole
+// wave's activations (sched.GPipe.StashCount == Nm) and why the pipeline
+// idles during each fill and drain ramp.
+type gpipeRunner struct {
+	pl *Pipeline
+
+	// waveTarget is the size of the open wave (0 = none open); waveStartP is
+	// its first 1-based minibatch; waveInjected counts members injected so
+	// far (the gate can defer the rest of a wave); fwdDone counts members
+	// whose forward reached the end of the pipeline.
+	waveTarget   int
+	waveStartP   int
+	waveInjected int
+	fwdDone      int
+}
+
+func (r *gpipeRunner) poke() {
+	pl := r.pl
+	for {
+		if r.waveTarget > 0 && r.waveInjected == r.waveTarget && pl.inflight == 0 {
+			r.waveTarget = 0 // the wave has fully drained
+		}
+		if r.waveTarget == 0 {
+			if pl.injected >= pl.cfg.Minibatches || pl.inflight > 0 {
+				return
+			}
+			r.waveTarget = pl.cfg.Minibatches - pl.injected
+			if r.waveTarget > pl.nm {
+				r.waveTarget = pl.nm
+			}
+			r.waveStartP = pl.injected + 1
+			r.waveInjected, r.fwdDone = 0, 0
+		}
+		for r.waveInjected < r.waveTarget {
+			p := pl.injected + 1
+			if pl.cfg.InjectGate != nil && !pl.cfg.InjectGate(p) {
+				pl.waiting = true
+				return
+			}
+			pl.waiting = false
+			pl.injected++
+			pl.inflight++
+			r.waveInjected++
+			r.forward(p, 0)
+		}
+		return
+	}
+}
+
+// forward schedules the fill-phase forward of minibatch p on stage s; the
+// duration includes receiving the input activations (serialized, like the
+// paper's model). When the last member of the wave finishes its forward on
+// the last stage, the drain phase begins.
+func (r *gpipeRunner) forward(p, s int) {
+	pl := r.pl
+	st := &pl.cfg.Plan.Stages[s]
+	dur := sim.Duration(st.RecvActTime + st.FwdTime)
+	pl.gpus[s].Submit(dur, fmt.Sprintf("f%d", p), func() {
+		pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
+		if s == pl.k-1 {
+			r.fwdDone++
+			if r.fwdDone == r.waveTarget {
+				// Fill barrier reached: drain the wave. Backwards enter the
+				// last stage in minibatch order; each stage's FIFO queue
+				// keeps them ordered on the way up.
+				for q := r.waveStartP; q < r.waveStartP+r.waveTarget; q++ {
+					r.backward(q, pl.k-1)
+				}
+			}
+			return
+		}
+		r.forward(p, s+1)
+	})
+}
+
+// backward schedules the drain-phase backward of minibatch p on stage s; the
+// duration includes receiving the boundary gradients (zero on the last
+// stage, whose loss is local).
+func (r *gpipeRunner) backward(p, s int) {
+	pl := r.pl
+	st := &pl.cfg.Plan.Stages[s]
+	dur := sim.Duration(st.RecvGradTime + st.BwdTime)
+	pl.gpus[s].Submit(dur, fmt.Sprintf("b%d", p), func() {
+		pl.traceAdd(s, p, trace.Backward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
+		if s == 0 {
+			pl.complete(p)
+			return
+		}
+		r.backward(p, s-1)
+	})
+}

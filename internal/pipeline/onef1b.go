@@ -1,0 +1,123 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"hetpipe/internal/sim"
+	"hetpipe/internal/trace"
+)
+
+// oneF1BRunner is the 1f1b schedule: strict one-forward-one-backward
+// (PipeDream / Narayanan et al.). Each stage s admits at most k-s forwards
+// before it must retire a backward — the per-stage warmup is k-s-1 forwards
+// deep, after which the stage alternates backward and forward work
+// (backward-first when both are ready, which is what produces the strict
+// alternation in steady state). The bound is what shrinks the activation
+// footprint to at most stage-depth stashes (sched.OneF1B.StashCount) and
+// lets a memory-constrained virtual worker admit a larger Nm than under
+// HetPipe's FIFO. Receives serialize with compute, as in the paper's cost
+// model; the last stage fuses forward and backward like the FIFO executor.
+type oneF1BRunner struct {
+	pl     *Pipeline
+	stages []f1bStage
+}
+
+// f1bStage is one stage's scheduling state. pendingF and pendingB hold
+// minibatches whose inputs have arrived, in arrival (== minibatch) order;
+// outstanding counts forwards run but not yet retired by a backward here.
+type f1bStage struct {
+	busy        bool
+	outstanding int
+	pendingF    []int
+	pendingB    []int
+}
+
+func newOneF1BRunner(pl *Pipeline) *oneF1BRunner {
+	return &oneF1BRunner{pl: pl, stages: make([]f1bStage, pl.k)}
+}
+
+func (r *oneF1BRunner) poke() {
+	r.pl.inject(func(p int) {
+		r.stages[0].pendingF = append(r.stages[0].pendingF, p)
+	})
+	r.trySchedule(0)
+}
+
+// trySchedule picks the next task for stage s under the 1F1B discipline:
+// backward if one is ready (retiring a stash), otherwise a forward as long
+// as the stage stays within its k-s outstanding bound.
+func (r *oneF1BRunner) trySchedule(s int) {
+	pl := r.pl
+	st := &r.stages[s]
+	if st.busy {
+		return
+	}
+	switch {
+	case len(st.pendingB) > 0:
+		p := st.pendingB[0]
+		st.pendingB = st.pendingB[1:]
+		r.runBackward(p, s)
+	case len(st.pendingF) > 0 && st.outstanding < pl.k-s:
+		p := st.pendingF[0]
+		st.pendingF = st.pendingF[1:]
+		r.runForward(p, s)
+	}
+}
+
+// runForward executes minibatch p's forward on stage s (fused with the
+// backward on the last stage); the duration includes receiving the input
+// activations.
+func (r *oneF1BRunner) runForward(p, s int) {
+	pl := r.pl
+	st := &r.stages[s]
+	stage := &pl.cfg.Plan.Stages[s]
+	st.busy = true
+	if s == pl.k-1 {
+		dur := sim.Duration(stage.RecvActTime + stage.FwdTime + stage.BwdTime)
+		pl.gpus[s].Submit(dur, fmt.Sprintf("fb%d", p), func() {
+			mid := pl.eng.Now() - sim.Time(stage.BwdTime)
+			pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), mid)
+			pl.traceAdd(s, p, trace.Backward, mid, pl.eng.Now())
+			st.busy = false
+			if s == 0 {
+				pl.complete(p)
+			} else {
+				r.stages[s-1].pendingB = append(r.stages[s-1].pendingB, p)
+				r.trySchedule(s - 1)
+			}
+			r.trySchedule(s)
+		})
+		return
+	}
+	dur := sim.Duration(stage.RecvActTime + stage.FwdTime)
+	pl.gpus[s].Submit(dur, fmt.Sprintf("f%d", p), func() {
+		pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
+		st.busy = false
+		st.outstanding++
+		r.stages[s+1].pendingF = append(r.stages[s+1].pendingF, p)
+		r.trySchedule(s + 1)
+		r.trySchedule(s)
+	})
+}
+
+// runBackward executes minibatch p's backward on stage s (s < k-1); the
+// duration includes receiving the boundary gradients.
+func (r *oneF1BRunner) runBackward(p, s int) {
+	pl := r.pl
+	st := &r.stages[s]
+	stage := &pl.cfg.Plan.Stages[s]
+	st.busy = true
+	dur := sim.Duration(stage.RecvGradTime + stage.BwdTime)
+	pl.gpus[s].Submit(dur, fmt.Sprintf("b%d", p), func() {
+		pl.traceAdd(s, p, trace.Backward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
+		st.busy = false
+		st.outstanding--
+		if s == 0 {
+			pl.complete(p)
+		} else {
+			r.stages[s-1].pendingB = append(r.stages[s-1].pendingB, p)
+			r.trySchedule(s - 1)
+		}
+		r.trySchedule(s)
+	})
+}

@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"hetpipe/internal/sim"
+	"hetpipe/internal/trace"
+)
+
+// overlapRunner is the hetpipe-overlap schedule: HetPipe's FIFO injection
+// discipline with PipeDream-style communication/computation overlap — the
+// Section 9 improvement the paper leaves on the table. A receive no longer
+// occupies the receiving GPU: the transfer runs as a pure delay (the link is
+// modeled as a dedicated DMA channel), and only the compute time is charged
+// to the stage's device. Transfers from a stage complete in minibatch order
+// and take constant time per boundary, so compute tasks still arrive at each
+// FIFO device queue in minibatch order — conditions 1–3 of Section 4 hold
+// unchanged, which is why the same Nm and gate semantics apply.
+type overlapRunner struct{ pl *Pipeline }
+
+func (r *overlapRunner) poke() {
+	r.pl.inject(func(p int) { r.forward(p, 0) })
+}
+
+// forward delivers minibatch p's activations to stage s (a pure transfer
+// delay when s > 0) and then enqueues the compute-only forward task.
+func (r *overlapRunner) forward(p, s int) {
+	pl := r.pl
+	st := &pl.cfg.Plan.Stages[s]
+	compute := func() {
+		if s == pl.k-1 {
+			// Last partition: fused forward+backward, compute only.
+			dur := sim.Duration(st.FwdTime + st.BwdTime)
+			pl.gpus[s].Submit(dur, fmt.Sprintf("fb%d", p), func() {
+				mid := pl.eng.Now() - sim.Time(st.BwdTime)
+				pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), mid)
+				pl.traceAdd(s, p, trace.Backward, mid, pl.eng.Now())
+				if s == 0 {
+					pl.complete(p)
+					return
+				}
+				r.backward(p, s-1)
+			})
+			return
+		}
+		dur := sim.Duration(st.FwdTime)
+		pl.gpus[s].Submit(dur, fmt.Sprintf("f%d", p), func() {
+			pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
+			r.forward(p, s+1)
+		})
+	}
+	if s > 0 && st.RecvActTime > 0 {
+		start := pl.eng.Now()
+		pl.eng.After(sim.Duration(st.RecvActTime), fmt.Sprintf("recvA%d.%d", p, s), func() {
+			pl.traceAdd(s, p, trace.Transfer, start, pl.eng.Now())
+			compute()
+		})
+		return
+	}
+	compute()
+}
+
+// backward delivers minibatch p's boundary gradients to stage s and enqueues
+// the compute-only backward task.
+func (r *overlapRunner) backward(p, s int) {
+	pl := r.pl
+	st := &pl.cfg.Plan.Stages[s]
+	compute := func() {
+		dur := sim.Duration(st.BwdTime)
+		pl.gpus[s].Submit(dur, fmt.Sprintf("b%d", p), func() {
+			pl.traceAdd(s, p, trace.Backward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
+			if s == 0 {
+				pl.complete(p)
+				return
+			}
+			r.backward(p, s-1)
+		})
+	}
+	if st.RecvGradTime > 0 {
+		start := pl.eng.Now()
+		pl.eng.After(sim.Duration(st.RecvGradTime), fmt.Sprintf("recvG%d.%d", p, s), func() {
+			pl.traceAdd(s, p, trace.Transfer, start, pl.eng.Now())
+			compute()
+		})
+		return
+	}
+	compute()
+}

@@ -1,5 +1,7 @@
 // Package pipeline executes Pipelined Model Parallelism within one virtual
-// worker on the discrete-event simulator, following Section 4 of the paper:
+// worker on the discrete-event simulator. The execution discipline is
+// pluggable (Config.Schedule, see internal/sched); the default is the
+// paper's own, following Section 4:
 //
 //   - up to Nm minibatches are in flight concurrently; a new minibatch is
 //     injected as soon as one completes (and any external gate admits it);
@@ -17,6 +19,13 @@
 //     communication/computation overlap would be a further improvement —
 //     i.e. HetPipe does not overlap them).
 //
+// Three further schedules relax those choices: "gpipe" runs fill-drain waves
+// with a sync barrier between fill and drain, "1f1b" runs the strict
+// one-forward-one-backward steady state (holding at most stage-depth
+// activations), and "hetpipe-overlap" keeps the FIFO discipline but overlaps
+// receives with computation — the Section 9 improvement. Every schedule
+// honors the same InjectGate/OnComplete contract, so WSP couples them all.
+//
 // The package reports steady-state throughput, per-GPU utilization, and an
 // optional execution trace (Figure 1).
 package pipeline
@@ -27,6 +36,7 @@ import (
 	"hetpipe/internal/hw"
 	"hetpipe/internal/partition"
 	"hetpipe/internal/profile"
+	"hetpipe/internal/sched"
 	"hetpipe/internal/sim"
 	"hetpipe/internal/trace"
 )
@@ -39,6 +49,9 @@ type Config struct {
 	Cluster *hw.Cluster
 	// Perf supplies transfer times.
 	Perf *profile.Perf
+	// Schedule selects the execution discipline; nil means sched.Default()
+	// (hetpipe-fifo, the paper's Section 4 behavior).
+	Schedule sched.Schedule
 	// Minibatches is the total number of minibatches to process.
 	Minibatches int
 	// Warmup minibatches are excluded from the throughput measurement.
@@ -68,12 +81,19 @@ type Result struct {
 	Completions []sim.Time
 }
 
+// runner is the schedule-specific injection-and-task-graph strategy behind a
+// Pipeline. poke drives the injection loop (initial fill, gate retries, and
+// refills after completions); the shared bookkeeping lives on Pipeline.
+type runner interface {
+	poke()
+}
+
 // Pipeline is the live simulation object for one virtual worker.
 type Pipeline struct {
 	cfg   Config
 	eng   *sim.Engine
 	k     int
-	nm    int
+	nm    int // in-flight cap: Schedule.InFlightCap(k, Plan.Nm)
 	batch int
 
 	gpus []*sim.Resource // compute engine per stage
@@ -83,6 +103,8 @@ type Pipeline struct {
 	inflight  int
 	waiting   bool // an injection is blocked on the gate
 	finished  []sim.Time
+
+	run runner
 }
 
 // New builds the pipeline on the engine. Start must be called to begin.
@@ -96,37 +118,41 @@ func New(eng *sim.Engine, cfg Config) (*Pipeline, error) {
 	if cfg.Warmup >= cfg.Minibatches {
 		return nil, fmt.Errorf("pipeline: warmup %d >= total %d", cfg.Warmup, cfg.Minibatches)
 	}
+	cfg.Schedule = sched.Or(cfg.Schedule)
 	k := len(cfg.Plan.Stages)
 	pl := &Pipeline{
 		cfg:   cfg,
 		eng:   eng,
 		k:     k,
-		nm:    cfg.Plan.Nm,
+		nm:    cfg.Schedule.InFlightCap(k, cfg.Plan.Nm),
 		batch: cfg.Plan.Batch,
 	}
 	for s := 0; s < k; s++ {
 		pl.gpus = append(pl.gpus, sim.NewResource(eng, fmt.Sprintf("gpu%d", s)))
 	}
+	switch cfg.Schedule.Name() {
+	case sched.NameFIFO:
+		pl.run = &fifoRunner{pl: pl}
+	case sched.NameOverlap:
+		pl.run = &overlapRunner{pl: pl}
+	case sched.NameGPipe:
+		pl.run = &gpipeRunner{pl: pl}
+	case sched.NameOneF1B:
+		pl.run = newOneF1BRunner(pl)
+	default:
+		return nil, fmt.Errorf("pipeline: no executor for schedule %q", cfg.Schedule.Name())
+	}
 	return pl, nil
 }
+
+// Schedule reports the resolved execution discipline.
+func (pl *Pipeline) Schedule() sched.Schedule { return pl.cfg.Schedule }
 
 // Start injects the initial window of minibatches.
 func (pl *Pipeline) Start() { pl.Poke() }
 
 // Poke retries a gated injection; WSP calls it when global state advances.
-func (pl *Pipeline) Poke() {
-	for pl.inflight < pl.nm && pl.injected < pl.cfg.Minibatches {
-		p := pl.injected + 1 // 1-based minibatch number
-		if pl.cfg.InjectGate != nil && !pl.cfg.InjectGate(p) {
-			pl.waiting = true
-			return
-		}
-		pl.waiting = false
-		pl.injected++
-		pl.inflight++
-		pl.forward(p, 0)
-	}
-}
+func (pl *Pipeline) Poke() { pl.run.poke() }
 
 // Waiting reports whether an injection is currently blocked on the gate.
 func (pl *Pipeline) Waiting() bool { return pl.waiting }
@@ -137,60 +163,23 @@ func (pl *Pipeline) Completed() int { return pl.completed }
 // InFlight reports how many minibatches are currently in the pipeline.
 func (pl *Pipeline) InFlight() int { return pl.inflight }
 
-// forward schedules the forward pass of minibatch p on stage s. The task's
-// duration includes the time to receive the input activations from the
-// previous stage (RecvActTime), which serializes with computation.
-func (pl *Pipeline) forward(p, s int) {
-	st := &pl.cfg.Plan.Stages[s]
-	if s == pl.k-1 {
-		// Last partition: forward immediately followed by backward, one task.
-		dur := sim.Duration(st.RecvActTime + st.FwdTime + st.BwdTime)
-		pl.gpus[s].Submit(dur, fmt.Sprintf("fb%d", p), func() {
-			if pl.cfg.Trace != nil {
-				mid := pl.eng.Now() - sim.Time(st.BwdTime)
-				pl.cfg.Trace.Add(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), mid)
-				pl.cfg.Trace.Add(s, p, trace.Backward, mid, pl.eng.Now())
-			}
-			pl.sendGrad(p, s)
-		})
-		return
-	}
-	dur := sim.Duration(st.RecvActTime + st.FwdTime)
-	pl.gpus[s].Submit(dur, fmt.Sprintf("f%d", p), func() {
-		if pl.cfg.Trace != nil {
-			pl.cfg.Trace.Add(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
-		}
-		// The send itself is asynchronous for the sender; the receive cost
-		// is charged to the downstream stage's task.
-		pl.forward(p, s+1)
-	})
-}
-
-// backward schedules the backward pass of minibatch p on stage s (s < k-1;
-// the last stage's backward is fused into its forward task). The task's
-// duration includes receiving the gradients from the next stage.
-func (pl *Pipeline) backward(p, s int) {
-	st := &pl.cfg.Plan.Stages[s]
-	dur := sim.Duration(st.RecvGradTime + st.BwdTime)
-	pl.gpus[s].Submit(dur, fmt.Sprintf("b%d", p), func() {
-		if pl.cfg.Trace != nil {
-			pl.cfg.Trace.Add(s, p, trace.Backward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
-		}
-		if s == 0 {
-			pl.complete(p)
+// inject runs the shared gated-injection loop: while the in-flight window
+// has room and minibatches remain, consult the gate, account the waiting
+// flag, and hand each admitted minibatch to start. Every runner except
+// gpipe (whose wave barrier changes the loop condition) drives its poke
+// through this, so gate semantics cannot silently diverge per schedule.
+func (pl *Pipeline) inject(start func(p int)) {
+	for pl.inflight < pl.nm && pl.injected < pl.cfg.Minibatches {
+		p := pl.injected + 1 // 1-based minibatch number
+		if pl.cfg.InjectGate != nil && !pl.cfg.InjectGate(p) {
+			pl.waiting = true
 			return
 		}
-		pl.sendGrad(p, s)
-	})
-}
-
-// sendGrad propagates minibatch p's boundary gradients from stage s to s-1.
-func (pl *Pipeline) sendGrad(p, s int) {
-	if s == 0 {
-		pl.complete(p)
-		return
+		pl.waiting = false
+		pl.injected++
+		pl.inflight++
+		start(p)
 	}
-	pl.backward(p, s-1)
 }
 
 // complete marks minibatch p done: its backward pass reached stage 0 and the
@@ -203,6 +192,13 @@ func (pl *Pipeline) complete(p int) {
 		pl.cfg.OnComplete(p, pl.eng.Now())
 	}
 	pl.Poke()
+}
+
+// traceAdd records a span when tracing is enabled.
+func (pl *Pipeline) traceAdd(stage, p int, kind trace.SpanKind, start, end sim.Time) {
+	if pl.cfg.Trace != nil {
+		pl.cfg.Trace.Add(stage, p, kind, start, end)
+	}
 }
 
 // Result summarizes the run; call after the engine has drained.
@@ -248,4 +244,71 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return pl.Result()
+}
+
+// fifoRunner is the paper's Section 4 discipline — the original executor,
+// kept numerically identical: same event names, same scheduling order, same
+// fused last stage.
+type fifoRunner struct{ pl *Pipeline }
+
+func (r *fifoRunner) poke() {
+	r.pl.inject(func(p int) { r.forward(p, 0) })
+}
+
+// forward schedules the forward pass of minibatch p on stage s. The task's
+// duration includes the time to receive the input activations from the
+// previous stage (RecvActTime), which serializes with computation.
+func (r *fifoRunner) forward(p, s int) {
+	pl := r.pl
+	st := &pl.cfg.Plan.Stages[s]
+	if s == pl.k-1 {
+		// Last partition: forward immediately followed by backward, one task.
+		dur := sim.Duration(st.RecvActTime + st.FwdTime + st.BwdTime)
+		pl.gpus[s].Submit(dur, fmt.Sprintf("fb%d", p), func() {
+			if pl.cfg.Trace != nil {
+				mid := pl.eng.Now() - sim.Time(st.BwdTime)
+				pl.cfg.Trace.Add(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), mid)
+				pl.cfg.Trace.Add(s, p, trace.Backward, mid, pl.eng.Now())
+			}
+			r.sendGrad(p, s)
+		})
+		return
+	}
+	dur := sim.Duration(st.RecvActTime + st.FwdTime)
+	pl.gpus[s].Submit(dur, fmt.Sprintf("f%d", p), func() {
+		if pl.cfg.Trace != nil {
+			pl.cfg.Trace.Add(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
+		}
+		// The send itself is asynchronous for the sender; the receive cost
+		// is charged to the downstream stage's task.
+		r.forward(p, s+1)
+	})
+}
+
+// backward schedules the backward pass of minibatch p on stage s (s < k-1;
+// the last stage's backward is fused into its forward task). The task's
+// duration includes receiving the gradients from the next stage.
+func (r *fifoRunner) backward(p, s int) {
+	pl := r.pl
+	st := &pl.cfg.Plan.Stages[s]
+	dur := sim.Duration(st.RecvGradTime + st.BwdTime)
+	pl.gpus[s].Submit(dur, fmt.Sprintf("b%d", p), func() {
+		if pl.cfg.Trace != nil {
+			pl.cfg.Trace.Add(s, p, trace.Backward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
+		}
+		if s == 0 {
+			pl.complete(p)
+			return
+		}
+		r.sendGrad(p, s)
+	})
+}
+
+// sendGrad propagates minibatch p's boundary gradients from stage s to s-1.
+func (r *fifoRunner) sendGrad(p, s int) {
+	if s == 0 {
+		r.pl.complete(p)
+		return
+	}
+	r.backward(p, s-1)
 }

@@ -20,6 +20,7 @@ import (
 
 	"hetpipe/internal/hw"
 	"hetpipe/internal/model"
+	"hetpipe/internal/sched"
 )
 
 // LinkModel predicts a transfer time as latency + bytes / effective
@@ -190,31 +191,38 @@ func (p *Perf) BoundaryTime(m *model.Model, cutAfter, batch int, kind hw.LinkKin
 }
 
 // StashCount bounds how many minibatches' activations stage (0-based) of a
-// k-stage pipeline holds concurrently when Nm minibatches are in flight:
-// min(Nm, 2*(k-stage)-1). The last stage finishes each minibatch immediately
-// (its forward and backward run back to back), so it holds one; the first stage
-// holds activations for the whole round trip — the Figure 1 memory-variance
-// observation that drives memory-aware partitioning.
+// k-stage pipeline holds concurrently when Nm minibatches are in flight
+// under the paper's own FIFO schedule: min(Nm, 2*(k-stage)-1). The last
+// stage finishes each minibatch immediately (its forward and backward run
+// back to back), so it holds one; the first stage holds activations for the
+// whole round trip — the Figure 1 memory-variance observation that drives
+// memory-aware partitioning. Other schedules have their own in-flight
+// models; see sched.Schedule.StashCount and StageMemorySched.
 func (p *Perf) StashCount(stage, k, nm int) int {
-	c := 2*(k-stage) - 1
-	if nm < c {
-		c = nm
-	}
-	if c < 1 {
-		c = 1
-	}
-	return c
+	return sched.FIFO.StashCount(stage, k, nm)
 }
 
 // StageMemory predicts the device memory stage (0-based, of k) needs to run
-// layers [lo,hi) with Nm in-flight minibatches at the given batch size:
-// weights + gradient buffers + stashed activations + fixed workspace.
+// layers [lo,hi) with Nm in-flight minibatches at the given batch size under
+// the default hetpipe-fifo schedule: weights + gradient buffers + stashed
+// activations + fixed workspace.
 func (p *Perf) StageMemory(m *model.Model, lo, hi, stage, k, nm, batch int) int64 {
+	return p.StageMemorySched(sched.Default(), m, lo, hi, stage, k, nm, batch)
+}
+
+// StageMemorySched is StageMemory under an explicit pipeline schedule: the
+// weight, gradient, and workspace terms are schedule-independent, but the
+// stashed-activation term follows the schedule's in-flight-activation model
+// — GPipe's fill-drain stashes the whole Nm-wave on every stage, HetPipe's
+// FIFO holds min(Nm, 2*(k-stage)-1), and strict 1F1B holds at most
+// stage-depth (min(Nm, k-stage)) activations, which is what lets the
+// partitioner admit a larger Nm under 1F1B on memory-constrained workers.
+func (p *Perf) StageMemorySched(s sched.Schedule, m *model.Model, lo, hi, stage, k, nm, batch int) int64 {
 	var weights, stash int64
 	for i := lo; i < hi; i++ {
 		weights += m.Layers[i].WeightBytes()
 		stash += m.Layers[i].StashElems * model.BytesPerElem
 	}
-	c := int64(p.StashCount(stage, k, nm))
+	c := int64(sched.Or(s).StashCount(stage, k, nm))
 	return 2*weights + stash*int64(batch)*c + p.WorkspaceBytes
 }

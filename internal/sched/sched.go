@@ -1,0 +1,195 @@
+// Package sched defines the pipeline-schedule subsystem: the execution
+// discipline a virtual worker uses to drive minibatches through its stages.
+//
+// HetPipe (Section 4) fixes a single discipline — FIFO injection with up to
+// Nm minibatches in flight and receives that serialize with computation —
+// and Section 9 names PipeDream-style communication/computation overlap as
+// the improvement it leaves on the table. The schedule choice changes both
+// steady-state throughput and, critically, peak activation memory: GPipe's
+// fill-drain stashes a whole wave of activations on every stage, while
+// strict 1F1B holds at most stage-depth activations, so a memory-constrained
+// virtual worker can admit a larger Nm under 1F1B than under HetPipe's FIFO.
+//
+// A Schedule is pure identity plus the analytical models every layer needs:
+// the partitioner and profile use StashCount to size per-stage memory, the
+// executor (internal/pipeline) uses InFlightCap and OverlapRecv to shape the
+// discrete-event task graph, and the public API and sweep grids carry the
+// Name. The package has no dependencies so that profile, partition,
+// pipeline, core, sweep, and the root API can all import it.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Schedule names, as accepted by ByName, hetpipe.WithSchedule, the
+// -schedule CLI flags, and sweep grids.
+const (
+	// NameFIFO is the paper's own discipline (Section 4): FIFO injection
+	// with up to Nm minibatches in flight, receives serialized with compute.
+	NameFIFO = "hetpipe-fifo"
+	// NameGPipe is fill-drain: inject a wave of Nm forwards, barrier, then
+	// drain all backwards before the next wave starts.
+	NameGPipe = "gpipe"
+	// NameOneF1B is strict one-forward-one-backward: after a per-stage
+	// warmup, each stage alternates forward and backward work, holding at
+	// most stage-depth activations.
+	NameOneF1B = "1f1b"
+	// NameOverlap is HetPipe's FIFO discipline with PipeDream-style
+	// communication/computation overlap: receives no longer occupy the
+	// receiving GPU (the Section 9 improvement).
+	NameOverlap = "hetpipe-overlap"
+)
+
+// Schedule is one pipeline execution discipline. Implementations are
+// stateless values; the executor instantiates per-run state itself.
+type Schedule interface {
+	// Name is the registry key, e.g. "hetpipe-fifo".
+	Name() string
+	// Description is a one-line summary for CLI listings.
+	Description() string
+	// StashCount bounds how many minibatches' activations stage (0-based)
+	// of a k-stage pipeline holds concurrently when nm minibatches are in
+	// flight — the schedule's in-flight-activation model, always >= 1.
+	StashCount(stage, k, nm int) int
+	// OverlapRecv reports whether receiving activations/gradients overlaps
+	// with computation on the receiving GPU (PipeDream-style) instead of
+	// serializing with it (the paper's partition cost model).
+	OverlapRecv() bool
+	// InFlightCap bounds how many minibatches the executor actually keeps
+	// in flight for a k-stage pipeline configured with Nm: 1F1B cannot use
+	// more than k, the others use Nm.
+	InFlightCap(k, nm int) int
+}
+
+// fifo is the paper's Section 4 discipline.
+type fifo struct{}
+
+func (fifo) Name() string { return NameFIFO }
+func (fifo) Description() string {
+	return "HetPipe FIFO (Section 4): Nm in flight, serialized receives"
+}
+func (fifo) StashCount(stage, k, nm int) int {
+	// min(Nm, 2*(k-stage)-1): the last stage finishes each minibatch
+	// immediately (forward and backward run back to back) so it holds one;
+	// the first stage holds activations for the whole round trip — the
+	// Figure 1 memory-variance observation.
+	return clampStash(2*(k-stage)-1, nm)
+}
+func (fifo) OverlapRecv() bool         { return false }
+func (fifo) InFlightCap(k, nm int) int { return nm }
+
+// gpipe is fill-drain with a sync barrier per Nm-wave.
+type gpipe struct{}
+
+func (gpipe) Name() string { return NameGPipe }
+func (gpipe) Description() string {
+	return "GPipe fill-drain: wave of Nm forwards, barrier, Nm backwards"
+}
+func (gpipe) StashCount(stage, k, nm int) int {
+	// Every stage completes all Nm forwards before any backward frees a
+	// stash, so every stage holds the whole wave.
+	return clampStash(nm, nm)
+}
+func (gpipe) OverlapRecv() bool         { return false }
+func (gpipe) InFlightCap(k, nm int) int { return nm }
+
+// onef1b is strict one-forward-one-backward.
+type onef1b struct{}
+
+func (onef1b) Name() string { return NameOneF1B }
+func (onef1b) Description() string {
+	return "strict 1F1B: per-stage warmup then alternate, <= stage-depth stashes"
+}
+func (onef1b) StashCount(stage, k, nm int) int {
+	// Stage s admits at most k-s forwards before it must retire a backward,
+	// so it stashes at most min(Nm, k-stage) activations — strictly below
+	// FIFO's 2*(k-stage)-1 on every stage but the last, which is what lets
+	// a memory-constrained virtual worker admit a larger Nm.
+	return clampStash(k-stage, nm)
+}
+func (onef1b) OverlapRecv() bool { return false }
+func (onef1b) InFlightCap(k, nm int) int {
+	if nm > k {
+		return k
+	}
+	return nm
+}
+
+// overlap is FIFO with communication/computation overlap on receives.
+type overlap struct{}
+
+func (overlap) Name() string { return NameOverlap }
+func (overlap) Description() string {
+	return "HetPipe FIFO with PipeDream-style comm/compute overlap (Section 9)"
+}
+func (overlap) StashCount(stage, k, nm int) int {
+	// Same injection discipline as FIFO, so the same stash bound; the
+	// in-transfer activation is charged to the receiver like a stash.
+	return clampStash(2*(k-stage)-1, nm)
+}
+func (overlap) OverlapRecv() bool         { return true }
+func (overlap) InFlightCap(k, nm int) int { return nm }
+
+// clampStash applies the common min(nm, bound) >= 1 clamp.
+func clampStash(bound, nm int) int {
+	if nm < bound {
+		bound = nm
+	}
+	if bound < 1 {
+		bound = 1
+	}
+	return bound
+}
+
+// Exported schedule values, for callers that want to avoid the registry.
+var (
+	FIFO    Schedule = fifo{}
+	GPipe   Schedule = gpipe{}
+	OneF1B  Schedule = onef1b{}
+	Overlap Schedule = overlap{}
+)
+
+// registry maps names to schedules.
+var registry = map[string]Schedule{
+	NameFIFO:    FIFO,
+	NameGPipe:   GPipe,
+	NameOneF1B:  OneF1B,
+	NameOverlap: Overlap,
+}
+
+// Default is the schedule used when none is named: the paper's own
+// discipline, hetpipe-fifo.
+func Default() Schedule { return FIFO }
+
+// ByName resolves a schedule name; the empty string resolves to Default.
+func ByName(name string) (Schedule, error) {
+	if name == "" {
+		return Default(), nil
+	}
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown schedule %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names lists the registered schedule names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Or returns s, or Default when s is nil — the standard defaulting helper
+// for structs that carry an optional Schedule field.
+func Or(s Schedule) Schedule {
+	if s == nil {
+		return Default()
+	}
+	return s
+}

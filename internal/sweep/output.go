@@ -23,7 +23,7 @@ func WriteJSON(w io.Writer, set *Set) error {
 
 // csvHeader lists the flat per-scenario columns of WriteCSV.
 var csvHeader = []string{
-	"index", "id", "model", "cluster", "sync", "policy", "placement",
+	"index", "id", "model", "cluster", "sync", "schedule", "policy", "placement",
 	"d", "nm_requested", "batch", "error",
 	"throughput", "workers", "nm", "slocal", "sglobal",
 	"waiting", "idle", "pushes", "max_clock_distance",
@@ -56,7 +56,7 @@ func WriteCSV(w io.Writer, set *Set) error {
 		}
 		row := []string{
 			strconv.Itoa(sc.Index), sc.ID(), sc.Model, sc.Cluster,
-			sc.SyncMode, sc.Policy, sc.Placement,
+			sc.SyncMode, sc.Schedule, sc.Policy, sc.Placement,
 			strconv.Itoa(sc.D), strconv.Itoa(sc.Nm), strconv.Itoa(sc.Batch),
 			r.Error,
 			ftoa(r.Throughput), strconv.Itoa(r.Workers), strconv.Itoa(r.Nm),
@@ -142,14 +142,16 @@ func Summarize(set *Set) []SummaryRow {
 // and the per-virtual-worker throughput spread.
 func WriteSummary(w io.Writer, set *Set) error {
 	rows := Summarize(set)
-	if _, err := fmt.Fprintf(w, "%-11s %-9s %-46s %12s %8s %8s  %s\n",
+	// The config column fits the longest WSP scenario ID: model + cluster +
+	// sync + schedule + policy + placement + D + Nm segments.
+	if _, err := fmt.Fprintf(w, "%-11s %-9s %-62s %12s %8s %8s  %s\n",
 		"MODEL", "CLUSTER", "BEST CONFIG", "SAMPLES/S", "SGLOBAL", "OK/ALL", "PER-VW THROUGHPUT"); err != nil {
 		return err
 	}
 	for _, row := range rows {
 		ok := row.Candidates - row.Failed
 		if row.Best == nil {
-			if _, err := fmt.Fprintf(w, "%-11s %-9s %-46s %12s %8s %5d/%-3d\n",
+			if _, err := fmt.Fprintf(w, "%-11s %-9s %-62s %12s %8s %5d/%-3d\n",
 				row.Model, row.Cluster, "(all scenarios failed)", "-", "-", ok, row.Candidates); err != nil {
 				return err
 			}
@@ -162,7 +164,7 @@ func WriteSummary(w io.Writer, set *Set) error {
 			sglobal = strconv.Itoa(row.Best.SGlobal)
 			perVW = fmt.Sprintf("%v spread=%.3g", row.PerVW, row.PerVW.Spread())
 		}
-		if _, err := fmt.Fprintf(w, "%-11s %-9s %-46s %12.0f %8s %5d/%-3d  %s\n",
+		if _, err := fmt.Fprintf(w, "%-11s %-9s %-62s %12.0f %8s %5d/%-3d  %s\n",
 			row.Model, row.Cluster, sc.ID(), row.Best.Throughput, sglobal,
 			ok, row.Candidates, perVW); err != nil {
 			return err

@@ -10,6 +10,7 @@ import (
 	"hetpipe/internal/hw"
 	"hetpipe/internal/model"
 	"hetpipe/internal/profile"
+	"hetpipe/internal/sched"
 )
 
 // Options tunes a sweep run.
@@ -123,10 +124,11 @@ func (o Options) ResolvedWorkers(n int) int {
 // deployment resolution depends on. D is deliberately absent — partition
 // plans, Nm selection, and sync transfer times are all D-independent, so one
 // resolved deployment serves every D value of the family via
-// core.Deployment.WithD.
+// core.Deployment.WithD. The schedule is present: it shapes the partition
+// plans (per-schedule memory model) and the simulated task graph.
 type deployKey struct {
-	model, cluster, policy, placement string
-	nm, batch                         int
+	model, cluster, policy, placement, schedule string
+	nm, batch                                   int
 }
 
 // deployEntry is one family's lazily-resolved deployment.
@@ -162,7 +164,8 @@ func (r *resolver) deployment(sc Scenario) (*core.Deployment, error) {
 	key := deployKey{
 		model: sc.Model, cluster: sc.Cluster,
 		policy: sc.Policy, placement: sc.Placement,
-		nm: sc.Nm, batch: sc.Batch,
+		schedule: sc.Schedule,
+		nm:       sc.Nm, batch: sc.Batch,
 	}
 	r.mu.Lock()
 	e := r.entries[key]
@@ -192,7 +195,11 @@ func resolveDeployment(sc Scenario) (*core.Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys, err := core.NewSystem(cluster, m, profile.Default(), sc.Batch)
+	schedule, err := sched.ByName(sc.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystemSched(cluster, m, profile.Default(), sc.Batch, schedule)
 	if err != nil {
 		return nil, err
 	}

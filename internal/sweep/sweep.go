@@ -28,6 +28,7 @@ import (
 
 	"hetpipe/internal/hw"
 	"hetpipe/internal/model"
+	"hetpipe/internal/sched"
 )
 
 // Sync-mode axis values.
@@ -66,6 +67,11 @@ type Grid struct {
 	// Placements lists parameter placements: PlacementDefault and/or
 	// PlacementLocal. Empty means [PlacementDefault].
 	Placements []string `json:"placements,omitempty"`
+	// Schedules lists pipeline schedules (sched.Names: "hetpipe-fifo",
+	// "gpipe", "1f1b", "hetpipe-overlap"). Empty means the default
+	// schedule only. Horovod scenarios collapse this axis like the other
+	// WSP-only ones.
+	Schedules []string `json:"schedules,omitempty"`
 	// DValues lists WSP clock-distance bounds (>= 0). Empty means [0].
 	DValues []int `json:"dValues,omitempty"`
 	// NmValues lists concurrent-minibatch counts; 0 lets the deployment pick
@@ -105,6 +111,8 @@ type Scenario struct {
 	Policy string `json:"policy,omitempty"`
 	// Placement is the parameter placement; empty for Horovod scenarios.
 	Placement string `json:"placement,omitempty"`
+	// Schedule is the pipeline schedule; empty for Horovod scenarios.
+	Schedule string `json:"schedule,omitempty"`
 	// D is the WSP clock-distance bound.
 	D int `json:"d"`
 	// Nm is the requested concurrent-minibatch count (0 = auto).
@@ -116,7 +124,7 @@ type Scenario struct {
 }
 
 // ID renders a compact, unique scenario label, e.g.
-// "vgg19/paper/wsp/ED/default/d0/nm-auto".
+// "vgg19/paper/wsp/hetpipe-fifo/ED/default/d0/nm-auto".
 func (s *Scenario) ID() string {
 	if s.SyncMode == SyncHorovod {
 		return fmt.Sprintf("%s/%s/%s", s.Model, s.Cluster, s.SyncMode)
@@ -125,15 +133,15 @@ func (s *Scenario) ID() string {
 	if s.Nm == 0 {
 		nm = "nm-auto"
 	}
-	return fmt.Sprintf("%s/%s/%s/%s/%s/d%d/%s",
-		s.Model, s.Cluster, s.SyncMode, s.Policy, s.Placement, s.D, nm)
+	return fmt.Sprintf("%s/%s/%s/%s/%s/%s/d%d/%s",
+		s.Model, s.Cluster, s.SyncMode, s.Schedule, s.Policy, s.Placement, s.D, nm)
 }
 
 // Expand validates every axis value and returns the grid's scenarios in
-// deterministic order (model-major, then cluster, sync mode, policy,
-// placement, D, Nm). Repeated axis values are deduplicated, and Horovod
-// scenarios collapse the policy, placement, D, and Nm axes: exactly one
-// baseline run per model and cluster.
+// deterministic order (model-major, then cluster, sync mode, schedule,
+// policy, placement, D, Nm). Repeated axis values are deduplicated, and
+// Horovod scenarios collapse the schedule, policy, placement, D, and Nm
+// axes: exactly one baseline run per model and cluster.
 func (g Grid) Expand() ([]Scenario, error) {
 	if err := g.validate(); err != nil {
 		return nil, err
@@ -145,6 +153,10 @@ func (g Grid) Expand() ([]Scenario, error) {
 	placements := dedup(g.Placements)
 	if len(placements) == 0 {
 		placements = []string{PlacementDefault}
+	}
+	schedules := dedup(g.Schedules)
+	if len(schedules) == 0 {
+		schedules = []string{sched.Default().Name()}
 	}
 	dValues := dedup(g.DValues)
 	if len(dValues) == 0 {
@@ -169,16 +181,19 @@ func (g Grid) Expand() ([]Scenario, error) {
 					})
 					continue
 				}
-				for _, pol := range dedup(g.Policies) {
-					for _, pl := range placements {
-						for _, d := range dValues {
-							for _, nm := range nmValues {
-								out = append(out, Scenario{
-									Index: len(out), Model: m, Cluster: cl,
-									SyncMode: sync, Policy: pol, Placement: pl,
-									D: d, Nm: nm, Batch: batch,
-									MinibatchesPerVW: g.MinibatchesPerVW,
-								})
+				for _, sc := range schedules {
+					for _, pol := range dedup(g.Policies) {
+						for _, pl := range placements {
+							for _, d := range dValues {
+								for _, nm := range nmValues {
+									out = append(out, Scenario{
+										Index: len(out), Model: m, Cluster: cl,
+										SyncMode: sync, Schedule: sc,
+										Policy: pol, Placement: pl,
+										D: d, Nm: nm, Batch: batch,
+										MinibatchesPerVW: g.MinibatchesPerVW,
+									})
+								}
 							}
 						}
 					}
@@ -245,6 +260,11 @@ func (g Grid) validate() error {
 	for _, p := range g.Placements {
 		if p != PlacementDefault && p != PlacementLocal {
 			return fmt.Errorf("sweep: unknown placement %q (want %q or %q)", p, PlacementDefault, PlacementLocal)
+		}
+	}
+	for _, s := range g.Schedules {
+		if _, err := sched.ByName(s); err != nil {
+			return fmt.Errorf("sweep: %w", err)
 		}
 	}
 	for _, d := range g.DValues {

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one chrome://tracing event. Complete spans use ph "X" with
+// microsecond timestamp and duration on a pid/tid track; thread-name
+// metadata uses ph "M". Field order is fixed by the struct and map keys are
+// sorted by encoding/json, so the output is deterministic.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the chrome://tracing JSON object format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	Metadata        map[string]string `json:"metadata"`
+}
+
+// transferTidBase offsets transfer spans onto their own thread per stage:
+// under the overlap schedule a receive runs concurrently with compute on the
+// same stage, and complete events sharing a tid must strictly nest, so
+// transfers get a separate "stage N transfers" track.
+const transferTidBase = 1000
+
+// WriteChromeTrace writes the trace in the chrome://tracing (and Perfetto)
+// JSON object format: one compute thread per pipeline stage plus one
+// transfer thread per stage that recorded any, one complete event per span —
+// forwards labeled "f<p>", backwards "b<p>", transfers "x<p>" — with one
+// second of virtual time mapped to 1e6 trace microseconds. Spans are emitted
+// sorted by start time, then stage, then kind, so the output is
+// deterministic for a deterministic simulation. Load the file through
+// chrome://tracing or https://ui.perfetto.dev.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	spans := make([]Span, len(t.Spans))
+	copy(spans, t.Spans)
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		if spans[i].Stage != spans[j].Stage {
+			return spans[i].Stage < spans[j].Stage
+		}
+		return spans[i].Kind < spans[j].Kind
+	})
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(spans)+t.Stages),
+		DisplayTimeUnit: "ms",
+		Metadata:        map[string]string{"source": "hetpipe pipeline simulation"},
+	}
+	// Name each stage's compute thread, plus a transfer thread for stages
+	// that recorded transfer spans, so the viewer shows labeled rows.
+	hasTransfers := make([]bool, t.Stages)
+	for _, sp := range spans {
+		if sp.Kind == Transfer && sp.Stage < t.Stages {
+			hasTransfers[sp.Stage] = true
+		}
+	}
+	for s := 0; s < t.Stages; s++ {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: s,
+			Args: map[string]any{"name": fmt.Sprintf("stage %d (GPU%d)", s, s+1)},
+		})
+		if hasTransfers[s] {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 0, Tid: transferTidBase + s,
+				Args: map[string]any{"name": fmt.Sprintf("stage %d transfers", s)},
+			})
+		}
+	}
+	const usPerSec = 1e6
+	for _, sp := range spans {
+		prefix, tid := "x", transferTidBase+sp.Stage
+		switch sp.Kind {
+		case Forward:
+			prefix, tid = "f", sp.Stage
+		case Backward:
+			prefix, tid = "b", sp.Stage
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: fmt.Sprintf("%s%d", prefix, sp.Minibatch),
+			Cat:  sp.Kind.String(), Ph: "X",
+			Ts:  float64(sp.Start) * usPerSec,
+			Dur: float64(sp.End-sp.Start) * usPerSec,
+			Pid: 0, Tid: tid,
+			Args: map[string]any{"minibatch": sp.Minibatch, "kind": sp.Kind.String()},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

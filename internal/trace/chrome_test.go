@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := New(2)
+	tr.Add(0, 1, Forward, 0, 1)
+	tr.Add(1, 1, Forward, 1, 2.5)
+	tr.Add(1, 1, Backward, 2.5, 4)
+	tr.Add(1, 1, Transfer, 0.5, 1)
+	tr.Add(0, 1, Backward, 4, 5)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+			Args struct {
+				Minibatch int    `json:"minibatch"`
+				Kind      string `json:"kind"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var spans, meta int
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			spans++
+			if e.Cat == "xfer" {
+				// Transfers live on their own per-stage track so they can
+				// overlap compute without breaking complete-event nesting.
+				if e.Tid != 1001 {
+					t.Errorf("transfer %q on tid %d, want 1001", e.Name, e.Tid)
+				}
+			} else if e.Tid < 0 || e.Tid >= 2 {
+				t.Errorf("event %q on tid %d, want a stage thread", e.Name, e.Tid)
+			}
+			if e.Dur <= 0 {
+				t.Errorf("event %q has non-positive duration %g", e.Name, e.Dur)
+			}
+			if e.Args.Minibatch != 1 {
+				t.Errorf("event %q minibatch = %d, want 1", e.Name, e.Args.Minibatch)
+			}
+		}
+	}
+	if meta != 3 {
+		t.Errorf("thread-name metadata events = %d, want 3 (one per stage + stage 1 transfers)", meta)
+	}
+	if spans != 5 {
+		t.Errorf("span events = %d, want 5", spans)
+	}
+	// The forward at t=1s must land at ts=1e6 us with dur 1.5e6 us.
+	found := false
+	for _, e := range out.TraceEvents {
+		if e.Ph == "X" && e.Name == "f1" && e.Tid == 1 {
+			found = true
+			if e.Ts != 1e6 || e.Dur != 1.5e6 {
+				t.Errorf("f1@stage1 ts/dur = %g/%g us, want 1e6/1.5e6", e.Ts, e.Dur)
+			}
+			if e.Cat != "fwd" {
+				t.Errorf("f1 cat = %q, want fwd", e.Cat)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing forward event f1 on stage 1")
+	}
+	if !strings.Contains(buf.String(), `"x1"`) {
+		t.Error("transfer span not labeled x1")
+	}
+
+	// Deterministic: a second write produces identical bytes.
+	var again bytes.Buffer
+	if err := tr.WriteChromeTrace(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("chrome trace output is not deterministic")
+	}
+}

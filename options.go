@@ -20,6 +20,9 @@ var (
 	// ErrNoAllocation reports a deployment with neither a policy nor
 	// explicit virtual-worker specs.
 	ErrNoAllocation = errors.New("hetpipe: no allocation policy or specs")
+	// ErrUnknownSchedule reports a pipeline schedule outside the registry
+	// (see Schedules).
+	ErrUnknownSchedule = errors.New("hetpipe: unknown schedule")
 )
 
 // settings is the resolved option set behind New. Zero values mean "default";
@@ -36,6 +39,8 @@ type settings struct {
 	d           int
 	local       bool
 	minibatches int
+	schedule    string
+	warmup      int
 
 	// Live-backend (Train) knobs.
 	task   string
@@ -48,7 +53,7 @@ type settings struct {
 }
 
 func defaultSettings() settings {
-	return settings{task: "logreg", lr: 0.2, seed: 1}
+	return settings{task: "logreg", lr: 0.2, seed: 1, warmup: 1}
 }
 
 // An Option configures a deployment under construction; pass them to New.
@@ -91,6 +96,23 @@ func WithLocalPlacement(on bool) Option { return func(s *settings) { s.local = o
 // WithMinibatchesPerVW sizes each run; 0 (the default) picks a D-aware
 // default of at least 24 waves per virtual worker.
 func WithMinibatchesPerVW(n int) Option { return func(s *settings) { s.minibatches = n } }
+
+// WithSchedule selects the pipeline execution discipline every virtual
+// worker runs (see Schedules): "hetpipe-fifo" (the paper's Section 4
+// behavior, the default), "gpipe" (fill-drain waves), "1f1b" (strict
+// one-forward-one-backward, the smallest activation footprint), or
+// "hetpipe-overlap" (FIFO with communication/computation overlap, the
+// Section 9 improvement). The schedule shapes the partitioner's per-stage
+// memory model — a memory-constrained worker can admit a larger Nm under
+// "1f1b" — as well as the simulated task graph and the Gantt rendering.
+func WithSchedule(name string) Option { return func(s *settings) { s.schedule = name } }
+
+// WithWarmup sets how many leading minibatches Gantt and WriteChromeTrace
+// runs exclude from their steady-state measurement (default 1). It must be
+// non-negative and smaller than the rendered minibatch count; both are
+// validated — New rejects negative values, the render calls reject a warmup
+// that swallows the whole run.
+func WithWarmup(n int) Option { return func(s *settings) { s.warmup = n } }
 
 // WithObserver streams run events (minibatch completions, wave pushes, pulls,
 // global-clock advances) to o while Simulate or Train is in flight — the
