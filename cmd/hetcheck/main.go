@@ -1,0 +1,213 @@
+// Command hetcheck runs the repository's documentation hygiene checks, the
+// ones CI enforces next to go vet:
+//
+//   - -pkgdoc parses every Go package (go/parser, AST-level like a vet
+//     analyzer) and fails if any package lacks a package comment, so godoc
+//     never shows an undocumented package;
+//   - -links extracts relative links from every Markdown file and fails on
+//     links whose target file does not exist, so the docs cannot silently rot
+//     as files move.
+//
+// Usage:
+//
+//	hetcheck -pkgdoc -links            # both checks over the current module
+//	hetcheck -pkgdoc -links -root ..   # explicit module root
+//
+// Exit status is non-zero when any check fails; findings are listed one per
+// line as file: message.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to scan")
+	pkgdoc := flag.Bool("pkgdoc", false, "check that every Go package has a package comment")
+	links := flag.Bool("links", false, "check that relative Markdown links resolve")
+	flag.Parse()
+	if !*pkgdoc && !*links {
+		fmt.Fprintln(os.Stderr, "hetcheck: nothing to do (pass -pkgdoc and/or -links)")
+		os.Exit(2)
+	}
+
+	var findings []string
+	if *pkgdoc {
+		f, err := checkPackageDocs(*root)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		findings = append(findings, f...)
+	}
+	if *links {
+		f, err := checkMarkdownLinks(*root)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		findings = append(findings, f...)
+	}
+	if len(findings) > 0 {
+		sort.Strings(findings)
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		fmt.Fprintf(os.Stderr, "hetcheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Println("hetcheck: ok")
+}
+
+// checkPackageDocs walks every directory containing Go files and reports the
+// packages whose files all lack a package comment. Test files can carry the
+// comment too (doc.go is just a convention), but an external _test package
+// does not document the package under test.
+func checkPackageDocs(root string) ([]string, error) {
+	perDir := map[string]bool{} // dir -> has a package comment
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return skipDir(root, path, d)
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if _, seen := perDir[dir]; !seen {
+			perDir[dir] = false
+			dirs = append(dirs, dir)
+		}
+		if perDir[dir] {
+			return nil
+		}
+		// Parse the file's header only: cheap, and the package comment is
+		// by definition attached to the package clause.
+		fset := token.NewFileSet()
+		f, perr := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("parsing %s: %w", path, perr)
+		}
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			return nil
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			perDir[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	for _, dir := range dirs {
+		if !perDir[dir] {
+			findings = append(findings, fmt.Sprintf("%s: package has no package comment", dir))
+		}
+	}
+	return findings, nil
+}
+
+// skipDir prunes hidden, testdata, and vendor directories from a walk. The
+// walk root itself is never pruned, whatever it is named — a root of ".."
+// (or any dot-prefixed path) must still be scanned, not silently skipped.
+func skipDir(root, path string, d fs.DirEntry) error {
+	if path == root {
+		return nil
+	}
+	name := d.Name()
+	if strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor" {
+		return filepath.SkipDir
+	}
+	return nil
+}
+
+// linkRe matches inline Markdown links and images: [text](target). Reference
+// definitions and autolinks are out of scope — the repo does not use them.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkMarkdownLinks reports relative links in *.md files whose target does
+// not exist on disk. External schemes and pure in-page anchors are skipped;
+// a relative link's own #anchor suffix is stripped before the check.
+func checkMarkdownLinks(root string) ([]string, error) {
+	var findings []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return skipDir(root, path, d)
+		}
+		if !strings.HasSuffix(strings.ToLower(path), ".md") {
+			return nil
+		}
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(stripCodeBlocks(string(raw)), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, serr := os.Stat(resolved); serr != nil {
+				findings = append(findings, fmt.Sprintf("%s: broken link %q (%s does not exist)", path, m[1], resolved))
+			}
+		}
+		return nil
+	})
+	return findings, err
+}
+
+// stripCodeBlocks blanks fenced code blocks and inline code spans so link
+// syntax inside examples is not checked.
+func stripCodeBlocks(s string) string {
+	var out strings.Builder
+	inFence := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			out.WriteString("\n")
+			continue
+		}
+		if inFence {
+			out.WriteString("\n")
+			continue
+		}
+		// Blank inline code spans on the line.
+		for {
+			i := strings.IndexByte(line, '`')
+			if i < 0 {
+				break
+			}
+			j := strings.IndexByte(line[i+1:], '`')
+			if j < 0 {
+				break
+			}
+			line = line[:i] + strings.Repeat(" ", j+2) + line[i+1+j+1:]
+		}
+		out.WriteString(line)
+		out.WriteString("\n")
+	}
+	return out.String()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hetcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

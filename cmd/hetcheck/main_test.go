@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckPackageDocs(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "good", "doc.go"), "// Package good is documented.\npackage good\n")
+	write(t, filepath.Join(dir, "good", "more.go"), "package good\n")
+	write(t, filepath.Join(dir, "bad", "a.go"), "package bad\n")
+	// An external test package's comment must not count for the package
+	// under test.
+	write(t, filepath.Join(dir, "bad", "a_test.go"), "// Package bad_test is not the package.\npackage bad_test\n")
+	write(t, filepath.Join(dir, "testdata", "skip.go"), "package skipped\n")
+
+	findings, err := checkPackageDocs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "bad") {
+		t.Fatalf("findings = %v, want exactly the bad package", findings)
+	}
+}
+
+func TestCheckMarkdownLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "exists.md"), "target\n")
+	write(t, filepath.Join(dir, "doc.md"), strings.Join([]string{
+		"[ok](exists.md)",
+		"[ok anchor](exists.md#section)",
+		"[external](https://example.com/missing.md)",
+		"[anchor only](#here)",
+		"[broken](missing.md)",
+		"```",
+		"[in code fence](also-missing.md)",
+		"```",
+		"`[inline code](inline-missing.md)`",
+	}, "\n"))
+
+	findings, err := checkMarkdownLinks(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "missing.md") {
+		t.Fatalf("findings = %v, want exactly the one broken link", findings)
+	}
+}
+
+func TestDotPrefixedRootIsStillScanned(t *testing.T) {
+	// A walk root whose own name starts with a dot (".." being the everyday
+	// case) must not trip the hidden-directory skip — only subdirectories
+	// are pruned. Regression: both checks used to vacuously pass for such
+	// roots, scanning zero files.
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, ".hidden-root", "bad", "a.go"), "package bad\n")
+	write(t, filepath.Join(dir, ".hidden-root", "doc.md"), "[broken](missing.md)\n")
+	root := filepath.Join(dir, ".hidden-root")
+
+	findings, err := checkPackageDocs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Errorf("pkgdoc findings = %v, want the undocumented package", findings)
+	}
+	findings, err = checkMarkdownLinks(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Errorf("link findings = %v, want the broken link", findings)
+	}
+}
+
+func TestRepoIsClean(t *testing.T) {
+	// The repository itself must pass both checks — the same invariant CI
+	// enforces with `hetcheck -pkgdoc -links`.
+	root := filepath.Join("..", "..")
+	if findings, err := checkPackageDocs(root); err != nil || len(findings) > 0 {
+		t.Errorf("package docs: err=%v findings=%v", err, findings)
+	}
+	if findings, err := checkMarkdownLinks(root); err != nil || len(findings) > 0 {
+		t.Errorf("markdown links: err=%v findings=%v", err, findings)
+	}
+}

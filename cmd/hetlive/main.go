@@ -22,6 +22,9 @@
 //	hetlive -tcp                             # workers reach the shards over TCP
 //	hetlive -conform=false -mb 200           # live run only, bigger budget
 //	hetlive -deploy -model vgg19 -policy ED -d 1 -nm 2 -progress
+//	hetlive -faults crash:w1:mb40 -checkpoint-every 2        # crash-recover conformance
+//	hetlive -conform=false -checkpoint-every 2 -checkpoint-path run.ckpt
+//	hetlive -conform=false -resume run.ckpt -mb 192          # resume & extend a run
 package main
 
 import (
@@ -30,9 +33,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"hetpipe"
 	"hetpipe/internal/cluster"
+	"hetpipe/internal/fault"
 	"hetpipe/internal/train"
 )
 
@@ -55,6 +60,11 @@ func main() {
 	policy := flag.String("policy", "ED", "allocation policy for -deploy mode")
 	schedule := flag.String("schedule", "", "pipeline schedule for -deploy mode (see hetpipe.Schedules; empty = hetpipe-fifo)")
 	progress := flag.Bool("progress", false, "stream push/pull/clock events while training (-deploy mode)")
+	faultSpec := flag.String("faults", "", "fault-injection plan, e.g. slow:w0:x2,crash:w1:mb40 (conformance keeps the sim fault-free)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "worker/shard checkpoint cadence in waves (0 = crashes replay from scratch)")
+	ckptPath := flag.String("checkpoint-path", "", "persist atomic shard checkpoints to this file (raw/deploy modes)")
+	resume := flag.String("resume", "", "resume the shard servers from this checkpoint file (raw/deploy modes)")
+	step := flag.Duration("step", 0, "emulated per-minibatch compute time; slow/link faults scale it (0 = as fast as possible)")
 	flag.Parse()
 
 	if *nm < 1 {
@@ -63,14 +73,24 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	plan, err := fault.Parse(*faultSpec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	if *deploy {
-		runDeploy(ctx, *modelName, *clusterName, *policy, *schedule, *taskName,
-			*d, *nm, *mb, *chunks, *seed, *lr, *tcp, *progress)
+		runDeploy(ctx, deployOpts{
+			model: *modelName, cluster: *clusterName, policy: *policy,
+			schedule: *schedule, task: *taskName,
+			d: *d, nm: *nm, mb: *mb, chunks: *chunks, seed: *seed, lr: *lr,
+			tcp: *tcp, progress: *progress,
+			faults: *faultSpec, ckptEvery: *ckptEvery, ckptPath: *ckptPath, resume: *resume,
+			step: *step,
+		})
 		return
 	}
 
 	var task train.Task
-	var err error
 	switch *taskName {
 	case "logreg":
 		task, err = train.DefaultTask(*seed)
@@ -89,6 +109,7 @@ func main() {
 			LR: *lr, MaxMinibatches: *mb,
 			Servers: *shards, Chunks: *chunks, TCP: *tcp,
 			Seed: *seed, Tolerance: *tol,
+			Faults: plan, CheckpointEvery: *ckptEvery,
 		})
 		if err != nil {
 			fatalf("%v", err)
@@ -104,6 +125,9 @@ func main() {
 		Task: task, Workers: *workers, Servers: *shards,
 		SLocal: *nm - 1, D: *d, LR: *lr,
 		MaxMinibatches: *mb, Chunks: *chunks, TCP: *tcp,
+		Faults: plan, CheckpointEvery: *ckptEvery,
+		CheckpointPath: *ckptPath, ResumeFrom: *resume,
+		StepTime: *step,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -116,31 +140,60 @@ func main() {
 		mode, *workers, *mb, *shards, *nm, *d)
 	fmt.Printf("minibatches=%d pushes=%d pulls=%d globalClock=%d maxClockDistance=%d (bound %d)\n",
 		stats.Minibatches, stats.Pushes, stats.Pulls, stats.GlobalClock, stats.MaxClockDistance, *d+1)
+	printFaultSummary(stats)
 	fmt.Printf("final accuracy=%.3f loss=%.4f wall=%.3fs\n",
 		task.Accuracy(stats.FinalWeights), task.Loss(stats.FinalWeights), stats.Elapsed.Seconds())
+}
+
+// printFaultSummary reports recovery and checkpoint activity, if any.
+func printFaultSummary(stats *cluster.Stats) {
+	if stats.ResumedClock > 0 {
+		fmt.Printf("resumed from shard checkpoint at global clock %d\n", stats.ResumedClock)
+	}
+	if stats.Crashes > 0 || stats.Checkpoints > 0 {
+		fmt.Printf("faults: %d crashes, %d recoveries, %d minibatches replayed, %d checkpoints taken\n",
+			stats.Crashes, stats.Recoveries, stats.ReplayedMinibatches, stats.Checkpoints)
+	}
+}
+
+// deployOpts carries the -deploy mode's flag values.
+type deployOpts struct {
+	model, cluster, policy, schedule, task string
+	d, nm, mb, chunks                      int
+	seed                                   int64
+	lr                                     float64
+	tcp, progress                          bool
+	faults                                 string
+	ckptEvery                              int
+	ckptPath, resume                       string
+	step                                   time.Duration
 }
 
 // runDeploy resolves a deployment through the public API and trains it live:
 // worker and shard counts come from the deployment (one worker per virtual
 // worker, one shard host per cluster node), exactly as hetpipe.Run's live
 // backend deploys them.
-func runDeploy(ctx context.Context, modelName, clusterName, policy, schedule, taskName string,
-	d, nm, mb, chunks int, seed int64, lr float64, tcp, progress bool) {
+func runDeploy(ctx context.Context, o deployOpts) {
 	opts := []hetpipe.Option{
-		hetpipe.WithModel(modelName),
-		hetpipe.WithCluster(clusterName),
-		hetpipe.WithPolicy(policy),
-		hetpipe.WithSchedule(schedule),
-		hetpipe.WithD(d),
-		hetpipe.WithNm(nm),
-		hetpipe.WithMinibatchesPerVW(mb),
-		hetpipe.WithTrainTask(taskName),
-		hetpipe.WithSeed(seed),
-		hetpipe.WithLearningRate(lr),
-		hetpipe.WithTCP(tcp),
-		hetpipe.WithChunks(chunks),
+		hetpipe.WithModel(o.model),
+		hetpipe.WithCluster(o.cluster),
+		hetpipe.WithPolicy(o.policy),
+		hetpipe.WithSchedule(o.schedule),
+		hetpipe.WithD(o.d),
+		hetpipe.WithNm(o.nm),
+		hetpipe.WithMinibatchesPerVW(o.mb),
+		hetpipe.WithTrainTask(o.task),
+		hetpipe.WithSeed(o.seed),
+		hetpipe.WithLearningRate(o.lr),
+		hetpipe.WithTCP(o.tcp),
+		hetpipe.WithChunks(o.chunks),
+		hetpipe.WithFaults(o.faults),
+		hetpipe.WithCheckpoint(o.ckptEvery),
+		hetpipe.WithCheckpointPath(o.ckptPath),
+		hetpipe.WithResumeFrom(o.resume),
+		hetpipe.WithStepTime(o.step),
 	}
-	if progress {
+	if o.progress {
 		opts = append(opts, hetpipe.WithObserver(func(e hetpipe.Event) {
 			switch e.Kind {
 			case hetpipe.EventPush:
@@ -149,6 +202,11 @@ func runDeploy(ctx context.Context, modelName, clusterName, policy, schedule, ta
 				fmt.Printf("  t=%7.3fs  VW%d pulled at global clock %d\n", e.Time, e.VW+1, e.Clock)
 			case hetpipe.EventClockAdvance:
 				fmt.Printf("  t=%7.3fs  global clock -> %d\n", e.Time, e.Clock)
+			case hetpipe.EventFaultInject:
+				fmt.Printf("  t=%7.3fs  FAULT injected: %s\n", e.Time, e.Fault)
+			case hetpipe.EventRecover:
+				fmt.Printf("  t=%7.3fs  VW%d recovered from checkpoint (clock %d, replaying from minibatch %d)\n",
+					e.Time, e.VW+1, e.Clock, e.Minibatch)
 			}
 		}))
 	}
@@ -157,18 +215,28 @@ func runDeploy(ctx context.Context, modelName, clusterName, policy, schedule, ta
 		fatalf("%v", err)
 	}
 	mode := "in-process"
-	if tcp {
+	if o.tcp {
 		mode = "TCP"
 	}
 	fmt.Printf("live deployment (%s): %s on %s/%s, %d VWs [%s], schedule=%s, Nm=%d D=%d, %d minibatches per VW\n",
-		mode, dep.Model(), dep.ClusterName(), policy,
-		len(dep.VirtualWorkers()), dep.VirtualWorkers()[0], dep.Schedule(), dep.Nm(), dep.D(), mb)
+		mode, dep.Model(), dep.ClusterName(), o.policy,
+		len(dep.VirtualWorkers()), dep.VirtualWorkers()[0], dep.Schedule(), dep.Nm(), dep.D(), o.mb)
+	if f := dep.Faults(); f != "" {
+		fmt.Printf("fault plan: %s (checkpoint every %d waves)\n", f, dep.CheckpointEvery())
+	}
 	sum, err := dep.Train(ctx)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	fmt.Printf("minibatches=%d pushes=%d pulls=%d globalClock=%d maxClockDistance=%d (bound %d)\n",
 		sum.Minibatches, sum.Pushes, sum.Pulls, sum.GlobalClock, sum.MaxClockDistance, dep.D()+1)
+	if sum.ResumedClock > 0 {
+		fmt.Printf("resumed from shard checkpoint at global clock %d\n", sum.ResumedClock)
+	}
+	if sum.Crashes > 0 || sum.Checkpoints > 0 {
+		fmt.Printf("faults: %d crashes, %d recoveries, %d minibatches replayed, %d checkpoints taken\n",
+			sum.Crashes, sum.Recoveries, sum.ReplayedMinibatches, sum.Checkpoints)
+	}
 	fmt.Printf("final accuracy=%.3f loss=%.4f wall=%.3fs\n",
 		sum.FinalAccuracy, sum.FinalLoss, sum.WallSeconds)
 }

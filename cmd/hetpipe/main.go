@@ -10,6 +10,8 @@
 //	hetpipe -model vgg19 -policy ED -schedule 1f1b         # pipeline schedule
 //	hetpipe -model vgg19 -policy ED -gantt -trace-out t.json  # chrome://tracing
 //	hetpipe -model vgg19 -policy ED -progress   # stream wave/clock events
+//	hetpipe -model vgg19 -policy ED -d 1 -faults slow:w0:x2          # straggler
+//	hetpipe -model vgg19 -policy ED -faults crash:w1:mb24 -checkpoint-every 2
 //	hetpipe -model vgg19 -horovod
 package main
 
@@ -39,6 +41,8 @@ func main() {
 	warmup := flag.Int("warmup", 1, "warmup minibatches excluded from -gantt/-trace-out rendering")
 	traceOut := flag.String("trace-out", "", "write VW 1's pipeline schedule as chrome://tracing JSON to this path")
 	progress := flag.Bool("progress", false, "stream wave-push and clock-advance events while simulating")
+	faults := flag.String("faults", "", "fault-injection plan, e.g. slow:w0:x2,crash:w1:mb40 (see hetpipe.WithFaults)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in waves; prices crash replay (0 = replay from scratch)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -66,6 +70,8 @@ func main() {
 		hetpipe.WithLocalPlacement(*local),
 		hetpipe.WithSchedule(*schedule),
 		hetpipe.WithWarmup(*warmup),
+		hetpipe.WithFaults(*faults),
+		hetpipe.WithCheckpoint(*ckptEvery),
 	}
 	if *specs != "" {
 		opts = append(opts, hetpipe.WithSpecs(strings.Split(*specs, ",")...))
@@ -79,6 +85,10 @@ func main() {
 				fmt.Printf("  t=%8.2fs  VW%d pushed wave %d (global clock %d)\n", e.Time, e.VW+1, e.Wave, e.Clock)
 			case hetpipe.EventClockAdvance:
 				fmt.Printf("  t=%8.2fs  global clock -> %d\n", e.Time, e.Clock)
+			case hetpipe.EventFaultInject:
+				fmt.Printf("  t=%8.2fs  FAULT injected: %s\n", e.Time, e.Fault)
+			case hetpipe.EventRecover:
+				fmt.Printf("  t=%8.2fs  VW%d recovered (%s)\n", e.Time, e.VW+1, e.Fault)
 			}
 		}))
 	}
@@ -100,6 +110,10 @@ func main() {
 	}
 	fmt.Printf("  waiting %.1fs, idle %.1fs across VWs; %d pushes, %d pulls, max clock distance %d\n",
 		res.Waiting, res.Idle, res.Pushes, res.Pulls, res.MaxClockDistance)
+	if res.FaultInjections > 0 {
+		fmt.Printf("  faults injected: %d (plan %q, checkpoint every %d waves)\n",
+			res.FaultInjections, dep.Faults(), dep.CheckpointEvery())
+	}
 	for i, plan := range res.Plans {
 		fmt.Printf("  VW%d partition (bottleneck %.1f ms):\n", i+1, plan.Bottleneck*1e3)
 		for s, st := range plan.Stages {

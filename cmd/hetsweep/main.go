@@ -11,6 +11,8 @@
 //	hetsweep -models vgg19 -clusters paper,mini -policies ED -d 0,1,2,4 -nm 1,2,4
 //	hetsweep -sync wsp,horovod -placements default,local
 //	hetsweep -schedules hetpipe-fifo,1f1b,hetpipe-overlap   # pipeline-schedule axis
+//	hetsweep -faults ';slow:w0:x2;rand:0.5:seed7'           # fault axis (';'-separated,
+//	                                          leading empty entry = fault-free baseline)
 //	hetsweep -list                            # show the available axis values
 //
 // Results land in -json and -csv (set either to "" to skip). The output is
@@ -43,6 +45,7 @@ func main() {
 	syncModes := flag.String("sync", "wsp", "comma-separated sync modes (wsp, horovod)")
 	placements := flag.String("placements", "default", "comma-separated parameter placements (default, local)")
 	schedules := flag.String("schedules", sched.Default().Name(), "comma-separated pipeline schedules ("+strings.Join(sched.Names(), ", ")+")")
+	faults := flag.String("faults", "", "semicolon-separated fault-plan specs (fault grammar: slow:w0:x2,crash:w1:mb40,...); an empty entry is the fault-free baseline")
 	dValues := flag.String("d", intsJoin(def.DValues), "comma-separated WSP clock-distance bounds")
 	nmValues := flag.String("nm", "0", "comma-separated concurrent-minibatch counts (0 = auto)")
 	batch := flag.Int("batch", 0, "minibatch size (0 = 32)")
@@ -71,6 +74,12 @@ func main() {
 			s, _ := sched.ByName(n)
 			fmt.Printf("  %-16s %s\n", n, s.Description())
 		}
+		fmt.Println("fault clauses (combine with commas inside one spec):")
+		fmt.Println("  slow:w<N>:x<f>[:mb<a>-<b>]   straggler slowdown")
+		fmt.Println("  crash:w<N>:mb<M>[:down<s>]   crash + checkpoint recovery")
+		fmt.Println("  stall:s<S>:c<C>:<seconds>    PS shard stall at a clock advance")
+		fmt.Println("  link:w<N>:x<f>               degraded PS link")
+		fmt.Println("  rand:<rate>[:seed<N>]        seeded random straggler population")
 		return
 	}
 
@@ -81,6 +90,7 @@ func main() {
 		SyncModes:        splitList(*syncModes),
 		Placements:       splitList(*placements),
 		Schedules:        splitList(*schedules),
+		Faults:           splitFaults(*faults),
 		Batch:            *batch,
 		MinibatchesPerVW: *mbs,
 	}
@@ -148,6 +158,20 @@ func splitList(s string) []string {
 		}
 	}
 	return out
+}
+
+// splitFaults splits the fault axis on ';' (fault specs use ',' internally).
+// Empty entries are kept as the fault-free baseline, so ";slow:w0:x2" sweeps
+// baseline-vs-straggler; an empty flag means no fault axis at all.
+func splitFaults(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ";")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 func splitInts(s string) ([]int, error) {

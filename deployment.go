@@ -7,6 +7,7 @@ import (
 
 	"hetpipe/internal/cluster"
 	"hetpipe/internal/core"
+	"hetpipe/internal/fault"
 	"hetpipe/internal/hw"
 	"hetpipe/internal/model"
 	"hetpipe/internal/pipeline"
@@ -36,6 +37,8 @@ type Deployment struct {
 	clusterName string
 	alloc       *hw.Allocation
 	dep         *core.Deployment
+	// faults is the parsed WithFaults plan; nil or empty means fault-free.
+	faults *fault.Plan
 }
 
 // New resolves a deployment from functional options: the model graph, the
@@ -73,6 +76,16 @@ func New(opts ...Option) (*Deployment, error) {
 	if set.warmup < 0 {
 		return nil, fmt.Errorf("hetpipe: warmup must be >= 0, got %d", set.warmup)
 	}
+	if set.ckptEvery < 0 {
+		return nil, fmt.Errorf("hetpipe: checkpoint interval must be >= 0, got %d (WithCheckpoint)", set.ckptEvery)
+	}
+	if set.stepTime < 0 {
+		return nil, fmt.Errorf("hetpipe: step time must be >= 0, got %v (WithStepTime)", set.stepTime)
+	}
+	faults, err := fault.Parse(set.faultSpec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFaultPlan, err)
+	}
 	batch := set.batch
 	if batch == 0 {
 		batch = 32
@@ -108,7 +121,12 @@ func New(opts ...Option) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Deployment{set: set, sys: sys, cl: cl, clusterName: clusterName, alloc: alloc, dep: dep}, nil
+	// Fault plans name concrete workers; check them against the resolved
+	// virtual-worker count here so a bad index fails at New, not mid-run.
+	if _, err := faults.Materialize(len(dep.VWs)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFaultPlan, err)
+	}
+	return &Deployment{set: set, sys: sys, cl: cl, clusterName: clusterName, alloc: alloc, dep: dep, faults: faults}, nil
 }
 
 // Model reports the deployed model's zoo key, as given to WithModel.
@@ -132,6 +150,13 @@ func (d *Deployment) Schedule() string { return d.dep.ScheduleName() }
 
 // D reports the WSP clock-distance bound.
 func (d *Deployment) D() int { return d.dep.D }
+
+// Faults reports the deployment's fault plan in canonical spec form; ""
+// means fault-free.
+func (d *Deployment) Faults() string { return d.faults.String() }
+
+// CheckpointEvery reports the checkpoint cadence in waves (0 = disabled).
+func (d *Deployment) CheckpointEvery() int { return d.set.ckptEvery }
 
 // SLocal reports the local staleness bound, Nm-1 (Section 4).
 func (d *Deployment) SLocal() int { return d.dep.SLocal() }
@@ -177,7 +202,7 @@ func (d *Deployment) Simulate(ctx context.Context) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	mr, err := d.dep.SimulateWSPContext(ctx, d.minibatchBudget(), 4*d.dep.Nm, d.set.obsFunc())
+	mr, err := d.dep.SimulateWSPFaults(ctx, d.minibatchBudget(), 4*d.dep.Nm, d.set.obsFunc(), d.faults, d.set.ckptEvery)
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +216,7 @@ func (d *Deployment) Simulate(ctx context.Context) (*Result, error) {
 		Pushes:           mr.Pushes,
 		Pulls:            mr.Pulls,
 		MaxClockDistance: mr.MaxClockDistance,
+		FaultInjections:  mr.FaultInjections,
 	}
 	res.VirtualWorkers = d.VirtualWorkers()
 	res.Plans = d.Plans()
@@ -227,29 +253,39 @@ func (d *Deployment) Train(ctx context.Context) (*LiveSummary, error) {
 		return nil, err
 	}
 	live, err := cluster.Run(ctx, cluster.Config{
-		Task:           task,
-		Workers:        len(d.dep.VWs),
-		Servers:        len(d.cl.Nodes), // one PS shard host per node, as deployed in the paper
-		SLocal:         d.dep.Nm - 1,
-		D:              d.dep.D,
-		LR:             d.set.lr,
-		MaxMinibatches: d.minibatchBudget(),
-		Chunks:         d.set.chunks,
-		TCP:            d.set.tcp,
-		Observer:       d.set.obsFunc(),
+		Task:            task,
+		Workers:         len(d.dep.VWs),
+		Servers:         len(d.cl.Nodes), // one PS shard host per node, as deployed in the paper
+		SLocal:          d.dep.Nm - 1,
+		D:               d.dep.D,
+		LR:              d.set.lr,
+		MaxMinibatches:  d.minibatchBudget(),
+		Chunks:          d.set.chunks,
+		TCP:             d.set.tcp,
+		Observer:        d.set.obsFunc(),
+		Faults:          d.faults,
+		CheckpointEvery: d.set.ckptEvery,
+		CheckpointPath:  d.set.ckptPath,
+		ResumeFrom:      d.set.resume,
+		StepTime:        d.set.stepTime,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &LiveSummary{
-		Minibatches:      live.Minibatches,
-		Pushes:           live.Pushes,
-		Pulls:            live.Pulls,
-		GlobalClock:      live.GlobalClock,
-		MaxClockDistance: live.MaxClockDistance,
-		FinalAccuracy:    task.Accuracy(live.FinalWeights),
-		FinalLoss:        task.Loss(live.FinalWeights),
-		WallSeconds:      live.Elapsed.Seconds(),
+		Minibatches:         live.Minibatches,
+		Pushes:              live.Pushes,
+		Pulls:               live.Pulls,
+		GlobalClock:         live.GlobalClock,
+		MaxClockDistance:    live.MaxClockDistance,
+		FinalAccuracy:       task.Accuracy(live.FinalWeights),
+		FinalLoss:           task.Loss(live.FinalWeights),
+		WallSeconds:         live.Elapsed.Seconds(),
+		Crashes:             live.Crashes,
+		Recoveries:          live.Recoveries,
+		ReplayedMinibatches: live.ReplayedMinibatches,
+		Checkpoints:         live.Checkpoints,
+		ResumedClock:        live.ResumedClock,
 	}, nil
 }
 

@@ -1,0 +1,136 @@
+// Fault-tolerance walkthrough: inject a straggler and watch the observer
+// report it, crash a live worker and watch checkpoint recovery replay it, and
+// finally kill a whole training run after a persisted shard checkpoint and
+// resume it — with final metrics identical to a never-interrupted run.
+//
+// Everything here is deterministic: fault plans are seedable data
+// (hetpipe.WithFaults), WSP numerics are timing-independent, and recovery
+// replays clock-versioned parameter-server snapshots, so faults degrade
+// throughput and exercise recovery without ever changing the learned weights.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"hetpipe"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// --- 1. A straggler in the simulator -------------------------------
+	// Virtual worker 1 computes 3x slower. Under WSP with D=1, its peers may
+	// run at most D+1 waves ahead before the clock-distance bound couples
+	// them to the straggler's pace.
+	fmt.Println("== straggler simulation (slow:w1:x3, D=1) ==")
+	clean := simulate("")
+	slowed := simulate("slow:w1:x3")
+	fmt.Printf("fault-free: %6.0f samples/s\n", clean.Throughput)
+	fmt.Printf("straggler:  %6.0f samples/s  (%.1f%% degradation, %d injection)\n",
+		slowed.Throughput, (clean.Throughput-slowed.Throughput)/clean.Throughput*100,
+		slowed.FaultInjections)
+
+	// --- 2. Crash and checkpoint recovery in the live runtime ----------
+	// Worker 1 crashes when about to start minibatch 9. With checkpoints
+	// every 2 waves the runtime restores its last worker-state checkpoint
+	// and replays forward; pushes the servers already hold are suppressed,
+	// so the final weights match a crash-free run bit for bit.
+	fmt.Println("\n== live crash + recovery (crash:w1:mb9, checkpoints every 2 waves) ==")
+	crashDep, err := hetpipe.New(
+		hetpipe.WithModel("vgg19"), hetpipe.WithPolicy("ED"),
+		hetpipe.WithNm(2), hetpipe.WithD(1), hetpipe.WithMinibatchesPerVW(16),
+		hetpipe.WithSeed(11),
+		hetpipe.WithFaults("crash:w1:mb9:down0.01"),
+		hetpipe.WithCheckpoint(2),
+		hetpipe.WithObserver(func(e hetpipe.Event) {
+			switch e.Kind {
+			case hetpipe.EventFaultInject:
+				fmt.Printf("  t=%6.3fs  FAULT injected: %s\n", e.Time, e.Fault)
+			case hetpipe.EventRecover:
+				fmt.Printf("  t=%6.3fs  VW%d recovered: checkpoint clock %d, replaying from minibatch %d\n",
+					e.Time, e.VW+1, e.Clock, e.Minibatch)
+			}
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	crashed, err := crashDep.Train(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  crashes=%d recoveries=%d replayed=%d checkpoints=%d\n",
+		crashed.Crashes, crashed.Recoveries, crashed.ReplayedMinibatches, crashed.Checkpoints)
+
+	control, err := train(ctx, 16, hetpipe.WithSeed(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  final loss with crash %.6f, without %.6f -> identical: %v\n",
+		crashed.FinalLoss, control.FinalLoss, crashed.FinalLoss == control.FinalLoss)
+
+	// --- 3. Checkpoint, kill, resume -----------------------------------
+	// Leg 1 trains half the budget while persisting atomic, clock-cut shard
+	// checkpoints, then the "process dies". Leg 2 resumes from the file with
+	// the full budget; its final state matches an uninterrupted full run.
+	fmt.Println("\n== checkpoint, kill, resume ==")
+	dir, err := os.MkdirTemp("", "hetpipe-faults")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "shards.ckpt")
+
+	leg1, err := train(ctx, 8, hetpipe.WithSeed(11),
+		hetpipe.WithCheckpoint(2), hetpipe.WithCheckpointPath(ckpt))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  leg 1: trained to global clock %d, checkpoint persisted -> killed\n", leg1.GlobalClock)
+
+	resumed, err := train(ctx, 16, hetpipe.WithSeed(11), hetpipe.WithResumeFrom(ckpt))
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := train(ctx, 16, hetpipe.WithSeed(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  leg 2: resumed at clock %d, finished at clock %d\n", resumed.ResumedClock, resumed.GlobalClock)
+	fmt.Printf("  resumed loss %.6f, uninterrupted loss %.6f -> identical: %v\n",
+		resumed.FinalLoss, full.FinalLoss, resumed.FinalLoss == full.FinalLoss)
+}
+
+// simulate runs the ED/vgg19 deployment under a fault spec.
+func simulate(faults string) *hetpipe.Result {
+	dep, err := hetpipe.New(
+		hetpipe.WithModel("vgg19"), hetpipe.WithPolicy("ED"),
+		hetpipe.WithNm(2), hetpipe.WithD(1), hetpipe.WithMinibatchesPerVW(24),
+		hetpipe.WithFaults(faults),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dep.Simulate(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+// train runs the live backend for mbs minibatches per virtual worker.
+func train(ctx context.Context, mbs int, extra ...hetpipe.Option) (*hetpipe.LiveSummary, error) {
+	opts := append([]hetpipe.Option{
+		hetpipe.WithModel("vgg19"), hetpipe.WithPolicy("ED"),
+		hetpipe.WithNm(2), hetpipe.WithD(1), hetpipe.WithMinibatchesPerVW(mbs),
+	}, extra...)
+	dep, err := hetpipe.New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return dep.Train(ctx)
+}

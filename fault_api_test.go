@@ -1,0 +1,207 @@
+package hetpipe
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestWithFaultsBadSpec(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"unknown kind", []Option{WithFaults("boom:w0:x2")}},
+		{"bad factor", []Option{WithFaults("slow:w0:x0.5")}},
+		{"worker out of range", []Option{WithFaults("slow:w99:x2")}},
+		{"negative checkpoint", []Option{WithCheckpoint(-1)}},
+	}
+	for _, tc := range cases {
+		opts := append([]Option{WithModel("vgg19"), WithPolicy("ED"), WithNm(2)}, tc.opts...)
+		_, err := New(opts...)
+		if err == nil {
+			t.Errorf("%s: New accepted it", tc.name)
+			continue
+		}
+		if tc.name != "negative checkpoint" && !errors.Is(err, ErrBadFaultPlan) {
+			t.Errorf("%s: error %v not ErrBadFaultPlan", tc.name, err)
+		}
+	}
+}
+
+func TestSimulateEmptyFaultPlanBitIdentical(t *testing.T) {
+	base, err := New(WithModel("vgg19"), WithPolicy("ED"), WithNm(2), WithD(1), WithMinibatchesPerVW(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withEmpty, err := New(WithModel("vgg19"), WithPolicy("ED"), WithNm(2), WithD(1), WithMinibatchesPerVW(16),
+		WithFaults(""), WithCheckpoint(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := base.Simulate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := withEmpty.Simulate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("empty fault plan changed the simulation:\n%+v\nvs\n%+v", a, b)
+	}
+	if base.Faults() != "" {
+		t.Errorf("Faults() = %q, want empty", base.Faults())
+	}
+}
+
+func TestSimulateWithStragglerReportsInjection(t *testing.T) {
+	dep, err := New(WithModel("vgg19"), WithPolicy("ED"), WithNm(2), WithD(1), WithMinibatchesPerVW(16),
+		WithFaults("slow:w0:x2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Faults() != "slow:w0:x2" {
+		t.Errorf("Faults() = %q", dep.Faults())
+	}
+	var injects int
+	ob := func(e Event) {
+		if e.Kind == EventFaultInject {
+			injects++
+			if e.Fault == "" {
+				t.Error("inject event lacks a fault description")
+			}
+		}
+	}
+	res, err := New2Simulate(t, dep, ob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultInjections != 1 || injects != 1 {
+		t.Errorf("injections: result %d, observer %d, want 1", res.FaultInjections, injects)
+	}
+
+	clean, err := New(WithModel("vgg19"), WithPolicy("ED"), WithNm(2), WithD(1), WithMinibatchesPerVW(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := clean.Simulate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput >= cr.Throughput {
+		t.Errorf("straggler throughput %g not below clean %g", res.Throughput, cr.Throughput)
+	}
+}
+
+// New2Simulate re-resolves dep's options with an observer attached and
+// simulates; Deployments are immutable, so an observer must be given at New.
+func New2Simulate(t *testing.T, dep *Deployment, ob Observer) (*Result, error) {
+	t.Helper()
+	d2, err := New(
+		WithModel(dep.Model()), WithPolicy("ED"),
+		WithNm(dep.Nm()), WithD(dep.D()), WithMinibatchesPerVW(16),
+		WithFaults(dep.Faults()), WithObserver(ob),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return d2.Simulate(context.Background())
+}
+
+func TestTrainCrashRecoversAndConforms(t *testing.T) {
+	common := []Option{
+		WithModel("vgg19"), WithPolicy("ED"),
+		WithNm(2), WithD(1), WithMinibatchesPerVW(16),
+		WithSeed(7),
+	}
+	clean, err := New(common...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := clean.Train(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var recovers int
+	opts := append(append([]Option{}, common...),
+		WithFaults("crash:w1:mb9:down0.01"), WithCheckpoint(2),
+		WithObserver(func(e Event) {
+			if e.Kind == EventRecover {
+				recovers++
+			}
+		}))
+	faulted, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := faulted.Train(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Crashes != 1 || fs.Recoveries != 1 || recovers != 1 {
+		t.Fatalf("crashes=%d recoveries=%d observer=%d, want 1/1/1", fs.Crashes, fs.Recoveries, recovers)
+	}
+	if fs.Checkpoints == 0 {
+		t.Error("no checkpoints were taken")
+	}
+	// Recovery is numerically invisible: same protocol counts, same final
+	// weights (hence identical accuracy and loss).
+	if fs.Minibatches != cs.Minibatches || fs.Pushes != cs.Pushes || fs.Pulls != cs.Pulls {
+		t.Errorf("counts diverge: %d/%d/%d vs %d/%d/%d",
+			fs.Minibatches, fs.Pushes, fs.Pulls, cs.Minibatches, cs.Pushes, cs.Pulls)
+	}
+	if fs.FinalLoss != cs.FinalLoss || fs.FinalAccuracy != cs.FinalAccuracy {
+		t.Errorf("final metrics diverge: loss %v vs %v, acc %v vs %v",
+			fs.FinalLoss, cs.FinalLoss, fs.FinalAccuracy, cs.FinalAccuracy)
+	}
+}
+
+func TestTrainCheckpointAndResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shards.ckpt")
+	common := []Option{
+		WithModel("vgg19"), WithPolicy("ED"),
+		WithNm(2), WithD(1), WithSeed(3),
+	}
+	leg1, err := New(append(append([]Option{}, common...),
+		WithMinibatchesPerVW(8), WithCheckpoint(2), WithCheckpointPath(path))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := leg1.Train(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.GlobalClock == 0 {
+		t.Fatal("leg 1 made no progress")
+	}
+
+	leg2, err := New(append(append([]Option{}, common...),
+		WithMinibatchesPerVW(16), WithResumeFrom(path))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := leg2.Train(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.ResumedClock != s1.GlobalClock {
+		t.Errorf("resumed at clock %d, want %d", s2.ResumedClock, s1.GlobalClock)
+	}
+
+	control, err := New(append(append([]Option{}, common...), WithMinibatchesPerVW(16))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := control.Train(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.FinalLoss != cs.FinalLoss || s2.GlobalClock != cs.GlobalClock {
+		t.Errorf("resumed run diverges: loss %v vs %v, clock %d vs %d",
+			s2.FinalLoss, cs.FinalLoss, s2.GlobalClock, cs.GlobalClock)
+	}
+}

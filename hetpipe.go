@@ -28,16 +28,29 @@
 // Both run methods honor context cancellation and deadlines — a cancelled
 // live run reaps every worker goroutine, blocked pull, and TCP socket and
 // returns ctx.Err() — and stream in-flight progress to an observer attached
-// with WithObserver. Configuration errors are reported through sentinel
-// errors (ErrUnknownModel, ErrUnknownCluster, ...) matchable with errors.Is.
+// with WithObserver.
+//
+// Runs tolerate faults: WithFaults attaches a deterministic injection plan
+// (straggler slowdowns, worker crashes, shard stalls, link degradations),
+// WithCheckpoint sets the checkpoint cadence crash recovery restores from,
+// and WithCheckpointPath/WithResumeFrom persist and resume whole runs
+// through atomic parameter-server checkpoints. WSP's numerics are
+// timing-independent, so faults degrade throughput and exercise recovery
+// without ever changing the final weights.
+//
+// Every functional option and every exported sentinel error
+// (ErrUnknownModel, ErrUnknownCluster, ..., ErrBadFaultPlan — all matchable
+// with errors.Is) is defined and documented in one place: options.go.
 //
 // Run and Config remain as a thin compatibility wrapper over New for
 // existing callers.
 //
-// See examples/ for complete programs, cmd/hetbench for the experiment
-// harness, cmd/hetlive for the live runtime and its sim-vs-live conformance
-// harness, and cmd/hetsweep for parallel exploration of configuration grids
-// (internal/sweep) across the model zoo and the cluster catalog.
+// See examples/ for complete programs (examples/faults walks the
+// fault-injection and checkpoint-recovery story), cmd/hetbench for the
+// experiment harness, cmd/hetlive for the live runtime and its sim-vs-live
+// conformance harness, and cmd/hetsweep for parallel exploration of
+// configuration grids (internal/sweep) across the model zoo, the cluster
+// catalog, and the fault axis. docs/ARCHITECTURE.md maps the whole system.
 package hetpipe
 
 import (
@@ -138,6 +151,9 @@ type Result struct {
 	// MaxClockDistance is the largest clock skew observed between virtual
 	// workers (bounded by D+1).
 	MaxClockDistance int
+	// FaultInjections counts fault-plan entries (WithFaults) that took
+	// effect during the simulation; zero for a fault-free run.
+	FaultInjections int
 	// VirtualWorkers describes each VW's GPU mix.
 	VirtualWorkers []string
 	// Plans carries the per-VW partition plans for inspection.
@@ -163,6 +179,16 @@ type LiveSummary struct {
 	FinalLoss     float64
 	// WallSeconds is the measured wall-clock duration of the worker phase.
 	WallSeconds float64
+	// Crashes and Recoveries count injected worker crashes (WithFaults) and
+	// completed checkpoint recoveries; ReplayedMinibatches counts the work
+	// re-executed between a restored checkpoint and its crash point. The
+	// final weights are unaffected — recovery replays deterministically.
+	Crashes, Recoveries, ReplayedMinibatches int
+	// Checkpoints counts worker-state checkpoints taken (WithCheckpoint).
+	Checkpoints int
+	// ResumedClock is the checkpoint's global clock when the run resumed
+	// from a file (WithResumeFrom); 0 otherwise.
+	ResumedClock int
 }
 
 // PlanView is a read-only view of one virtual worker's partition plan.

@@ -12,14 +12,29 @@
 // snapshots, the same gradient stream. RunConformance (conformance.go) runs
 // both backends on one configuration and asserts they agree on minibatch,
 // push, and pull counts, on the D-bound, and on the final weights.
+//
+// The runtime is also where fault plans (internal/fault) execute for real:
+// straggler slowdowns, shard stalls, and link degradations become wall-clock
+// sleeps (WSP numerics are timing-independent, so they change nothing but
+// the clock), while crashes kill the worker's local state mid-run. A crashed
+// worker recovers by restoring its last checkpoint (taken every
+// Config.CheckpointEvery waves) and replaying forward under the same D-bound
+// — pulls re-read the servers' clock-versioned snapshots and pushes of waves
+// the servers already hold are suppressed — so the recovered trajectory, and
+// therefore the final weights, are bit-identical to a fault-free run's.
+// Config.CheckpointPath persists consistent clock-cut shard checkpoints
+// (ps.Capture) for whole-process recovery, and Config.ResumeFrom restarts a
+// run from such a file.
 package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"hetpipe/internal/fault"
 	"hetpipe/internal/obs"
 	"hetpipe/internal/ps"
 	"hetpipe/internal/tensor"
@@ -53,10 +68,41 @@ type Config struct {
 	// (ps.Serve / ps.Dial on loopback) instead of in-process calls.
 	TCP bool
 	// Observer, when non-nil, receives protocol events (minibatch
-	// completions, pushes, pulls, observed clock advances) while the run is
-	// in flight. Calls are serialized across workers; Event.Time is
-	// wall-clock seconds since the worker phase started.
+	// completions, pushes, pulls, observed clock advances, fault injections
+	// and recoveries) while the run is in flight. Calls are serialized across
+	// workers; Event.Time is wall-clock seconds since the worker phase
+	// started.
 	Observer obs.Func
+
+	// Faults is the deterministic fault-injection plan (internal/fault)
+	// applied to this run; nil or empty runs fault-free. Slowdowns, stalls,
+	// and link degradations are wall-clock sleeps; crashes destroy the
+	// worker's local state and exercise checkpoint recovery. Faults never
+	// change the final weights — only the wall clock and the recovery
+	// counters.
+	Faults *fault.Plan
+	// CheckpointEvery takes a checkpoint of each worker's local state every
+	// that many pushed waves (and, with CheckpointPath set, persists a
+	// consistent shard-server checkpoint at the same cadence). 0 disables
+	// periodic checkpoints: a crashed worker then replays from minibatch 1.
+	CheckpointEvery int
+	// CheckpointPath, when non-empty, persists ps.SaveCheckpoint files of
+	// the shard servers: at every CheckpointEvery cadence point (if any) and
+	// once more at the end of a successful run. Each write is atomic and
+	// truncated to a consistent clock cut, so the file is always resumable.
+	CheckpointPath string
+	// ResumeFrom, when non-empty, restores the shard servers from a
+	// checkpoint file before training: workers deterministically replay their
+	// minibatch streams, re-pushing only the waves at or above the
+	// checkpoint's clock, and the run finishes with weights bit-identical to
+	// an uninterrupted run of the same budget.
+	ResumeFrom string
+	// StepTime emulates per-minibatch compute time as a wall-clock sleep;
+	// straggler slowdowns multiply it and link degradations scale the
+	// per-transfer share. 0 (the default) runs as fast as possible, which
+	// keeps timing faults invisible on the wall clock but still exercises
+	// crash and recovery paths.
+	StepTime time.Duration
 }
 
 func (c *Config) validate() error {
@@ -73,6 +119,10 @@ func (c *Config) validate() error {
 		return fmt.Errorf("cluster: learning rate must be positive")
 	case c.MaxMinibatches < 1:
 		return fmt.Errorf("cluster: zero minibatch budget")
+	case c.CheckpointEvery < 0:
+		return fmt.Errorf("cluster: checkpoint interval must be >= 0")
+	case c.StepTime < 0:
+		return fmt.Errorf("cluster: step time must be >= 0")
 	}
 	return nil
 }
@@ -84,7 +134,9 @@ type WorkerStats struct {
 
 // Stats summarizes a live run.
 type Stats struct {
-	// Minibatches, Pushes, Pulls aggregate the per-worker counts.
+	// Minibatches, Pushes, Pulls aggregate the per-worker counts. They are
+	// logical protocol counts: a recovered or resumed run reports each
+	// minibatch, push, and pull exactly once, as a fault-free run would.
 	Minibatches, Pushes, Pulls int
 	PerWorker                  []WorkerStats
 	// FinalWeights is the clock-versioned snapshot at the final global
@@ -99,6 +151,88 @@ type Stats struct {
 	MaxClockDistance int
 	// Elapsed is wall-clock runtime of the worker phase.
 	Elapsed time.Duration
+
+	// Crashes and Recoveries count injected worker crashes and completed
+	// checkpoint recoveries; ReplayedMinibatches counts the minibatches
+	// re-executed between a restored checkpoint and its crash point.
+	Crashes, Recoveries, ReplayedMinibatches int
+	// Checkpoints counts worker-state checkpoints taken across workers.
+	Checkpoints int
+	// ResumedClock is the shard checkpoint's global clock when the run was
+	// started with Config.ResumeFrom; 0 otherwise.
+	ResumedClock int
+}
+
+// errCrashed is the self-inflicted failure an injected crash raises; the
+// worker wrapper catches it and recovers instead of poisoning the run.
+var errCrashed = errors.New("cluster: worker crashed (injected fault)")
+
+// pendingMB is an injected-but-not-retired minibatch's numeric state.
+type pendingMB struct {
+	mb      int
+	weights tensor.Vector
+}
+
+// workerState is everything a worker's training loop owns — split out so a
+// checkpoint is a deep clone and a recovery is a restore.
+type workerState struct {
+	nextMB     int // next 1-based minibatch to inject
+	wlocal     tensor.Vector
+	waveAcc    tensor.Vector
+	pending    []pendingMB
+	waveDeltas []tensor.Vector
+	lastPulled int
+	stats      WorkerStats
+}
+
+func newWorkerState(task train.Task) *workerState {
+	return &workerState{
+		nextMB:  1,
+		wlocal:  task.InitWeights(),
+		waveAcc: tensor.NewVector(task.Dim()),
+	}
+}
+
+func (s *workerState) clone() *workerState {
+	c := &workerState{
+		nextMB:     s.nextMB,
+		wlocal:     s.wlocal.Clone(),
+		waveAcc:    s.waveAcc.Clone(),
+		lastPulled: s.lastPulled,
+		stats:      s.stats,
+	}
+	for _, p := range s.pending {
+		c.pending = append(c.pending, pendingMB{mb: p.mb, weights: p.weights.Clone()})
+	}
+	for _, d := range s.waveDeltas {
+		c.waveDeltas = append(c.waveDeltas, d.Clone())
+	}
+	return c
+}
+
+// workerRec is a worker's recovery bookkeeping. It lives outside runWorker so
+// it survives a crash; it is only ever touched by the worker's own goroutine.
+type workerRec struct {
+	// ckpt is the last worker-state checkpoint (nil = recover from scratch).
+	ckpt *workerState
+	// lastCkptWave is the pushed-wave count at the last checkpoint.
+	lastCkptWave int
+	// pushed is the authoritative count of waves this worker has actually
+	// pushed to the servers across all attempts — the clock version replay
+	// suppression is keyed on.
+	pushed int
+	// crashed latches after the injected crash so replay does not re-fire it.
+	crashed bool
+	// maxRetired / maxPullClock / slowEmitted / linkEmitted dedupe observer
+	// events across a recovery: a replayed retire, pull, or fault injection
+	// is numerically necessary (or still in force) but was already reported
+	// to the observer by the crashed attempt.
+	maxRetired   int
+	maxPullClock int
+	slowEmitted  bool
+	linkEmitted  bool
+
+	crashes, recoveries, replayed, checkpoints int
 }
 
 // Run executes a live WSP training run and reports its statistics.
@@ -117,6 +251,10 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	fp, err := cfg.Faults.Materialize(cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
 	chunks := cfg.Chunks
 	if chunks == 0 {
 		chunks = 4 * cfg.Servers
@@ -130,21 +268,68 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 		return nil, err
 	}
 
-	// Stand up the shard servers with the task's initial weights.
+	// Stand up the shard servers: fresh from the task's initial weights, or
+	// restored from a persisted checkpoint (Config.ResumeFrom).
 	w0 := cfg.Task.InitWeights()
 	chunked := space.Split(w0)
-	servers := make([]*ps.Server, cfg.Servers)
-	for i := range servers {
-		s, err := ps.NewServer(cfg.Workers)
+	var servers []*ps.Server
+	resumedClock := 0
+	if cfg.ResumeFrom != "" {
+		ck, err := ps.LoadCheckpoint(cfg.ResumeFrom)
 		if err != nil {
 			return nil, err
 		}
-		for _, key := range placement.KeysOn(i) {
-			if err := s.Register(key, chunked[key]); err != nil {
-				return nil, err
+		if len(ck.States) != cfg.Servers {
+			return nil, fmt.Errorf("cluster: checkpoint has %d shard servers, run wants %d", len(ck.States), cfg.Servers)
+		}
+		if got := len(ck.States[0].Clocks); got != cfg.Workers {
+			return nil, fmt.Errorf("cluster: checkpoint has %d workers, run wants %d", got, cfg.Workers)
+		}
+		if servers, err = ck.Restore(); err != nil {
+			return nil, err
+		}
+		// The checkpoint must describe this exact task and shard layout:
+		// every placed key's initial weights must match bit for bit, or the
+		// deterministic replay would diverge from the recorded prefix.
+		for i, st := range ck.States {
+			for _, key := range placement.KeysOn(i) {
+				init, ok := st.Initial[key]
+				if !ok {
+					return nil, fmt.Errorf("cluster: checkpoint lacks shard %q for server %d (chunk layout mismatch?)", key, i)
+				}
+				want := chunked[key]
+				if len(init) != len(want) {
+					return nil, fmt.Errorf("cluster: checkpoint shard %q dim %d, task wants %d", key, len(init), len(want))
+				}
+				for j := range want {
+					if init[j] != want[j] {
+						return nil, fmt.Errorf("cluster: checkpoint shard %q initial weights diverge from the task (wrong task or seed?)", key)
+					}
+				}
 			}
 		}
-		servers[i] = s
+		resumedClock = ck.Clock
+		params := wsp.Params{SLocal: cfg.SLocal, D: cfg.D, Workers: cfg.Workers}
+		if err := params.Validate(); err != nil {
+			return nil, err
+		}
+		if waves := params.CompleteWaves(cfg.MaxMinibatches); waves < resumedClock {
+			return nil, fmt.Errorf("cluster: budget of %d waves is below the checkpoint clock %d", waves, resumedClock)
+		}
+	} else {
+		servers = make([]*ps.Server, cfg.Servers)
+		for i := range servers {
+			s, err := ps.NewServer(cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			for _, key := range placement.KeysOn(i) {
+				if err := s.Register(key, chunked[key]); err != nil {
+					return nil, err
+				}
+			}
+			servers[i] = s
+		}
 	}
 
 	// dial hands each worker its own backend set: shared in-process adapters,
@@ -172,6 +357,7 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 	}
 
 	perWorker := make([]WorkerStats, cfg.Workers)
+	recs := make([]*workerRec, cfg.Workers)
 	start := time.Now()
 
 	// emit serializes observer calls across worker goroutines and stamps
@@ -200,6 +386,60 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 		cfg.Observer(e)
 	}
 
+	// stallInject dedupes the cluster-wide stall injection event (several
+	// workers sleep for the same stalled clock advance).
+	var (
+		stallMu      sync.Mutex
+		stallEmitted = make(map[int]bool)
+	)
+	stallInject := func(clock int, delay float64) {
+		stallMu.Lock()
+		seen := stallEmitted[clock]
+		stallEmitted[clock] = true
+		stallMu.Unlock()
+		if !seen {
+			emit(obs.Event{Kind: obs.KindFaultInject, VW: -1, Clock: clock,
+				Fault: fmt.Sprintf("stall:c%d:%g", clock, delay)})
+		}
+	}
+
+	// The shard checkpointer persists a consistent clock-cut checkpoint of
+	// the servers whenever a worker signals a cadence point, and once more at
+	// the end of a successful run. Writes are atomic (ps.SaveCheckpoint), and
+	// a capture that races the shutdown path simply fails on the closed
+	// servers and is skipped.
+	var (
+		ckptTick chan struct{}
+		ckptDone chan struct{}
+	)
+	saveServers := func() {
+		ck, err := ps.Capture(servers)
+		if err != nil {
+			return // servers closing down — nothing left worth saving
+		}
+		if err := ps.SaveCheckpoint(cfg.CheckpointPath, ck); err != nil {
+			fail(fmt.Errorf("cluster: shard checkpoint: %w", err))
+		}
+	}
+	if cfg.CheckpointPath != "" && cfg.CheckpointEvery > 0 {
+		ckptTick = make(chan struct{}, 1)
+		ckptDone = make(chan struct{})
+		go func() {
+			defer close(ckptDone)
+			for range ckptTick {
+				saveServers()
+			}
+		}()
+	}
+	notifyCkpt := func() {
+		if ckptTick != nil {
+			select {
+			case ckptTick <- struct{}{}:
+			default: // a write is already pending; the next capture covers us
+			}
+		}
+	}
+
 	// The context watcher turns cancellation into the same server-close
 	// unblocking path worker failures use: every blocked pull wakes with a
 	// "server closed" error and the workers unwind. firstErr records the
@@ -219,7 +459,9 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		rec := &workerRec{pushed: resumedClock}
+		recs[w] = rec
+		go func(w int, rec *workerRec) {
 			defer wg.Done()
 			backends, err := net.dial()
 			if err != nil {
@@ -232,28 +474,68 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 				fail(fmt.Errorf("cluster: worker %d: %w", w, err))
 				return
 			}
-			st, err := runWorker(cfg, w, space, sh, emit)
-			if err != nil {
+			env := &workerEnv{
+				cfg: cfg, id: w, space: space, sh: sh, emit: emit,
+				faults: fp, rec: rec, stallInject: stallInject, notifyCkpt: notifyCkpt,
+			}
+			for {
+				st, err := env.run()
+				if err == nil {
+					perWorker[w] = st
+					return
+				}
+				if errors.Is(err, errCrashed) {
+					// Recover: restore the last checkpoint (or scratch) and
+					// replay. The crashed attempt's partial counts are
+					// discarded — the restored state's counters plus the
+					// replay re-count every action exactly once.
+					c := fp.CrashFor(w)
+					resumeMB := 1
+					if rec.ckpt != nil {
+						resumeMB = rec.ckpt.nextMB
+					}
+					rec.recoveries++
+					rec.replayed += c.AtMinibatch - resumeMB
+					emit(obs.Event{Kind: obs.KindRecover, VW: w, Minibatch: resumeMB,
+						Clock: rec.pushed, Fault: fmt.Sprintf("crash:w%d:mb%d", w, c.AtMinibatch)})
+					continue
+				}
 				fail(fmt.Errorf("cluster: worker %d: %w", w, err))
 				return
 			}
-			perWorker[w] = st
-		}(w)
+		}(w, rec)
 	}
 	wg.Wait()
+	if ckptTick != nil {
+		close(ckptTick)
+		<-ckptDone
+	}
 	close(watcherStop)
 	<-watcherExited
 	elapsed := time.Since(start)
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if cfg.CheckpointPath != "" {
+		// Final durable checkpoint at the completed run's clock.
+		saveServers()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
 
 	// Read the final state directly off the servers we own.
-	stats := &Stats{PerWorker: perWorker, Elapsed: elapsed}
+	stats := &Stats{PerWorker: perWorker, Elapsed: elapsed, ResumedClock: resumedClock}
 	for _, st := range perWorker {
 		stats.Minibatches += st.Minibatches
 		stats.Pushes += st.Pushes
 		stats.Pulls += st.Pulls
+	}
+	for _, rec := range recs {
+		stats.Crashes += rec.crashes
+		stats.Recoveries += rec.recoveries
+		stats.ReplayedMinibatches += rec.replayed
+		stats.Checkpoints += rec.checkpoints
 	}
 	backends := make([]ps.Backend, len(servers))
 	for i, s := range servers {
@@ -279,93 +561,188 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 	return stats, nil
 }
 
-// runWorker is one virtual worker's training loop: the same logical pipeline
+// workerEnv bundles what one worker's training loop needs across attempts.
+type workerEnv struct {
+	cfg         Config
+	id          int
+	space       *shardSpace
+	sh          *ps.Sharded
+	emit        obs.Func
+	faults      *fault.Plan
+	rec         *workerRec
+	stallInject func(clock int, delay float64)
+	notifyCkpt  func()
+}
+
+// sleep converts a fault delay in seconds into a wall-clock sleep.
+func sleepSeconds(s float64) {
+	if s > 0 {
+		time.Sleep(time.Duration(s * float64(time.Second)))
+	}
+}
+
+// run is one attempt at the worker's training loop: the same logical pipeline
 // the simulator executes, against real servers. The snapshot for minibatch m
 // reflects local updates through exactly m-Nm (retirement happens at a fixed
 // logical lag of Nm), pushes carry one aggregated update per wave, and the
 // D-bound gate is the servers' blocking snapshot pull.
-func runWorker(cfg Config, id int, space *shardSpace, sh *ps.Sharded, emit obs.Func) (WorkerStats, error) {
+//
+// An attempt starts from the last checkpoint (or from scratch) and replays
+// deterministically: pulls re-read clock-versioned snapshots, and pushes of
+// waves the servers already hold (rec.pushed) are suppressed — counted, since
+// they are logically part of the trajectory, but not re-sent. An injected
+// crash aborts the attempt with errCrashed.
+func (e *workerEnv) run() (WorkerStats, error) {
+	cfg, id := e.cfg, e.id
 	params := wsp.Params{SLocal: cfg.SLocal, D: cfg.D, Workers: cfg.Workers}
 	if err := params.Validate(); err != nil {
 		return WorkerStats{}, err
 	}
 	dim := cfg.Task.Dim()
 
-	var st WorkerStats
-	wlocal := cfg.Task.InitWeights()
-	waveAcc := tensor.NewVector(dim)
-	grad := tensor.NewVector(dim)
-	type pendingMB struct {
-		mb      int
-		weights tensor.Vector
+	var w *workerState
+	if e.rec.ckpt != nil {
+		w = e.rec.ckpt.clone()
+	} else {
+		w = newWorkerState(cfg.Task)
 	}
-	var pending []pendingMB
-	// waveDeltas[v] is this worker's pushed update of wave v, kept for the
-	// own-update add-back after a pull: a clock-req snapshot excludes the
-	// worker's own waves >= req, which it must not lose.
-	var waveDeltas []tensor.Vector
-	lastPulled := 0
+	suppress := e.rec.pushed // waves the servers already hold
+	crash := e.faults.CrashFor(id)
+	linkScale := e.faults.LinkScale(id)
+	grad := tensor.NewVector(dim)
+
+	// linkInject reports the degraded link once per run (not per attempt,
+	// and independent of whether StepTime makes the degradation sleep).
+	linkInject := func() {
+		if linkScale > 1 && !e.rec.linkEmitted {
+			e.rec.linkEmitted = true
+			e.emit(obs.Event{Kind: obs.KindFaultInject, VW: id,
+				Fault: fmt.Sprintf("link:w%d:x%g", id, linkScale)})
+		}
+	}
 
 	retire := func() error {
-		p := pending[0]
-		pending = pending[1:]
+		p := w.pending[0]
+		w.pending = w.pending[1:]
 		cfg.Task.Grad(p.weights, train.MinibatchIndex(id, p.mb, cfg.Workers), grad)
-		wlocal.AXPY(-cfg.LR, grad)
-		waveAcc.AXPY(-cfg.LR, grad)
-		st.Minibatches++
-		emit(obs.Event{Kind: obs.KindMinibatch, VW: id, Minibatch: p.mb, Wave: params.Wave(p.mb)})
+		w.wlocal.AXPY(-cfg.LR, grad)
+		w.waveAcc.AXPY(-cfg.LR, grad)
+		w.stats.Minibatches++
+		if p.mb > e.rec.maxRetired {
+			e.rec.maxRetired = p.mb
+			e.emit(obs.Event{Kind: obs.KindMinibatch, VW: id, Minibatch: p.mb, Wave: params.Wave(p.mb)})
+		}
 		if params.IsWaveEnd(p.mb) {
-			delta := waveAcc.Clone()
-			if err := sh.Push(id, space.Split(delta)); err != nil {
+			delta := w.waveAcc.Clone()
+			wave := len(w.waveDeltas)
+			w.waveDeltas = append(w.waveDeltas, delta)
+			w.waveAcc.Zero()
+			w.stats.Pushes++
+			if wave < suppress {
+				// Replay: the servers already hold this wave from the crashed
+				// attempt (or the resumed checkpoint); re-sending it would
+				// double-apply the update.
+				return nil
+			}
+			if delay := e.faults.StallDelay(wave + 1); delay > 0 {
+				e.stallInject(wave+1, delay)
+				sleepSeconds(delay)
+			}
+			if linkScale > 1 {
+				linkInject()
+				sleepSeconds((linkScale - 1) * cfg.StepTime.Seconds())
+			}
+			if err := e.sh.Push(id, e.space.Split(delta)); err != nil {
 				return err
 			}
-			waveDeltas = append(waveDeltas, delta)
-			waveAcc.Zero()
-			st.Pushes++
-			emit(obs.Event{Kind: obs.KindPush, VW: id, Wave: len(waveDeltas) - 1})
+			e.rec.pushed = wave + 1
+			e.emit(obs.Event{Kind: obs.KindPush, VW: id, Wave: wave})
 		}
 		return nil
 	}
 
-	for mb := 1; mb <= cfg.MaxMinibatches; mb++ {
+	for ; w.nextMB <= cfg.MaxMinibatches; w.nextMB++ {
+		mb := w.nextMB
+		// Injected crash: fires at a minibatch boundary (never mid-push), at
+		// most once. The attempt's local state is abandoned; the wrapper
+		// restores the last checkpoint and replays.
+		if crash != nil && !e.rec.crashed && mb == crash.AtMinibatch {
+			e.rec.crashed = true
+			e.rec.crashes++
+			e.emit(obs.Event{Kind: obs.KindFaultInject, VW: id, Minibatch: mb,
+				Fault: fmt.Sprintf("crash:w%d:mb%d", id, mb)})
+			sleepSeconds(fault.CrashDowntime(crash))
+			return w.stats, errCrashed
+		}
+		// Worker-state checkpoint at the wave cadence. The state at the top
+		// of a loop iteration is self-contained, so any iteration whose
+		// pushed-wave count just crossed a cadence point is a valid capture.
+		if cfg.CheckpointEvery > 0 {
+			if waves := len(w.waveDeltas); waves > e.rec.lastCkptWave && waves%cfg.CheckpointEvery == 0 {
+				e.rec.ckpt = w.clone()
+				e.rec.lastCkptWave = waves
+				e.rec.checkpoints++
+				e.notifyCkpt()
+			}
+		}
+		// Emulated compute time, scaled by any straggler slowdown. The
+		// injection event is per run, not per attempt — a replay after a
+		// crash must not re-report a slowdown that never stopped.
+		if scale := e.faults.ComputeScale(id, mb); scale > 1 {
+			if !e.rec.slowEmitted {
+				e.rec.slowEmitted = true
+				e.emit(obs.Event{Kind: obs.KindFaultInject, VW: id, Minibatch: mb,
+					Fault: fmt.Sprintf("slow:w%d:x%g", id, scale)})
+			}
+			sleepSeconds(cfg.StepTime.Seconds() * scale)
+		} else if cfg.StepTime > 0 {
+			time.Sleep(cfg.StepTime)
+		}
 		// The WSP gate: the last minibatch of wave w may only start once the
 		// global clock has reached w-D. Blocking on the servers' snapshot
 		// pull IS the wait — every shard holds the worker until its clock
 		// arrives, then answers from the same clock boundary.
-		if req := params.RequiredGlobalClock(mb); req > 0 && lastPulled < req {
-			snap, err := sh.PullAt(space.Keys(), req)
+		if req := params.RequiredGlobalClock(mb); req > 0 && w.lastPulled < req {
+			if linkScale > 1 {
+				linkInject()
+				sleepSeconds((linkScale - 1) * cfg.StepTime.Seconds())
+			}
+			snap, err := e.sh.PullAt(e.space.Keys(), req)
 			if err != nil {
-				return st, err
+				return w.stats, err
 			}
-			pulled, err := space.Join(snap)
+			pulled, err := e.space.Join(snap)
 			if err != nil {
-				return st, err
+				return w.stats, err
 			}
-			wlocal = pulled
-			for v := req; v < len(waveDeltas); v++ {
-				wlocal.AddInPlace(waveDeltas[v])
+			w.wlocal = pulled
+			for v := req; v < len(w.waveDeltas); v++ {
+				w.wlocal.AddInPlace(w.waveDeltas[v])
 			}
-			wlocal.AddInPlace(waveAcc)
-			lastPulled = req
-			st.Pulls++
-			// The pull's return proves the global clock reached req — the
-			// only moment a live worker learns the global clock without
-			// extra traffic.
-			emit(obs.Event{Kind: obs.KindPull, VW: id, Clock: req})
-			emit(obs.Event{Kind: obs.KindClock, VW: -1, Clock: req})
+			w.wlocal.AddInPlace(w.waveAcc)
+			w.lastPulled = req
+			w.stats.Pulls++
+			if req > e.rec.maxPullClock {
+				e.rec.maxPullClock = req
+				// The pull's return proves the global clock reached req — the
+				// only moment a live worker learns the global clock without
+				// extra traffic.
+				e.emit(obs.Event{Kind: obs.KindPull, VW: id, Clock: req})
+				e.emit(obs.Event{Kind: obs.KindClock, VW: -1, Clock: req})
+			}
 		}
-		pending = append(pending, pendingMB{mb: mb, weights: wlocal.Clone()})
-		if len(pending) > cfg.SLocal {
+		w.pending = append(w.pending, pendingMB{mb: mb, weights: w.wlocal.Clone()})
+		if len(w.pending) > cfg.SLocal {
 			if err := retire(); err != nil {
-				return st, err
+				return w.stats, err
 			}
 		}
 	}
 	// End-of-run drain: retire the still-pending tail in order.
-	for len(pending) > 0 {
+	for len(w.pending) > 0 {
 		if err := retire(); err != nil {
-			return st, err
+			return w.stats, err
 		}
 	}
-	return st, nil
+	return w.stats, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"hetpipe/internal/fault"
 	"hetpipe/internal/train"
 	"hetpipe/internal/wsp"
 )
@@ -34,6 +35,16 @@ type ConformanceConfig struct {
 	// Tolerance bounds the final-weight disagreement; 0 means the default
 	// 1e-6, negative demands exact bit-equality.
 	Tolerance float64
+	// Faults, when non-nil, is applied to the LIVE half only: the simulator
+	// runs fault-free. This is the strongest form of the conformance claim —
+	// stragglers, stalls, link degradations, and even crash-plus-recovery
+	// may reshape the live run's wall clock and recovery counters, but its
+	// protocol counts and final weights must still match the fault-free
+	// simulation exactly.
+	Faults *fault.Plan
+	// CheckpointEvery is the live half's worker-checkpoint cadence in waves
+	// (used by crash recovery); 0 replays crashes from minibatch 1.
+	CheckpointEvery int
 }
 
 // SideCounts are one backend's protocol counters.
@@ -53,6 +64,9 @@ type ConformanceReport struct {
 	// DBound is the protocol guarantee D+1 on the clock distance.
 	DBound    int
 	Tolerance float64
+	// Crashes, Recoveries, and ReplayedMinibatches report the live half's
+	// fault activity (zero for a fault-free configuration).
+	Crashes, Recoveries, ReplayedMinibatches int
 }
 
 // Err reports nil when the backends conform: counts match the protocol
@@ -86,15 +100,20 @@ func (r *ConformanceReport) String() string {
 	if err := r.Err(); err != nil {
 		verdict = "DIVERGENT: " + err.Error()
 	}
+	faults := ""
+	if r.Crashes > 0 || r.Recoveries > 0 {
+		faults = fmt.Sprintf("live faults: %d crashes, %d recoveries, %d minibatches replayed\n",
+			r.Crashes, r.Recoveries, r.ReplayedMinibatches)
+	}
 	return fmt.Sprintf(
 		"sim:  minibatches=%d pushes=%d pulls=%d maxClockDistance=%d\n"+
 			"live: minibatches=%d pushes=%d pulls=%d maxClockDistance=%d\n"+
 			"want: minibatches=%d pushes=%d pulls=%d (D-bound %d)\n"+
-			"max |w_sim - w_live| = %.3g (tolerance %g)\n%s",
+			"%smax |w_sim - w_live| = %.3g (tolerance %g)\n%s",
 		r.Sim.Minibatches, r.Sim.Pushes, r.Sim.Pulls, r.Sim.MaxClockDistance,
 		r.Live.Minibatches, r.Live.Pushes, r.Live.Pulls, r.Live.MaxClockDistance,
 		r.Want.Minibatches, r.Want.Pushes, r.Want.Pulls, r.DBound,
-		r.MaxWeightDiff, r.Tolerance, verdict)
+		faults, r.MaxWeightDiff, r.Tolerance, verdict)
 }
 
 // RunConformance executes the same configuration through the simulator and
@@ -136,6 +155,7 @@ func RunConformance(ctx context.Context, cfg ConformanceConfig) (*ConformanceRep
 		Task: cfg.Task, Workers: cfg.Workers, Servers: cfg.Servers,
 		SLocal: cfg.SLocal, D: cfg.D, LR: cfg.LR,
 		MaxMinibatches: cfg.MaxMinibatches, Chunks: cfg.Chunks, TCP: cfg.TCP,
+		Faults: cfg.Faults, CheckpointEvery: cfg.CheckpointEvery,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: live runtime: %w", err)
@@ -150,8 +170,11 @@ func RunConformance(ctx context.Context, cfg ConformanceConfig) (*ConformanceRep
 			Pushes:      cfg.Workers * params.CompleteWaves(cfg.MaxMinibatches),
 			Pulls:       cfg.Workers * params.GatedPulls(cfg.MaxMinibatches),
 		},
-		DBound:    cfg.D + 1,
-		Tolerance: tol,
+		DBound:              cfg.D + 1,
+		Tolerance:           tol,
+		Crashes:             live.Crashes,
+		Recoveries:          live.Recoveries,
+		ReplayedMinibatches: live.ReplayedMinibatches,
 	}
 	if len(sim.FinalWeights) != len(live.FinalWeights) {
 		return nil, fmt.Errorf("cluster: weight dimensions diverge: %d vs %d", len(sim.FinalWeights), len(live.FinalWeights))

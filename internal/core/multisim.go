@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"hetpipe/internal/fault"
 	"hetpipe/internal/obs"
 	"hetpipe/internal/pipeline"
 	"hetpipe/internal/sim"
@@ -30,6 +31,9 @@ type MultiResult struct {
 	Pulls int
 	// MaxClockDistance is the largest clock skew observed.
 	MaxClockDistance int
+	// FaultInjections counts fault-plan entries that took effect during the
+	// run (zero for a fault-free or empty-plan simulation).
+	FaultInjections int
 }
 
 // vwSync carries the per-VW synchronization state of the multi-VW run.
@@ -87,10 +91,46 @@ func (d *Deployment) SimulateWSP(minibatchesPerVW, warmup int) (*MultiResult, er
 // and global-clock advances as they happen in virtual time. The observer is
 // called synchronously from the single simulation goroutine.
 func (d *Deployment) SimulateWSPContext(ctx context.Context, minibatchesPerVW, warmup int, ob obs.Func) (*MultiResult, error) {
+	return d.SimulateWSPFaults(ctx, minibatchesPerVW, warmup, ob, nil, 0)
+}
+
+// SimulateWSPFaults is SimulateWSPContext under a fault-injection plan
+// (internal/fault). An empty or nil plan takes exactly the fault-free code
+// path, so its results are bit-identical to SimulateWSPContext's. A non-empty
+// plan shapes the timing model deterministically:
+//
+//   - a Slowdown multiplies the affected virtual worker's stage-task times
+//     over its minibatch range (via pipeline.Config.TaskTime);
+//   - a LinkDegrade multiplies the worker's per-wave push and pull transfer
+//     times;
+//   - a PSStall delays the arrival of every wave push that the stalled clock
+//     advance is waiting on;
+//   - a Crash charges the crashed worker's first stage task of the crash
+//     minibatch with the downtime plus the checkpoint-replay time —
+//     (AtMinibatch-1 minus the last checkpoint boundary) minibatches at the
+//     worker's bottleneck stage time, where checkpoints sit every
+//     checkpointEvery waves (0 = no checkpoints: replay from minibatch 1).
+//     In-flight work of other stages is not re-simulated; the crash is a
+//     worker-local stall, which is the first-order throughput effect.
+//
+// Because WSP numerics are timing-independent, faults never change what a
+// matching live run computes — only when; the live runtime (internal/cluster)
+// executes the same plan's crashes for real and recovers from checkpoints.
+// Fault activations are emitted to ob as KindFaultInject/KindRecover events
+// and counted in MultiResult.FaultInjections.
+func (d *Deployment) SimulateWSPFaults(ctx context.Context, minibatchesPerVW, warmup int, ob obs.Func, plan *fault.Plan, checkpointEvery int) (*MultiResult, error) {
 	n := len(d.VWs)
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty deployment")
 	}
+	if checkpointEvery < 0 {
+		return nil, fmt.Errorf("core: checkpoint interval must be >= 0, got %d", checkpointEvery)
+	}
+	fp, err := plan.Materialize(n)
+	if err != nil {
+		return nil, err
+	}
+	faulty := !fp.Empty()
 	// Every virtual worker must finish on a wave boundary, or its peers
 	// would wait forever on a push that never comes. Round up before the
 	// minimum check so a budget the round-up satisfies is not rejected.
@@ -134,9 +174,84 @@ func (d *Deployment) SimulateWSPContext(ctx context.Context, minibatchesPerVW, w
 		}
 	}
 
+	// Fault bookkeeping: per-VW transfer times with link degradations folded
+	// in, one-shot injection emissions, and the crash timing model. All of it
+	// is inert (and the hooks nil) for an empty plan, so the fault-free path
+	// is byte-for-byte the pre-fault simulation.
+	pushT := append([]float64(nil), d.PushTime...)
+	pullT := append([]float64(nil), d.PullTime...)
+	var (
+		crashes      = make([]*fault.Crash, n)
+		slowEmitted  = make([]bool, n)
+		linkEmitted  = make([]bool, n)
+		crashCharged = make([]bool, n)
+		stallEmitted = make(map[int]bool)
+	)
+	inject := func(vw int, f string) {
+		res.FaultInjections++
+		emit(obs.Event{Kind: obs.KindFaultInject, VW: vw, Fault: f})
+	}
+	if faulty {
+		for w := 0; w < n; w++ {
+			crashes[w] = fp.CrashFor(w)
+			if s := fp.LinkScale(w); s > 1 {
+				pushT[w] *= s
+				pullT[w] *= s
+			}
+		}
+	}
+	// crashExtra is the downtime-plus-replay charge of worker w's crash: the
+	// worker is down for the crash downtime and then re-executes every
+	// minibatch since its last checkpoint at its bottleneck-stage pace.
+	crashExtra := func(w int) float64 {
+		c := crashes[w]
+		ckptWave := 0
+		if checkpointEvery > 0 {
+			ckptWave = ((c.AtMinibatch - 1) / d.Nm / checkpointEvery) * checkpointEvery
+		}
+		replay := float64((c.AtMinibatch-1)-ckptWave*d.Nm) * d.VWs[w].Plan.Bottleneck
+		return fault.CrashDowntime(c) + replay
+	}
+	// started emits the one-shot fault-injection events owed at the moment
+	// minibatch mb of VW vw is admitted into the pipeline.
+	started := func(vw, mb int) {
+		if !faulty {
+			return
+		}
+		if sc := fp.ComputeScale(vw, mb); sc > 1 && !slowEmitted[vw] {
+			slowEmitted[vw] = true
+			inject(vw, fmt.Sprintf("slow:w%d:x%g", vw, sc))
+		}
+		if c := crashes[vw]; c != nil && mb == c.AtMinibatch {
+			inject(vw, fmt.Sprintf("crash:w%d:mb%d", vw, mb))
+		}
+	}
+	linkInject := func(vw int) {
+		if faulty && !linkEmitted[vw] {
+			if s := fp.LinkScale(vw); s > 1 {
+				linkEmitted[vw] = true
+				inject(vw, fmt.Sprintf("link:w%d:x%g", vw, s))
+			}
+		}
+	}
+
 	for w := 0; w < n; w++ {
 		w := w
 		st := syncs[w]
+		crash := crashes[w]
+		var taskTime func(p, s int, base float64) float64
+		if faulty {
+			taskTime = func(p, s int, base float64) float64 {
+				out := base * fp.ComputeScale(w, p)
+				// The crash charge lands once, on the crashed minibatch's
+				// first stage-0 task (its forward) — the worker-local stall.
+				if crash != nil && p == crash.AtMinibatch && s == 0 && !crashCharged[w] {
+					crashCharged[w] = true
+					out += crashExtra(w)
+				}
+				return out
+			}
+		}
 		cfg := pipeline.Config{
 			Plan:        d.VWs[w].Plan,
 			Cluster:     d.Sys.Cluster,
@@ -144,10 +259,12 @@ func (d *Deployment) SimulateWSPContext(ctx context.Context, minibatchesPerVW, w
 			Schedule:    d.Sys.Schedule,
 			Minibatches: minibatchesPerVW,
 			Warmup:      warmup,
+			TaskTime:    taskTime,
 			InjectGate: func(mb int) bool {
 				req := params.RequiredGlobalClock(mb)
 				if req == 0 {
 					coord.Start(w, mb)
+					started(w, mb)
 					return true
 				}
 				if coord.GlobalClock() >= req {
@@ -164,12 +281,14 @@ func (d *Deployment) SimulateWSPContext(ctx context.Context, minibatchesPerVW, w
 							st.blocked = false
 						}
 						coord.Start(w, mb)
+						started(w, mb)
 						return true
 					}
 					if !st.pullGoing {
 						st.pullGoing = true
+						linkInject(w)
 						target := coord.GlobalClock()
-						eng.After(sim.Duration(d.PullTime[w]), fmt.Sprintf("pull.vw%d", w), func() {
+						eng.After(sim.Duration(pullT[w]), fmt.Sprintf("pull.vw%d", w), func() {
 							st.pullGoing = false
 							st.pullDone = target
 							res.Pulls++
@@ -187,10 +306,28 @@ func (d *Deployment) SimulateWSPContext(ctx context.Context, minibatchesPerVW, w
 			OnComplete: func(mb int, at sim.Time) {
 				st.lastDone = at
 				emit(obs.Event{Kind: obs.KindMinibatch, VW: w, Minibatch: mb, Wave: params.Wave(mb), Clock: coord.GlobalClock()})
+				if crash != nil && mb == crash.AtMinibatch {
+					// The charged downtime and replay have elapsed inside this
+					// completion; the worker is back.
+					emit(obs.Event{Kind: obs.KindRecover, VW: w, Minibatch: mb, Fault: fmt.Sprintf("crash:w%d:mb%d", w, mb)})
+				}
 				if params.IsWaveEnd(mb) {
 					res.Pushes++
 					wave := params.Wave(mb)
-					eng.After(sim.Duration(d.PushTime[w]), fmt.Sprintf("push.vw%d", w), func() {
+					linkInject(w)
+					delay := sim.Duration(pushT[w])
+					if faulty {
+						if stall := fp.StallDelay(wave + 1); stall > 0 {
+							// The stalled shard holds up the advance to clock
+							// wave+1, i.e. every wave push it is waiting on.
+							delay += sim.Duration(stall)
+							if !stallEmitted[wave+1] {
+								stallEmitted[wave+1] = true
+								inject(-1, fmt.Sprintf("stall:c%d:%g", wave+1, stall))
+							}
+						}
+					}
+					eng.After(delay, fmt.Sprintf("push.vw%d", w), func() {
 						before := coord.GlobalClock()
 						coord.Push(w)
 						after := coord.GlobalClock()

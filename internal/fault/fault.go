@@ -1,0 +1,572 @@
+// Package fault defines deterministic, seedable fault-injection plans for
+// HetPipe runs: worker slowdowns (stragglers), worker crashes at a given
+// minibatch, parameter-server shard stalls, and link degradations.
+//
+// A Plan is pure data. The two execution backends interpret it differently
+// but deterministically: the discrete-event simulator (internal/core over
+// internal/sim) applies slowdowns and crash downtime to stage timings and
+// stall/link terms to the parameter-synchronization transfer times, while the
+// live runtime (internal/cluster) applies timing faults as wall-clock sleeps
+// and executes crashes for real — killing the worker goroutine and recovering
+// it from its last checkpoint. Because WSP's numeric trajectory is
+// deliberately timing-independent (see internal/train.RunWSP), a fault plan
+// degrades throughput and exercises recovery without ever changing the final
+// weights — the property the sim-vs-live conformance harness pins down.
+//
+// Plans are written either as Go literals or in a compact spec language made
+// for CLI flags (see Parse):
+//
+//	slow:w0:x2              worker 0 runs 2x slower for the whole run
+//	slow:w1:x1.5:mb8-24     worker 1 runs 1.5x slower for minibatches 8..24
+//	crash:w2:mb40           worker 2 crashes when about to start minibatch 40
+//	crash:w2:mb40:down2.5   ... and stays down for 2.5 (virtual) seconds
+//	stall:s0:c3:0.05        shard 0 stalls the clock-3 advance by 50 ms
+//	link:w3:x4              worker 3's PS push/pull transfers take 4x longer
+//	rand:0.5:seed7          each worker straggles with probability 0.5
+//
+// Clauses are comma-separated: "slow:w0:x2,crash:w1:mb40". Randomized plans
+// (the rand clause, or Plan.Rand) are expanded by Materialize with a seeded
+// generator, so the same spec always yields the same concrete plan.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultCrashDowntime is the downtime charged for a Crash whose Downtime
+// field is zero, in seconds.
+const DefaultCrashDowntime = 1.0
+
+// Slowdown makes one worker's compute slower by a constant factor over a
+// minibatch range — the whimpy-straggler fault.
+type Slowdown struct {
+	// Worker is the 0-based virtual-worker index.
+	Worker int
+	// Factor multiplies the worker's per-stage compute times; must be >= 1.
+	Factor float64
+	// FromMinibatch and ToMinibatch bound the affected 1-based minibatch
+	// range, inclusive. Zero FromMinibatch means 1; zero ToMinibatch means
+	// the rest of the run.
+	FromMinibatch, ToMinibatch int
+}
+
+// Crash kills one worker at a minibatch boundary. The crash fires when the
+// worker is about to start AtMinibatch, so a push is never torn mid-fan-out.
+// The simulator charges Downtime plus the checkpoint-replay time to the
+// worker's timeline; the live runtime loses the worker's local state and
+// recovers it from the last checkpoint.
+type Crash struct {
+	// Worker is the 0-based virtual-worker index.
+	Worker int
+	// AtMinibatch is the 1-based minibatch whose start triggers the crash.
+	AtMinibatch int
+	// Downtime is how long the worker is down, in seconds; 0 means
+	// DefaultCrashDowntime.
+	Downtime float64
+}
+
+// downtime resolves the crash downtime, applying the default.
+func (c Crash) downtime() float64 {
+	if c.Downtime == 0 {
+		return DefaultCrashDowntime
+	}
+	return c.Downtime
+}
+
+// PSStall models a parameter-server shard going unresponsive around one
+// global-clock advance: the advance to AtClock is delayed by Delay seconds
+// (every wave AtClock-1 push answered by the stalled shard is held up, which
+// holds up every D-bound pull gated on that clock).
+type PSStall struct {
+	// Shard is the 0-based shard-server index. It is descriptive — a label
+	// for which shard the scenario blames. Because WSP's global clock is the
+	// minimum across all shards, one stalled shard delays every worker
+	// identically, so both backends treat the stall as cluster-wide and the
+	// index does not change the outcome.
+	Shard int
+	// AtClock is the global-clock value whose advance the stall delays.
+	AtClock int
+	// Delay is the added latency in seconds; must be > 0.
+	Delay float64
+}
+
+// LinkDegrade multiplies one worker's parameter-synchronization transfer
+// times (push and pull) — a degraded NIC or oversubscribed link.
+type LinkDegrade struct {
+	// Worker is the 0-based virtual-worker index.
+	Worker int
+	// Factor multiplies the worker's push/pull transfer times; must be >= 1.
+	Factor float64
+}
+
+// RandSpec declares a randomized straggler population: each worker
+// independently straggles with probability Rate, with a slowdown factor drawn
+// uniformly from [1.5, MaxFactor]. Expansion (Materialize) is a pure function
+// of (Seed, worker count), so randomized plans are reproducible.
+type RandSpec struct {
+	// Rate is the per-worker straggler probability in [0, 1].
+	Rate float64
+	// Seed drives the generator; 0 means 1.
+	Seed int64
+	// MaxFactor bounds the drawn slowdown factor; 0 means 3.
+	MaxFactor float64
+}
+
+// Plan is one deterministic fault-injection plan. The zero value (and nil)
+// is the empty plan: a run under it is bit-identical to a fault-free run.
+type Plan struct {
+	Slowdowns []Slowdown
+	Crashes   []Crash
+	Stalls    []PSStall
+	Links     []LinkDegrade
+	// Rand, when non-nil, adds a randomized straggler population at
+	// Materialize time.
+	Rand *RandSpec
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool {
+	return p == nil ||
+		(len(p.Slowdowns) == 0 && len(p.Crashes) == 0 &&
+			len(p.Stalls) == 0 && len(p.Links) == 0 && p.Rand == nil)
+}
+
+// Validate checks value ranges that do not depend on the worker count.
+// Materialize additionally checks worker indices against a concrete run.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for _, s := range p.Slowdowns {
+		if s.Worker < 0 {
+			return fmt.Errorf("fault: slowdown worker %d negative", s.Worker)
+		}
+		if s.Factor < 1 {
+			return fmt.Errorf("fault: slowdown factor %g must be >= 1", s.Factor)
+		}
+		if s.FromMinibatch < 0 || s.ToMinibatch < 0 {
+			return fmt.Errorf("fault: slowdown minibatch range [%d,%d] negative", s.FromMinibatch, s.ToMinibatch)
+		}
+		if s.ToMinibatch != 0 && s.ToMinibatch < s.FromMinibatch {
+			return fmt.Errorf("fault: slowdown minibatch range [%d,%d] inverted", s.FromMinibatch, s.ToMinibatch)
+		}
+	}
+	seen := make(map[int]bool)
+	for _, c := range p.Crashes {
+		if c.Worker < 0 {
+			return fmt.Errorf("fault: crash worker %d negative", c.Worker)
+		}
+		if c.AtMinibatch < 1 {
+			return fmt.Errorf("fault: crash minibatch %d must be >= 1", c.AtMinibatch)
+		}
+		if c.Downtime < 0 {
+			return fmt.Errorf("fault: crash downtime %g negative", c.Downtime)
+		}
+		if seen[c.Worker] {
+			return fmt.Errorf("fault: worker %d crashes more than once", c.Worker)
+		}
+		seen[c.Worker] = true
+	}
+	for _, s := range p.Stalls {
+		if s.Shard < 0 {
+			return fmt.Errorf("fault: stall shard %d negative", s.Shard)
+		}
+		if s.AtClock < 1 {
+			return fmt.Errorf("fault: stall clock %d must be >= 1", s.AtClock)
+		}
+		if s.Delay <= 0 {
+			return fmt.Errorf("fault: stall delay %g must be > 0", s.Delay)
+		}
+	}
+	for _, l := range p.Links {
+		if l.Worker < 0 {
+			return fmt.Errorf("fault: link worker %d negative", l.Worker)
+		}
+		if l.Factor < 1 {
+			return fmt.Errorf("fault: link factor %g must be >= 1", l.Factor)
+		}
+	}
+	if r := p.Rand; r != nil {
+		if r.Rate < 0 || r.Rate > 1 {
+			return fmt.Errorf("fault: rand rate %g outside [0,1]", r.Rate)
+		}
+		if r.MaxFactor != 0 && r.MaxFactor < 1.5 {
+			return fmt.Errorf("fault: rand max factor %g must be >= 1.5", r.MaxFactor)
+		}
+	}
+	return nil
+}
+
+// Materialize expands the plan for a concrete run of `workers` virtual
+// workers: the Rand clause is expanded into per-worker slowdowns with a
+// seeded generator, and every worker index is range-checked. The receiver is
+// not modified; the result has a nil Rand. Materializing a nil or empty plan
+// returns an empty plan.
+func (p *Plan) Materialize(workers int) (*Plan, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("fault: need at least one worker, got %d", workers)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Plan{}
+	if p == nil {
+		return out, nil
+	}
+	out.Slowdowns = append(out.Slowdowns, p.Slowdowns...)
+	out.Crashes = append(out.Crashes, p.Crashes...)
+	out.Stalls = append(out.Stalls, p.Stalls...)
+	out.Links = append(out.Links, p.Links...)
+	if r := p.Rand; r != nil {
+		seed := r.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		maxf := r.MaxFactor
+		if maxf == 0 {
+			maxf = 3
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for w := 0; w < workers; w++ {
+			// Two draws per worker regardless of the straggle outcome, so a
+			// worker's fate is independent of its predecessors' factors.
+			hit := rng.Float64() < r.Rate
+			f := 1.5 + (maxf-1.5)*rng.Float64()
+			if hit {
+				out.Slowdowns = append(out.Slowdowns, Slowdown{Worker: w, Factor: f})
+			}
+		}
+	}
+	for _, s := range out.Slowdowns {
+		if s.Worker >= workers {
+			return nil, fmt.Errorf("fault: slowdown worker %d out of range [0,%d)", s.Worker, workers)
+		}
+	}
+	for _, c := range out.Crashes {
+		if c.Worker >= workers {
+			return nil, fmt.Errorf("fault: crash worker %d out of range [0,%d)", c.Worker, workers)
+		}
+	}
+	for _, l := range out.Links {
+		if l.Worker >= workers {
+			return nil, fmt.Errorf("fault: link worker %d out of range [0,%d)", l.Worker, workers)
+		}
+	}
+	return out, nil
+}
+
+// ComputeScale reports the compute-time multiplier for worker w's minibatch
+// mb (1-based): the product of every slowdown covering it, 1 when none does.
+func (p *Plan) ComputeScale(w, mb int) float64 {
+	if p == nil {
+		return 1
+	}
+	scale := 1.0
+	for _, s := range p.Slowdowns {
+		if s.Worker != w {
+			continue
+		}
+		from := s.FromMinibatch
+		if from == 0 {
+			from = 1
+		}
+		if mb < from {
+			continue
+		}
+		if s.ToMinibatch != 0 && mb > s.ToMinibatch {
+			continue
+		}
+		scale *= s.Factor
+	}
+	return scale
+}
+
+// LinkScale reports the parameter-synchronization transfer-time multiplier
+// for worker w: the product of its link degradations, 1 when none apply.
+func (p *Plan) LinkScale(w int) float64 {
+	if p == nil {
+		return 1
+	}
+	scale := 1.0
+	for _, l := range p.Links {
+		if l.Worker == w {
+			scale *= l.Factor
+		}
+	}
+	return scale
+}
+
+// CrashFor reports worker w's crash, or nil. Validate guarantees at most one
+// crash per worker.
+func (p *Plan) CrashFor(w int) *Crash {
+	if p == nil {
+		return nil
+	}
+	for i := range p.Crashes {
+		if p.Crashes[i].Worker == w {
+			return &p.Crashes[i]
+		}
+	}
+	return nil
+}
+
+// CrashDowntime reports the resolved downtime of a crash (applying
+// DefaultCrashDowntime when the crash leaves it zero).
+func CrashDowntime(c *Crash) float64 {
+	if c == nil {
+		return 0
+	}
+	return c.downtime()
+}
+
+// StallDelay reports the total delay injected before the global clock may
+// advance to `clock`, summed over all shard stalls targeting it. The shard
+// index does not change the delay a worker observes — the global clock is
+// the minimum across shards, so the slowest shard's stall is the one that
+// counts (see PSStall.Shard).
+func (p *Plan) StallDelay(clock int) float64 {
+	if p == nil {
+		return 0
+	}
+	total := 0.0
+	for _, s := range p.Stalls {
+		if s.AtClock == clock {
+			total += s.Delay
+		}
+	}
+	return total
+}
+
+// String renders the plan in the Parse spec language, clauses in a canonical
+// order. An empty plan renders as "".
+func (p *Plan) String() string {
+	if p.Empty() {
+		return ""
+	}
+	var clauses []string
+	for _, s := range p.Slowdowns {
+		c := fmt.Sprintf("slow:w%d:x%s", s.Worker, ftoa(s.Factor))
+		if s.FromMinibatch != 0 || s.ToMinibatch != 0 {
+			from := s.FromMinibatch
+			if from == 0 {
+				from = 1
+			}
+			c += fmt.Sprintf(":mb%d-%d", from, s.ToMinibatch)
+		}
+		clauses = append(clauses, c)
+	}
+	for _, c := range p.Crashes {
+		s := fmt.Sprintf("crash:w%d:mb%d", c.Worker, c.AtMinibatch)
+		if c.Downtime != 0 {
+			s += ":down" + ftoa(c.Downtime)
+		}
+		clauses = append(clauses, s)
+	}
+	for _, s := range p.Stalls {
+		clauses = append(clauses, fmt.Sprintf("stall:s%d:c%d:%s", s.Shard, s.AtClock, ftoa(s.Delay)))
+	}
+	for _, l := range p.Links {
+		clauses = append(clauses, fmt.Sprintf("link:w%d:x%s", l.Worker, ftoa(l.Factor)))
+	}
+	if r := p.Rand; r != nil {
+		c := "rand:" + ftoa(r.Rate)
+		if r.Seed != 0 {
+			c += ":seed" + strconv.FormatInt(r.Seed, 10)
+		}
+		if r.MaxFactor != 0 {
+			c += ":max" + ftoa(r.MaxFactor)
+		}
+		clauses = append(clauses, c)
+	}
+	sort.Strings(clauses)
+	return strings.Join(clauses, ",")
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Parse builds a plan from the compact spec language (see the package
+// comment for the grammar). An empty or all-whitespace spec yields the empty
+// plan. The result is validated.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		parts := strings.Split(clause, ":")
+		var err error
+		switch strings.ToLower(parts[0]) {
+		case "slow":
+			err = p.parseSlow(parts[1:])
+		case "crash":
+			err = p.parseCrash(parts[1:])
+		case "stall":
+			err = p.parseStall(parts[1:])
+		case "link":
+			err = p.parseLink(parts[1:])
+		case "rand":
+			err = p.parseRand(parts[1:])
+		default:
+			err = fmt.Errorf("unknown fault kind %q (want slow, crash, stall, link, or rand)", parts[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: clause %q: %w", clause, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Plan) parseSlow(args []string) error {
+	if len(args) < 2 || len(args) > 3 {
+		return fmt.Errorf("want slow:w<N>:x<factor>[:mb<from>-<to>]")
+	}
+	w, err := prefixedInt(args[0], "w")
+	if err != nil {
+		return err
+	}
+	f, err := prefixedFloat(args[1], "x")
+	if err != nil {
+		return err
+	}
+	s := Slowdown{Worker: w, Factor: f}
+	if len(args) == 3 {
+		rng, ok := strings.CutPrefix(args[2], "mb")
+		if !ok {
+			return fmt.Errorf("minibatch range %q must start with mb", args[2])
+		}
+		lo, hi, ok := strings.Cut(rng, "-")
+		if !ok {
+			return fmt.Errorf("minibatch range %q must be mb<from>-<to> (to may be empty or 0 for open-ended)", args[2])
+		}
+		if s.FromMinibatch, err = strconv.Atoi(lo); err != nil {
+			return fmt.Errorf("minibatch range start %q: %w", lo, err)
+		}
+		if hi != "" {
+			if s.ToMinibatch, err = strconv.Atoi(hi); err != nil {
+				return fmt.Errorf("minibatch range end %q: %w", hi, err)
+			}
+		}
+	}
+	p.Slowdowns = append(p.Slowdowns, s)
+	return nil
+}
+
+func (p *Plan) parseCrash(args []string) error {
+	if len(args) < 2 || len(args) > 3 {
+		return fmt.Errorf("want crash:w<N>:mb<M>[:down<seconds>]")
+	}
+	w, err := prefixedInt(args[0], "w")
+	if err != nil {
+		return err
+	}
+	mb, err := prefixedInt(args[1], "mb")
+	if err != nil {
+		return err
+	}
+	c := Crash{Worker: w, AtMinibatch: mb}
+	if len(args) == 3 {
+		if c.Downtime, err = prefixedFloat(args[2], "down"); err != nil {
+			return err
+		}
+	}
+	p.Crashes = append(p.Crashes, c)
+	return nil
+}
+
+func (p *Plan) parseStall(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("want stall:s<shard>:c<clock>:<seconds>")
+	}
+	s, err := prefixedInt(args[0], "s")
+	if err != nil {
+		return err
+	}
+	c, err := prefixedInt(args[1], "c")
+	if err != nil {
+		return err
+	}
+	d, err := strconv.ParseFloat(args[2], 64)
+	if err != nil {
+		return fmt.Errorf("stall delay %q: %w", args[2], err)
+	}
+	p.Stalls = append(p.Stalls, PSStall{Shard: s, AtClock: c, Delay: d})
+	return nil
+}
+
+func (p *Plan) parseLink(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("want link:w<N>:x<factor>")
+	}
+	w, err := prefixedInt(args[0], "w")
+	if err != nil {
+		return err
+	}
+	f, err := prefixedFloat(args[1], "x")
+	if err != nil {
+		return err
+	}
+	p.Links = append(p.Links, LinkDegrade{Worker: w, Factor: f})
+	return nil
+}
+
+func (p *Plan) parseRand(args []string) error {
+	if len(args) < 1 || len(args) > 3 {
+		return fmt.Errorf("want rand:<rate>[:seed<N>][:max<factor>]")
+	}
+	if p.Rand != nil {
+		return fmt.Errorf("at most one rand clause per plan")
+	}
+	rate, err := strconv.ParseFloat(args[0], 64)
+	if err != nil {
+		return fmt.Errorf("rand rate %q: %w", args[0], err)
+	}
+	r := &RandSpec{Rate: rate}
+	for _, a := range args[1:] {
+		switch {
+		case strings.HasPrefix(a, "seed"):
+			if r.Seed, err = strconv.ParseInt(a[len("seed"):], 10, 64); err != nil {
+				return fmt.Errorf("rand seed %q: %w", a, err)
+			}
+		case strings.HasPrefix(a, "max"):
+			if r.MaxFactor, err = prefixedFloat(a, "max"); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown rand argument %q (want seed<N> or max<factor>)", a)
+		}
+	}
+	p.Rand = r
+	return nil
+}
+
+func prefixedInt(s, prefix string) (int, error) {
+	rest, ok := strings.CutPrefix(s, prefix)
+	if !ok {
+		return 0, fmt.Errorf("%q must start with %q", s, prefix)
+	}
+	v, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, fmt.Errorf("%q: %w", s, err)
+	}
+	return v, nil
+}
+
+func prefixedFloat(s, prefix string) (float64, error) {
+	rest, ok := strings.CutPrefix(s, prefix)
+	if !ok {
+		return 0, fmt.Errorf("%q must start with %q", s, prefix)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q: %w", s, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,227 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	specs := []string{
+		"slow:w0:x2",
+		"slow:w1:x1.5:mb8-24",
+		"crash:w2:mb40",
+		"crash:w2:mb40:down2.5",
+		"stall:s0:c3:0.05",
+		"link:w3:x4",
+		"rand:0.5:seed7",
+		"slow:w0:x2,crash:w1:mb40,link:w2:x3,stall:s1:c2:0.1",
+	}
+	for _, spec := range specs {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		canon := p.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = Parse(%q): %v", spec, canon, err)
+		}
+		if got := p2.String(); got != canon {
+			t.Errorf("%q: canonical form unstable: %q then %q", spec, canon, got)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	for _, spec := range []string{"", "  ", ",", " , "} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if !p.Empty() {
+			t.Errorf("Parse(%q) not empty: %v", spec, p)
+		}
+		if p.String() != "" {
+			t.Errorf("Parse(%q).String() = %q, want empty", spec, p.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"boom:w0:x2",                // unknown kind
+		"slow:0:x2",                 // missing w prefix
+		"slow:w0:2",                 // missing x prefix
+		"slow:w0:x0.5",              // factor below 1
+		"slow:w0:x2:8-24",           // missing mb prefix
+		"slow:w0:x2:mb24-8",         // inverted range
+		"crash:w0:mb0",              // minibatch below 1
+		"crash:w0",                  // missing minibatch
+		"crash:w0:mb4,crash:w0:mb9", // double crash
+		"stall:s0:c0:0.1",           // clock below 1
+		"stall:s0:c1:0",             // zero delay
+		"stall:s0:c1",               // missing delay
+		"link:w0:x0.9",              // factor below 1
+		"rand:1.5",                  // rate above 1
+		"rand:0.5,rand:0.2",         // two rand clauses
+		"rand:0.5:max1.1",           // max factor below 1.5
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestComputeScale(t *testing.T) {
+	p, err := Parse("slow:w0:x2,slow:w0:x3:mb5-10,slow:w1:x1.5:mb8-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		w, mb int
+		want  float64
+	}{
+		{0, 1, 2}, {0, 4, 2}, {0, 5, 6}, {0, 10, 6}, {0, 11, 2},
+		{1, 7, 1}, {1, 8, 1.5}, {1, 1000, 1.5},
+		{2, 1, 1},
+	}
+	for _, c := range cases {
+		if got := p.ComputeScale(c.w, c.mb); got != c.want {
+			t.Errorf("ComputeScale(%d, %d) = %g, want %g", c.w, c.mb, got, c.want)
+		}
+	}
+	var nilPlan *Plan
+	if got := nilPlan.ComputeScale(0, 1); got != 1 {
+		t.Errorf("nil plan ComputeScale = %g, want 1", got)
+	}
+}
+
+func TestLinkScaleAndStallDelay(t *testing.T) {
+	p, err := Parse("link:w1:x4,stall:s0:c3:0.05,stall:s1:c3:0.1,stall:s0:c5:0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LinkScale(1); got != 4 {
+		t.Errorf("LinkScale(1) = %g, want 4", got)
+	}
+	if got := p.LinkScale(0); got != 1 {
+		t.Errorf("LinkScale(0) = %g, want 1", got)
+	}
+	if got := p.StallDelay(3); got != 0.15000000000000002 && got != 0.15 {
+		t.Errorf("StallDelay(3) = %g, want 0.15", got)
+	}
+	if got := p.StallDelay(4); got != 0 {
+		t.Errorf("StallDelay(4) = %g, want 0", got)
+	}
+}
+
+func TestCrashFor(t *testing.T) {
+	p, err := Parse("crash:w2:mb40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.CrashFor(2)
+	if c == nil || c.AtMinibatch != 40 {
+		t.Fatalf("CrashFor(2) = %+v, want minibatch 40", c)
+	}
+	if CrashDowntime(c) != DefaultCrashDowntime {
+		t.Errorf("CrashDowntime = %g, want default %g", CrashDowntime(c), DefaultCrashDowntime)
+	}
+	if p.CrashFor(0) != nil {
+		t.Error("CrashFor(0) non-nil")
+	}
+}
+
+func TestMaterializeDeterministic(t *testing.T) {
+	p, err := Parse("rand:0.5:seed7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Materialize(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Materialize(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("rand materialization not deterministic:\n%s\n%s", a, b)
+	}
+	if a.Rand != nil {
+		t.Error("materialized plan still carries a Rand clause")
+	}
+	// With rate 0.5 over 8 workers, some but (almost surely) not all workers
+	// straggle; the seeded draw pins the exact set, so just check bounds.
+	if len(a.Slowdowns) == 0 || len(a.Slowdowns) == 8 {
+		t.Errorf("rand:0.5 over 8 workers produced %d slowdowns", len(a.Slowdowns))
+	}
+	for _, s := range a.Slowdowns {
+		if s.Factor < 1.5 || s.Factor > 3 {
+			t.Errorf("rand slowdown factor %g outside [1.5, 3]", s.Factor)
+		}
+	}
+
+	// A different seed produces a different population.
+	q, err := Parse("rand:0.5:seed8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := q.Materialize(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() == a.String() {
+		t.Error("different seeds produced identical populations")
+	}
+}
+
+func TestMaterializeRangeChecks(t *testing.T) {
+	p, err := Parse("slow:w5:x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Materialize(4); err == nil {
+		t.Error("Materialize(4) accepted worker 5")
+	}
+	if _, err := p.Materialize(6); err != nil {
+		t.Errorf("Materialize(6): %v", err)
+	}
+	var nilPlan *Plan
+	m, err := nilPlan.Materialize(3)
+	if err != nil {
+		t.Fatalf("nil plan Materialize: %v", err)
+	}
+	if !m.Empty() {
+		t.Error("nil plan materialized non-empty")
+	}
+}
+
+func TestEmptyPlanIsNoop(t *testing.T) {
+	var p *Plan
+	if !p.Empty() {
+		t.Error("nil plan not empty")
+	}
+	if p.ComputeScale(3, 9) != 1 || p.LinkScale(2) != 1 || p.StallDelay(1) != 0 || p.CrashFor(0) != nil {
+		t.Error("nil plan injects something")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("nil plan Validate: %v", err)
+	}
+	empty := &Plan{}
+	if !empty.Empty() || empty.String() != "" {
+		t.Error("zero plan not empty")
+	}
+}
+
+func TestStringSortsClauses(t *testing.T) {
+	p, err := Parse("link:w1:x2,crash:w0:mb4,slow:w2:x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	if !strings.HasPrefix(s, "crash:") {
+		t.Errorf("canonical form not sorted: %q", s)
+	}
+}

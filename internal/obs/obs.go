@@ -1,10 +1,11 @@
 // Package obs defines the run-observation events both execution backends
 // emit while a HetPipe run is in flight: the discrete-event simulator
-// (internal/core.SimulateWSPContext) and the live sharded-PS runtime
-// (internal/cluster.Run) both stream the same event vocabulary, which the
-// public API (hetpipe.WithObserver) re-exports. Keeping the event type here
-// lets the two backends share one definition without either importing the
-// root package.
+// (internal/core.SimulateWSPFaults) and the live sharded-PS runtime
+// (internal/cluster.Run) both stream the same event vocabulary — protocol
+// progress plus fault injections and recoveries — which the public API
+// (hetpipe.WithObserver) re-exports. Keeping the event type here lets the
+// two backends share one definition without either importing the root
+// package.
 package obs
 
 // Kind discriminates observation events.
@@ -21,6 +22,17 @@ const (
 	KindPull
 	// KindClock fires when the WSP global clock is observed to advance.
 	KindClock
+	// KindFaultInject fires when a fault-plan entry (internal/fault) takes
+	// effect: a straggler slowdown's first affected minibatch, a crash, a
+	// PS-shard stall, or a link degradation's first affected transfer.
+	// Event.Fault carries the fault's spec clause.
+	KindFaultInject
+	// KindRecover fires when a crashed worker is back: the simulator emits it
+	// when the charged downtime has elapsed, the live runtime when the worker
+	// has been restored from its last checkpoint and is about to replay.
+	// Event.Clock carries the checkpoint's clock version (pushed waves) on
+	// the live side.
+	KindRecover
 )
 
 // Event is one observation. Fields that do not apply to a kind are zero.
@@ -41,6 +53,9 @@ type Event struct {
 	// Time is seconds since run start: virtual seconds for the simulator,
 	// wall-clock seconds for the live runtime.
 	Time float64
+	// Fault describes the injected fault for KindFaultInject and KindRecover
+	// events, in the internal/fault spec language (e.g. "crash:w2:mb40").
+	Fault string
 }
 
 // Func observes a stream of events. The simulator calls it from its single

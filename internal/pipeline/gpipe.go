@@ -70,7 +70,7 @@ func (r *gpipeRunner) poke() {
 func (r *gpipeRunner) forward(p, s int) {
 	pl := r.pl
 	st := &pl.cfg.Plan.Stages[s]
-	dur := sim.Duration(st.RecvActTime + st.FwdTime)
+	dur := pl.dur(p, s, st.RecvActTime+st.FwdTime)
 	pl.gpus[s].Submit(dur, fmt.Sprintf("f%d", p), func() {
 		pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
 		if s == pl.k-1 {
@@ -95,7 +95,7 @@ func (r *gpipeRunner) forward(p, s int) {
 func (r *gpipeRunner) backward(p, s int) {
 	pl := r.pl
 	st := &pl.cfg.Plan.Stages[s]
-	dur := sim.Duration(st.RecvGradTime + st.BwdTime)
+	dur := pl.dur(p, s, st.RecvGradTime+st.BwdTime)
 	pl.gpus[s].Submit(dur, fmt.Sprintf("b%d", p), func() {
 		pl.traceAdd(s, p, trace.Backward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
 		if s == 0 {

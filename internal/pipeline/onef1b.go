@@ -73,9 +73,9 @@ func (r *oneF1BRunner) runForward(p, s int) {
 	stage := &pl.cfg.Plan.Stages[s]
 	st.busy = true
 	if s == pl.k-1 {
-		dur := sim.Duration(stage.RecvActTime + stage.FwdTime + stage.BwdTime)
+		dur := pl.dur(p, s, stage.RecvActTime+stage.FwdTime+stage.BwdTime)
 		pl.gpus[s].Submit(dur, fmt.Sprintf("fb%d", p), func() {
-			mid := pl.eng.Now() - sim.Time(stage.BwdTime)
+			mid := pl.eng.Now() - sim.Time(pl.time(p, s, stage.BwdTime))
 			pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), mid)
 			pl.traceAdd(s, p, trace.Backward, mid, pl.eng.Now())
 			st.busy = false
@@ -89,7 +89,7 @@ func (r *oneF1BRunner) runForward(p, s int) {
 		})
 		return
 	}
-	dur := sim.Duration(stage.RecvActTime + stage.FwdTime)
+	dur := pl.dur(p, s, stage.RecvActTime+stage.FwdTime)
 	pl.gpus[s].Submit(dur, fmt.Sprintf("f%d", p), func() {
 		pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
 		st.busy = false
@@ -107,7 +107,7 @@ func (r *oneF1BRunner) runBackward(p, s int) {
 	st := &r.stages[s]
 	stage := &pl.cfg.Plan.Stages[s]
 	st.busy = true
-	dur := sim.Duration(stage.RecvGradTime + stage.BwdTime)
+	dur := pl.dur(p, s, stage.RecvGradTime+stage.BwdTime)
 	pl.gpus[s].Submit(dur, fmt.Sprintf("b%d", p), func() {
 		pl.traceAdd(s, p, trace.Backward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
 		st.busy = false

@@ -30,9 +30,9 @@ func (r *overlapRunner) forward(p, s int) {
 	compute := func() {
 		if s == pl.k-1 {
 			// Last partition: fused forward+backward, compute only.
-			dur := sim.Duration(st.FwdTime + st.BwdTime)
+			dur := pl.dur(p, s, st.FwdTime+st.BwdTime)
 			pl.gpus[s].Submit(dur, fmt.Sprintf("fb%d", p), func() {
-				mid := pl.eng.Now() - sim.Time(st.BwdTime)
+				mid := pl.eng.Now() - sim.Time(pl.time(p, s, st.BwdTime))
 				pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), mid)
 				pl.traceAdd(s, p, trace.Backward, mid, pl.eng.Now())
 				if s == 0 {
@@ -43,7 +43,7 @@ func (r *overlapRunner) forward(p, s int) {
 			})
 			return
 		}
-		dur := sim.Duration(st.FwdTime)
+		dur := pl.dur(p, s, st.FwdTime)
 		pl.gpus[s].Submit(dur, fmt.Sprintf("f%d", p), func() {
 			pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
 			r.forward(p, s+1)
@@ -51,7 +51,7 @@ func (r *overlapRunner) forward(p, s int) {
 	}
 	if s > 0 && st.RecvActTime > 0 {
 		start := pl.eng.Now()
-		pl.eng.After(sim.Duration(st.RecvActTime), fmt.Sprintf("recvA%d.%d", p, s), func() {
+		pl.eng.After(pl.dur(p, s, st.RecvActTime), fmt.Sprintf("recvA%d.%d", p, s), func() {
 			pl.traceAdd(s, p, trace.Transfer, start, pl.eng.Now())
 			compute()
 		})
@@ -66,7 +66,7 @@ func (r *overlapRunner) backward(p, s int) {
 	pl := r.pl
 	st := &pl.cfg.Plan.Stages[s]
 	compute := func() {
-		dur := sim.Duration(st.BwdTime)
+		dur := pl.dur(p, s, st.BwdTime)
 		pl.gpus[s].Submit(dur, fmt.Sprintf("b%d", p), func() {
 			pl.traceAdd(s, p, trace.Backward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
 			if s == 0 {
@@ -78,7 +78,7 @@ func (r *overlapRunner) backward(p, s int) {
 	}
 	if st.RecvGradTime > 0 {
 		start := pl.eng.Now()
-		pl.eng.After(sim.Duration(st.RecvGradTime), fmt.Sprintf("recvG%d.%d", p, s), func() {
+		pl.eng.After(pl.dur(p, s, st.RecvGradTime), fmt.Sprintf("recvG%d.%d", p, s), func() {
 			pl.traceAdd(s, p, trace.Transfer, start, pl.eng.Now())
 			compute()
 		})

@@ -58,6 +58,13 @@ type Config struct {
 	Warmup int
 	// Trace, when non-nil, records the execution schedule.
 	Trace *trace.Trace
+	// TaskTime, when non-nil, adjusts the duration of every scheduled stage
+	// task (and overlap-schedule transfer) of minibatch p on stage s: it
+	// receives the schedule's base duration in seconds and returns the one to
+	// use. Fault injection (internal/fault) threads straggler slowdowns and
+	// crash downtime through this hook; nil means identity, and every
+	// schedule produces bit-identical timings with a nil or identity hook.
+	TaskTime func(p, s int, base float64) float64
 	// InjectGate, when non-nil, is consulted before injecting minibatch p
 	// (1-based). Returning false defers the injection until Poke is called;
 	// WSP uses this to enforce the clock-distance bound D.
@@ -194,6 +201,20 @@ func (pl *Pipeline) complete(p int) {
 	pl.Poke()
 }
 
+// time resolves the actual duration of a stage task through the TaskTime
+// hook; with no hook installed the base duration passes through unchanged.
+func (pl *Pipeline) time(p, s int, base float64) float64 {
+	if pl.cfg.TaskTime == nil {
+		return base
+	}
+	return pl.cfg.TaskTime(p, s, base)
+}
+
+// dur is time as a sim.Duration, for Submit and After sites.
+func (pl *Pipeline) dur(p, s int, base float64) sim.Duration {
+	return sim.Duration(pl.time(p, s, base))
+}
+
 // traceAdd records a span when tracing is enabled.
 func (pl *Pipeline) traceAdd(stage, p int, kind trace.SpanKind, start, end sim.Time) {
 	if pl.cfg.Trace != nil {
@@ -263,10 +284,10 @@ func (r *fifoRunner) forward(p, s int) {
 	st := &pl.cfg.Plan.Stages[s]
 	if s == pl.k-1 {
 		// Last partition: forward immediately followed by backward, one task.
-		dur := sim.Duration(st.RecvActTime + st.FwdTime + st.BwdTime)
+		dur := pl.dur(p, s, st.RecvActTime+st.FwdTime+st.BwdTime)
 		pl.gpus[s].Submit(dur, fmt.Sprintf("fb%d", p), func() {
 			if pl.cfg.Trace != nil {
-				mid := pl.eng.Now() - sim.Time(st.BwdTime)
+				mid := pl.eng.Now() - sim.Time(pl.time(p, s, st.BwdTime))
 				pl.cfg.Trace.Add(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), mid)
 				pl.cfg.Trace.Add(s, p, trace.Backward, mid, pl.eng.Now())
 			}
@@ -274,7 +295,7 @@ func (r *fifoRunner) forward(p, s int) {
 		})
 		return
 	}
-	dur := sim.Duration(st.RecvActTime + st.FwdTime)
+	dur := pl.dur(p, s, st.RecvActTime+st.FwdTime)
 	pl.gpus[s].Submit(dur, fmt.Sprintf("f%d", p), func() {
 		if pl.cfg.Trace != nil {
 			pl.cfg.Trace.Add(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
@@ -291,7 +312,7 @@ func (r *fifoRunner) forward(p, s int) {
 func (r *fifoRunner) backward(p, s int) {
 	pl := r.pl
 	st := &pl.cfg.Plan.Stages[s]
-	dur := sim.Duration(st.RecvGradTime + st.BwdTime)
+	dur := pl.dur(p, s, st.RecvGradTime+st.BwdTime)
 	pl.gpus[s].Submit(dur, fmt.Sprintf("b%d", p), func() {
 		if pl.cfg.Trace != nil {
 			pl.cfg.Trace.Add(s, p, trace.Backward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())

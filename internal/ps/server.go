@@ -11,6 +11,13 @@
 // The store is usable in process (Server methods are goroutine-safe) or over
 // TCP with gob encoding (see Serve and Dial in transport.go), mirroring how
 // the paper spreads parameter shards across nodes.
+//
+// The full clock-versioned state checkpoints and restores (checkpoint.go):
+// Capture truncates a set of shard servers to a consistent clock cut,
+// SaveCheckpoint writes it atomically (temp file + rename, versioned
+// header), and a server restored from the file serves bit-identical
+// snapshots — the substrate crash recovery and run resumption
+// (internal/cluster) build on.
 package ps
 
 import (

@@ -21,11 +21,14 @@ func WriteJSON(w io.Writer, set *Set) error {
 	return enc.Encode(set)
 }
 
-// csvHeader lists the flat per-scenario columns of WriteCSV.
+// csvHeader lists the flat per-scenario columns of WriteCSV. The faults and
+// degradation_pct columns make the fault axis plottable directly: filter on
+// faults, plot degradation_pct against the fault rate or factor.
 var csvHeader = []string{
 	"index", "id", "model", "cluster", "sync", "schedule", "policy", "placement",
-	"d", "nm_requested", "batch", "error",
-	"throughput", "workers", "nm", "slocal", "sglobal",
+	"faults", "d", "nm_requested", "batch", "error",
+	"throughput", "degradation_pct", "fault_injections",
+	"workers", "nm", "slocal", "sglobal",
 	"waiting", "idle", "pushes", "max_clock_distance",
 	"vw_types", "per_vw_throughput", "stage_layers",
 }
@@ -57,9 +60,11 @@ func WriteCSV(w io.Writer, set *Set) error {
 		row := []string{
 			strconv.Itoa(sc.Index), sc.ID(), sc.Model, sc.Cluster,
 			sc.SyncMode, sc.Schedule, sc.Policy, sc.Placement,
+			sc.Faults,
 			strconv.Itoa(sc.D), strconv.Itoa(sc.Nm), strconv.Itoa(sc.Batch),
 			r.Error,
-			ftoa(r.Throughput), strconv.Itoa(r.Workers), strconv.Itoa(r.Nm),
+			ftoa(r.Throughput), ftoa(r.DegradationPct), strconv.Itoa(r.FaultInjections),
+			strconv.Itoa(r.Workers), strconv.Itoa(r.Nm),
 			strconv.Itoa(r.SLocal), strconv.Itoa(r.SGlobal),
 			ftoa(r.Waiting), ftoa(r.Idle),
 			strconv.Itoa(r.Pushes), strconv.Itoa(r.MaxClockDistance),

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"hetpipe/internal/core"
+	"hetpipe/internal/fault"
 	"hetpipe/internal/hw"
 	"hetpipe/internal/model"
 	"hetpipe/internal/profile"
@@ -56,6 +57,13 @@ type Result struct {
 	// MaxClockDistance is the largest observed clock skew between virtual
 	// workers.
 	MaxClockDistance int `json:"maxClockDistance,omitempty"`
+	// FaultInjections counts fault-plan entries that took effect.
+	FaultInjections int `json:"faultInjections,omitempty"`
+	// DegradationPct is the throughput lost to the scenario's fault plan,
+	// in percent of the fault-free twin's throughput (same configuration
+	// with an empty Faults spec). Zero for fault-free scenarios and when
+	// the sweep has no fault-free twin to compare against.
+	DegradationPct float64 `json:"degradationPct,omitempty"`
 	// Plans carries each virtual worker's partition plan (Plans[i].GPUs is
 	// virtual worker i's GPU mix).
 	Plans []PlanSummary `json:"plans,omitempty"`
@@ -281,7 +289,31 @@ dispatch:
 	if err := ctx.Err(); err != nil {
 		return nil, res, err
 	}
+	fillDegradation(results)
 	return &Set{Grid: g, Results: results}, res, nil
+}
+
+// fillDegradation computes each faulted scenario's throughput loss against
+// its fault-free twin (same configuration, empty Faults spec), when the grid
+// includes one. A pure post-pass over the finished results, so it cannot
+// perturb determinism.
+func fillDegradation(results []Result) {
+	baseline := make(map[string]float64)
+	for i := range results {
+		r := &results[i]
+		if r.Scenario.Faults == "" && r.Error == "" && r.Scenario.SyncMode == SyncWSP {
+			baseline[r.Scenario.ID()] = r.Throughput
+		}
+	}
+	for i := range results {
+		r := &results[i]
+		if r.Scenario.Faults == "" || r.Error != "" {
+			continue
+		}
+		if base, ok := baseline[r.Scenario.baselineID()]; ok && base > 0 {
+			r.DegradationPct = (base - r.Throughput) / base * 100
+		}
+	}
 }
 
 // runScenario simulates one scenario: the shared family deployment (via the
@@ -324,7 +356,14 @@ func runScenario(ctx context.Context, sc Scenario, res *resolver) Result {
 	if mbs == 0 {
 		mbs = dep.DefaultMinibatches()
 	}
-	mr, err := dep.SimulateWSPContext(ctx, mbs, 4*dep.Nm, nil)
+	// The fault plan is scenario-local: it shapes the simulated timeline but
+	// not the resolved deployment, which is why it is absent from the family
+	// key and the resolver's reuse is unaffected.
+	plan, err := fault.Parse(sc.Faults)
+	if err != nil {
+		return fail(err)
+	}
+	mr, err := dep.SimulateWSPFaults(ctx, mbs, 4*dep.Nm, nil, plan, 0)
 	if err != nil {
 		return fail(err)
 	}
@@ -338,6 +377,7 @@ func runScenario(ctx context.Context, sc Scenario, res *resolver) Result {
 	out.Idle = mr.Idle
 	out.Pushes = mr.Pushes
 	out.MaxClockDistance = mr.MaxClockDistance
+	out.FaultInjections = mr.FaultInjections
 	for _, vp := range dep.VWs {
 		ps := PlanSummary{GPUs: vp.VW.TypeString(), BottleneckSec: vp.Plan.Bottleneck}
 		for i := range vp.Plan.Stages {

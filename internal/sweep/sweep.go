@@ -1,8 +1,10 @@
 // Package sweep is the parallel configuration-exploration engine: it expands
 // a scenario grid — model zoo x cluster catalog x allocation policy x sync
-// mode x staleness bound D x concurrent-minibatch count Nm — into concrete
-// simulation runs and executes them on a bounded worker pool, one
-// deterministic discrete-event engine per goroutine.
+// mode x pipeline schedule x fault plan x staleness bound D x
+// concurrent-minibatch count Nm — into concrete simulation runs and executes
+// them on a bounded worker pool, one deterministic discrete-event engine per
+// goroutine. Faulted scenarios report their throughput degradation against
+// the fault-free twin of the same configuration.
 //
 // HetPipe's contribution is itself a search over heterogeneous
 // configurations (which allocation policy, which D, which Nm for a given
@@ -26,6 +28,7 @@ package sweep
 import (
 	"fmt"
 
+	"hetpipe/internal/fault"
 	"hetpipe/internal/hw"
 	"hetpipe/internal/model"
 	"hetpipe/internal/sched"
@@ -72,6 +75,14 @@ type Grid struct {
 	// schedule only. Horovod scenarios collapse this axis like the other
 	// WSP-only ones.
 	Schedules []string `json:"schedules,omitempty"`
+	// Faults lists fault-plan specs in the internal/fault grammar (e.g.
+	// "slow:w0:x2" or "rand:0.5:seed7"); "" is the fault-free baseline.
+	// Empty means [""] — no fault axis. Every non-baseline scenario's CSV
+	// row reports its throughput degradation against the fault-free twin of
+	// the same configuration, so include "" in the axis when sweeping
+	// faults. Horovod scenarios collapse this axis like the other WSP-only
+	// ones.
+	Faults []string `json:"faults,omitempty"`
 	// DValues lists WSP clock-distance bounds (>= 0). Empty means [0].
 	DValues []int `json:"dValues,omitempty"`
 	// NmValues lists concurrent-minibatch counts; 0 lets the deployment pick
@@ -113,6 +124,9 @@ type Scenario struct {
 	Placement string `json:"placement,omitempty"`
 	// Schedule is the pipeline schedule; empty for Horovod scenarios.
 	Schedule string `json:"schedule,omitempty"`
+	// Faults is the fault-plan spec; empty for fault-free (and Horovod)
+	// scenarios.
+	Faults string `json:"faults,omitempty"`
 	// D is the WSP clock-distance bound.
 	D int `json:"d"`
 	// Nm is the requested concurrent-minibatch count (0 = auto).
@@ -124,7 +138,8 @@ type Scenario struct {
 }
 
 // ID renders a compact, unique scenario label, e.g.
-// "vgg19/paper/wsp/hetpipe-fifo/ED/default/d0/nm-auto".
+// "vgg19/paper/wsp/hetpipe-fifo/ED/default/d0/nm-auto". Faulted scenarios
+// gain a trailing "/f:<spec>" segment; fault-free ones keep the bare form.
 func (s *Scenario) ID() string {
 	if s.SyncMode == SyncHorovod {
 		return fmt.Sprintf("%s/%s/%s", s.Model, s.Cluster, s.SyncMode)
@@ -133,15 +148,27 @@ func (s *Scenario) ID() string {
 	if s.Nm == 0 {
 		nm = "nm-auto"
 	}
-	return fmt.Sprintf("%s/%s/%s/%s/%s/%s/d%d/%s",
+	id := fmt.Sprintf("%s/%s/%s/%s/%s/%s/d%d/%s",
 		s.Model, s.Cluster, s.SyncMode, s.Schedule, s.Policy, s.Placement, s.D, nm)
+	if s.Faults != "" {
+		id += "/f:" + s.Faults
+	}
+	return id
+}
+
+// baselineID is the scenario's ID with the fault axis stripped — the key a
+// faulted scenario's degradation is computed against.
+func (s *Scenario) baselineID() string {
+	c := *s
+	c.Faults = ""
+	return c.ID()
 }
 
 // Expand validates every axis value and returns the grid's scenarios in
 // deterministic order (model-major, then cluster, sync mode, schedule,
-// policy, placement, D, Nm). Repeated axis values are deduplicated, and
-// Horovod scenarios collapse the schedule, policy, placement, D, and Nm
-// axes: exactly one baseline run per model and cluster.
+// policy, placement, faults, D, Nm). Repeated axis values are deduplicated,
+// and Horovod scenarios collapse the schedule, policy, placement, faults, D,
+// and Nm axes: exactly one baseline run per model and cluster.
 func (g Grid) Expand() ([]Scenario, error) {
 	if err := g.validate(); err != nil {
 		return nil, err
@@ -157,6 +184,10 @@ func (g Grid) Expand() ([]Scenario, error) {
 	schedules := dedup(g.Schedules)
 	if len(schedules) == 0 {
 		schedules = []string{sched.Default().Name()}
+	}
+	faults := dedup(g.Faults)
+	if len(faults) == 0 {
+		faults = []string{""}
 	}
 	dValues := dedup(g.DValues)
 	if len(dValues) == 0 {
@@ -184,15 +215,18 @@ func (g Grid) Expand() ([]Scenario, error) {
 				for _, sc := range schedules {
 					for _, pol := range dedup(g.Policies) {
 						for _, pl := range placements {
-							for _, d := range dValues {
-								for _, nm := range nmValues {
-									out = append(out, Scenario{
-										Index: len(out), Model: m, Cluster: cl,
-										SyncMode: sync, Schedule: sc,
-										Policy: pol, Placement: pl,
-										D: d, Nm: nm, Batch: batch,
-										MinibatchesPerVW: g.MinibatchesPerVW,
-									})
+							for _, fs := range faults {
+								for _, d := range dValues {
+									for _, nm := range nmValues {
+										out = append(out, Scenario{
+											Index: len(out), Model: m, Cluster: cl,
+											SyncMode: sync, Schedule: sc,
+											Policy: pol, Placement: pl,
+											Faults: fs,
+											D:      d, Nm: nm, Batch: batch,
+											MinibatchesPerVW: g.MinibatchesPerVW,
+										})
+									}
 								}
 							}
 						}
@@ -264,6 +298,11 @@ func (g Grid) validate() error {
 	}
 	for _, s := range g.Schedules {
 		if _, err := sched.ByName(s); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, f := range g.Faults {
+		if _, err := fault.Parse(f); err != nil {
 			return fmt.Errorf("sweep: %w", err)
 		}
 	}

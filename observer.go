@@ -17,6 +17,14 @@ const (
 	// EventClockAdvance fires when the WSP global clock is observed to
 	// advance.
 	EventClockAdvance
+	// EventFaultInject fires when a WithFaults plan entry takes effect: a
+	// straggler slowdown's first affected minibatch, a crash, a shard stall,
+	// or a link degradation. Event.Fault names the fault.
+	EventFaultInject
+	// EventRecover fires when a crashed worker has been restored from its
+	// last checkpoint and is about to replay; Event.Minibatch is the replay
+	// start and (under Train) Event.Clock the checkpoint's pushed-wave count.
+	EventRecover
 )
 
 func (k EventKind) String() string {
@@ -29,6 +37,10 @@ func (k EventKind) String() string {
 		return "pull"
 	case EventClockAdvance:
 		return "clock"
+	case EventFaultInject:
+		return "fault-inject"
+	case EventRecover:
+		return "recover"
 	default:
 		return "unknown"
 	}
@@ -54,6 +66,9 @@ type Event struct {
 	// Time is seconds since run start: virtual seconds under Simulate,
 	// wall-clock seconds under Train.
 	Time float64
+	// Fault names the injected fault for EventFaultInject and EventRecover,
+	// in the WithFaults spec language (e.g. "crash:w2:mb40").
+	Fault string
 }
 
 // Observer receives the event stream of a run (see WithObserver). Both
@@ -73,6 +88,10 @@ func kindOf(k obs.Kind) EventKind {
 		return EventPull
 	case obs.KindClock:
 		return EventClockAdvance
+	case obs.KindFaultInject:
+		return EventFaultInject
+	case obs.KindRecover:
+		return EventRecover
 	default:
 		return 0
 	}
@@ -94,6 +113,7 @@ func (s *settings) obsFunc() obs.Func {
 			Wave:      e.Wave,
 			Clock:     e.Clock,
 			Time:      e.Time,
+			Fault:     e.Fault,
 		})
 	}
 }

@@ -1,6 +1,9 @@
 package hetpipe
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 // Sentinel errors returned by New, Run, and the Deployment methods. They are
 // always wrapped with context (the offending name, the valid values), so
@@ -23,6 +26,9 @@ var (
 	// ErrUnknownSchedule reports a pipeline schedule outside the registry
 	// (see Schedules).
 	ErrUnknownSchedule = errors.New("hetpipe: unknown schedule")
+	// ErrBadFaultPlan reports a WithFaults spec that does not parse or
+	// validate (see the fault spec grammar in WithFaults).
+	ErrBadFaultPlan = errors.New("hetpipe: bad fault plan")
 )
 
 // settings is the resolved option set behind New. Zero values mean "default";
@@ -42,12 +48,19 @@ type settings struct {
 	schedule    string
 	warmup      int
 
+	// Fault-tolerance knobs (both backends).
+	faultSpec string
+	ckptEvery int
+
 	// Live-backend (Train) knobs.
-	task   string
-	lr     float64
-	seed   int64
-	tcp    bool
-	chunks int
+	task     string
+	lr       float64
+	seed     int64
+	tcp      bool
+	chunks   int
+	ckptPath string
+	resume   string
+	stepTime time.Duration
 
 	observer Observer
 }
@@ -115,10 +128,60 @@ func WithSchedule(name string) Option { return func(s *settings) { s.schedule = 
 func WithWarmup(n int) Option { return func(s *settings) { s.warmup = n } }
 
 // WithObserver streams run events (minibatch completions, wave pushes, pulls,
-// global-clock advances) to o while Simulate or Train is in flight — the
-// hook progress bars and metrics exporters attach to. Both backends call the
-// observer from a serialized context, so it needs no locking of its own.
+// global-clock advances, fault injections and recoveries) to o while Simulate
+// or Train is in flight — the hook progress bars and metrics exporters attach
+// to. Both backends call the observer from a serialized context, so it needs
+// no locking of its own.
 func WithObserver(o Observer) Option { return func(s *settings) { s.observer = o } }
+
+// WithFaults attaches a deterministic fault-injection plan, written in the
+// compact spec language of internal/fault. Comma-separated clauses:
+//
+//	slow:w0:x2              worker 0 computes 2x slower for the whole run
+//	slow:w1:x1.5:mb8-24     worker 1 is 1.5x slower for minibatches 8..24
+//	crash:w2:mb40           worker 2 crashes when about to start minibatch 40
+//	crash:w2:mb40:down2.5   ... and stays down 2.5 seconds
+//	stall:s0:c3:0.05        shard 0 stalls the clock-3 advance by 50 ms
+//	link:w3:x4              worker 3's PS transfers take 4x longer
+//	rand:0.5:seed7          each worker straggles with probability 0.5
+//
+// Simulate applies the plan to the virtual timeline (slowdowns scale stage
+// timings, crashes charge downtime plus checkpoint replay); Train executes
+// it for real (timing faults become wall-clock sleeps, crashes kill and
+// recover the worker goroutine from its last checkpoint). WSP numerics are
+// timing-independent, so a fault plan never changes the final weights — with
+// an empty spec both backends are bit-identical to a fault-free run. A spec
+// that does not parse is reported by New through ErrBadFaultPlan.
+func WithFaults(spec string) Option { return func(s *settings) { s.faultSpec = spec } }
+
+// WithCheckpoint takes a fault-tolerance checkpoint every `everyWaves` pushed
+// waves (0, the default, disables periodic checkpoints). Train checkpoints
+// each worker's local state at that cadence — the state a crashed worker is
+// recovered from; with no checkpoint it replays from minibatch 1 — and, with
+// WithCheckpointPath, persists consistent shard-server checkpoints too.
+// Simulate uses the cadence to price a crash's replay time.
+func WithCheckpoint(everyWaves int) Option { return func(s *settings) { s.ckptEvery = everyWaves } }
+
+// WithCheckpointPath makes Train persist atomic, clock-cut checkpoints of the
+// parameter-server shards to the given file: at every WithCheckpoint cadence
+// point and once more at the end of a successful run. The file is always a
+// consistent, resumable prefix of the run (see WithResumeFrom).
+func WithCheckpointPath(path string) Option { return func(s *settings) { s.ckptPath = path } }
+
+// WithStepTime makes Train emulate per-minibatch compute time as a
+// wall-clock sleep of d per minibatch. Straggler slowdowns multiply it and
+// link degradations scale the per-transfer share, so timing faults become
+// visible on the wall clock; 0 (the default) runs as fast as possible, in
+// which case slowdown and link faults still fire their observer events but
+// cost no time (crash downtime and shard stalls always sleep for real).
+func WithStepTime(d time.Duration) Option { return func(s *settings) { s.stepTime = d } }
+
+// WithResumeFrom makes Train restore the parameter-server shards from a
+// checkpoint file written by WithCheckpointPath before training. Workers
+// deterministically replay their minibatch streams, re-pushing only the
+// waves the checkpoint does not hold, so the resumed run's final weights are
+// bit-identical to an uninterrupted run of the same budget.
+func WithResumeFrom(path string) Option { return func(s *settings) { s.resume = path } }
 
 // WithTrainTask selects the live backend's numeric training task: "logreg"
 // (convex, the default) or "mlp" (non-convex).
