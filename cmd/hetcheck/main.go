@@ -6,27 +6,39 @@
 //     never shows an undocumented package;
 //   - -links extracts relative links from every Markdown file and fails on
 //     links whose target file does not exist, so the docs cannot silently rot
-//     as files move.
+//     as files move;
+//   - -bench reads `go test -bench -benchmem` output on stdin and fails if
+//     any benchmark named in the committed baseline (-baseline, default
+//     BENCH_pipeline.json) regressed: ns/op beyond -bench-threshold (default
+//     0.25, the documented >25%% rule — headroom for machine noise) or
+//     allocs/op beyond 5%% (allocation counts are deterministic, so any real
+//     growth is a leak on the pooled hot path).
 //
 // Usage:
 //
 //	hetcheck -pkgdoc -links            # both checks over the current module
 //	hetcheck -pkgdoc -links -root ..   # explicit module root
+//	go test -run '^$' -bench . -benchmem -benchtime 2000x ./internal/pipeline |
+//	  hetcheck -bench                  # benchmark regression gate
 //
 // Exit status is non-zero when any check fails; findings are listed one per
 // line as file: message.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/parser"
 	"go/token"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -34,9 +46,12 @@ func main() {
 	root := flag.String("root", ".", "module root to scan")
 	pkgdoc := flag.Bool("pkgdoc", false, "check that every Go package has a package comment")
 	links := flag.Bool("links", false, "check that relative Markdown links resolve")
+	bench := flag.Bool("bench", false, "compare `go test -bench -benchmem` output on stdin against the baseline")
+	baseline := flag.String("baseline", "BENCH_pipeline.json", "benchmark baseline for -bench")
+	benchThreshold := flag.Float64("bench-threshold", 0.25, "fractional ns/op growth tolerated by -bench")
 	flag.Parse()
-	if !*pkgdoc && !*links {
-		fmt.Fprintln(os.Stderr, "hetcheck: nothing to do (pass -pkgdoc and/or -links)")
+	if !*pkgdoc && !*links && !*bench {
+		fmt.Fprintln(os.Stderr, "hetcheck: nothing to do (pass -pkgdoc, -links, and/or -bench)")
 		os.Exit(2)
 	}
 
@@ -50,6 +65,13 @@ func main() {
 	}
 	if *links {
 		f, err := checkMarkdownLinks(*root)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		findings = append(findings, f...)
+	}
+	if *bench {
+		f, err := checkBench(os.Stdin, filepath.Join(*root, *baseline), *benchThreshold)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -205,6 +227,89 @@ func stripCodeBlocks(s string) string {
 		out.WriteString("\n")
 	}
 	return out.String()
+}
+
+// benchBaseline mirrors the committed BENCH_pipeline.json layout.
+type benchBaseline struct {
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// benchEntry is one baseline benchmark record.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchLineRe matches one `go test -bench -benchmem` result line, e.g.
+// "BenchmarkX/case-16  2000  33101 ns/op  4432 B/op  62 allocs/op". The
+// trailing -N of the name is the GOMAXPROCS suffix, stripped before matching
+// against the baseline.
+var benchLineRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+// allocsThreshold is the fractional allocs/op growth tolerated by -bench.
+// Allocation counts are deterministic — unlike ns/op they do not move with
+// machine load — so the tolerance only absorbs counting differences across Go
+// releases, not real regressions on the pooled hot path.
+const allocsThreshold = 0.05
+
+// checkBench compares benchmark results read from r against the baseline
+// file: a baseline-listed benchmark missing from the input, growing its
+// ns/op beyond threshold, or growing its allocs/op beyond allocsThreshold is
+// a finding. Benchmarks absent from the baseline are ignored, so the gate
+// composes with `-bench .` runs that cover more than the pinned set.
+func checkBench(r io.Reader, baselinePath string, threshold float64) ([]string, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no baseline benchmarks", baselinePath)
+	}
+	type got struct{ ns, allocs float64 }
+	results := map[string]got{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLineRe.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		allocs := -1.0
+		if m[4] != "" {
+			allocs, _ = strconv.ParseFloat(m[4], 64)
+		}
+		results[m[1]] = got{ns: ns, allocs: allocs}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	var findings []string
+	for _, b := range base.Benchmarks {
+		g, ok := results[b.Name]
+		if !ok {
+			findings = append(findings, fmt.Sprintf("%s: %s missing from benchmark output", baselinePath, b.Name))
+			continue
+		}
+		if limit := b.NsPerOp * (1 + threshold); g.ns > limit {
+			findings = append(findings, fmt.Sprintf("%s: %s ns/op regressed %.0f -> %.0f (>%d%% over baseline)",
+				baselinePath, b.Name, b.NsPerOp, g.ns, int(threshold*100)))
+		}
+		if g.allocs < 0 {
+			findings = append(findings, fmt.Sprintf("%s: %s has no allocs/op (run with -benchmem)", baselinePath, b.Name))
+			continue
+		}
+		if limit := b.AllocsPerOp * (1 + allocsThreshold); g.allocs > limit {
+			findings = append(findings, fmt.Sprintf("%s: %s allocs/op regressed %.0f -> %.0f (>%d%% over baseline)",
+				baselinePath, b.Name, b.AllocsPerOp, g.allocs, int(allocsThreshold*100)))
+		}
+	}
+	return findings, nil
 }
 
 func fatalf(format string, args ...any) {

@@ -97,3 +97,90 @@ func TestRepoIsClean(t *testing.T) {
 		t.Errorf("markdown links: err=%v findings=%v", err, findings)
 	}
 }
+
+const benchBaselineJSON = `{
+  "benchmarks": [
+    {"name": "BenchmarkPipelineSchedules/hetpipe-fifo", "ns_per_op": 33000, "bytes_per_op": 4432, "allocs_per_op": 62},
+    {"name": "BenchmarkPipelineSchedules/gpipe", "ns_per_op": 35000, "bytes_per_op": 3712, "allocs_per_op": 54}
+  ]
+}`
+
+func TestCheckBenchClean(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	write(t, base, benchBaselineJSON)
+	// At par, slightly faster, and within the 25% ns/op headroom: no findings.
+	// The GOMAXPROCS suffix and extra unbaselined benchmarks are ignored.
+	out := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkPipelineSchedules/hetpipe-fifo-16   2000   36000 ns/op   4432 B/op   62 allocs/op",
+		"BenchmarkPipelineSchedules/gpipe-16          2000   20000 ns/op   3712 B/op   54 allocs/op",
+		"BenchmarkSomethingElse-16                    2000   99999999 ns/op   1 B/op   1 allocs/op",
+		"PASS",
+	}, "\n")
+	findings, err := checkBench(strings.NewReader(out), base, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("findings = %v, want none", findings)
+	}
+}
+
+func TestCheckBenchRegressions(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	write(t, base, benchBaselineJSON)
+	// fifo blows the ns/op threshold; gpipe grows allocs; both are findings.
+	out := strings.Join([]string{
+		"BenchmarkPipelineSchedules/hetpipe-fifo-16   2000   50000 ns/op   4432 B/op   62 allocs/op",
+		"BenchmarkPipelineSchedules/gpipe-16          2000   35000 ns/op   9999 B/op   80 allocs/op",
+	}, "\n")
+	findings, err := checkBench(strings.NewReader(out), base, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want 2", findings)
+	}
+	if !strings.Contains(findings[0], "hetpipe-fifo ns/op regressed") {
+		t.Errorf("finding 0 = %q, want fifo ns/op regression", findings[0])
+	}
+	if !strings.Contains(findings[1], "gpipe allocs/op regressed") {
+		t.Errorf("finding 1 = %q, want gpipe allocs regression", findings[1])
+	}
+}
+
+func TestCheckBenchMissingAndNoMem(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	write(t, base, benchBaselineJSON)
+	// fifo absent from the output entirely; gpipe present but run without
+	// -benchmem, so its allocs cannot be checked.
+	out := "BenchmarkPipelineSchedules/gpipe-16   2000   35000 ns/op\n"
+	findings, err := checkBench(strings.NewReader(out), base, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want 2", findings)
+	}
+	if !strings.Contains(findings[0], "hetpipe-fifo missing") {
+		t.Errorf("finding 0 = %q, want missing fifo", findings[0])
+	}
+	if !strings.Contains(findings[1], "-benchmem") {
+		t.Errorf("finding 1 = %q, want -benchmem hint", findings[1])
+	}
+}
+
+func TestCheckBenchBadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	write(t, empty, `{"benchmarks": []}`)
+	if _, err := checkBench(strings.NewReader(""), empty, 0.25); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	if _, err := checkBench(strings.NewReader(""), filepath.Join(dir, "absent.json"), 0.25); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+}

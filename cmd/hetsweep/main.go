@@ -15,15 +15,22 @@
 //	                                          leading empty entry = fault-free baseline)
 //	hetsweep -list                            # show the available axis values
 //
-// Results land in -json and -csv (set either to "" to skip). The output is
-// deterministic: for a given grid, every worker count produces byte-identical
-// files. Scenarios differing only in D share one resolved deployment
-// (partitioning and auto-Nm run once per family), and Ctrl-C cancels the
-// sweep cleanly.
+// Results land in -json and -csv (set either to "" to skip). With -stream the
+// sweep aggregates on the fly instead of materializing a row per scenario —
+// memory stays bounded by the grid's axes, so 10^5+ cell grids are practical;
+// -json then receives the aggregate summary (counts, throughput percentiles,
+// per-pair ranking) and -csv is skipped. The output is deterministic either
+// way: for a given grid, every worker count produces byte-identical files.
+// Scenarios differing only in D, Nm, placement, or faults share resolved
+// state (model profiling and allocation run once per family; partitioning
+// and auto-Nm once per Nm/placement variant), each worker reuses one warm
+// discrete-event engine across its scenarios, and Ctrl-C cancels the sweep
+// cleanly.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +58,7 @@ func main() {
 	batch := flag.Int("batch", 0, "minibatch size (0 = 32)")
 	mbs := flag.Int("mbs", 0, "minibatches per virtual worker per scenario (0 = D-aware default, at least 24 waves)")
 	workers := flag.Int("workers", 0, "max concurrent scenario simulations (0 = GOMAXPROCS)")
+	stream := flag.Bool("stream", false, "aggregate results on the fly (bounded memory; -json gets the summary, -csv is skipped)")
 	jsonPath := flag.String("json", "hetsweep.json", "JSON results path (empty = skip)")
 	csvPath := flag.String("csv", "hetsweep.csv", "CSV results path (empty = skip)")
 	list := flag.Bool("list", false, "list the available axis values and exit")
@@ -123,6 +131,34 @@ func main() {
 			fmt.Printf("  [%*d/%d] %-45s %s\n", digits(len(scenarios)), done, len(scenarios), r.Scenario.ID(), status)
 		}
 	}
+	if *stream {
+		summary, err := sweep.RunStream(ctx, grid, opt)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *jsonPath != "" {
+			if err := writeFile(*jsonPath, func(f *os.File) error {
+				enc := json.NewEncoder(f)
+				enc.SetIndent("", "  ")
+				return enc.Encode(summary)
+			}); err != nil {
+				fatalf("writing %s: %v", *jsonPath, err)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		if *csvPath != "" {
+			fmt.Println("per-scenario CSV not available in -stream mode (rows are not materialized)")
+		}
+		fmt.Println()
+		if err := sweep.WriteStreamSummary(os.Stdout, summary); err != nil {
+			fatalf("%v", err)
+		}
+		if summary.Failures > 0 {
+			fmt.Printf("\n%d of %d scenarios failed\n", summary.Failures, summary.Scenarios)
+		}
+		return
+	}
+
 	set, err := sweep.Run(ctx, grid, opt)
 	if err != nil {
 		fatalf("%v", err)

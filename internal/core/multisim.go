@@ -119,6 +119,18 @@ func (d *Deployment) SimulateWSPContext(ctx context.Context, minibatchesPerVW, w
 // Fault activations are emitted to ob as KindFaultInject/KindRecover events
 // and counted in MultiResult.FaultInjections.
 func (d *Deployment) SimulateWSPFaults(ctx context.Context, minibatchesPerVW, warmup int, ob obs.Func, plan *fault.Plan, checkpointEvery int) (*MultiResult, error) {
+	return d.SimulateWSPFaultsOn(ctx, sim.New(), minibatchesPerVW, warmup, ob, plan, checkpointEvery)
+}
+
+// SimulateWSPFaultsOn is SimulateWSPFaults on a caller-owned engine. The
+// engine is Reset first, so a warm engine — one that has already grown its
+// event arena and heap to a previous simulation's peak — re-simulates without
+// re-growing any engine-internal storage. Callers that sweep many scenarios
+// (internal/sweep keeps one engine per worker goroutine) amortize those
+// allocations across the whole sweep; results are bit-identical to a fresh
+// engine's.
+func (d *Deployment) SimulateWSPFaultsOn(ctx context.Context, eng *sim.Engine, minibatchesPerVW, warmup int, ob obs.Func, plan *fault.Plan, checkpointEvery int) (*MultiResult, error) {
+	eng.Reset()
 	n := len(d.VWs)
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty deployment")
@@ -148,7 +160,6 @@ func (d *Deployment) SimulateWSPFaults(ctx context.Context, minibatchesPerVW, wa
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.New()
 	eng.SetStepLimit(uint64(n*minibatchesPerVW)*1000 + 1_000_000)
 
 	res := &MultiResult{}
@@ -288,7 +299,7 @@ func (d *Deployment) SimulateWSPFaults(ctx context.Context, minibatchesPerVW, wa
 						st.pullGoing = true
 						linkInject(w)
 						target := coord.GlobalClock()
-						eng.After(sim.Duration(pullT[w]), fmt.Sprintf("pull.vw%d", w), func() {
+						eng.After(sim.Duration(pullT[w]), "pull", func() {
 							st.pullGoing = false
 							st.pullDone = target
 							res.Pulls++
@@ -327,7 +338,7 @@ func (d *Deployment) SimulateWSPFaults(ctx context.Context, minibatchesPerVW, wa
 							}
 						}
 					}
-					eng.After(delay, fmt.Sprintf("push.vw%d", w), func() {
+					eng.After(delay, "push", func() {
 						before := coord.GlobalClock()
 						coord.Push(w)
 						after := coord.GlobalClock()

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"hetpipe/internal/hw"
+	"hetpipe/internal/model"
+	"hetpipe/internal/obs"
+)
+
+// The simulator's event stream must arrive in a coherent order: virtual time
+// non-decreasing across the whole stream (events come off one engine's loop),
+// each VW's minibatch numbers strictly increasing, and the global clock never
+// going backwards. This is the contract observers (and the public
+// WithObserver adapter) lean on, and the pooled engine rewrite must not have
+// perturbed it.
+func TestObserverEventOrdering(t *testing.T) {
+	dep := deploy(t, model.ResNet152(), hw.EqualDistribution, 2, 0, PlacementDefault)
+	var rec obs.Recorder
+	if _, err := dep.SimulateWSPFaults(context.Background(), dep.DefaultMinibatches(), 4*dep.Nm, rec.Func(), nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	lastTime := -1.0
+	lastClock := -1
+	lastMB := map[int]int{}
+	perVW := 0
+	for i, e := range events {
+		if e.Backend != "sim" {
+			t.Fatalf("event %d backend = %q, want sim", i, e.Backend)
+		}
+		if e.Time < lastTime {
+			t.Fatalf("event %d time %g < previous %g", i, e.Time, lastTime)
+		}
+		lastTime = e.Time
+		if e.Kind == obs.KindClock {
+			if e.Clock < lastClock {
+				t.Fatalf("event %d clock %d < previous %d", i, e.Clock, lastClock)
+			}
+			lastClock = e.Clock
+		}
+		if e.Kind == obs.KindMinibatch {
+			if e.Minibatch != lastMB[e.VW]+1 {
+				t.Fatalf("vw %d minibatch %d after %d: not consecutive", e.VW, e.Minibatch, lastMB[e.VW])
+			}
+			lastMB[e.VW] = e.Minibatch
+			perVW++
+		}
+	}
+	if want := len(dep.VWs) * dep.DefaultMinibatches(); perVW != want {
+		t.Errorf("minibatch events = %d, want %d", perVW, want)
+	}
+}
+
+// Fanning the simulator's stream out through obs.Multi must deliver every
+// event to every observer in registration order, and both fan-out arms must
+// see the identical sequence.
+func TestObserverFanOutFromSim(t *testing.T) {
+	dep := deploy(t, model.ResNet152(), hw.EqualDistribution, 2, 0, PlacementDefault)
+	var a, b obs.Recorder
+	interleave := make([]byte, 0, 4096)
+	ob := obs.Multi(
+		nil,
+		func(obs.Event) { interleave = append(interleave, 'a') },
+		a.Func(),
+		func(obs.Event) { interleave = append(interleave, 'b') },
+		b.Func(),
+	)
+	if _, err := dep.SimulateWSPFaults(context.Background(), dep.DefaultMinibatches(), 4*dep.Nm, ob, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Events(), b.Events()
+	if len(ea) == 0 || len(ea) != len(eb) {
+		t.Fatalf("recorders saw %d and %d events, want equal and non-zero", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("event %d differs between fan-out arms: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	// Argument order per event: 'a' fires before 'b' for every event.
+	if len(interleave) != 2*len(ea) {
+		t.Fatalf("interleave saw %d calls, want %d", len(interleave), 2*len(ea))
+	}
+	for i := 0; i < len(interleave); i += 2 {
+		if interleave[i] != 'a' || interleave[i+1] != 'b' {
+			t.Fatalf("fan-out order broken at event %d: %q", i/2, interleave[i:i+2])
+		}
+	}
+}

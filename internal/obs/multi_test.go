@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// Multi must preserve the backends' nil-observer fast path: composing nothing
+// (or only nils) yields nil, not an empty closure the hot loop would call per
+// event.
+func TestMultiNilFastPath(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() != nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) != nil")
+	}
+	called := false
+	single := func(Event) { called = true }
+	got := Multi(nil, single, nil)
+	if got == nil {
+		t.Fatal("Multi with one live observer returned nil")
+	}
+	got(Event{})
+	if !called {
+		t.Error("surviving observer was not called")
+	}
+}
+
+// Fan-out must call observers in argument order, once each per event.
+func TestMultiOrder(t *testing.T) {
+	var order []int
+	fn := Multi(
+		func(Event) { order = append(order, 1) },
+		nil,
+		func(Event) { order = append(order, 2) },
+		func(Event) { order = append(order, 3) },
+	)
+	fn(Event{Kind: KindClock})
+	fn(Event{Kind: KindPush})
+	want := []int{1, 2, 3, 1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// A Recorder shared by concurrently emitting goroutines must not lose or tear
+// events. Each backend serializes its own stream, but two engines running in
+// parallel do not serialize against each other — this is the case the mutex
+// exists for, and the one -race checks here.
+func TestRecorderConcurrentEmit(t *testing.T) {
+	var rec Recorder
+	fn := rec.Func()
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				fn(Event{Kind: KindMinibatch, VW: g, Minibatch: i + 1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if rec.Len() != goroutines*perG {
+		t.Fatalf("recorded %d events, want %d", rec.Len(), goroutines*perG)
+	}
+	// Per-goroutine (per-VW) order must survive interleaving: each VW's
+	// minibatch numbers arrive strictly increasing.
+	last := map[int]int{}
+	for _, e := range rec.Events() {
+		if e.Minibatch <= last[e.VW] {
+			t.Fatalf("vw %d minibatch %d arrived after %d", e.VW, e.Minibatch, last[e.VW])
+		}
+		last[e.VW] = e.Minibatch
+	}
+}
+
+// Events must return a copy: appending after the snapshot is taken must not
+// mutate what the caller already holds.
+func TestRecorderEventsIsASnapshot(t *testing.T) {
+	var rec Recorder
+	fn := rec.Func()
+	fn(Event{Kind: KindPull, Clock: 1})
+	snap := rec.Events()
+	fn(Event{Kind: KindPull, Clock: 2})
+	if len(snap) != 1 || snap[0].Clock != 1 {
+		t.Errorf("snapshot mutated: %+v", snap)
+	}
+	if rec.Len() != 2 {
+		t.Errorf("Len = %d, want 2", rec.Len())
+	}
+}

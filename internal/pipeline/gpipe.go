@@ -1,8 +1,6 @@
 package pipeline
 
 import (
-	"fmt"
-
 	"hetpipe/internal/sim"
 	"hetpipe/internal/trace"
 )
@@ -17,8 +15,13 @@ import (
 // has fully drained, which is exactly why every stage stashes the whole
 // wave's activations (sched.GPipe.StashCount == Nm) and why the pipeline
 // idles during each fill and drain ramp.
+//
+// Completions run through two handlers registered once at construction, so
+// the steady state schedules without allocating.
 type gpipeRunner struct {
-	pl *Pipeline
+	pl    *Pipeline
+	idFwd int32
+	idBwd int32
 
 	// waveTarget is the size of the open wave (0 = none open); waveStartP is
 	// its first 1-based minibatch; waveInjected counts members injected so
@@ -28,6 +31,13 @@ type gpipeRunner struct {
 	waveStartP   int
 	waveInjected int
 	fwdDone      int
+}
+
+func newGPipeRunner(pl *Pipeline) *gpipeRunner {
+	r := &gpipeRunner{pl: pl}
+	r.idFwd = pl.register(r.forwardDone)
+	r.idBwd = pl.register(r.backwardDone)
+	return r
 }
 
 func (r *gpipeRunner) poke() {
@@ -65,28 +75,33 @@ func (r *gpipeRunner) poke() {
 
 // forward schedules the fill-phase forward of minibatch p on stage s; the
 // duration includes receiving the input activations (serialized, like the
-// paper's model). When the last member of the wave finishes its forward on
-// the last stage, the drain phase begins.
+// paper's model).
 func (r *gpipeRunner) forward(p, s int) {
 	pl := r.pl
 	st := &pl.cfg.Plan.Stages[s]
 	dur := pl.dur(p, s, st.RecvActTime+st.FwdTime)
-	pl.gpus[s].Submit(dur, fmt.Sprintf("f%d", p), func() {
-		pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
-		if s == pl.k-1 {
-			r.fwdDone++
-			if r.fwdDone == r.waveTarget {
-				// Fill barrier reached: drain the wave. Backwards enter the
-				// last stage in minibatch order; each stage's FIFO queue
-				// keeps them ordered on the way up.
-				for q := r.waveStartP; q < r.waveStartP+r.waveTarget; q++ {
-					r.backward(q, pl.k-1)
-				}
+	pl.gpus[s].SubmitID(dur, r.idFwd, int32(p), int32(s))
+}
+
+// forwardDone fires when a fill-phase forward finishes. When the last member
+// of the wave finishes its forward on the last stage, the drain phase begins.
+func (r *gpipeRunner) forwardDone(a, b int32, x float64) {
+	pl := r.pl
+	p, s := int(a), int(b)
+	pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(x), pl.eng.Now())
+	if s == pl.k-1 {
+		r.fwdDone++
+		if r.fwdDone == r.waveTarget {
+			// Fill barrier reached: drain the wave. Backwards enter the last
+			// stage in minibatch order; each stage's FIFO queue keeps them
+			// ordered on the way up.
+			for q := r.waveStartP; q < r.waveStartP+r.waveTarget; q++ {
+				r.backward(q, pl.k-1)
 			}
-			return
 		}
-		r.forward(p, s+1)
-	})
+		return
+	}
+	r.forward(p, s+1)
 }
 
 // backward schedules the drain-phase backward of minibatch p on stage s; the
@@ -96,12 +111,16 @@ func (r *gpipeRunner) backward(p, s int) {
 	pl := r.pl
 	st := &pl.cfg.Plan.Stages[s]
 	dur := pl.dur(p, s, st.RecvGradTime+st.BwdTime)
-	pl.gpus[s].Submit(dur, fmt.Sprintf("b%d", p), func() {
-		pl.traceAdd(s, p, trace.Backward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
-		if s == 0 {
-			pl.complete(p)
-			return
-		}
-		r.backward(p, s-1)
-	})
+	pl.gpus[s].SubmitID(dur, r.idBwd, int32(p), int32(s))
+}
+
+func (r *gpipeRunner) backwardDone(a, b int32, x float64) {
+	pl := r.pl
+	p, s := int(a), int(b)
+	pl.traceAdd(s, p, trace.Backward, pl.eng.Now()-sim.Time(x), pl.eng.Now())
+	if s == 0 {
+		pl.complete(p)
+		return
+	}
+	r.backward(p, s-1)
 }

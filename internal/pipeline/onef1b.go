@@ -1,8 +1,6 @@
 package pipeline
 
 import (
-	"fmt"
-
 	"hetpipe/internal/sim"
 	"hetpipe/internal/trace"
 )
@@ -17,31 +15,72 @@ import (
 // lets a memory-constrained virtual worker admit a larger Nm than under
 // HetPipe's FIFO. Receives serialize with compute, as in the paper's cost
 // model; the last stage fuses forward and backward like the FIFO executor.
+//
+// Completions run through three handlers registered once at construction,
+// and the per-stage pending lists are head-indexed rings over reusable
+// backing slices, so the steady state schedules without allocating.
 type oneF1BRunner struct {
-	pl     *Pipeline
-	stages []f1bStage
+	pl      *Pipeline
+	stages  []f1bStage
+	startFn func(p int)
+	idFwd   int32
+	idBwd   int32
+	idFused int32
 }
 
 // f1bStage is one stage's scheduling state. pendingF and pendingB hold
-// minibatches whose inputs have arrived, in arrival (== minibatch) order;
-// outstanding counts forwards run but not yet retired by a backward here.
+// minibatches whose inputs have arrived, in arrival (== minibatch) order,
+// as head-indexed rings; outstanding counts forwards run but not yet
+// retired by a backward here.
 type f1bStage struct {
 	busy        bool
 	outstanding int
-	pendingF    []int
-	pendingB    []int
+	pendingF    []int32
+	fHead       int
+	pendingB    []int32
+	bHead       int
+}
+
+func (st *f1bStage) pushF(p int32) { st.pendingF = append(st.pendingF, p) }
+func (st *f1bStage) pushB(p int32) { st.pendingB = append(st.pendingB, p) }
+func (st *f1bStage) lenF() int     { return len(st.pendingF) - st.fHead }
+func (st *f1bStage) lenB() int     { return len(st.pendingB) - st.bHead }
+
+func (st *f1bStage) popF() int32 {
+	p := st.pendingF[st.fHead]
+	st.fHead++
+	if st.fHead == len(st.pendingF) {
+		st.pendingF = st.pendingF[:0]
+		st.fHead = 0
+	}
+	return p
+}
+
+func (st *f1bStage) popB() int32 {
+	p := st.pendingB[st.bHead]
+	st.bHead++
+	if st.bHead == len(st.pendingB) {
+		st.pendingB = st.pendingB[:0]
+		st.bHead = 0
+	}
+	return p
 }
 
 func newOneF1BRunner(pl *Pipeline) *oneF1BRunner {
-	return &oneF1BRunner{pl: pl, stages: make([]f1bStage, pl.k)}
+	r := &oneF1BRunner{pl: pl, stages: make([]f1bStage, pl.k)}
+	r.startFn = r.start
+	r.idFwd = pl.register(r.forwardDone)
+	r.idBwd = pl.register(r.backwardDone)
+	r.idFused = pl.register(r.fusedDone)
+	return r
 }
 
 func (r *oneF1BRunner) poke() {
-	r.pl.inject(func(p int) {
-		r.stages[0].pendingF = append(r.stages[0].pendingF, p)
-	})
+	r.pl.inject(r.startFn)
 	r.trySchedule(0)
 }
+
+func (r *oneF1BRunner) start(p int) { r.stages[0].pushF(int32(p)) }
 
 // trySchedule picks the next task for stage s under the 1F1B discipline:
 // backward if one is ready (retiring a stash), otherwise a forward as long
@@ -53,14 +92,10 @@ func (r *oneF1BRunner) trySchedule(s int) {
 		return
 	}
 	switch {
-	case len(st.pendingB) > 0:
-		p := st.pendingB[0]
-		st.pendingB = st.pendingB[1:]
-		r.runBackward(p, s)
-	case len(st.pendingF) > 0 && st.outstanding < pl.k-s:
-		p := st.pendingF[0]
-		st.pendingF = st.pendingF[1:]
-		r.runForward(p, s)
+	case st.lenB() > 0:
+		r.runBackward(int(st.popB()), s)
+	case st.lenF() > 0 && st.outstanding < pl.k-s:
+		r.runForward(int(st.popF()), s)
 	}
 }
 
@@ -74,30 +109,40 @@ func (r *oneF1BRunner) runForward(p, s int) {
 	st.busy = true
 	if s == pl.k-1 {
 		dur := pl.dur(p, s, stage.RecvActTime+stage.FwdTime+stage.BwdTime)
-		pl.gpus[s].Submit(dur, fmt.Sprintf("fb%d", p), func() {
-			mid := pl.eng.Now() - sim.Time(pl.time(p, s, stage.BwdTime))
-			pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), mid)
-			pl.traceAdd(s, p, trace.Backward, mid, pl.eng.Now())
-			st.busy = false
-			if s == 0 {
-				pl.complete(p)
-			} else {
-				r.stages[s-1].pendingB = append(r.stages[s-1].pendingB, p)
-				r.trySchedule(s - 1)
-			}
-			r.trySchedule(s)
-		})
+		pl.gpus[s].SubmitID(dur, r.idFused, int32(p), int32(s))
 		return
 	}
 	dur := pl.dur(p, s, stage.RecvActTime+stage.FwdTime)
-	pl.gpus[s].Submit(dur, fmt.Sprintf("f%d", p), func() {
-		pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
-		st.busy = false
-		st.outstanding++
-		r.stages[s+1].pendingF = append(r.stages[s+1].pendingF, p)
-		r.trySchedule(s + 1)
-		r.trySchedule(s)
-	})
+	pl.gpus[s].SubmitID(dur, r.idFwd, int32(p), int32(s))
+}
+
+func (r *oneF1BRunner) fusedDone(a, b int32, x float64) {
+	pl := r.pl
+	p, s := int(a), int(b)
+	st := &r.stages[s]
+	mid := pl.eng.Now() - sim.Time(pl.time(p, s, pl.cfg.Plan.Stages[s].BwdTime))
+	pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(x), mid)
+	pl.traceAdd(s, p, trace.Backward, mid, pl.eng.Now())
+	st.busy = false
+	if s == 0 {
+		pl.complete(p)
+	} else {
+		r.stages[s-1].pushB(int32(p))
+		r.trySchedule(s - 1)
+	}
+	r.trySchedule(s)
+}
+
+func (r *oneF1BRunner) forwardDone(a, b int32, x float64) {
+	pl := r.pl
+	p, s := int(a), int(b)
+	st := &r.stages[s]
+	pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(x), pl.eng.Now())
+	st.busy = false
+	st.outstanding++
+	r.stages[s+1].pushF(int32(p))
+	r.trySchedule(s + 1)
+	r.trySchedule(s)
 }
 
 // runBackward executes minibatch p's backward on stage s (s < k-1); the
@@ -108,16 +153,21 @@ func (r *oneF1BRunner) runBackward(p, s int) {
 	stage := &pl.cfg.Plan.Stages[s]
 	st.busy = true
 	dur := pl.dur(p, s, stage.RecvGradTime+stage.BwdTime)
-	pl.gpus[s].Submit(dur, fmt.Sprintf("b%d", p), func() {
-		pl.traceAdd(s, p, trace.Backward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
-		st.busy = false
-		st.outstanding--
-		if s == 0 {
-			pl.complete(p)
-		} else {
-			r.stages[s-1].pendingB = append(r.stages[s-1].pendingB, p)
-			r.trySchedule(s - 1)
-		}
-		r.trySchedule(s)
-	})
+	pl.gpus[s].SubmitID(dur, r.idBwd, int32(p), int32(s))
+}
+
+func (r *oneF1BRunner) backwardDone(a, b int32, x float64) {
+	pl := r.pl
+	p, s := int(a), int(b)
+	st := &r.stages[s]
+	pl.traceAdd(s, p, trace.Backward, pl.eng.Now()-sim.Time(x), pl.eng.Now())
+	st.busy = false
+	st.outstanding--
+	if s == 0 {
+		pl.complete(p)
+	} else {
+		r.stages[s-1].pushB(int32(p))
+		r.trySchedule(s - 1)
+	}
+	r.trySchedule(s)
 }

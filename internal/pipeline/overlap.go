@@ -1,8 +1,6 @@
 package pipeline
 
 import (
-	"fmt"
-
 	"hetpipe/internal/sim"
 	"hetpipe/internal/trace"
 )
@@ -16,48 +14,88 @@ import (
 // and take constant time per boundary, so compute tasks still arrive at each
 // FIFO device queue in minibatch order — conditions 1–3 of Section 4 hold
 // unchanged, which is why the same Nm and gate semantics apply.
-type overlapRunner struct{ pl *Pipeline }
-
-func (r *overlapRunner) poke() {
-	r.pl.inject(func(p int) { r.forward(p, 0) })
+//
+// Transfer arrivals run through two handlers registered on the engine at
+// construction — a transfer event carries its own start time in the x
+// payload so the Transfer trace span needs no closure — and task completions
+// through three handlers registered once on every stage device.
+type overlapRunner struct {
+	pl      *Pipeline
+	startFn func(p int)
+	idAct   int32 // engine handler id: activation transfer arrival
+	idGrad  int32 // engine handler id: gradient transfer arrival
+	idFwd   int32
+	idBwd   int32
+	idFused int32
 }
+
+func newOverlapRunner(pl *Pipeline) *overlapRunner {
+	r := &overlapRunner{pl: pl}
+	r.startFn = r.start
+	r.idAct = pl.eng.Register(r.actArrived)
+	r.idGrad = pl.eng.Register(r.gradArrived)
+	r.idFwd = pl.register(r.forwardDone)
+	r.idBwd = pl.register(r.backwardDone)
+	r.idFused = pl.register(r.fusedDone)
+	return r
+}
+
+func (r *overlapRunner) poke() { r.pl.inject(r.startFn) }
+
+func (r *overlapRunner) start(p int) { r.forward(p, 0) }
 
 // forward delivers minibatch p's activations to stage s (a pure transfer
 // delay when s > 0) and then enqueues the compute-only forward task.
 func (r *overlapRunner) forward(p, s int) {
 	pl := r.pl
 	st := &pl.cfg.Plan.Stages[s]
-	compute := func() {
-		if s == pl.k-1 {
-			// Last partition: fused forward+backward, compute only.
-			dur := pl.dur(p, s, st.FwdTime+st.BwdTime)
-			pl.gpus[s].Submit(dur, fmt.Sprintf("fb%d", p), func() {
-				mid := pl.eng.Now() - sim.Time(pl.time(p, s, st.BwdTime))
-				pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), mid)
-				pl.traceAdd(s, p, trace.Backward, mid, pl.eng.Now())
-				if s == 0 {
-					pl.complete(p)
-					return
-				}
-				r.backward(p, s-1)
-			})
-			return
-		}
-		dur := pl.dur(p, s, st.FwdTime)
-		pl.gpus[s].Submit(dur, fmt.Sprintf("f%d", p), func() {
-			pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
-			r.forward(p, s+1)
-		})
-	}
 	if s > 0 && st.RecvActTime > 0 {
 		start := pl.eng.Now()
-		pl.eng.After(pl.dur(p, s, st.RecvActTime), fmt.Sprintf("recvA%d.%d", p, s), func() {
-			pl.traceAdd(s, p, trace.Transfer, start, pl.eng.Now())
-			compute()
-		})
+		pl.eng.AfterID(pl.dur(p, s, st.RecvActTime), r.idAct, int32(p), int32(s), float64(start))
 		return
 	}
-	compute()
+	r.computeForward(p, s)
+}
+
+func (r *overlapRunner) actArrived(a, b int32, x float64) {
+	pl := r.pl
+	p, s := int(a), int(b)
+	pl.traceAdd(s, p, trace.Transfer, sim.Time(x), pl.eng.Now())
+	r.computeForward(p, s)
+}
+
+// computeForward enqueues the compute-only forward task (fused with the
+// backward on the last partition).
+func (r *overlapRunner) computeForward(p, s int) {
+	pl := r.pl
+	st := &pl.cfg.Plan.Stages[s]
+	if s == pl.k-1 {
+		dur := pl.dur(p, s, st.FwdTime+st.BwdTime)
+		pl.gpus[s].SubmitID(dur, r.idFused, int32(p), int32(s))
+		return
+	}
+	dur := pl.dur(p, s, st.FwdTime)
+	pl.gpus[s].SubmitID(dur, r.idFwd, int32(p), int32(s))
+}
+
+func (r *overlapRunner) fusedDone(a, b int32, x float64) {
+	pl := r.pl
+	p, s := int(a), int(b)
+	mid := pl.eng.Now() - sim.Time(pl.time(p, s, pl.cfg.Plan.Stages[s].BwdTime))
+	pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(x), mid)
+	pl.traceAdd(s, p, trace.Backward, mid, pl.eng.Now())
+	if s == 0 {
+		pl.complete(p)
+		return
+	}
+	r.backward(p, s-1)
+}
+
+func (r *overlapRunner) forwardDone(a, b int32, x float64) {
+	pl := r.pl
+	p, s := int(a), int(b)
+	pl.traceAdd(s, p, trace.Forward, pl.eng.Now()-sim.Time(x), pl.eng.Now())
+	r.forward(p, s+1)
 }
 
 // backward delivers minibatch p's boundary gradients to stage s and enqueues
@@ -65,24 +103,35 @@ func (r *overlapRunner) forward(p, s int) {
 func (r *overlapRunner) backward(p, s int) {
 	pl := r.pl
 	st := &pl.cfg.Plan.Stages[s]
-	compute := func() {
-		dur := pl.dur(p, s, st.BwdTime)
-		pl.gpus[s].Submit(dur, fmt.Sprintf("b%d", p), func() {
-			pl.traceAdd(s, p, trace.Backward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
-			if s == 0 {
-				pl.complete(p)
-				return
-			}
-			r.backward(p, s-1)
-		})
-	}
 	if st.RecvGradTime > 0 {
 		start := pl.eng.Now()
-		pl.eng.After(pl.dur(p, s, st.RecvGradTime), fmt.Sprintf("recvG%d.%d", p, s), func() {
-			pl.traceAdd(s, p, trace.Transfer, start, pl.eng.Now())
-			compute()
-		})
+		pl.eng.AfterID(pl.dur(p, s, st.RecvGradTime), r.idGrad, int32(p), int32(s), float64(start))
 		return
 	}
-	compute()
+	r.computeBackward(p, s)
+}
+
+func (r *overlapRunner) gradArrived(a, b int32, x float64) {
+	pl := r.pl
+	p, s := int(a), int(b)
+	pl.traceAdd(s, p, trace.Transfer, sim.Time(x), pl.eng.Now())
+	r.computeBackward(p, s)
+}
+
+func (r *overlapRunner) computeBackward(p, s int) {
+	pl := r.pl
+	st := &pl.cfg.Plan.Stages[s]
+	dur := pl.dur(p, s, st.BwdTime)
+	pl.gpus[s].SubmitID(dur, r.idBwd, int32(p), int32(s))
+}
+
+func (r *overlapRunner) backwardDone(a, b int32, x float64) {
+	pl := r.pl
+	p, s := int(a), int(b)
+	pl.traceAdd(s, p, trace.Backward, pl.eng.Now()-sim.Time(x), pl.eng.Now())
+	if s == 0 {
+		pl.complete(p)
+		return
+	}
+	r.backward(p, s-1)
 }

@@ -134,16 +134,18 @@ func New(eng *sim.Engine, cfg Config) (*Pipeline, error) {
 		nm:    cfg.Schedule.InFlightCap(k, cfg.Plan.Nm),
 		batch: cfg.Plan.Batch,
 	}
+	pl.gpus = make([]*sim.Resource, 0, k)
+	pl.finished = make([]sim.Time, 0, cfg.Minibatches)
 	for s := 0; s < k; s++ {
 		pl.gpus = append(pl.gpus, sim.NewResource(eng, fmt.Sprintf("gpu%d", s)))
 	}
 	switch cfg.Schedule.Name() {
 	case sched.NameFIFO:
-		pl.run = &fifoRunner{pl: pl}
+		pl.run = newFifoRunner(pl)
 	case sched.NameOverlap:
-		pl.run = &overlapRunner{pl: pl}
+		pl.run = newOverlapRunner(pl)
 	case sched.NameGPipe:
-		pl.run = &gpipeRunner{pl: pl}
+		pl.run = newGPipeRunner(pl)
 	case sched.NameOneF1B:
 		pl.run = newOneF1BRunner(pl)
 	default:
@@ -215,6 +217,17 @@ func (pl *Pipeline) dur(p, s int, base float64) sim.Duration {
 	return sim.Duration(pl.time(p, s, base))
 }
 
+// register binds a completion handler on every stage device. Handlers are
+// registered in the same order on every resource, so the returned id is
+// valid for all of them.
+func (pl *Pipeline) register(fn sim.EventFunc) int32 {
+	var id int32
+	for _, g := range pl.gpus {
+		id = g.Register(fn)
+	}
+	return id
+}
+
 // traceAdd records a span when tracing is enabled.
 func (pl *Pipeline) traceAdd(stage, p int, kind trace.SpanKind, start, end sim.Time) {
 	if pl.cfg.Trace != nil {
@@ -254,7 +267,15 @@ func (pl *Pipeline) Result() (*Result, error) {
 
 // Run is the one-shot convenience: build, start, drain, summarize.
 func Run(cfg Config) (*Result, error) {
-	eng := sim.New()
+	return RunOn(sim.New(), cfg)
+}
+
+// RunOn is Run on a caller-provided engine, which is Reset first: a warm
+// engine keeps its grown event arena and heap across runs, so sweeps that
+// re-simulate thousands of configurations pay the allocation cost once.
+// Results are identical to Run on a fresh engine.
+func RunOn(eng *sim.Engine, cfg Config) (*Result, error) {
+	eng.Reset()
 	eng.SetStepLimit(uint64(cfg.Minibatches)*1000 + 100000)
 	pl, err := New(eng, cfg)
 	if err != nil {
@@ -268,13 +289,31 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // fifoRunner is the paper's Section 4 discipline — the original executor,
-// kept numerically identical: same event names, same scheduling order, same
-// fused last stage.
-type fifoRunner struct{ pl *Pipeline }
-
-func (r *fifoRunner) poke() {
-	r.pl.inject(func(p int) { r.forward(p, 0) })
+// kept numerically identical: same scheduling order, same fused last stage.
+// All task completions flow through three handlers registered once at
+// construction, so the steady state schedules without allocating; the x
+// payload of each completion is the task's exact submitted duration, from
+// which the trace reconstructs span starts bit-identically.
+type fifoRunner struct {
+	pl      *Pipeline
+	startFn func(p int)
+	idFwd   int32
+	idBwd   int32
+	idFused int32
 }
+
+func newFifoRunner(pl *Pipeline) *fifoRunner {
+	r := &fifoRunner{pl: pl}
+	r.startFn = r.start
+	r.idFwd = pl.register(r.forwardDone)
+	r.idBwd = pl.register(r.backwardDone)
+	r.idFused = pl.register(r.fusedDone)
+	return r
+}
+
+func (r *fifoRunner) poke() { r.pl.inject(r.startFn) }
+
+func (r *fifoRunner) start(p int) { r.forward(p, 0) }
 
 // forward schedules the forward pass of minibatch p on stage s. The task's
 // duration includes the time to receive the input activations from the
@@ -285,25 +324,34 @@ func (r *fifoRunner) forward(p, s int) {
 	if s == pl.k-1 {
 		// Last partition: forward immediately followed by backward, one task.
 		dur := pl.dur(p, s, st.RecvActTime+st.FwdTime+st.BwdTime)
-		pl.gpus[s].Submit(dur, fmt.Sprintf("fb%d", p), func() {
-			if pl.cfg.Trace != nil {
-				mid := pl.eng.Now() - sim.Time(pl.time(p, s, st.BwdTime))
-				pl.cfg.Trace.Add(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), mid)
-				pl.cfg.Trace.Add(s, p, trace.Backward, mid, pl.eng.Now())
-			}
-			r.sendGrad(p, s)
-		})
+		pl.gpus[s].SubmitID(dur, r.idFused, int32(p), int32(s))
 		return
 	}
 	dur := pl.dur(p, s, st.RecvActTime+st.FwdTime)
-	pl.gpus[s].Submit(dur, fmt.Sprintf("f%d", p), func() {
-		if pl.cfg.Trace != nil {
-			pl.cfg.Trace.Add(s, p, trace.Forward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
-		}
-		// The send itself is asynchronous for the sender; the receive cost
-		// is charged to the downstream stage's task.
-		r.forward(p, s+1)
-	})
+	pl.gpus[s].SubmitID(dur, r.idFwd, int32(p), int32(s))
+}
+
+func (r *fifoRunner) fusedDone(a, b int32, x float64) {
+	pl := r.pl
+	p, s := int(a), int(b)
+	if pl.cfg.Trace != nil {
+		now := pl.eng.Now()
+		mid := now - sim.Time(pl.time(p, s, pl.cfg.Plan.Stages[s].BwdTime))
+		pl.cfg.Trace.Add(s, p, trace.Forward, now-sim.Time(x), mid)
+		pl.cfg.Trace.Add(s, p, trace.Backward, mid, now)
+	}
+	r.sendGrad(p, s)
+}
+
+func (r *fifoRunner) forwardDone(a, b int32, x float64) {
+	pl := r.pl
+	p, s := int(a), int(b)
+	if pl.cfg.Trace != nil {
+		pl.cfg.Trace.Add(s, p, trace.Forward, pl.eng.Now()-sim.Time(x), pl.eng.Now())
+	}
+	// The send itself is asynchronous for the sender; the receive cost is
+	// charged to the downstream stage's task.
+	r.forward(p, s+1)
 }
 
 // backward schedules the backward pass of minibatch p on stage s (s < k-1;
@@ -313,16 +361,20 @@ func (r *fifoRunner) backward(p, s int) {
 	pl := r.pl
 	st := &pl.cfg.Plan.Stages[s]
 	dur := pl.dur(p, s, st.RecvGradTime+st.BwdTime)
-	pl.gpus[s].Submit(dur, fmt.Sprintf("b%d", p), func() {
-		if pl.cfg.Trace != nil {
-			pl.cfg.Trace.Add(s, p, trace.Backward, pl.eng.Now()-sim.Time(dur), pl.eng.Now())
-		}
-		if s == 0 {
-			pl.complete(p)
-			return
-		}
-		r.sendGrad(p, s)
-	})
+	pl.gpus[s].SubmitID(dur, r.idBwd, int32(p), int32(s))
+}
+
+func (r *fifoRunner) backwardDone(a, b int32, x float64) {
+	pl := r.pl
+	p, s := int(a), int(b)
+	if pl.cfg.Trace != nil {
+		pl.cfg.Trace.Add(s, p, trace.Backward, pl.eng.Now()-sim.Time(x), pl.eng.Now())
+	}
+	if s == 0 {
+		pl.complete(p)
+		return
+	}
+	r.sendGrad(p, s)
 }
 
 // sendGrad propagates minibatch p's boundary gradients from stage s to s-1.

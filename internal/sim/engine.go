@@ -5,16 +5,25 @@
 // monotonically increasing sequence number breaks ties), which makes every
 // simulation run fully reproducible.
 //
+// The queue is an index-based 4-ary min-heap over a pooled, generation-
+// checked event arena: scheduling an event reuses a free arena slot instead
+// of allocating, the heap orders int32 slot ids instead of pointers, and no
+// interface boxing happens anywhere on the hot path. Steady-state
+// simulations therefore run allocation-free inside the engine; the only
+// allocations are the arena's one-time growth to the peak number of
+// concurrently pending events. Callers that also want allocation-free
+// callbacks Register an EventFunc once and schedule it by id (AtID/AfterID),
+// threading two integers and a float through the arena instead of capturing
+// them in a closure; the closure-based At/After remain for convenience.
+//
 // All durations and timestamps are in seconds of virtual time. The engine is
 // not safe for concurrent use; simulations are single-goroutine by design so
 // that results are deterministic.
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
-	"math"
 )
 
 // Time is an instant in virtual time, in seconds since simulation start.
@@ -23,36 +32,54 @@ type Time float64
 // Duration is a span of virtual time, in seconds.
 type Duration float64
 
-// Forever is a time later than any event a simulation will ever schedule.
-const Forever Time = Time(math.MaxFloat64)
+// EventFunc is a pooled event callback. The two integers and the float are
+// caller-chosen payload (typically a minibatch number, a stage index, and a
+// duration or start time), carried through the event arena so that
+// scheduling needs no per-event closure. Handlers are installed once with
+// Register and scheduled by id (AtID/AfterID), which keeps the event arena
+// free of per-event function pointers — the garbage collector never scans
+// queue traffic.
+type EventFunc func(a, b int32, x float64)
 
-// event is a scheduled callback.
-type event struct {
-	at   Time
-	seq  uint64
-	name string
-	fn   func()
+// Handle identifies a scheduled event for cancellation. The zero Handle is
+// never valid. Handles are generation-checked: once the event has fired or
+// been cancelled, the handle goes stale and Cancel on it reports false, even
+// if the arena slot has been reused by a later event.
+type Handle struct {
+	slot int32
+	gen  uint32
 }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*event
+// slot states.
+const (
+	slotFree uint8 = iota
+	slotQueued
+	slotCancelled
+)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// noFunc marks a slot with no registered-handler id (the closure path).
+const noFunc int32 = -1
+
+// slot is one arena entry. Exactly one of fn (closure path) and ef (a
+// Register'd handler id, pooled path) is set while queued; fn is the only
+// pointer in the arena.
+type slot struct {
+	at    Time
+	x     float64
+	fn    func()
+	a, b  int32
+	ef    int32
+	gen   uint32
+	state uint8
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// heapEnt is one heap entry with the ordering key (at, seq) inlined, so
+// sift-up and sift-down compare without touching the arena — the heap stays
+// cache-resident even when the arena does not.
+type heapEnt struct {
+	at  Time
+	seq uint64
+	id  int32
 }
 
 // Engine is a discrete-event simulator.
@@ -61,9 +88,15 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now     Time
 	seq     uint64
-	pq      eventHeap
 	fired   uint64
 	maxStep uint64 // safety bound; 0 means unlimited
+
+	slots []slot      // event arena; Handle.slot and heap entries index into it
+	free  []int32     // free arena slots
+	heap  []heapEnt   // 4-ary min-heap of queued (or cancelled) events
+	live  int         // queued, non-cancelled events
+	dead  int         // cancelled events still occupying heap entries
+	funcs []EventFunc // Register'd handlers, indexed by slot.ef
 }
 
 // New returns an empty engine with the clock at zero.
@@ -77,22 +110,146 @@ func (e *Engine) Now() Time { return e.now }
 // Fired reports how many events have fired so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports how many events are scheduled but not yet fired.
-func (e *Engine) Pending() int { return len(e.pq) }
+// Pending reports how many events are scheduled but not yet fired
+// (cancelled events do not count).
+func (e *Engine) Pending() int { return e.live }
 
 // SetStepLimit bounds the total number of events the engine will fire;
 // Run returns an error if the limit is hit. Zero disables the limit.
 func (e *Engine) SetStepLimit(n uint64) { e.maxStep = n }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it is always a bug in the simulation, never a recoverable condition.
-// The name is used only for diagnostics.
-func (e *Engine) At(t Time, name string, fn func()) {
+// Reset returns the engine to the zero-clock empty state while keeping the
+// arena and heap capacity, so a warm engine re-simulates without re-growing
+// any internal storage. Outstanding Handles go stale, and Register'd
+// handlers are dropped (re-register after Reset). The step limit is
+// retained.
+func (e *Engine) Reset() {
+	for _, ent := range e.heap {
+		if e.slots[ent.id].state != slotFree {
+			e.freeSlot(ent.id)
+		}
+	}
+	e.heap = e.heap[:0]
+	e.now, e.seq, e.fired = 0, 0, 0
+	e.live, e.dead = 0, 0
+	e.funcs = e.funcs[:0]
+}
+
+// alloc takes a slot from the free list, growing the arena when empty.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		id := e.free[n-1]
+		e.free = e.free[:n-1]
+		return id
+	}
+	e.slots = append(e.slots, slot{})
+	return int32(len(e.slots) - 1)
+}
+
+// freeSlot recycles an arena slot, bumping its generation so stale handles
+// cannot touch the next occupant, and dropping callback references.
+func (e *Engine) freeSlot(id int32) {
+	s := &e.slots[id]
+	s.state = slotFree
+	s.gen++
+	if s.fn != nil {
+		s.fn = nil
+	}
+	e.free = append(e.free, id)
+}
+
+// less orders heap entries by (time, sequence).
+func less(a, b heapEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// heapPush inserts an entry, sifting up through the 4-ary heap.
+func (e *Engine) heapPush(ent heapEnt) {
+	e.heap = append(e.heap, ent)
+	c := len(e.heap) - 1
+	for c > 0 {
+		p := (c - 1) / 4
+		if !less(e.heap[c], e.heap[p]) {
+			break
+		}
+		e.heap[c], e.heap[p] = e.heap[p], e.heap[c]
+		c = p
+	}
+}
+
+// heapPop removes and returns the minimum entry, sifting the displaced last
+// element down through the 4-ary heap with the hole method.
+func (e *Engine) heapPop() heapEnt {
+	top := e.heap[0]
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 0 {
+		i := 0
+		for {
+			first := 4*i + 1
+			if first >= n {
+				break
+			}
+			min := first
+			end := first + 4
+			if end > n {
+				end = n
+			}
+			for c := first + 1; c < end; c++ {
+				if less(e.heap[c], e.heap[min]) {
+					min = c
+				}
+			}
+			if !less(e.heap[min], last) {
+				break
+			}
+			e.heap[i] = e.heap[min]
+			i = min
+		}
+		e.heap[i] = last
+	}
+	return top
+}
+
+// Register installs a pooled event handler and returns its id for AtID and
+// AfterID. Handlers are engine-lifetime (until Reset); scheduling against an
+// unregistered id panics at fire time. Register once at setup — ids are
+// dense from 0, in registration order.
+func (e *Engine) Register(fn EventFunc) int32 {
+	e.funcs = append(e.funcs, fn)
+	return int32(len(e.funcs) - 1)
+}
+
+// schedule is the shared arena path behind At/AtID. The name is used only in
+// the scheduled-in-the-past panic message; it is not retained.
+func (e *Engine) schedule(t Time, name string, fn func(), ef int32, a, b int32, x float64) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pq, &event{at: t, seq: e.seq, name: name, fn: fn})
+	id := e.alloc()
+	s := &e.slots[id]
+	s.at = t
+	if fn != nil {
+		s.fn = fn
+	}
+	s.ef = ef
+	s.a, s.b, s.x = a, b, x
+	s.state = slotQueued
+	e.heapPush(heapEnt{at: t, seq: e.seq, id: id})
+	e.live++
+	return Handle{slot: id, gen: s.gen}
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a bug in the simulation, never a recoverable condition.
+// The name is used only for diagnostics.
+func (e *Engine) At(t Time, name string, fn func()) {
+	e.schedule(t, name, fn, noFunc, 0, 0, 0)
 }
 
 // After schedules fn to run d seconds from now. Negative d panics.
@@ -103,19 +260,90 @@ func (e *Engine) After(d Duration, name string, fn func()) {
 	e.At(e.now+Time(d), name, fn)
 }
 
+// AtID schedules the Register'd handler id to fire as fn(a, b, x) at
+// absolute time t without allocating: the payload rides in the event arena
+// instead of a closure. It returns a cancellation handle. Scheduling in the
+// past panics, as with At.
+func (e *Engine) AtID(t Time, id, a, b int32, x float64) Handle {
+	return e.schedule(t, "pooled", nil, id, a, b, x)
+}
+
+// AfterID schedules the Register'd handler id to fire as fn(a, b, x) d
+// seconds from now without allocating. Negative d panics.
+func (e *Engine) AfterID(d Duration, id, a, b int32, x float64) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: pooled event scheduled with negative delay %v", d))
+	}
+	return e.schedule(e.now+Time(d), "pooled", nil, id, a, b, x)
+}
+
+// Cancel revokes a scheduled event. It reports whether the handle named a
+// still-pending event: a handle whose event already fired, was already
+// cancelled, or whose arena slot has been recycled for a newer event is
+// stale, and Cancel returns false without touching anything.
+func (e *Engine) Cancel(h Handle) bool {
+	if h.slot < 0 || int(h.slot) >= len(e.slots) {
+		return false
+	}
+	s := &e.slots[h.slot]
+	if s.state != slotQueued || s.gen != h.gen {
+		return false
+	}
+	// The heap entry stays until popped (lazy deletion); bump the generation
+	// now so the handle is immediately stale.
+	s.state = slotCancelled
+	s.gen++
+	if s.fn != nil {
+		s.fn = nil
+	}
+	e.live--
+	e.dead++
+	return true
+}
+
+// prune discards cancelled events at the top of the heap so the head is the
+// next live event; it reports whether one exists. With no cancellations
+// outstanding it is a pair of integer tests — the common case never loads a
+// slot.
+func (e *Engine) prune() bool {
+	for len(e.heap) > 0 {
+		if e.dead == 0 {
+			return true
+		}
+		id := e.heap[0].id
+		if e.slots[id].state != slotCancelled {
+			return true
+		}
+		e.heapPop()
+		e.freeSlot(id)
+		e.dead--
+	}
+	return false
+}
+
 // Step fires the next event, advancing the clock to its timestamp.
 // It reports false when no events remain.
 func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
+	if !e.prune() {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(*event)
-	if ev.at < e.now {
+	ent := e.heapPop()
+	if ent.at < e.now {
 		panic("sim: clock went backwards")
 	}
-	e.now = ev.at
+	s := &e.slots[ent.id]
+	e.now = ent.at
 	e.fired++
-	ev.fn()
+	e.live--
+	// Free before firing so the callback can schedule into the slot; the
+	// callback state is captured first.
+	fn, ef, a, b, x := s.fn, s.ef, s.a, s.b, s.x
+	e.freeSlot(ent.id)
+	if fn != nil {
+		fn()
+	} else if ef >= 0 {
+		e.funcs[ef](a, b, x)
+	}
 	return true
 }
 
@@ -165,7 +393,7 @@ func (e *Engine) RunContext(ctx context.Context) error {
 // to the deadline (even if the queue still holds later events). It returns an
 // error under the same step-limit condition as Run.
 func (e *Engine) RunUntil(deadline Time) error {
-	for len(e.pq) > 0 && e.pq[0].at <= deadline {
+	for e.prune() && e.heap[0].at <= deadline {
 		e.Step()
 		if e.maxStep > 0 && e.fired > e.maxStep {
 			return fmt.Errorf("sim: step limit %d exceeded at t=%v", e.maxStep, e.now)

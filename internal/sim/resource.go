@@ -6,6 +6,12 @@ package sim
 //
 // Resources track their cumulative busy time so utilization can be reported
 // per device, which the Figure 3 experiment needs.
+//
+// The waiting queue is a head-indexed ring over a reusable backing slice of
+// pointer-free job records: completion handlers are registered up front with
+// Register and queued by id (SubmitID), so pushing a job copies 24 bytes with
+// no write barriers and no allocation. The closure-based Submit remains for
+// callers off the hot path; its callbacks ride a parallel FIFO ring.
 type Resource struct {
 	eng  *Engine
 	name string
@@ -15,22 +21,45 @@ type Resource struct {
 	busyTotal Duration
 	served    uint64
 	queue     []job
+	head      int
 	maxQueue  int
+	cur       job
+	doneID    int32       // engine handler id for jobDone
+	funcs     []EventFunc // Register'd completion handlers, indexed by job.fn
+	closures  []func()    // Submit callbacks, a parallel FIFO ring
+	clHead    int
 }
 
+// closureJob marks a job whose completion callback lives in the closures
+// ring rather than the registered-handler table.
+const closureJob int32 = -1
+
+// job is one queued unit of work. It is deliberately pointer-free so queue
+// traffic stays out of the garbage collector's way.
 type job struct {
-	hold   Duration
-	onDone func()
-	name   string
+	hold Duration
+	a, b int32
+	fn   int32 // index into funcs, or closureJob
 }
 
 // NewResource creates an idle resource attached to the engine.
 func NewResource(eng *Engine, name string) *Resource {
-	return &Resource{eng: eng, name: name}
+	r := &Resource{eng: eng, name: name}
+	r.doneID = eng.Register(r.jobDone)
+	return r
 }
 
 // Name reports the resource name.
 func (r *Resource) Name() string { return r.name }
+
+// Register binds a completion handler to the resource and returns its id for
+// SubmitID. Handlers are registered once at setup (ids are dense from 0, in
+// registration order); submitting against an unregistered id panics at
+// completion time.
+func (r *Resource) Register(fn EventFunc) int32 {
+	r.funcs = append(r.funcs, fn)
+	return int32(len(r.funcs) - 1)
+}
 
 // Submit enqueues a job that holds the resource for d seconds; onDone fires
 // at completion (it may be nil). Jobs run in submission order.
@@ -38,9 +67,34 @@ func (r *Resource) Submit(d Duration, name string, onDone func()) {
 	if d < 0 {
 		panic("sim: negative hold duration for " + r.name + "/" + name)
 	}
-	r.queue = append(r.queue, job{hold: d, onDone: onDone, name: name})
-	if len(r.queue) > r.maxQueue {
-		r.maxQueue = len(r.queue)
+	r.closures = append(r.closures, onDone)
+	r.push(job{hold: d, fn: closureJob})
+}
+
+// SubmitID enqueues a job that holds the resource for d seconds; at
+// completion the Register'd handler id fires as fn(a, b, float64(d)) — the
+// hold duration rides back to the caller so span bookkeeping needs no
+// closure. Jobs run in submission order, interleaving with Submit jobs by
+// submission time.
+func (r *Resource) SubmitID(d Duration, id, a, b int32) {
+	if d < 0 {
+		panic("sim: negative hold duration for " + r.name)
+	}
+	r.push(job{hold: d, a: a, b: b, fn: id})
+}
+
+func (r *Resource) push(j job) {
+	// Compact once the dead prefix dominates the live region, so a queue that
+	// never fully drains (a saturated pipeline stage) still reuses its backing
+	// array instead of growing by one slot per job forever. Amortized O(1).
+	if r.head >= 16 && r.head >= len(r.queue)-r.head {
+		n := copy(r.queue, r.queue[r.head:])
+		r.queue = r.queue[:n]
+		r.head = 0
+	}
+	r.queue = append(r.queue, j)
+	if n := len(r.queue) - r.head; n > r.maxQueue {
+		r.maxQueue = n
 	}
 	if !r.busy {
 		r.startNext()
@@ -48,31 +102,57 @@ func (r *Resource) Submit(d Duration, name string, onDone func()) {
 }
 
 func (r *Resource) startNext() {
-	if len(r.queue) == 0 {
+	if r.head == len(r.queue) {
+		r.queue = r.queue[:0]
+		r.head = 0
 		r.busy = false
 		return
 	}
-	j := r.queue[0]
-	copy(r.queue, r.queue[1:])
-	r.queue = r.queue[:len(r.queue)-1]
+	j := r.queue[r.head]
+	r.head++
 	r.busy = true
 	r.busySince = r.eng.Now()
-	r.eng.After(j.hold, r.name+"/"+j.name, func() {
-		r.busyTotal += Duration(r.eng.Now() - r.busySince)
-		r.served++
-		done := j.onDone
-		r.startNext()
-		if done != nil {
-			done()
+	r.cur = j
+	r.eng.AfterID(j.hold, r.doneID, 0, 0, 0)
+}
+
+// jobDone is the completion EventFunc for every job on this resource; the
+// finished job lives in r.cur, not the event payload, because the resource is
+// serial. Accounting and the hand-off to the next queued job happen before
+// the caller's callback, matching the pre-pooling event order.
+func (r *Resource) jobDone(_, _ int32, _ float64) {
+	r.busyTotal += Duration(r.eng.Now() - r.busySince)
+	r.served++
+	j := r.cur
+	r.startNext()
+	if j.fn >= 0 {
+		r.funcs[j.fn](j.a, j.b, float64(j.hold))
+		return
+	}
+	cb := r.closures[r.clHead]
+	r.closures[r.clHead] = nil
+	r.clHead++
+	if r.clHead == len(r.closures) {
+		r.closures = r.closures[:0]
+		r.clHead = 0
+	} else if r.clHead >= 16 && r.clHead >= len(r.closures)-r.clHead {
+		n := copy(r.closures, r.closures[r.clHead:])
+		for i := n; i < len(r.closures); i++ {
+			r.closures[i] = nil
 		}
-	})
+		r.closures = r.closures[:n]
+		r.clHead = 0
+	}
+	if cb != nil {
+		cb()
+	}
 }
 
 // Busy reports whether a job currently occupies the resource.
 func (r *Resource) Busy() bool { return r.busy }
 
 // QueueLen reports the number of jobs waiting (not including the running one).
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int { return len(r.queue) - r.head }
 
 // MaxQueueLen reports the maximum backlog observed.
 func (r *Resource) MaxQueueLen() int { return r.maxQueue }

@@ -12,6 +12,7 @@ import (
 	"hetpipe/internal/model"
 	"hetpipe/internal/profile"
 	"hetpipe/internal/sched"
+	"hetpipe/internal/sim"
 )
 
 // Options tunes a sweep run.
@@ -128,12 +129,34 @@ func (o Options) ResolvedWorkers(n int) int {
 	return workers
 }
 
+// sysKey identifies a deployment super-family: scenarios that share the
+// profiled System and the GPU allocation. Nm, placement, D, and faults are
+// all absent — a grid whose cells differ only in those axes builds the model
+// graph, profiles it against the cluster, and allocates virtual workers
+// exactly once.
+type sysKey struct {
+	model, cluster, policy, schedule string
+	batch                            int
+}
+
+// sysEntry is one super-family's lazily-built System and Allocation.
+type sysEntry struct {
+	once  sync.Once
+	sys   *core.System
+	alloc *hw.Allocation
+	err   error
+}
+
 // deployKey identifies a grid-cell family: scenarios that share everything a
 // deployment resolution depends on. D is deliberately absent — partition
 // plans, Nm selection, and sync transfer times are all D-independent, so one
 // resolved deployment serves every D value of the family via
-// core.Deployment.WithD. The schedule is present: it shapes the partition
-// plans (per-schedule memory model) and the simulated task graph.
+// core.Deployment.WithD. Nm and placement are present (the partition memory
+// model depends on Nm; sync transfer times on placement), but families
+// differing only in them still share the profiled System and Allocation
+// through the sysKey level. The schedule is present at both levels: it shapes
+// the partition plans (per-schedule memory model) and the simulated task
+// graph.
 type deployKey struct {
 	model, cluster, policy, placement, schedule string
 	nm, batch                                   int
@@ -146,24 +169,52 @@ type deployEntry struct {
 	err  error
 }
 
-// resolver caches one resolved deployment per grid-cell family. Deployment
-// resolution — model graph, cluster inventory, allocation, per-VW
-// partitioning, and the Nm sweep when Nm is auto — dominates a scenario's
-// cost, and a grid with a D axis of k values would otherwise repeat it k
-// times per family. The cache is safe for concurrent scenario workers (the
-// per-entry once serializes resolution; the resolved deployment is read-only
-// during simulation) and does not affect determinism: resolution is a pure
-// function of the family key.
+// resolver caches per-super-family Systems/Allocations and per-family
+// deployments. Deployment resolution — model graph, cluster inventory,
+// allocation, per-VW partitioning, and the Nm sweep when Nm is auto —
+// dominates a scenario's cost, and a grid with a D axis of k values would
+// otherwise repeat it k times per family; an Nm axis additionally re-profiles
+// the model without the sysKey level. The cache is safe for concurrent
+// scenario workers (the per-entry once serializes resolution; the resolved
+// values are read-only during simulation) and does not affect determinism:
+// resolution is a pure function of the key.
 type resolver struct {
 	mu      sync.Mutex
+	systems map[sysKey]*sysEntry
 	entries map[deployKey]*deployEntry
-	// resolutions counts actual (non-cached) deployment resolutions — the
-	// reuse observability hook the tests assert on.
-	resolutions atomic.Int64
+	// resolutions counts actual (non-cached) deployment resolutions, and
+	// sysResolutions actual System builds — the reuse observability hooks the
+	// tests assert on.
+	resolutions    atomic.Int64
+	sysResolutions atomic.Int64
 }
 
 func newResolver() *resolver {
-	return &resolver{entries: make(map[deployKey]*deployEntry)}
+	return &resolver{
+		systems: make(map[sysKey]*sysEntry),
+		entries: make(map[deployKey]*deployEntry),
+	}
+}
+
+// system returns the super-family System and Allocation for sc, building
+// them on first use.
+func (r *resolver) system(sc Scenario) (*core.System, *hw.Allocation, error) {
+	key := sysKey{
+		model: sc.Model, cluster: sc.Cluster,
+		policy: sc.Policy, schedule: sc.Schedule, batch: sc.Batch,
+	}
+	r.mu.Lock()
+	e := r.systems[key]
+	if e == nil {
+		e = &sysEntry{}
+		r.systems[key] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		r.sysResolutions.Add(1)
+		e.sys, e.alloc, e.err = resolveSystem(sc)
+	})
+	return e.sys, e.alloc, e.err
 }
 
 // deployment returns the family deployment for sc, resolving it on first
@@ -183,8 +234,17 @@ func (r *resolver) deployment(sc Scenario) (*core.Deployment, error) {
 	}
 	r.mu.Unlock()
 	e.once.Do(func() {
+		sys, alloc, err := r.system(sc)
+		if err != nil {
+			e.err = err
+			return
+		}
 		r.resolutions.Add(1)
-		e.dep, e.err = resolveDeployment(sc)
+		placement := core.PlacementDefault
+		if sc.Placement == PlacementLocal {
+			placement = core.PlacementLocal
+		}
+		e.dep, e.err = sys.Deploy(alloc, sc.Nm, 0, placement)
 	})
 	if e.err != nil {
 		return nil, e.err
@@ -192,38 +252,35 @@ func (r *resolver) deployment(sc Scenario) (*core.Deployment, error) {
 	return e.dep.WithD(sc.D)
 }
 
-// resolveDeployment builds one family's deployment from scratch. It resolves
-// at D=0; callers re-bind the actual D with WithD.
-func resolveDeployment(sc Scenario) (*core.Deployment, error) {
+// resolveSystem builds one super-family's profiled System and GPU allocation
+// from scratch; everything here is independent of Nm, placement, D, and the
+// fault plan.
+func resolveSystem(sc Scenario) (*core.System, *hw.Allocation, error) {
 	m, err := model.ByName(sc.Model)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cluster, err := hw.ClusterByName(sc.Cluster)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	schedule, err := sched.ByName(sc.Schedule)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sys, err := core.NewSystemSched(cluster, m, profile.Default(), sc.Batch, schedule)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pol, err := hw.PolicyByName(sc.Policy)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	alloc, err := hw.Allocate(cluster, pol)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	placement := core.PlacementDefault
-	if sc.Placement == PlacementLocal {
-		placement = core.PlacementLocal
-	}
-	return sys.Deploy(alloc, sc.Nm, 0, placement)
+	return sys, alloc, nil
 }
 
 // Run expands the grid and simulates every scenario on a bounded worker
@@ -266,8 +323,12 @@ func run(ctx context.Context, g Grid, scenarios []Scenario, opt Options) (*Set, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One warm discrete-event engine per worker goroutine: its arena
+			// and heap grow to the sweep's peak once and are reused (via
+			// Reset) for every scenario this worker draws.
+			eng := sim.New()
 			for i := range jobs {
-				results[i] = runScenario(ctx, scenarios[i], res)
+				results[i] = runScenario(ctx, scenarios[i], res, eng)
 				if opt.OnResult != nil {
 					notify.Lock()
 					opt.OnResult(results[i])
@@ -317,8 +378,9 @@ func fillDegradation(results []Result) {
 }
 
 // runScenario simulates one scenario: the shared family deployment (via the
-// resolver) plus a scenario-local discrete-event simulation.
-func runScenario(ctx context.Context, sc Scenario, res *resolver) Result {
+// resolver) plus a scenario-local discrete-event simulation on the worker's
+// warm engine.
+func runScenario(ctx context.Context, sc Scenario, res *resolver, eng *sim.Engine) Result {
 	out := Result{Scenario: sc}
 	fail := func(err error) Result {
 		out.Error = err.Error()
@@ -363,7 +425,7 @@ func runScenario(ctx context.Context, sc Scenario, res *resolver) Result {
 	if err != nil {
 		return fail(err)
 	}
-	mr, err := dep.SimulateWSPFaults(ctx, mbs, 4*dep.Nm, nil, plan, 0)
+	mr, err := dep.SimulateWSPFaultsOn(ctx, eng, mbs, 4*dep.Nm, nil, plan, 0)
 	if err != nil {
 		return fail(err)
 	}
