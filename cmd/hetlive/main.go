@@ -59,6 +59,7 @@ func main() {
 	clusterName := flag.String("cluster", "paper", "cluster-catalog shape for -deploy mode")
 	policy := flag.String("policy", "ED", "allocation policy for -deploy mode")
 	schedule := flag.String("schedule", "", "pipeline schedule for -deploy mode (see hetpipe.Schedules; empty = hetpipe-fifo)")
+	interleave := flag.Int("interleave", 0, "interleave degree V for -deploy mode (requires -schedule interleaved when > 1)")
 	progress := flag.Bool("progress", false, "stream push/pull/clock events while training (-deploy mode)")
 	faultSpec := flag.String("faults", "", "fault-injection plan, e.g. slow:w0:x2,crash:w1:mb40 (conformance keeps the sim fault-free)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "worker/shard checkpoint cadence in waves (0 = crashes replay from scratch)")
@@ -81,7 +82,7 @@ func main() {
 	if *deploy {
 		runDeploy(ctx, deployOpts{
 			model: *modelName, cluster: *clusterName, policy: *policy,
-			schedule: *schedule, task: *taskName,
+			schedule: *schedule, interleave: *interleave, task: *taskName,
 			d: *d, nm: *nm, mb: *mb, chunks: *chunks, seed: *seed, lr: *lr,
 			tcp: *tcp, progress: *progress,
 			faults: *faultSpec, ckptEvery: *ckptEvery, ckptPath: *ckptPath, resume: *resume,
@@ -159,6 +160,7 @@ func printFaultSummary(stats *cluster.Stats) {
 // deployOpts carries the -deploy mode's flag values.
 type deployOpts struct {
 	model, cluster, policy, schedule, task string
+	interleave                             int
 	d, nm, mb, chunks                      int
 	seed                                   int64
 	lr                                     float64
@@ -179,6 +181,7 @@ func runDeploy(ctx context.Context, o deployOpts) {
 		hetpipe.WithCluster(o.cluster),
 		hetpipe.WithPolicy(o.policy),
 		hetpipe.WithSchedule(o.schedule),
+		hetpipe.WithInterleave(o.interleave),
 		hetpipe.WithD(o.d),
 		hetpipe.WithNm(o.nm),
 		hetpipe.WithMinibatchesPerVW(o.mb),

@@ -38,6 +38,7 @@ func main() {
 	horovod := flag.Bool("horovod", false, "run the Horovod baseline instead")
 	gantt := flag.Bool("gantt", false, "print the pipeline schedule of VW 1")
 	schedule := flag.String("schedule", "", "pipeline schedule: "+strings.Join(hetpipe.Schedules(), ", ")+" (empty = hetpipe-fifo)")
+	interleave := flag.Int("interleave", 0, "interleave degree V: chunks per GPU (requires -schedule interleaved when > 1)")
 	warmup := flag.Int("warmup", 1, "warmup minibatches excluded from -gantt/-trace-out rendering")
 	traceOut := flag.String("trace-out", "", "write VW 1's pipeline schedule as chrome://tracing JSON to this path")
 	progress := flag.Bool("progress", false, "stream wave-push and clock-advance events while simulating")
@@ -69,6 +70,7 @@ func main() {
 		hetpipe.WithD(*d),
 		hetpipe.WithLocalPlacement(*local),
 		hetpipe.WithSchedule(*schedule),
+		hetpipe.WithInterleave(*interleave),
 		hetpipe.WithWarmup(*warmup),
 		hetpipe.WithFaults(*faults),
 		hetpipe.WithCheckpoint(*ckptEvery),
@@ -117,8 +119,16 @@ func main() {
 	for i, plan := range res.Plans {
 		fmt.Printf("  VW%d partition (bottleneck %.1f ms):\n", i+1, plan.Bottleneck*1e3)
 		for s, st := range plan.Stages {
-			fmt.Printf("    stage %d on %-10s layers [%3d,%3d)  exec %6.1f ms  mem %5.2f/%5.2f GiB\n",
-				s+1, st.GPU, st.Layers[0], st.Layers[1], st.ExecTime*1e3,
+			span := fmt.Sprintf("layers [%3d,%3d)", st.Layers[0], st.Layers[1])
+			if len(st.Chunks) > 1 {
+				var parts []string
+				for _, c := range st.Chunks {
+					parts = append(parts, fmt.Sprintf("%d-%d", c[0], c[1]))
+				}
+				span = "chunks " + strings.Join(parts, "+")
+			}
+			fmt.Printf("    stage %d on %-10s %s  exec %6.1f ms  mem %5.2f/%5.2f GiB\n",
+				s+1, st.GPU, span, st.ExecTime*1e3,
 				float64(st.MemoryBytes)/float64(1<<30), float64(st.MemoryCap)/float64(1<<30))
 		}
 	}

@@ -11,6 +11,7 @@
 //	hetsweep -models vgg19 -clusters paper,mini -policies ED -d 0,1,2,4 -nm 1,2,4
 //	hetsweep -sync wsp,horovod -placements default,local
 //	hetsweep -schedules hetpipe-fifo,1f1b,hetpipe-overlap   # pipeline-schedule axis
+//	hetsweep -schedules interleaved -interleaves 1,2,4      # virtual-stage degree axis
 //	hetsweep -faults ';slow:w0:x2;rand:0.5:seed7'           # fault axis (';'-separated,
 //	                                          leading empty entry = fault-free baseline)
 //	hetsweep -list                            # show the available axis values
@@ -52,6 +53,7 @@ func main() {
 	syncModes := flag.String("sync", "wsp", "comma-separated sync modes (wsp, horovod)")
 	placements := flag.String("placements", "default", "comma-separated parameter placements (default, local)")
 	schedules := flag.String("schedules", sched.Default().Name(), "comma-separated pipeline schedules ("+strings.Join(sched.Names(), ", ")+")")
+	interleaves := flag.String("interleaves", "1", "comma-separated interleave degrees V (schedules without interleave support collapse to V=1)")
 	faults := flag.String("faults", "", "semicolon-separated fault-plan specs (fault grammar: slow:w0:x2,crash:w1:mb40,...); an empty entry is the fault-free baseline")
 	dValues := flag.String("d", intsJoin(def.DValues), "comma-separated WSP clock-distance bounds")
 	nmValues := flag.String("nm", "0", "comma-separated concurrent-minibatch counts (0 = auto)")
@@ -108,6 +110,9 @@ func main() {
 	}
 	if grid.NmValues, err = splitInts(*nmValues); err != nil {
 		fatalf("-nm: %v", err)
+	}
+	if grid.Interleaves, err = splitInts(*interleaves); err != nil {
+		fatalf("-interleaves: %v", err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -68,6 +68,13 @@ func New(opts ...Option) (*Deployment, error) {
 		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownSchedule, set.schedule, Schedules())
 	}
 	set.schedule = schedule.Name()
+	if set.interleave < 0 {
+		return nil, fmt.Errorf("%w: %d (must be >= 0)", ErrBadInterleave, set.interleave)
+	}
+	if set.interleave > 1 && !schedule.SupportsInterleave() {
+		return nil, fmt.Errorf("%w: schedule %q cannot run V=%d (use %q)",
+			ErrBadInterleave, schedule.Name(), set.interleave, sched.NameInterleaved)
+	}
 	switch set.task {
 	case "logreg", "mlp":
 	default:
@@ -95,6 +102,7 @@ func New(opts ...Option) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
+	sys.Interleave = set.interleave
 
 	var alloc *hw.Allocation
 	switch {
@@ -147,6 +155,15 @@ func (d *Deployment) Nm() int { return d.dep.Nm }
 // Schedule reports the pipeline schedule the deployment runs, resolved from
 // WithSchedule ("hetpipe-fifo" when none was given).
 func (d *Deployment) Schedule() string { return d.dep.ScheduleName() }
+
+// Interleave reports the interleave degree V the deployment's plans were cut
+// for (WithInterleave); 1 means the classic contiguous placement.
+func (d *Deployment) Interleave() int {
+	if d.set.interleave < 1 {
+		return 1
+	}
+	return d.set.interleave
+}
 
 // D reports the WSP clock-distance bound.
 func (d *Deployment) D() int { return d.dep.D }

@@ -1,4 +1,4 @@
-// Schedules: sweep one deployment across all four pipeline schedules and
+// Schedules: sweep one deployment across all six pipeline schedules and
 // show what the schedule choice changes — steady-state throughput, the
 // per-stage activation-memory footprint, and the shape of the pipeline
 // schedule itself (Gantt charts of the first virtual worker).
@@ -7,9 +7,13 @@
 // communication/computation overlap as future work (Section 9);
 // "hetpipe-overlap" is that improvement, "gpipe" and "1f1b" are the
 // fill-drain and one-forward-one-backward disciplines from the PipeDream /
-// GPipe line of work. 1F1B's smaller activation footprint is visible
-// directly: on a memory-constrained worker it admits a larger Nm than FIFO
-// (compare the stage-0 memory columns).
+// GPipe line of work, "2bw" is PipeDream-2BW's double-buffered weight
+// stashing, and "interleaved" is Megatron-LM's virtual-stage placement
+// (pair with WithInterleave). 1F1B's smaller activation footprint is
+// visible directly: on a memory-constrained worker it admits a larger Nm
+// than FIFO (compare the stage-0 memory columns); 2BW's shows up against
+// GPipe in the per-stage memory table, and the interleaved Gantt shows
+// each GPU cycling through its V model chunks.
 package main
 
 import (
@@ -81,5 +85,59 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\npipeline schedule under %s (VRGQ, Nm=4):\n%s", name, g)
+	}
+
+	// Interleaved virtual stages: at V=2 each GPU hosts two non-contiguous
+	// model chunks (GPU g runs chunks g and g+4), so the Gantt shows every
+	// row alternating between its chunks while boundary transfers overlap
+	// with compute — Megatron-LM's placement on the paper's ED worker.
+	dep, err := hetpipe.New(
+		hetpipe.WithModel("resnet152"),
+		hetpipe.WithSpecs("VRGQ"),
+		hetpipe.WithNm(8),
+		hetpipe.WithSchedule("interleaved"),
+		hetpipe.WithInterleave(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ninterleaved V=2 chunk sets (ResNet-152, VRGQ, Nm=8):")
+	for s, st := range dep.Plans()[0].Stages {
+		fmt.Printf("  GPU %d: layers", s)
+		for _, c := range st.Chunks {
+			fmt.Printf(" [%d,%d)", c[0], c[1])
+		}
+		fmt.Println()
+	}
+	g, err := dep.Gantt(0, 12, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npipeline schedule under interleaved V=2 (VRGQ, Nm=8):\n%s", g)
+
+	// 2BW's memory trade, per stage: GPipe stashes a full fill's worth of
+	// activations (Nm per stage); 2BW keeps 1F1B's depth-capped stash and
+	// pays two weight versions plus a gradient buffer instead. Once Nm
+	// exceeds the stage depth the swap is a strict win at every stage.
+	fmt.Println("\nper-stage memory, gpipe vs 2bw (VGG-19, VRGQ, Nm=8):")
+	fmt.Println("  stage      gpipe        2bw")
+	plans := map[string]*hetpipe.Deployment{}
+	for _, name := range []string{"gpipe", "2bw"} {
+		d, err := hetpipe.New(
+			hetpipe.WithModel("vgg19"),
+			hetpipe.WithSpecs("VRGQ"),
+			hetpipe.WithNm(8),
+			hetpipe.WithSchedule(name),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plans[name] = d
+	}
+	gp, tb := plans["gpipe"].Plans()[0], plans["2bw"].Plans()[0]
+	for s := range gp.Stages {
+		fmt.Printf("  %5d  %6.2f GiB  %6.2f GiB\n", s,
+			float64(gp.Stages[s].MemoryBytes)/float64(1<<30),
+			float64(tb.Stages[s].MemoryBytes)/float64(1<<30))
 	}
 }

@@ -200,8 +200,14 @@ type PlanView struct {
 
 // StageView describes one pipeline stage.
 type StageView struct {
-	GPU         string
-	Layers      [2]int // [lo, hi)
+	GPU string
+	// Layers is the stage's layer envelope [lo, hi). For contiguous plans
+	// (interleave degree 1) the stage owns exactly this range; for
+	// interleaved plans it only brackets the chunk set — see Chunks.
+	Layers [2]int // [lo, hi)
+	// Chunks lists the stage's layer ranges, one [lo, hi) pair per chunk in
+	// virtual-stage order. Contiguous stages have exactly one chunk.
+	Chunks      [][2]int
 	ExecTime    float64
 	MemoryBytes int64
 	MemoryCap   int64
@@ -257,9 +263,14 @@ func planView(p *partition.Plan) *PlanView {
 	for i := range p.Stages {
 		s := &p.Stages[i]
 		v.GPUs = append(v.GPUs, s.GPU.Name())
+		chunks := make([][2]int, len(s.Chunks))
+		for ci := range s.Chunks {
+			chunks[ci] = [2]int{s.Chunks[ci].Lo, s.Chunks[ci].Hi}
+		}
 		v.Stages = append(v.Stages, StageView{
 			GPU:         s.GPU.Name(),
-			Layers:      [2]int{s.Lo, s.Hi},
+			Layers:      [2]int{s.Lo(), s.Hi()},
+			Chunks:      chunks,
 			ExecTime:    s.ExecTime(),
 			MemoryBytes: s.MemoryBytes,
 			MemoryCap:   s.MemoryCap,
@@ -360,8 +371,10 @@ func Clusters() []string { return hw.ClusterNames() }
 
 // Schedules lists the pipeline-schedule names WithSchedule accepts:
 // "hetpipe-fifo" (the paper's Section 4 discipline, the default), "gpipe"
-// (fill-drain waves), "1f1b" (strict one-forward-one-backward), and
-// "hetpipe-overlap" (FIFO with communication/computation overlap).
+// (fill-drain waves), "1f1b" (strict one-forward-one-backward), "2bw"
+// (PipeDream-2BW: 1F1B with double-buffered weight versions),
+// "hetpipe-overlap" (FIFO with communication/computation overlap), and
+// "interleaved" (Megatron-LM virtual stages; pair with WithInterleave).
 func Schedules() []string { return sched.Names() }
 
 // Experiments lists the paper-reproduction experiments available through

@@ -31,6 +31,11 @@ type System struct {
 	// shapes both the partitioner's memory model and the simulated task
 	// graph.
 	Schedule sched.Schedule
+	// Interleave is the partitioner's interleave degree V: each stage is cut
+	// into V chunks forming len(stages)*V virtual stages. 0 or 1 keeps the
+	// classic contiguous placement; V > 1 requires a schedule with
+	// SupportsInterleave (currently "interleaved").
+	Interleave int
 }
 
 // NewSystem validates and bundles the ingredients, under the default
@@ -64,7 +69,7 @@ func (s *System) schedule() sched.Schedule { return sched.Or(s.Schedule) }
 
 // partitioner builds the schedule-aware partitioner for the system.
 func (s *System) partitioner() *partition.Partitioner {
-	return partition.NewSched(s.Perf, s.schedule())
+	return &partition.Partitioner{Perf: s.Perf, Sched: s.schedule(), Interleave: s.Interleave}
 }
 
 // PlacementKind selects the parameter-shard placement policy (Section 8.1).
@@ -279,8 +284,11 @@ func (s *System) syncTimes(vp *VWPlan, placement PlacementKind, nVWs int) (push,
 		for i := range vp.Plan.Stages {
 			st := &vp.Plan.Stages[i]
 			var bytes int64
-			for li := st.Lo; li < st.Hi; li++ {
-				bytes += s.Model.Layers[li].WeightBytes()
+			for ci := range st.Chunks {
+				ch := &st.Chunks[ci]
+				for li := ch.Lo; li < ch.Hi; li++ {
+					bytes += s.Model.Layers[li].WeightBytes()
+				}
 			}
 			t := s.Perf.TransferTime(bytes, hw.LinkPCIe) + float64(bytes)/s.Perf.PSProcBPS
 			if t > max {
@@ -319,10 +327,14 @@ func (s *System) syncTimes(vp *VWPlan, placement PlacementKind, nVWs int) (push,
 func (d *Deployment) CrossNodeBytesPerMinibatch() int64 {
 	var act int64
 	for _, vp := range d.VWs {
-		for i := 0; i+1 < len(vp.Plan.Stages); i++ {
-			if d.Sys.Cluster.LinkBetween(vp.Plan.Stages[i].GPU, vp.Plan.Stages[i+1].GPU) == hw.LinkInfiniBand {
+		// Walk the virtual-stage boundaries: for contiguous plans these are
+		// the k-1 adjacent stage pairs; interleaved plans add the wrap
+		// boundaries from the last GPU back to the first between chunks.
+		k := len(vp.Plan.Stages)
+		for j := 0; j+1 < vp.Plan.VirtualStages(); j++ {
+			if d.Sys.Cluster.LinkBetween(vp.Plan.Stages[j%k].GPU, vp.Plan.Stages[(j+1)%k].GPU) == hw.LinkInfiniBand {
 				// Activations forward + gradients backward.
-				act += 2 * d.Sys.Model.BoundaryBytes(vp.Plan.Stages[i].Hi-1, d.Sys.Batch)
+				act += 2 * d.Sys.Model.BoundaryBytes(vp.Plan.ChunkAt(j).Hi-1, d.Sys.Batch)
 			}
 		}
 	}

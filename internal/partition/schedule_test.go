@@ -48,10 +48,12 @@ func TestOneF1BAdmitsLargerMaxNm(t *testing.T) {
 
 // TestMaxNmMatchesBruteForce is the property test for the MaxNm binary
 // search: across the model zoo x cluster catalog (first virtual worker of
-// the first feasible allocation policy, FIFO and 1F1B schedules), the binary
-// search must agree with a brute-force linear scan — the property holds
-// because stage memory is monotone non-decreasing in Nm, so feasibility is a
-// prefix of [1, cap].
+// the first feasible allocation policy; FIFO, 1F1B, 2BW, and interleaved at
+// V in {1,2,4}), the binary search must agree with a brute-force linear scan
+// — the property holds because chunk memory is monotone non-decreasing in
+// Nm, so feasibility is a prefix of [1, cap]. The chunked partitioners ride
+// the same argument: the per-chunk budget (cap-workspace)/V + workspace is
+// Nm-independent and ChunkStash is monotone in nm.
 func TestMaxNmMatchesBruteForce(t *testing.T) {
 	perf := profile.Default()
 	const cap = 8
@@ -94,13 +96,20 @@ func TestMaxNmMatchesBruteForce(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, s := range []sched.Schedule{sched.FIFO, sched.OneF1B} {
-				pt := NewSched(perf, s)
+			pts := []*Partitioner{
+				NewSched(perf, sched.FIFO),
+				NewSched(perf, sched.OneF1B),
+				NewSched(perf, sched.TwoBW),
+				NewInterleaved(perf, sched.Interleaved, 1),
+				NewInterleaved(perf, sched.Interleaved, 2),
+				NewInterleaved(perf, sched.Interleaved, 4),
+			}
+			for _, pt := range pts {
 				got := pt.MaxNm(cl, m, vw, 32, cap)
 				want := bruteForce(t, pt, cl, m, vw, 32)
 				if got != want {
-					t.Errorf("%s/%s/%s: MaxNm binary search = %d, brute force = %d",
-						ci.Name, mn, s.Name(), got, want)
+					t.Errorf("%s/%s/%s(v%d): MaxNm binary search = %d, brute force = %d",
+						ci.Name, mn, pt.schedule().Name(), pt.interleave(), got, want)
 				}
 			}
 		}

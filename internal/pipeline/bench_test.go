@@ -49,7 +49,12 @@ func BenchmarkPipelineSchedules(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		plan, err := partition.NewSched(perf, s).Partition(c, model.ResNet152(), alloc.VWs[0], 4, 32)
+		pt := partition.NewSched(perf, s)
+		if name == sched.NameInterleaved {
+			// Bench the chunk routing proper, not its V=1 degenerate case.
+			pt = partition.NewInterleaved(perf, s, 2)
+		}
+		plan, err := pt.Partition(c, model.ResNet152(), alloc.VWs[0], 4, 32)
 		if err != nil {
 			b.Fatal(err)
 		}

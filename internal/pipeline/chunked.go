@@ -1,0 +1,225 @@
+package pipeline
+
+import (
+	"hetpipe/internal/sim"
+	"hetpipe/internal/trace"
+)
+
+// chunkRunner executes the chunk-capable 1F1B-family disciplines over the
+// plan's K = k*V virtual stages:
+//
+//   - "interleaved" (Megatron-LM): each GPU hosts V chunks, transfers run as
+//     pure delays (asynchronous point-to-point sends), and the 1F1B
+//     discipline runs over the virtual depth — the fill bubble shrinks by V
+//     because a GPU starts computing as soon as its first 1/V-sized chunk's
+//     input arrives.
+//   - "2bw" (PipeDream-2BW): the same 1F1B task graph at V = 1 with
+//     serialized receives; the discipline's double-buffered weight updates
+//     change the memory model (sched.TwoBW.WeightVersions == 3), not the
+//     timing, so the runner's contribution is exactly 1F1B's.
+//
+// Each GPU is a single-server queue multiplexing its V chunks: when it goes
+// idle it first retires the deepest pending backward (deepest chunk first —
+// closest to completion, fastest stash retirement), then the deepest
+// admissible forward, where virtual stage vs admits at most K-vs outstanding
+// forwards — the 1F1B bound that caps the stash at sched ChunkStash.
+//
+// Task completions run through three handlers registered once per device and
+// transfer arrivals through two engine handlers; per-virtual-stage pending
+// lists are head-indexed rings (f1bStage), so the steady state schedules
+// without allocating. Completion payloads carry (minibatch, virtual stage)
+// and the submitted duration, from which trace spans are reconstructed on
+// the hosting GPU's row.
+type chunkRunner struct {
+	pl *Pipeline
+	k  int // GPUs (stages)
+	v  int // chunks per GPU (interleave degree)
+	kv int // virtual pipeline depth k*v
+
+	// overlap selects transfer handling: pure engine delays (interleaved)
+	// versus receive time folded into the task duration (2bw).
+	overlap bool
+
+	startFn func(p int)
+	vstages []f1bStage // per virtual stage; busy is tracked per GPU instead
+	busy    []bool     // per GPU
+
+	idAct   int32 // engine handler id: activation transfer arrival
+	idGrad  int32 // engine handler id: gradient transfer arrival
+	idFwd   int32
+	idBwd   int32
+	idFused int32
+}
+
+func newChunkRunner(pl *Pipeline, overlapRecv bool) *chunkRunner {
+	v := pl.cfg.Plan.InterleaveDegree()
+	r := &chunkRunner{
+		pl: pl, k: pl.k, v: v, kv: pl.k * v,
+		overlap: overlapRecv,
+		vstages: make([]f1bStage, pl.k*v),
+		busy:    make([]bool, pl.k),
+	}
+	r.startFn = r.start
+	r.idAct = pl.eng.Register(r.actArrived)
+	r.idGrad = pl.eng.Register(r.gradArrived)
+	r.idFwd = pl.register(r.forwardDone)
+	r.idBwd = pl.register(r.backwardDone)
+	r.idFused = pl.register(r.fusedDone)
+	return r
+}
+
+func (r *chunkRunner) poke() {
+	r.pl.inject(r.startFn)
+	r.tryGPU(0)
+}
+
+func (r *chunkRunner) start(p int) { r.vstages[0].pushF(int32(p)) }
+
+// tryGPU picks the next task for GPU g across its chunk set: the deepest
+// pending backward first, then the deepest admissible forward. Depth-first
+// selection drives the frontier minibatch toward completion, which is what
+// retires stashes fastest and reproduces Megatron's interleaved steady state.
+func (r *chunkRunner) tryGPU(g int) {
+	if r.busy[g] {
+		return
+	}
+	for c := r.v - 1; c >= 0; c-- {
+		vs := g + c*r.k
+		if r.vstages[vs].lenB() > 0 {
+			r.runBackward(int(r.vstages[vs].popB()), vs)
+			return
+		}
+	}
+	for c := r.v - 1; c >= 0; c-- {
+		vs := g + c*r.k
+		st := &r.vstages[vs]
+		if st.lenF() > 0 && st.outstanding < r.kv-vs {
+			r.runForward(int(st.popF()), vs)
+			return
+		}
+	}
+}
+
+// runForward executes minibatch p's forward on virtual stage vs (fused with
+// the backward on the last virtual stage). Under serialized receives the
+// duration includes the chunk's input transfer; under overlap the transfer
+// already ran as a pure delay.
+func (r *chunkRunner) runForward(p, vs int) {
+	pl := r.pl
+	g := vs % r.k
+	ch := pl.cfg.Plan.ChunkAt(vs)
+	r.busy[g] = true
+	base := ch.FwdTime
+	if !r.overlap {
+		base = ch.RecvActTime + ch.FwdTime
+	}
+	if vs == r.kv-1 {
+		dur := pl.dur(p, g, base+ch.BwdTime)
+		pl.gpus[g].SubmitID(dur, r.idFused, int32(p), int32(vs))
+		return
+	}
+	dur := pl.dur(p, g, base)
+	pl.gpus[g].SubmitID(dur, r.idFwd, int32(p), int32(vs))
+}
+
+func (r *chunkRunner) forwardDone(a, b int32, x float64) {
+	pl := r.pl
+	p, vs := int(a), int(b)
+	g := vs % r.k
+	pl.traceAdd(g, p, trace.Forward, pl.eng.Now()-sim.Time(x), pl.eng.Now())
+	r.busy[g] = false
+	r.vstages[vs].outstanding++
+	r.deliverF(p, vs+1)
+	r.tryGPU(g)
+}
+
+// deliverF routes minibatch p's activations to virtual stage vs: a pure
+// transfer delay under overlap, an immediate enqueue otherwise (the receive
+// is charged to the task duration).
+func (r *chunkRunner) deliverF(p, vs int) {
+	pl := r.pl
+	ch := pl.cfg.Plan.ChunkAt(vs)
+	if r.overlap && ch.RecvActTime > 0 {
+		start := pl.eng.Now()
+		pl.eng.AfterID(pl.dur(p, vs%r.k, ch.RecvActTime), r.idAct, int32(p), int32(vs), float64(start))
+		return
+	}
+	r.vstages[vs].pushF(int32(p))
+	r.tryGPU(vs % r.k)
+}
+
+func (r *chunkRunner) actArrived(a, b int32, x float64) {
+	pl := r.pl
+	p, vs := int(a), int(b)
+	pl.traceAdd(vs%r.k, p, trace.Transfer, sim.Time(x), pl.eng.Now())
+	r.vstages[vs].pushF(int32(p))
+	r.tryGPU(vs % r.k)
+}
+
+func (r *chunkRunner) fusedDone(a, b int32, x float64) {
+	pl := r.pl
+	p, vs := int(a), int(b)
+	g := vs % r.k
+	mid := pl.eng.Now() - sim.Time(pl.time(p, g, pl.cfg.Plan.ChunkAt(vs).BwdTime))
+	pl.traceAdd(g, p, trace.Forward, pl.eng.Now()-sim.Time(x), mid)
+	pl.traceAdd(g, p, trace.Backward, mid, pl.eng.Now())
+	r.busy[g] = false
+	if r.kv == 1 {
+		pl.complete(p)
+	} else {
+		r.deliverB(p, r.kv-2)
+	}
+	r.tryGPU(g)
+}
+
+// runBackward executes minibatch p's backward on virtual stage vs (vs <
+// kv-1; the last virtual stage's backward is fused into its forward task).
+func (r *chunkRunner) runBackward(p, vs int) {
+	pl := r.pl
+	g := vs % r.k
+	ch := pl.cfg.Plan.ChunkAt(vs)
+	r.busy[g] = true
+	base := ch.BwdTime
+	if !r.overlap {
+		base = ch.RecvGradTime + ch.BwdTime
+	}
+	dur := pl.dur(p, g, base)
+	pl.gpus[g].SubmitID(dur, r.idBwd, int32(p), int32(vs))
+}
+
+func (r *chunkRunner) backwardDone(a, b int32, x float64) {
+	pl := r.pl
+	p, vs := int(a), int(b)
+	g := vs % r.k
+	pl.traceAdd(g, p, trace.Backward, pl.eng.Now()-sim.Time(x), pl.eng.Now())
+	r.busy[g] = false
+	r.vstages[vs].outstanding--
+	if vs == 0 {
+		pl.complete(p)
+	} else {
+		r.deliverB(p, vs-1)
+	}
+	r.tryGPU(g)
+}
+
+// deliverB routes minibatch p's boundary gradients to virtual stage vs; see
+// deliverF.
+func (r *chunkRunner) deliverB(p, vs int) {
+	pl := r.pl
+	ch := pl.cfg.Plan.ChunkAt(vs)
+	if r.overlap && ch.RecvGradTime > 0 {
+		start := pl.eng.Now()
+		pl.eng.AfterID(pl.dur(p, vs%r.k, ch.RecvGradTime), r.idGrad, int32(p), int32(vs), float64(start))
+		return
+	}
+	r.vstages[vs].pushB(int32(p))
+	r.tryGPU(vs % r.k)
+}
+
+func (r *chunkRunner) gradArrived(a, b int32, x float64) {
+	pl := r.pl
+	p, vs := int(a), int(b)
+	pl.traceAdd(vs%r.k, p, trace.Transfer, sim.Time(x), pl.eng.Now())
+	r.vstages[vs].pushB(int32(p))
+	r.tryGPU(vs % r.k)
+}

@@ -19,12 +19,16 @@
 //     communication/computation overlap would be a further improvement —
 //     i.e. HetPipe does not overlap them).
 //
-// Three further schedules relax those choices: "gpipe" runs fill-drain waves
+// Five further schedules relax those choices: "gpipe" runs fill-drain waves
 // with a sync barrier between fill and drain, "1f1b" runs the strict
 // one-forward-one-backward steady state (holding at most stage-depth
-// activations), and "hetpipe-overlap" keeps the FIFO discipline but overlaps
-// receives with computation — the Section 9 improvement. Every schedule
-// honors the same InjectGate/OnComplete contract, so WSP couples them all.
+// activations), "hetpipe-overlap" keeps the FIFO discipline but overlaps
+// receives with computation — the Section 9 improvement — "interleaved" runs
+// Megatron-LM's virtual-stage 1F1B over the plan's k*V chunk placement with
+// overlapped transfers, and "2bw" runs PipeDream-2BW's double-buffered
+// variant of 1F1B (its divergence from 1f1b is the memory model, not the
+// task graph). Every schedule honors the same InjectGate/OnComplete
+// contract, so WSP couples them all.
 //
 // The package reports steady-state throughput, per-GPU utilization, and an
 // optional execution trace (Figure 1).
@@ -100,7 +104,7 @@ type Pipeline struct {
 	cfg   Config
 	eng   *sim.Engine
 	k     int
-	nm    int // in-flight cap: Schedule.InFlightCap(k, Plan.Nm)
+	nm    int // in-flight cap: Schedule.InFlightCap(k*V, Plan.Nm)
 	batch int
 
 	gpus []*sim.Resource // compute engine per stage
@@ -127,11 +131,15 @@ func New(eng *sim.Engine, cfg Config) (*Pipeline, error) {
 	}
 	cfg.Schedule = sched.Or(cfg.Schedule)
 	k := len(cfg.Plan.Stages)
+	if cfg.Plan.InterleaveDegree() > 1 && !cfg.Schedule.SupportsInterleave() {
+		return nil, fmt.Errorf("pipeline: schedule %q cannot run an interleaved plan (V=%d)",
+			cfg.Schedule.Name(), cfg.Plan.InterleaveDegree())
+	}
 	pl := &Pipeline{
 		cfg:   cfg,
 		eng:   eng,
 		k:     k,
-		nm:    cfg.Schedule.InFlightCap(k, cfg.Plan.Nm),
+		nm:    cfg.Schedule.InFlightCap(k*cfg.Plan.InterleaveDegree(), cfg.Plan.Nm),
 		batch: cfg.Plan.Batch,
 	}
 	pl.gpus = make([]*sim.Resource, 0, k)
@@ -148,6 +156,10 @@ func New(eng *sim.Engine, cfg Config) (*Pipeline, error) {
 		pl.run = newGPipeRunner(pl)
 	case sched.NameOneF1B:
 		pl.run = newOneF1BRunner(pl)
+	case sched.NameInterleaved:
+		pl.run = newChunkRunner(pl, true)
+	case sched.NameTwoBW:
+		pl.run = newChunkRunner(pl, false)
 	default:
 		return nil, fmt.Errorf("pipeline: no executor for schedule %q", cfg.Schedule.Name())
 	}

@@ -57,7 +57,7 @@ func TestPipelineNm1MatchesSerialExecution(t *testing.T) {
 		per += s.FwdTime + s.BwdTime
 		if i+1 < len(plan.Stages) {
 			kind := c.LinkBetween(plan.Stages[i].GPU, plan.Stages[i+1].GPU)
-			per += 2 * perf.TransferTime(plan.Model.BoundaryBytes(s.Hi-1, 32), kind)
+			per += 2 * perf.TransferTime(plan.Model.BoundaryBytes(s.Hi()-1, 32), kind)
 		}
 	}
 	want := 4 * per

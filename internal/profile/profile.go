@@ -151,6 +151,14 @@ func (p *Perf) LayerTime(m *model.Model, li int, g *hw.GPUType, batch int) (fwd,
 	return fwd, bwd, nil
 }
 
+// ChunkTime predicts forward and backward compute times for one chunk — the
+// contiguous layer range [lo, hi) — of m on GPU type g, for a full
+// minibatch. A contiguous stage is the single-chunk case, so StageTime
+// delegates here; chunked stages sum ChunkTime over their chunk set.
+func (p *Perf) ChunkTime(m *model.Model, lo, hi int, g *hw.GPUType, batch int) (fwd, bwd float64, err error) {
+	return p.StageTime(m, lo, hi, g, batch)
+}
+
 // StageTime predicts forward and backward compute times for the layer range
 // [lo, hi) of m on GPU type g, for a full minibatch.
 func (p *Perf) StageTime(m *model.Model, lo, hi int, g *hw.GPUType, batch int) (fwd, bwd float64, err error) {
@@ -217,12 +225,47 @@ func (p *Perf) StageMemory(m *model.Model, lo, hi, stage, k, nm, batch int) int6
 // FIFO holds min(Nm, 2*(k-stage)-1), and strict 1F1B holds at most
 // stage-depth (min(Nm, k-stage)) activations, which is what lets the
 // partitioner admit a larger Nm under 1F1B on memory-constrained workers.
+// The weight term scales with the schedule's WeightVersions: 2 buffers
+// (weights + gradients) for the single-version disciplines, 3 for
+// PipeDream-2BW's double-buffered updates.
 func (p *Perf) StageMemorySched(s sched.Schedule, m *model.Model, lo, hi, stage, k, nm, batch int) int64 {
+	return p.ChunkMemory(s, m, lo, hi, stage, k, nm, batch)
+}
+
+// ChunkMemory predicts the device memory one chunk [lo, hi) needs when it
+// runs as virtual stage vs of a vstages-deep virtual pipeline: WeightVersions
+// weight-sized buffers, the per-chunk activation stash under the schedule's
+// ChunkStash bound, plus the fixed per-GPU workspace. A contiguous stage is
+// the degenerate vs = stage, vstages = k case (StageMemorySched).
+func (p *Perf) ChunkMemory(s sched.Schedule, m *model.Model, lo, hi, vs, vstages, nm, batch int) int64 {
+	sc := sched.Or(s)
 	var weights, stash int64
 	for i := lo; i < hi; i++ {
 		weights += m.Layers[i].WeightBytes()
 		stash += m.Layers[i].StashElems * model.BytesPerElem
 	}
-	c := int64(sched.Or(s).StashCount(stage, k, nm))
-	return 2*weights + stash*int64(batch)*c + p.WorkspaceBytes
+	c := int64(sc.ChunkStash(vs, vstages, nm))
+	return int64(sc.WeightVersions())*weights + stash*int64(batch)*c + p.WorkspaceBytes
+}
+
+// StageMemoryChunks predicts the device memory a worker stage needs to host
+// a chunk set: chunk c (the contiguous layer range chunks[c] = [lo, hi))
+// runs as virtual stage stage + c*k of the vstages = k*V virtual pipeline,
+// so each chunk carries its own stash bound, while the fixed workspace is
+// charged once per device. A single-chunk set with vstages = k reduces to
+// StageMemorySched exactly.
+func (p *Perf) StageMemoryChunks(s sched.Schedule, m *model.Model, chunks [][2]int, stage, k, vstages, nm, batch int) int64 {
+	sc := sched.Or(s)
+	wv := int64(sc.WeightVersions())
+	total := p.WorkspaceBytes
+	for c, ch := range chunks {
+		var weights, stash int64
+		for i := ch[0]; i < ch[1]; i++ {
+			weights += m.Layers[i].WeightBytes()
+			stash += m.Layers[i].StashElems * model.BytesPerElem
+		}
+		cnt := int64(sc.ChunkStash(stage+c*k, vstages, nm))
+		total += wv*weights + stash*int64(batch)*cnt
+	}
+	return total
 }

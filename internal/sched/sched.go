@@ -11,11 +11,22 @@
 // virtual worker can admit a larger Nm under 1F1B than under HetPipe's FIFO.
 //
 // A Schedule is pure identity plus the analytical models every layer needs:
-// the partitioner and profile use StashCount to size per-stage memory, the
-// executor (internal/pipeline) uses InFlightCap and OverlapRecv to shape the
-// discrete-event task graph, and the public API and sweep grids carry the
-// Name. The package has no dependencies so that profile, partition,
-// pipeline, core, sweep, and the root API can all import it.
+// the partitioner and profile use StashCount/ChunkStash and WeightVersions to
+// size per-stage memory, the executor (internal/pipeline) uses InFlightCap
+// and OverlapRecv to shape the discrete-event task graph, and the public API
+// and sweep grids carry the Name. The package has no dependencies so that
+// profile, partition, pipeline, core, sweep, and the root API can all import
+// it.
+//
+// Two post-HetPipe disciplines generalize the stage model from one
+// contiguous layer range to a set of chunks: "interleaved" (Megatron-LM
+// virtual stages — each worker holds V non-contiguous chunks, shrinking the
+// pipeline bubble by a factor of V) and "2bw" (PipeDream-2BW — 1F1B timing
+// with double-buffered weight updates, trading one extra weight copy for
+// 1F1B's small activation footprint without pipeline flushes). Schedules
+// whose discipline is chunk-aware report SupportsInterleave; the stash model
+// is expressed per virtual stage through ChunkStash, of which StashCount is
+// the contiguous V=1 view.
 package sched
 
 import (
@@ -40,6 +51,16 @@ const (
 	// communication/computation overlap: receives no longer occupy the
 	// receiving GPU (the Section 9 improvement).
 	NameOverlap = "hetpipe-overlap"
+	// NameInterleaved is the Megatron-LM interleaved virtual-stage schedule:
+	// the model is cut into k*V chunks, worker g hosts chunks g, g+k, ...,
+	// g+(V-1)k, and the 1F1B discipline runs over the k*V virtual stages with
+	// overlapped point-to-point transfers. The fill bubble shrinks by the
+	// interleave degree V at the cost of V times the boundary traffic.
+	NameInterleaved = "interleaved"
+	// NameTwoBW is PipeDream-2BW: 1F1B timing with double-buffered weight
+	// updates — each stage keeps two weight versions plus a coalesced
+	// gradient buffer, so updates never flush the pipeline.
+	NameTwoBW = "2bw"
 )
 
 // Schedule is one pipeline execution discipline. Implementations are
@@ -51,16 +72,35 @@ type Schedule interface {
 	Description() string
 	// StashCount bounds how many minibatches' activations stage (0-based)
 	// of a k-stage pipeline holds concurrently when nm minibatches are in
-	// flight — the schedule's in-flight-activation model, always >= 1.
+	// flight — the schedule's in-flight-activation model, always >= 1. It is
+	// the contiguous view of ChunkStash: StashCount(s, k, nm) ==
+	// ChunkStash(s, k, nm).
 	StashCount(stage, k, nm int) int
+	// ChunkStash bounds the activation stashes held by virtual stage vs
+	// (0-based) of a vstages-deep virtual pipeline when nm minibatches are in
+	// flight. For a chunked plan with k workers at interleave degree V,
+	// chunk c of worker g is virtual stage g + c*k of vstages = k*V; a
+	// contiguous plan is the degenerate vstages = k case.
+	ChunkStash(vs, vstages, nm int) int
+	// WeightVersions is the number of weight-sized buffers each stage keeps
+	// resident: 2 for the single-version disciplines (weights + gradient
+	// buffer, the paper's memory model), 3 for 2BW's double-buffered updates
+	// (two weight versions + the coalesced gradient buffer).
+	WeightVersions() int
+	// SupportsInterleave reports whether the discipline is defined for
+	// chunked plans with interleave degree V > 1 (each worker hosting V
+	// non-contiguous chunks). The partitioner and executor reject V > 1
+	// under schedules that return false.
+	SupportsInterleave() bool
 	// OverlapRecv reports whether receiving activations/gradients overlaps
 	// with computation on the receiving GPU (PipeDream-style) instead of
 	// serializing with it (the paper's partition cost model).
 	OverlapRecv() bool
-	// InFlightCap bounds how many minibatches the executor actually keeps
-	// in flight for a k-stage pipeline configured with Nm: 1F1B cannot use
-	// more than k, the others use Nm.
-	InFlightCap(k, nm int) int
+	// InFlightCap bounds how many minibatches the executor actually keeps in
+	// flight for a pipeline of vstages virtual stages configured with Nm:
+	// 1F1B-family disciplines cannot use more than the virtual depth, the
+	// others use Nm. Contiguous plans pass vstages = k.
+	InFlightCap(vstages, nm int) int
 }
 
 // fifo is the paper's Section 4 discipline.
@@ -77,8 +117,11 @@ func (fifo) StashCount(stage, k, nm int) int {
 	// Figure 1 memory-variance observation.
 	return clampStash(2*(k-stage)-1, nm)
 }
-func (fifo) OverlapRecv() bool         { return false }
-func (fifo) InFlightCap(k, nm int) int { return nm }
+func (f fifo) ChunkStash(vs, vstages, nm int) int { return f.StashCount(vs, vstages, nm) }
+func (fifo) WeightVersions() int                  { return 2 }
+func (fifo) SupportsInterleave() bool             { return false }
+func (fifo) OverlapRecv() bool                    { return false }
+func (fifo) InFlightCap(k, nm int) int            { return nm }
 
 // gpipe is fill-drain with a sync barrier per Nm-wave.
 type gpipe struct{}
@@ -92,8 +135,11 @@ func (gpipe) StashCount(stage, k, nm int) int {
 	// stash, so every stage holds the whole wave.
 	return clampStash(nm, nm)
 }
-func (gpipe) OverlapRecv() bool         { return false }
-func (gpipe) InFlightCap(k, nm int) int { return nm }
+func (g gpipe) ChunkStash(vs, vstages, nm int) int { return g.StashCount(vs, vstages, nm) }
+func (gpipe) WeightVersions() int                  { return 2 }
+func (gpipe) SupportsInterleave() bool             { return false }
+func (gpipe) OverlapRecv() bool                    { return false }
+func (gpipe) InFlightCap(k, nm int) int            { return nm }
 
 // onef1b is strict one-forward-one-backward.
 type onef1b struct{}
@@ -109,7 +155,10 @@ func (onef1b) StashCount(stage, k, nm int) int {
 	// a memory-constrained virtual worker admit a larger Nm.
 	return clampStash(k-stage, nm)
 }
-func (onef1b) OverlapRecv() bool { return false }
+func (o onef1b) ChunkStash(vs, vstages, nm int) int { return o.StashCount(vs, vstages, nm) }
+func (onef1b) WeightVersions() int                  { return 2 }
+func (onef1b) SupportsInterleave() bool             { return false }
+func (onef1b) OverlapRecv() bool                    { return false }
 func (onef1b) InFlightCap(k, nm int) int {
 	if nm > k {
 		return k
@@ -129,8 +178,66 @@ func (overlap) StashCount(stage, k, nm int) int {
 	// in-transfer activation is charged to the receiver like a stash.
 	return clampStash(2*(k-stage)-1, nm)
 }
-func (overlap) OverlapRecv() bool         { return true }
-func (overlap) InFlightCap(k, nm int) int { return nm }
+func (o overlap) ChunkStash(vs, vstages, nm int) int { return o.StashCount(vs, vstages, nm) }
+func (overlap) WeightVersions() int                  { return 2 }
+func (overlap) SupportsInterleave() bool             { return false }
+func (overlap) OverlapRecv() bool                    { return true }
+func (overlap) InFlightCap(k, nm int) int            { return nm }
+
+// interleaved is the Megatron-LM interleaved virtual-stage schedule: 1F1B
+// over k*V virtual stages with overlapped transfers. Each worker hosts V
+// non-contiguous chunks, so the fill ramp covers only 1/V of the model per
+// worker and the pipeline bubble shrinks accordingly; the price is V times
+// as many boundary transfers, which is why the discipline mandates
+// comm/compute overlap (Megatron's asynchronous point-to-point sends).
+type interleaved struct{}
+
+func (interleaved) Name() string { return NameInterleaved }
+func (interleaved) Description() string {
+	return "Megatron-LM interleaved: 1F1B over k*V virtual stages, overlapped transfers"
+}
+func (i interleaved) StashCount(stage, k, nm int) int { return i.ChunkStash(stage, k, nm) }
+func (interleaved) ChunkStash(vs, vstages, nm int) int {
+	// The 1F1B bound over the virtual depth: virtual stage vs admits at most
+	// vstages-vs forwards before it must retire a backward. Deep chunks of a
+	// worker therefore stash less than its shallow ones, which is what makes
+	// interleaving affordable in memory.
+	return clampStash(vstages-vs, nm)
+}
+func (interleaved) WeightVersions() int      { return 2 }
+func (interleaved) SupportsInterleave() bool { return true }
+func (interleaved) OverlapRecv() bool        { return true }
+func (interleaved) InFlightCap(vstages, nm int) int {
+	if nm > vstages {
+		return vstages
+	}
+	return nm
+}
+
+// twobw is PipeDream-2BW: the 1F1B discipline with double-buffered weight
+// updates. Timing-wise it is 1F1B — the innovation is the memory/update
+// model: each stage keeps two weight versions plus a coalesced gradient
+// buffer (WeightVersions == 3), so weight updates never flush the pipeline
+// and the activation footprint stays at 1F1B's stage-depth bound.
+type twobw struct{}
+
+func (twobw) Name() string { return NameTwoBW }
+func (twobw) Description() string {
+	return "PipeDream-2BW: 1F1B timing, double-buffered weights (2 versions + grad buffer)"
+}
+func (t twobw) StashCount(stage, k, nm int) int { return t.ChunkStash(stage, k, nm) }
+func (twobw) ChunkStash(vs, vstages, nm int) int {
+	return clampStash(vstages-vs, nm)
+}
+func (twobw) WeightVersions() int      { return 3 }
+func (twobw) SupportsInterleave() bool { return false }
+func (twobw) OverlapRecv() bool        { return false }
+func (twobw) InFlightCap(vstages, nm int) int {
+	if nm > vstages {
+		return vstages
+	}
+	return nm
+}
 
 // clampStash applies the common min(nm, bound) >= 1 clamp.
 func clampStash(bound, nm int) int {
@@ -145,18 +252,22 @@ func clampStash(bound, nm int) int {
 
 // Exported schedule values, for callers that want to avoid the registry.
 var (
-	FIFO    Schedule = fifo{}
-	GPipe   Schedule = gpipe{}
-	OneF1B  Schedule = onef1b{}
-	Overlap Schedule = overlap{}
+	FIFO        Schedule = fifo{}
+	GPipe       Schedule = gpipe{}
+	OneF1B      Schedule = onef1b{}
+	Overlap     Schedule = overlap{}
+	Interleaved Schedule = interleaved{}
+	TwoBW       Schedule = twobw{}
 )
 
 // registry maps names to schedules.
 var registry = map[string]Schedule{
-	NameFIFO:    FIFO,
-	NameGPipe:   GPipe,
-	NameOneF1B:  OneF1B,
-	NameOverlap: Overlap,
+	NameFIFO:        FIFO,
+	NameGPipe:       GPipe,
+	NameOneF1B:      OneF1B,
+	NameOverlap:     Overlap,
+	NameInterleaved: Interleaved,
+	NameTwoBW:       TwoBW,
 }
 
 // Default is the schedule used when none is named: the paper's own

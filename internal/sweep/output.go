@@ -10,7 +10,22 @@ import (
 	"strings"
 
 	"hetpipe/internal/metrics"
+	"hetpipe/internal/partition"
 )
+
+// chunkSpec renders a stage's chunk set as "lo-hi" ranges joined with "+",
+// e.g. "0-5+12-17"; empty for contiguous single-chunk stages, whose Lo/Hi
+// already carry the range.
+func chunkSpec(st *partition.Stage) string {
+	if len(st.Chunks) <= 1 {
+		return ""
+	}
+	parts := make([]string, len(st.Chunks))
+	for i := range st.Chunks {
+		parts[i] = fmt.Sprintf("%d-%d", st.Chunks[i].Lo, st.Chunks[i].Hi)
+	}
+	return strings.Join(parts, "+")
+}
 
 // WriteJSON serializes the full sweep — grid, scenarios, structured results,
 // partition plans — as indented JSON. The encoding is deterministic: the
@@ -25,7 +40,7 @@ func WriteJSON(w io.Writer, set *Set) error {
 // degradation_pct columns make the fault axis plottable directly: filter on
 // faults, plot degradation_pct against the fault rate or factor.
 var csvHeader = []string{
-	"index", "id", "model", "cluster", "sync", "schedule", "policy", "placement",
+	"index", "id", "model", "cluster", "sync", "schedule", "interleave", "policy", "placement",
 	"faults", "d", "nm_requested", "batch", "error",
 	"throughput", "degradation_pct", "fault_injections",
 	"workers", "nm", "slocal", "sglobal",
@@ -53,13 +68,21 @@ func WriteCSV(w io.Writer, set *Set) error {
 			vwTypes = append(vwTypes, p.GPUs)
 			var parts []string
 			for _, st := range p.Stages {
+				if st.Chunks != "" {
+					parts = append(parts, st.Chunks)
+					continue
+				}
 				parts = append(parts, fmt.Sprintf("%d-%d", st.Lo, st.Hi))
 			}
 			stages = append(stages, strings.Join(parts, "|"))
 		}
+		interleave := sc.Interleave
+		if interleave < 1 {
+			interleave = 1
+		}
 		row := []string{
 			strconv.Itoa(sc.Index), sc.ID(), sc.Model, sc.Cluster,
-			sc.SyncMode, sc.Schedule, sc.Policy, sc.Placement,
+			sc.SyncMode, sc.Schedule, strconv.Itoa(interleave), sc.Policy, sc.Placement,
 			sc.Faults,
 			strconv.Itoa(sc.D), strconv.Itoa(sc.Nm), strconv.Itoa(sc.Batch),
 			r.Error,

@@ -84,9 +84,15 @@ type PlanSummary struct {
 type StageSummary struct {
 	// GPU names the hosting device, e.g. "n1g2(R)".
 	GPU string `json:"gpu"`
-	// Lo and Hi bound the stage's layer range [Lo, Hi).
+	// Lo and Hi bound the stage's layer envelope [Lo, Hi): the exact range
+	// for contiguous stages, the outer bracket of the chunk set for
+	// interleaved ones.
 	Lo int `json:"lo"`
 	Hi int `json:"hi"`
+	// Chunks renders the stage's chunk set as "lo-hi" ranges joined with
+	// "+", e.g. "0-5+12-17"; only present for interleaved stages (more than
+	// one chunk).
+	Chunks string `json:"chunks,omitempty"`
 	// ExecSec is the stage's per-minibatch execution time.
 	ExecSec float64 `json:"execSec"`
 	// MemoryBytes is the stage's working set; MemoryCapBytes the device
@@ -136,7 +142,7 @@ func (o Options) ResolvedWorkers(n int) int {
 // exactly once.
 type sysKey struct {
 	model, cluster, policy, schedule string
-	batch                            int
+	interleave, batch                int
 }
 
 // sysEntry is one super-family's lazily-built System and Allocation.
@@ -159,7 +165,7 @@ type sysEntry struct {
 // graph.
 type deployKey struct {
 	model, cluster, policy, placement, schedule string
-	nm, batch                                   int
+	interleave, nm, batch                       int
 }
 
 // deployEntry is one family's lazily-resolved deployment.
@@ -201,7 +207,8 @@ func newResolver() *resolver {
 func (r *resolver) system(sc Scenario) (*core.System, *hw.Allocation, error) {
 	key := sysKey{
 		model: sc.Model, cluster: sc.Cluster,
-		policy: sc.Policy, schedule: sc.Schedule, batch: sc.Batch,
+		policy: sc.Policy, schedule: sc.Schedule,
+		interleave: sc.Interleave, batch: sc.Batch,
 	}
 	r.mu.Lock()
 	e := r.systems[key]
@@ -223,8 +230,9 @@ func (r *resolver) deployment(sc Scenario) (*core.Deployment, error) {
 	key := deployKey{
 		model: sc.Model, cluster: sc.Cluster,
 		policy: sc.Policy, placement: sc.Placement,
-		schedule: sc.Schedule,
-		nm:       sc.Nm, batch: sc.Batch,
+		schedule:   sc.Schedule,
+		interleave: sc.Interleave,
+		nm:         sc.Nm, batch: sc.Batch,
 	}
 	r.mu.Lock()
 	e := r.entries[key]
@@ -272,6 +280,7 @@ func resolveSystem(sc Scenario) (*core.System, *hw.Allocation, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	sys.Interleave = sc.Interleave
 	pol, err := hw.PolicyByName(sc.Policy)
 	if err != nil {
 		return nil, nil, err
@@ -445,7 +454,8 @@ func runScenario(ctx context.Context, sc Scenario, res *resolver, eng *sim.Engin
 		for i := range vp.Plan.Stages {
 			st := &vp.Plan.Stages[i]
 			ps.Stages = append(ps.Stages, StageSummary{
-				GPU: st.GPU.Name(), Lo: st.Lo, Hi: st.Hi,
+				GPU: st.GPU.Name(), Lo: st.Lo(), Hi: st.Hi(),
+				Chunks:         chunkSpec(st),
 				ExecSec:        st.ExecTime(),
 				MemoryBytes:    st.MemoryBytes,
 				MemoryCapBytes: st.MemoryCap,

@@ -75,6 +75,12 @@ type Grid struct {
 	// schedule only. Horovod scenarios collapse this axis like the other
 	// WSP-only ones.
 	Schedules []string `json:"schedules,omitempty"`
+	// Interleaves lists interleave degrees V for the partitioner's chunked
+	// placement. Empty means [1] — the classic contiguous stages. Schedules
+	// that cannot run V > 1 (every schedule but "interleaved") collapse this
+	// axis to a single V=1 scenario, like Horovod collapses the WSP-only
+	// axes.
+	Interleaves []int `json:"interleaves,omitempty"`
 	// Faults lists fault-plan specs in the internal/fault grammar (e.g.
 	// "slow:w0:x2" or "rand:0.5:seed7"); "" is the fault-free baseline.
 	// Empty means [""] — no fault axis. Every non-baseline scenario's CSV
@@ -124,6 +130,9 @@ type Scenario struct {
 	Placement string `json:"placement,omitempty"`
 	// Schedule is the pipeline schedule; empty for Horovod scenarios.
 	Schedule string `json:"schedule,omitempty"`
+	// Interleave is the partitioner's interleave degree V; 0 and 1 both mean
+	// the classic contiguous placement.
+	Interleave int `json:"interleave,omitempty"`
 	// Faults is the fault-plan spec; empty for fault-free (and Horovod)
 	// scenarios.
 	Faults string `json:"faults,omitempty"`
@@ -148,8 +157,14 @@ func (s *Scenario) ID() string {
 	if s.Nm == 0 {
 		nm = "nm-auto"
 	}
+	schedule := s.Schedule
+	if s.Interleave > 1 {
+		// The V segment appears only for chunked placements, so every
+		// pre-interleave scenario ID (and baselineID) is unchanged.
+		schedule = fmt.Sprintf("%s-v%d", s.Schedule, s.Interleave)
+	}
 	id := fmt.Sprintf("%s/%s/%s/%s/%s/%s/d%d/%s",
-		s.Model, s.Cluster, s.SyncMode, s.Schedule, s.Policy, s.Placement, s.D, nm)
+		s.Model, s.Cluster, s.SyncMode, schedule, s.Policy, s.Placement, s.D, nm)
 	if s.Faults != "" {
 		id += "/f:" + s.Faults
 	}
@@ -166,9 +181,11 @@ func (s *Scenario) baselineID() string {
 
 // Expand validates every axis value and returns the grid's scenarios in
 // deterministic order (model-major, then cluster, sync mode, schedule,
-// policy, placement, faults, D, Nm). Repeated axis values are deduplicated,
-// and Horovod scenarios collapse the schedule, policy, placement, faults, D,
-// and Nm axes: exactly one baseline run per model and cluster.
+// interleave, policy, placement, faults, D, Nm). Repeated axis values are
+// deduplicated, Horovod scenarios collapse the schedule, interleave, policy,
+// placement, faults, D, and Nm axes (exactly one baseline run per model and
+// cluster), and schedules without interleave support collapse the interleave
+// axis to V=1.
 func (g Grid) Expand() ([]Scenario, error) {
 	if err := g.validate(); err != nil {
 		return nil, err
@@ -184,6 +201,10 @@ func (g Grid) Expand() ([]Scenario, error) {
 	schedules := dedup(g.Schedules)
 	if len(schedules) == 0 {
 		schedules = []string{sched.Default().Name()}
+	}
+	interleaves := dedup(g.Interleaves)
+	if len(interleaves) == 0 {
+		interleaves = []int{1}
 	}
 	faults := dedup(g.Faults)
 	if len(faults) == 0 {
@@ -213,19 +234,34 @@ func (g Grid) Expand() ([]Scenario, error) {
 					continue
 				}
 				for _, sc := range schedules {
-					for _, pol := range dedup(g.Policies) {
-						for _, pl := range placements {
-							for _, fs := range faults {
-								for _, d := range dValues {
-									for _, nm := range nmValues {
-										out = append(out, Scenario{
-											Index: len(out), Model: m, Cluster: cl,
-											SyncMode: sync, Schedule: sc,
-											Policy: pol, Placement: pl,
-											Faults: fs,
-											D:      d, Nm: nm, Batch: batch,
-											MinibatchesPerVW: g.MinibatchesPerVW,
-										})
+					vs := interleaves
+					if s, err := sched.ByName(sc); err == nil && !s.SupportsInterleave() {
+						// A schedule that cannot run chunked placements gets
+						// exactly one V=1 cell, not a duplicate per degree.
+						vs = []int{1}
+					}
+					for _, v := range vs {
+						if v == 1 {
+							// Normalize the default degree to the zero value so
+							// V=1 scenarios serialize exactly as before the
+							// interleave axis existed.
+							v = 0
+						}
+						for _, pol := range dedup(g.Policies) {
+							for _, pl := range placements {
+								for _, fs := range faults {
+									for _, d := range dValues {
+										for _, nm := range nmValues {
+											out = append(out, Scenario{
+												Index: len(out), Model: m, Cluster: cl,
+												SyncMode: sync, Schedule: sc,
+												Interleave: v,
+												Policy:     pol, Placement: pl,
+												Faults: fs,
+												D:      d, Nm: nm, Batch: batch,
+												MinibatchesPerVW: g.MinibatchesPerVW,
+											})
+										}
 									}
 								}
 							}
@@ -299,6 +335,11 @@ func (g Grid) validate() error {
 	for _, s := range g.Schedules {
 		if _, err := sched.ByName(s); err != nil {
 			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, v := range g.Interleaves {
+		if v < 1 {
+			return fmt.Errorf("sweep: interleave degree must be >= 1, got %d", v)
 		}
 	}
 	for _, f := range g.Faults {

@@ -29,6 +29,10 @@ var (
 	// ErrBadFaultPlan reports a WithFaults spec that does not parse or
 	// validate (see the fault spec grammar in WithFaults).
 	ErrBadFaultPlan = errors.New("hetpipe: bad fault plan")
+	// ErrBadInterleave reports a WithInterleave degree that is negative or
+	// that the selected schedule cannot run (only "interleaved" supports
+	// V > 1).
+	ErrBadInterleave = errors.New("hetpipe: bad interleave degree")
 )
 
 // settings is the resolved option set behind New. Zero values mean "default";
@@ -46,6 +50,7 @@ type settings struct {
 	local       bool
 	minibatches int
 	schedule    string
+	interleave  int
 	warmup      int
 
 	// Fault-tolerance knobs (both backends).
@@ -113,12 +118,24 @@ func WithMinibatchesPerVW(n int) Option { return func(s *settings) { s.minibatch
 // WithSchedule selects the pipeline execution discipline every virtual
 // worker runs (see Schedules): "hetpipe-fifo" (the paper's Section 4
 // behavior, the default), "gpipe" (fill-drain waves), "1f1b" (strict
-// one-forward-one-backward, the smallest activation footprint), or
+// one-forward-one-backward, the smallest activation footprint),
 // "hetpipe-overlap" (FIFO with communication/computation overlap, the
-// Section 9 improvement). The schedule shapes the partitioner's per-stage
-// memory model — a memory-constrained worker can admit a larger Nm under
-// "1f1b" — as well as the simulated task graph and the Gantt rendering.
+// Section 9 improvement), "interleaved" (Megatron-LM virtual stages: each
+// GPU hosts several model chunks, shrinking the pipeline bubble by the
+// WithInterleave degree), or "2bw" (PipeDream-2BW: 1F1B timing with
+// double-buffered weight versions instead of activation-sized stashes). The
+// schedule shapes the partitioner's per-stage memory model — a
+// memory-constrained worker can admit a larger Nm under "1f1b" — as well as
+// the simulated task graph and the Gantt rendering.
 func WithSchedule(name string) Option { return func(s *settings) { s.schedule = name } }
+
+// WithInterleave sets the interleave degree V: the partitioner cuts each
+// virtual worker's model into k*V chunks and assigns GPU g the chunks g,
+// g+k, ..., g+(V-1)k, so the pipeline fill/drain bubble shrinks by V.
+// 0 (the default) and 1 keep the classic one-contiguous-range-per-GPU
+// placement; V > 1 requires the "interleaved" schedule (New reports
+// ErrBadInterleave otherwise).
+func WithInterleave(v int) Option { return func(s *settings) { s.interleave = v } }
 
 // WithWarmup sets how many leading minibatches Gantt and WriteChromeTrace
 // runs exclude from their steady-state measurement (default 1). It must be
