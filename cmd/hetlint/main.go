@@ -1,0 +1,183 @@
+// Command hetlint runs the repository's determinism and hot-path analyzers
+// (internal/analysis) over Go packages. It runs two ways:
+//
+//	hetlint ./...                         # direct: loads packages itself
+//	go vet -vettool=$(which hetlint) ./... # as a cmd/go vettool
+//
+// Direct mode shells out to `go list -export` and analyzes every matched
+// non-test package. Vettool mode speaks cmd/go's unitchecker protocol: the
+// go command hands hetlint one JSON config per package (source files plus
+// the import map and export data of the package's dependencies), which also
+// covers test packages; the analyzers themselves exempt *_test.go files.
+//
+// Exit status: 0 clean, 1 operational error, 2 findings.
+//
+// The suite (see docs/ARCHITECTURE.md "Enforced invariants"):
+//
+//	detwalltime   no wall-clock reads in deterministic packages
+//	detrand       no global/unseeded math/rand outside tests
+//	mapiter       no map-iteration-ordered output in deterministic packages
+//	hotpathalloc  no allocating constructs in //hetlint:hotpath functions
+//	senterr       %w wrapping and errors.Is matching for Err* sentinels
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"hetpipe/internal/analysis"
+	"hetpipe/internal/analysis/driver"
+)
+
+// version participates in cmd/go's tool-ID handshake (`hetlint -V=full`);
+// the content only needs to be stable per build for vet caching.
+const version = "hetlint version 1"
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// cmd/go vettool protocol entry points, checked before normal flag
+	// parsing: `-V=full` asks for a version line and `-flags` for the
+	// supported analyzer flags (none).
+	for _, a := range args {
+		if a == "-V=full" || a == "-V" || strings.HasPrefix(a, "-V=") {
+			fmt.Println(version)
+			return 0
+		}
+		if a == "-flags" {
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return unitcheck(args[0])
+	}
+
+	fs := flag.NewFlagSet("hetlint", flag.ExitOnError)
+	checks := fs.String("checks", "", "comma-separated analyzer names to run (default all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	dir := fs.String("C", ".", "directory to run `go list` from")
+	fs.Parse(args)
+
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hetlint: %v\n", err)
+		return 1
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := driver.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hetlint: %v\n", err)
+		return 1
+	}
+	return report(pkgs, analyzers)
+}
+
+// selectAnalyzers resolves a -checks list against the suite.
+func selectAnalyzers(checks string) ([]*analysis.Analyzer, error) {
+	all := analysis.All()
+	if checks == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(checks, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// report runs the analyzers and prints findings go-vet style.
+func report(pkgs []*driver.Package, analyzers []*analysis.Analyzer) int {
+	diags, err := driver.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hetlint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the JSON configuration cmd/go writes for each package when
+// hetlint runs as a vettool (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package described by a cmd/go vet config file.
+func unitcheck(cfgPath string) int {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hetlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hetlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// hetlint computes no cross-package facts, but cmd/go expects the facts
+	// file to exist for caching; write it before any early exit.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "hetlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	imp := driver.NewImporter(fset, cfg.PackageFile, nil)
+	imp.SetRemap(cfg.ImportMap)
+	pkg, err := driver.CheckFiles(fset, imp, cfg.ImportPath, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "hetlint: %v\n", err)
+		return 1
+	}
+	return report([]*driver.Package{pkg}, analysis.All())
+}

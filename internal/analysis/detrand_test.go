@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hetpipe/internal/analysis"
+	"hetpipe/internal/analysis/analysistest"
+)
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, analysis.DetRand,
+		analysistest.Package{Path: "fix/rng", Dir: "testdata/detrand/rng"},
+	)
+}

@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hetpipe/internal/analysis"
+	"hetpipe/internal/analysis/analysistest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, analysis.HotPathAlloc,
+		analysistest.Package{Path: "fix/hot", Dir: "testdata/hotpathalloc/hot"},
+	)
+}

@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hetpipe/internal/analysis"
+	"hetpipe/internal/analysis/analysistest"
+)
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, analysis.MapIter,
+		analysistest.Package{Path: "fix/internal/sweep", Dir: "testdata/mapiter/det"},
+	)
+}

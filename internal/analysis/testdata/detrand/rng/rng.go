@@ -1,0 +1,34 @@
+// Package rng is a detrand fixture: global math/rand draws and unauditable
+// sources are flagged everywhere outside tests.
+package rng
+
+import "math/rand"
+
+// fixed is a custom Source whose determinism the analyzer cannot prove.
+type fixed struct{}
+
+func (fixed) Int63() int64 { return 42 }
+func (fixed) Seed(int64)   {}
+
+func BadGlobal() int {
+	return rand.Intn(10) // want `shared process-wide source`
+}
+
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `shared process-wide source`
+}
+
+func BadNew() *rand.Rand {
+	return rand.New(fixed{}) // want `not a direct rand.NewSource`
+}
+
+// AllowedNew is a vetted deterministic source, waved through explicitly.
+func AllowedNew() *rand.Rand {
+	//hetlint:allow rand
+	return rand.New(fixed{})
+}
+
+// Good is the required idiom: a fresh generator over a config-carried seed.
+func Good(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,9 @@
+// Test files are exempt from detrand: ad-hoc randomness in tests does not
+// affect production determinism.
+package rng
+
+import "math/rand"
+
+func helperForTests() int {
+	return rand.Intn(10)
+}

@@ -1,0 +1,34 @@
+// Package det is a detwalltime fixture type-checked under a deterministic
+// package path (fix/internal/sim).
+package det
+
+import "time"
+
+func Bad() time.Time {
+	return time.Now() // want `wall-clock call time.Now`
+}
+
+func BadSleep() {
+	time.Sleep(time.Millisecond) // want `wall-clock call time.Sleep`
+}
+
+func BadSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock call time.Since`
+}
+
+func BadTicker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `wall-clock call time.NewTicker`
+}
+
+// AllowedSeam models a vetted live-runtime seam inside a deterministic
+// package: the directive suppresses the finding.
+func AllowedSeam() time.Time {
+	//hetlint:allow walltime
+	return time.Now()
+}
+
+// PureValues uses package time only for constants and types, which observe
+// no clock.
+func PureValues() time.Duration {
+	return 5 * time.Millisecond
+}

@@ -1,0 +1,13 @@
+// Package live is a detwalltime fixture under a non-deterministic path:
+// wall-clock reads are the live runtime's business.
+package live
+
+import "time"
+
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func Now() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,92 @@
+// Package hot is a hotpathalloc fixture: only functions annotated
+// //hetlint:hotpath are checked, and each allocating construct is flagged.
+package hot
+
+import "fmt"
+
+type iface interface{ M() }
+
+type val struct{ n int }
+
+func (val) M() {}
+
+func sink(i iface) { _ = i }
+
+type ring struct {
+	buf  []int
+	name string
+}
+
+//hetlint:hotpath
+func (r *ring) BadClosure(n int) func() {
+	return func() { _ = n } // want `closure literal`
+}
+
+//hetlint:hotpath
+func (r *ring) BadLiterals() {
+	m := map[int]int{} // want `map literal`
+	s := []int{1, 2}   // want `slice literal`
+	_, _ = m, s
+}
+
+//hetlint:hotpath
+func (r *ring) BadAppend(xs []int) []int {
+	return append(xs, 1) // want `non-receiver slice`
+}
+
+// GoodAppend grows a receiver-owned buffer: amortized, allowed.
+//
+//hetlint:hotpath
+func (r *ring) GoodAppend(v int) {
+	r.buf = append(r.buf, v)
+}
+
+//hetlint:hotpath
+func (r *ring) BadFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want `fmt.Sprintf call allocates`
+}
+
+//hetlint:hotpath
+func (r *ring) BadConcat(a, b string) string {
+	return a + b // want `string concatenation`
+}
+
+//hetlint:hotpath
+func (r *ring) BadBox(v val) {
+	sink(v) // want `interface conversion of non-pointer value`
+}
+
+// GoodPointerBox passes a pointer: it fits the interface word, no box.
+//
+//hetlint:hotpath
+func (r *ring) GoodPointerBox(v *val) {
+	sink(v)
+}
+
+// GoodConstPanic: constant panic messages live in static data.
+//
+//hetlint:hotpath
+func (r *ring) GoodConstPanic() {
+	if len(r.buf) > 1<<30 {
+		panic("ring: overflow")
+	}
+}
+
+//hetlint:hotpath
+func Standalone(xs []int) []int {
+	return append(xs, 1) // want `non-receiver slice`
+}
+
+// Cold functions may allocate freely.
+func (r *ring) Cold() string {
+	return fmt.Sprintf("%v", r.buf)
+}
+
+// AllowedCold carries an explicit waiver for a cold branch inside a hot
+// function.
+//
+//hetlint:hotpath
+func (r *ring) AllowedCold() {
+	//hetlint:allow alloc
+	r.name = fmt.Sprintf("ring%d", len(r.buf))
+}

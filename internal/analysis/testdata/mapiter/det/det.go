@@ -1,0 +1,69 @@
+// Package det is a mapiter fixture type-checked under a deterministic
+// package path (fix/internal/sweep).
+package det
+
+import "sort"
+
+func BadAppend(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `ordered output \(slice append\)`
+		out = append(out, v)
+	}
+	return out
+}
+
+func BadFloat(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `ordered output \(float accumulation\)`
+		sum += v
+	}
+	return sum
+}
+
+type sink struct{}
+
+func (sink) Emit(string, int) {}
+
+func BadObserver(m map[string]int, s sink) {
+	for k, v := range m { // want `ordered output \(call to Emit\)`
+		s.Emit(k, v)
+	}
+}
+
+// GoodCollectSort is the sanctioned idiom: collect keys, sort, then iterate
+// the slice.
+func GoodCollectSort(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// GoodCommutative bodies (max, integer counting, map writes, deletes) are
+// order-insensitive and stay unflagged.
+func GoodCommutative(m map[string]int, other map[string]bool) int {
+	n := 0
+	for k, v := range m {
+		if v > n {
+			n = v
+		}
+		other[k] = true
+	}
+	return n
+}
+
+// AllowedIter demonstrates the explicit escape hatch.
+func AllowedIter(m map[string]int) []int {
+	var out []int
+	//hetlint:allow mapiter
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

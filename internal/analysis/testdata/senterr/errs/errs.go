@@ -1,0 +1,14 @@
+// Package errs is the senterr fixture's sentinel-defining package.
+package errs
+
+import "errors"
+
+// ErrBad and ErrWorse are exported sentinels in the options.go style.
+var (
+	ErrBad   = errors.New("errs: bad")
+	ErrWorse = errors.New("errs: worse")
+)
+
+// IsBad compares by identity inside the defining package, which is
+// legitimate: this package knows it never wrapped the value.
+func IsBad(err error) bool { return err == ErrBad }

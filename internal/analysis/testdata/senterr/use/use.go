@@ -1,0 +1,42 @@
+// Package use consumes fix/errs sentinels; outside the defining package
+// identity comparison and non-%w wrapping are flagged.
+package use
+
+import (
+	"errors"
+	"fmt"
+
+	"fix/errs"
+)
+
+func BadCompare(err error) bool {
+	return err == errs.ErrBad // want `use errors.Is`
+}
+
+func BadNotEqual(err error) bool {
+	return err != errs.ErrWorse // want `use errors.Is`
+}
+
+func BadWrap() error {
+	return fmt.Errorf("resolving model: %v", errs.ErrBad) // want `without %w`
+}
+
+func BadSwitch(err error) string {
+	switch err {
+	case errs.ErrWorse: // want `use errors.Is`
+		return "worse"
+	}
+	return ""
+}
+
+func Good(err error) bool {
+	return errors.Is(err, errs.ErrBad)
+}
+
+func GoodWrap() error {
+	return fmt.Errorf("resolving model: %w", errs.ErrBad)
+}
+
+func GoodNilCheck(err error) bool {
+	return err == nil
+}
