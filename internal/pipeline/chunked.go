@@ -79,6 +79,8 @@ func (r *chunkRunner) start(p int) { r.vstages[0].pushF(int32(p)) }
 // pending backward first, then the deepest admissible forward. Depth-first
 // selection drives the frontier minibatch toward completion, which is what
 // retires stashes fastest and reproduces Megatron's interleaved steady state.
+//
+//hetlint:hotpath
 func (r *chunkRunner) tryGPU(g int) {
 	if r.busy[g] {
 		return
@@ -104,6 +106,8 @@ func (r *chunkRunner) tryGPU(g int) {
 // the backward on the last virtual stage). Under serialized receives the
 // duration includes the chunk's input transfer; under overlap the transfer
 // already ran as a pure delay.
+//
+//hetlint:hotpath
 func (r *chunkRunner) runForward(p, vs int) {
 	pl := r.pl
 	g := vs % r.k
@@ -122,6 +126,7 @@ func (r *chunkRunner) runForward(p, vs int) {
 	pl.gpus[g].SubmitID(dur, r.idFwd, int32(p), int32(vs))
 }
 
+//hetlint:hotpath
 func (r *chunkRunner) forwardDone(a, b int32, x float64) {
 	pl := r.pl
 	p, vs := int(a), int(b)
@@ -136,6 +141,8 @@ func (r *chunkRunner) forwardDone(a, b int32, x float64) {
 // deliverF routes minibatch p's activations to virtual stage vs: a pure
 // transfer delay under overlap, an immediate enqueue otherwise (the receive
 // is charged to the task duration).
+//
+//hetlint:hotpath
 func (r *chunkRunner) deliverF(p, vs int) {
 	pl := r.pl
 	ch := pl.cfg.Plan.ChunkAt(vs)
@@ -148,6 +155,7 @@ func (r *chunkRunner) deliverF(p, vs int) {
 	r.tryGPU(vs % r.k)
 }
 
+//hetlint:hotpath
 func (r *chunkRunner) actArrived(a, b int32, x float64) {
 	pl := r.pl
 	p, vs := int(a), int(b)
@@ -156,6 +164,7 @@ func (r *chunkRunner) actArrived(a, b int32, x float64) {
 	r.tryGPU(vs % r.k)
 }
 
+//hetlint:hotpath
 func (r *chunkRunner) fusedDone(a, b int32, x float64) {
 	pl := r.pl
 	p, vs := int(a), int(b)
@@ -174,6 +183,8 @@ func (r *chunkRunner) fusedDone(a, b int32, x float64) {
 
 // runBackward executes minibatch p's backward on virtual stage vs (vs <
 // kv-1; the last virtual stage's backward is fused into its forward task).
+//
+//hetlint:hotpath
 func (r *chunkRunner) runBackward(p, vs int) {
 	pl := r.pl
 	g := vs % r.k
@@ -187,6 +198,7 @@ func (r *chunkRunner) runBackward(p, vs int) {
 	pl.gpus[g].SubmitID(dur, r.idBwd, int32(p), int32(vs))
 }
 
+//hetlint:hotpath
 func (r *chunkRunner) backwardDone(a, b int32, x float64) {
 	pl := r.pl
 	p, vs := int(a), int(b)
@@ -204,6 +216,8 @@ func (r *chunkRunner) backwardDone(a, b int32, x float64) {
 
 // deliverB routes minibatch p's boundary gradients to virtual stage vs; see
 // deliverF.
+//
+//hetlint:hotpath
 func (r *chunkRunner) deliverB(p, vs int) {
 	pl := r.pl
 	ch := pl.cfg.Plan.ChunkAt(vs)
@@ -216,6 +230,7 @@ func (r *chunkRunner) deliverB(p, vs int) {
 	r.tryGPU(vs % r.k)
 }
 
+//hetlint:hotpath
 func (r *chunkRunner) gradArrived(a, b int32, x float64) {
 	pl := r.pl
 	p, vs := int(a), int(b)

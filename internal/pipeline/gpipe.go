@@ -76,6 +76,8 @@ func (r *gpipeRunner) poke() {
 // forward schedules the fill-phase forward of minibatch p on stage s; the
 // duration includes receiving the input activations (serialized, like the
 // paper's model).
+//
+//hetlint:hotpath
 func (r *gpipeRunner) forward(p, s int) {
 	pl := r.pl
 	st := &pl.cfg.Plan.Stages[s]
@@ -85,6 +87,8 @@ func (r *gpipeRunner) forward(p, s int) {
 
 // forwardDone fires when a fill-phase forward finishes. When the last member
 // of the wave finishes its forward on the last stage, the drain phase begins.
+//
+//hetlint:hotpath
 func (r *gpipeRunner) forwardDone(a, b int32, x float64) {
 	pl := r.pl
 	p, s := int(a), int(b)
@@ -107,6 +111,8 @@ func (r *gpipeRunner) forwardDone(a, b int32, x float64) {
 // backward schedules the drain-phase backward of minibatch p on stage s; the
 // duration includes receiving the boundary gradients (zero on the last
 // stage, whose loss is local).
+//
+//hetlint:hotpath
 func (r *gpipeRunner) backward(p, s int) {
 	pl := r.pl
 	st := &pl.cfg.Plan.Stages[s]
@@ -114,6 +120,7 @@ func (r *gpipeRunner) backward(p, s int) {
 	pl.gpus[s].SubmitID(dur, r.idBwd, int32(p), int32(s))
 }
 
+//hetlint:hotpath
 func (r *gpipeRunner) backwardDone(a, b int32, x float64) {
 	pl := r.pl
 	p, s := int(a), int(b)

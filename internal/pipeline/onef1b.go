@@ -85,6 +85,8 @@ func (r *oneF1BRunner) start(p int) { r.stages[0].pushF(int32(p)) }
 // trySchedule picks the next task for stage s under the 1F1B discipline:
 // backward if one is ready (retiring a stash), otherwise a forward as long
 // as the stage stays within its k-s outstanding bound.
+//
+//hetlint:hotpath
 func (r *oneF1BRunner) trySchedule(s int) {
 	pl := r.pl
 	st := &r.stages[s]
@@ -102,6 +104,8 @@ func (r *oneF1BRunner) trySchedule(s int) {
 // runForward executes minibatch p's forward on stage s (fused with the
 // backward on the last stage); the duration includes receiving the input
 // activations.
+//
+//hetlint:hotpath
 func (r *oneF1BRunner) runForward(p, s int) {
 	pl := r.pl
 	st := &r.stages[s]
@@ -116,6 +120,7 @@ func (r *oneF1BRunner) runForward(p, s int) {
 	pl.gpus[s].SubmitID(dur, r.idFwd, int32(p), int32(s))
 }
 
+//hetlint:hotpath
 func (r *oneF1BRunner) fusedDone(a, b int32, x float64) {
 	pl := r.pl
 	p, s := int(a), int(b)
@@ -133,6 +138,7 @@ func (r *oneF1BRunner) fusedDone(a, b int32, x float64) {
 	r.trySchedule(s)
 }
 
+//hetlint:hotpath
 func (r *oneF1BRunner) forwardDone(a, b int32, x float64) {
 	pl := r.pl
 	p, s := int(a), int(b)
@@ -147,6 +153,8 @@ func (r *oneF1BRunner) forwardDone(a, b int32, x float64) {
 
 // runBackward executes minibatch p's backward on stage s (s < k-1); the
 // duration includes receiving the boundary gradients.
+//
+//hetlint:hotpath
 func (r *oneF1BRunner) runBackward(p, s int) {
 	pl := r.pl
 	st := &r.stages[s]
@@ -156,6 +164,7 @@ func (r *oneF1BRunner) runBackward(p, s int) {
 	pl.gpus[s].SubmitID(dur, r.idBwd, int32(p), int32(s))
 }
 
+//hetlint:hotpath
 func (r *oneF1BRunner) backwardDone(a, b int32, x float64) {
 	pl := r.pl
 	p, s := int(a), int(b)

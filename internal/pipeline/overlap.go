@@ -46,6 +46,8 @@ func (r *overlapRunner) start(p int) { r.forward(p, 0) }
 
 // forward delivers minibatch p's activations to stage s (a pure transfer
 // delay when s > 0) and then enqueues the compute-only forward task.
+//
+//hetlint:hotpath
 func (r *overlapRunner) forward(p, s int) {
 	pl := r.pl
 	st := &pl.cfg.Plan.Stages[s]
@@ -57,6 +59,7 @@ func (r *overlapRunner) forward(p, s int) {
 	r.computeForward(p, s)
 }
 
+//hetlint:hotpath
 func (r *overlapRunner) actArrived(a, b int32, x float64) {
 	pl := r.pl
 	p, s := int(a), int(b)
@@ -66,6 +69,8 @@ func (r *overlapRunner) actArrived(a, b int32, x float64) {
 
 // computeForward enqueues the compute-only forward task (fused with the
 // backward on the last partition).
+//
+//hetlint:hotpath
 func (r *overlapRunner) computeForward(p, s int) {
 	pl := r.pl
 	st := &pl.cfg.Plan.Stages[s]
@@ -78,6 +83,7 @@ func (r *overlapRunner) computeForward(p, s int) {
 	pl.gpus[s].SubmitID(dur, r.idFwd, int32(p), int32(s))
 }
 
+//hetlint:hotpath
 func (r *overlapRunner) fusedDone(a, b int32, x float64) {
 	pl := r.pl
 	p, s := int(a), int(b)
@@ -91,6 +97,7 @@ func (r *overlapRunner) fusedDone(a, b int32, x float64) {
 	r.backward(p, s-1)
 }
 
+//hetlint:hotpath
 func (r *overlapRunner) forwardDone(a, b int32, x float64) {
 	pl := r.pl
 	p, s := int(a), int(b)
@@ -100,6 +107,8 @@ func (r *overlapRunner) forwardDone(a, b int32, x float64) {
 
 // backward delivers minibatch p's boundary gradients to stage s and enqueues
 // the compute-only backward task.
+//
+//hetlint:hotpath
 func (r *overlapRunner) backward(p, s int) {
 	pl := r.pl
 	st := &pl.cfg.Plan.Stages[s]
@@ -111,6 +120,7 @@ func (r *overlapRunner) backward(p, s int) {
 	r.computeBackward(p, s)
 }
 
+//hetlint:hotpath
 func (r *overlapRunner) gradArrived(a, b int32, x float64) {
 	pl := r.pl
 	p, s := int(a), int(b)
@@ -118,6 +128,7 @@ func (r *overlapRunner) gradArrived(a, b int32, x float64) {
 	r.computeBackward(p, s)
 }
 
+//hetlint:hotpath
 func (r *overlapRunner) computeBackward(p, s int) {
 	pl := r.pl
 	st := &pl.cfg.Plan.Stages[s]
@@ -125,6 +136,7 @@ func (r *overlapRunner) computeBackward(p, s int) {
 	pl.gpus[s].SubmitID(dur, r.idBwd, int32(p), int32(s))
 }
 
+//hetlint:hotpath
 func (r *overlapRunner) backwardDone(a, b int32, x float64) {
 	pl := r.pl
 	p, s := int(a), int(b)

@@ -205,6 +205,8 @@ func (pl *Pipeline) inject(start func(p int)) {
 
 // complete marks minibatch p done: its backward pass reached stage 0 and the
 // virtual worker applied the local update (Section 4's wlocal += up).
+//
+//hetlint:hotpath
 func (pl *Pipeline) complete(p int) {
 	pl.completed++
 	pl.inflight--
@@ -330,6 +332,8 @@ func (r *fifoRunner) start(p int) { r.forward(p, 0) }
 // forward schedules the forward pass of minibatch p on stage s. The task's
 // duration includes the time to receive the input activations from the
 // previous stage (RecvActTime), which serializes with computation.
+//
+//hetlint:hotpath
 func (r *fifoRunner) forward(p, s int) {
 	pl := r.pl
 	st := &pl.cfg.Plan.Stages[s]
@@ -343,6 +347,7 @@ func (r *fifoRunner) forward(p, s int) {
 	pl.gpus[s].SubmitID(dur, r.idFwd, int32(p), int32(s))
 }
 
+//hetlint:hotpath
 func (r *fifoRunner) fusedDone(a, b int32, x float64) {
 	pl := r.pl
 	p, s := int(a), int(b)
@@ -355,6 +360,7 @@ func (r *fifoRunner) fusedDone(a, b int32, x float64) {
 	r.sendGrad(p, s)
 }
 
+//hetlint:hotpath
 func (r *fifoRunner) forwardDone(a, b int32, x float64) {
 	pl := r.pl
 	p, s := int(a), int(b)
@@ -369,6 +375,8 @@ func (r *fifoRunner) forwardDone(a, b int32, x float64) {
 // backward schedules the backward pass of minibatch p on stage s (s < k-1;
 // the last stage's backward is fused into its forward task). The task's
 // duration includes receiving the gradients from the next stage.
+//
+//hetlint:hotpath
 func (r *fifoRunner) backward(p, s int) {
 	pl := r.pl
 	st := &pl.cfg.Plan.Stages[s]
@@ -376,6 +384,7 @@ func (r *fifoRunner) backward(p, s int) {
 	pl.gpus[s].SubmitID(dur, r.idBwd, int32(p), int32(s))
 }
 
+//hetlint:hotpath
 func (r *fifoRunner) backwardDone(a, b int32, x float64) {
 	pl := r.pl
 	p, s := int(a), int(b)
@@ -390,6 +399,8 @@ func (r *fifoRunner) backwardDone(a, b int32, x float64) {
 }
 
 // sendGrad propagates minibatch p's boundary gradients from stage s to s-1.
+//
+//hetlint:hotpath
 func (r *fifoRunner) sendGrad(p, s int) {
 	if s == 0 {
 		r.pl.complete(p)

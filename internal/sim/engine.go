@@ -136,6 +136,8 @@ func (e *Engine) Reset() {
 }
 
 // alloc takes a slot from the free list, growing the arena when empty.
+//
+//hetlint:hotpath
 func (e *Engine) alloc() int32 {
 	if n := len(e.free); n > 0 {
 		id := e.free[n-1]
@@ -148,6 +150,8 @@ func (e *Engine) alloc() int32 {
 
 // freeSlot recycles an arena slot, bumping its generation so stale handles
 // cannot touch the next occupant, and dropping callback references.
+//
+//hetlint:hotpath
 func (e *Engine) freeSlot(id int32) {
 	s := &e.slots[id]
 	s.state = slotFree
@@ -167,6 +171,8 @@ func less(a, b heapEnt) bool {
 }
 
 // heapPush inserts an entry, sifting up through the 4-ary heap.
+//
+//hetlint:hotpath
 func (e *Engine) heapPush(ent heapEnt) {
 	e.heap = append(e.heap, ent)
 	c := len(e.heap) - 1
@@ -182,6 +188,8 @@ func (e *Engine) heapPush(ent heapEnt) {
 
 // heapPop removes and returns the minimum entry, sifting the displaced last
 // element down through the 4-ary heap with the hole method.
+//
+//hetlint:hotpath
 func (e *Engine) heapPop() heapEnt {
 	top := e.heap[0]
 	n := len(e.heap) - 1
@@ -305,6 +313,8 @@ func (e *Engine) Cancel(h Handle) bool {
 // next live event; it reports whether one exists. With no cancellations
 // outstanding it is a pair of integer tests — the common case never loads a
 // slot.
+//
+//hetlint:hotpath
 func (e *Engine) prune() bool {
 	for len(e.heap) > 0 {
 		if e.dead == 0 {
@@ -323,6 +333,8 @@ func (e *Engine) prune() bool {
 
 // Step fires the next event, advancing the clock to its timestamp.
 // It reports false when no events remain.
+//
+//hetlint:hotpath
 func (e *Engine) Step() bool {
 	if !e.prune() {
 		return false

@@ -83,6 +83,7 @@ func (r *Resource) SubmitID(d Duration, id, a, b int32) {
 	r.push(job{hold: d, a: a, b: b, fn: id})
 }
 
+//hetlint:hotpath
 func (r *Resource) push(j job) {
 	// Compact once the dead prefix dominates the live region, so a queue that
 	// never fully drains (a saturated pipeline stage) still reuses its backing
@@ -101,6 +102,7 @@ func (r *Resource) push(j job) {
 	}
 }
 
+//hetlint:hotpath
 func (r *Resource) startNext() {
 	if r.head == len(r.queue) {
 		r.queue = r.queue[:0]
@@ -120,6 +122,8 @@ func (r *Resource) startNext() {
 // finished job lives in r.cur, not the event payload, because the resource is
 // serial. Accounting and the hand-off to the next queued job happen before
 // the caller's callback, matching the pre-pooling event order.
+//
+//hetlint:hotpath
 func (r *Resource) jobDone(_, _ int32, _ float64) {
 	r.busyTotal += Duration(r.eng.Now() - r.busySince)
 	r.served++
