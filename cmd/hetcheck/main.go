@@ -260,16 +260,9 @@ const allocsThreshold = 0.05
 // a finding. Benchmarks absent from the baseline are ignored, so the gate
 // composes with `-bench .` runs that cover more than the pinned set.
 func checkBench(r io.Reader, baselinePath string, threshold float64) ([]string, error) {
-	raw, err := os.ReadFile(baselinePath)
+	base, err := loadBaseline(baselinePath)
 	if err != nil {
 		return nil, err
-	}
-	var base benchBaseline
-	if err := json.Unmarshal(raw, &base); err != nil {
-		return nil, fmt.Errorf("parsing %s: %w", baselinePath, err)
-	}
-	if len(base.Benchmarks) == 0 {
-		return nil, fmt.Errorf("%s: no baseline benchmarks", baselinePath)
 	}
 	type got struct{ ns, allocs float64 }
 	results := map[string]got{}
@@ -310,6 +303,46 @@ func checkBench(r io.Reader, baselinePath string, threshold float64) ([]string, 
 		}
 	}
 	return findings, nil
+}
+
+// loadBaseline reads and validates the committed baseline. The gate trusts
+// this file completely — a malformed entry would make every comparison
+// vacuous — so a baseline that is missing, unparsable, empty, or carries a
+// nonsense record (blank or non-Benchmark name, duplicate name, non-positive
+// ns/op, negative counters) is a hard error with a message naming the bad
+// entry, not a silently green gate.
+func loadBaseline(path string) (*benchBaseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("benchmark baseline %s does not exist; commit one or point -baseline at it", path)
+		}
+		return nil, fmt.Errorf("reading benchmark baseline: %w", err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("benchmark baseline %s is malformed: %v", path, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchmark baseline %s lists no benchmarks", path)
+	}
+	seen := make(map[string]bool, len(base.Benchmarks))
+	for i, b := range base.Benchmarks {
+		switch {
+		case b.Name == "":
+			return nil, fmt.Errorf("benchmark baseline %s: entry %d has no name", path, i)
+		case !strings.HasPrefix(b.Name, "Benchmark"):
+			return nil, fmt.Errorf("benchmark baseline %s: entry %d name %q does not start with Benchmark", path, i, b.Name)
+		case seen[b.Name]:
+			return nil, fmt.Errorf("benchmark baseline %s: duplicate entry for %s", path, b.Name)
+		case b.NsPerOp <= 0:
+			return nil, fmt.Errorf("benchmark baseline %s: %s has non-positive ns_per_op %v", path, b.Name, b.NsPerOp)
+		case b.BytesPerOp < 0 || b.AllocsPerOp < 0:
+			return nil, fmt.Errorf("benchmark baseline %s: %s has negative bytes_per_op or allocs_per_op", path, b.Name)
+		}
+		seen[b.Name] = true
+	}
+	return &base, nil
 }
 
 func fatalf(format string, args ...any) {

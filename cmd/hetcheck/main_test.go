@@ -174,13 +174,49 @@ func TestCheckBenchMissingAndNoMem(t *testing.T) {
 }
 
 func TestCheckBenchBadBaseline(t *testing.T) {
-	dir := t.TempDir()
-	empty := filepath.Join(dir, "empty.json")
-	write(t, empty, `{"benchmarks": []}`)
-	if _, err := checkBench(strings.NewReader(""), empty, 0.25); err == nil {
-		t.Error("empty baseline accepted")
+	// Every malformed baseline must be a hard error whose message names the
+	// problem — never a silently green gate.
+	cases := []struct {
+		name    string
+		content string
+		wantErr string
+	}{
+		{"empty list", `{"benchmarks": []}`, "lists no benchmarks"},
+		{"truncated json", `{"benchmarks": [{"name": "BenchmarkX",`, "malformed"},
+		{"not json at all", "BenchmarkX 2000 33000 ns/op\n", "malformed"},
+		{"nameless entry", `{"benchmarks": [{"ns_per_op": 10}]}`, "has no name"},
+		{"wrong prefix", `{"benchmarks": [{"name": "X", "ns_per_op": 10}]}`, "does not start with Benchmark"},
+		{"zero ns_per_op", `{"benchmarks": [{"name": "BenchmarkX"}]}`, "non-positive ns_per_op"},
+		{"negative allocs", `{"benchmarks": [{"name": "BenchmarkX", "ns_per_op": 10, "allocs_per_op": -1}]}`, "negative bytes_per_op or allocs_per_op"},
+		{"duplicate entry", `{"benchmarks": [
+			{"name": "BenchmarkX", "ns_per_op": 10},
+			{"name": "BenchmarkX", "ns_per_op": 20}]}`, "duplicate entry"},
 	}
-	if _, err := checkBench(strings.NewReader(""), filepath.Join(dir, "absent.json"), 0.25); err == nil {
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "base.json")
+			write(t, path, tc.content)
+			_, err := checkBench(strings.NewReader(""), path, 0.25)
+			if err == nil {
+				t.Fatalf("baseline %q accepted", tc.content)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	if _, err := checkBench(strings.NewReader(""), filepath.Join(t.TempDir(), "absent.json"), 0.25); err == nil {
 		t.Error("missing baseline file accepted")
+	} else if !strings.Contains(err.Error(), "does not exist") {
+		t.Errorf("error %q does not say the baseline is missing", err)
+	}
+}
+
+func TestRepoBaselineIsValid(t *testing.T) {
+	// The committed baseline itself must satisfy the validation the gate
+	// applies to it.
+	if _, err := loadBaseline(filepath.Join("..", "..", "BENCH_pipeline.json")); err != nil {
+		t.Error(err)
 	}
 }

@@ -9,6 +9,21 @@ import (
 	"time"
 )
 
+// allSentinels is the package's complete exported Err* surface, in
+// declaration order. TestNewSentinelErrors checks the table below against it,
+// so adding a sentinel without a reachability case is a test failure.
+var allSentinels = map[string]error{
+	"ErrUnknownModel":    ErrUnknownModel,
+	"ErrUnknownCluster":  ErrUnknownCluster,
+	"ErrUnknownPolicy":   ErrUnknownPolicy,
+	"ErrUnknownBackend":  ErrUnknownBackend,
+	"ErrUnknownTask":     ErrUnknownTask,
+	"ErrNoAllocation":    ErrNoAllocation,
+	"ErrUnknownSchedule": ErrUnknownSchedule,
+	"ErrBadFaultPlan":    ErrBadFaultPlan,
+	"ErrBadInterleave":   ErrBadInterleave,
+}
+
 func TestNewSentinelErrors(t *testing.T) {
 	cases := []struct {
 		name string
@@ -21,13 +36,30 @@ func TestNewSentinelErrors(t *testing.T) {
 		{"unknown policy", []Option{WithModel("vgg19"), WithPolicy("XX")}, ErrUnknownPolicy},
 		{"unknown task", []Option{WithModel("vgg19"), WithPolicy("ED"), WithTrainTask("gpt")}, ErrUnknownTask},
 		{"no allocation", []Option{WithModel("vgg19")}, ErrNoAllocation},
+		{"unknown schedule", []Option{WithModel("vgg19"), WithPolicy("ED"), WithSchedule("nope")}, ErrUnknownSchedule},
+		{"negative interleave", []Option{WithModel("vgg19"), WithPolicy("ED"), WithInterleave(-1)}, ErrBadInterleave},
+		{"interleave on non-interleaved schedule", []Option{WithModel("vgg19"), WithPolicy("ED"), WithSchedule("gpipe"), WithInterleave(2)}, ErrBadInterleave},
+		{"bad fault plan", []Option{WithModel("vgg19"), WithPolicy("ED"), WithFaults("not-a-plan")}, ErrBadFaultPlan},
 	}
+	covered := map[error]bool{}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			if _, err := New(c.opts...); !errors.Is(err, c.want) {
 				t.Errorf("New() error = %v, want errors.Is %v", err, c.want)
 			}
 		})
+		covered[c.want] = true
+	}
+	// ErrUnknownBackend is the one sentinel outside New's option surface:
+	// the backend is chosen by Config.Backend on the Run path.
+	if _, err := Run(Config{Model: "vgg19", Policy: "ED", Backend: "warp"}); !errors.Is(err, ErrUnknownBackend) {
+		t.Errorf("Run(bad backend) error = %v, want errors.Is ErrUnknownBackend", err)
+	}
+	covered[ErrUnknownBackend] = true
+	for name, sentinel := range allSentinels {
+		if !covered[sentinel] {
+			t.Errorf("sentinel %s has no reachability case in this test", name)
+		}
 	}
 }
 
