@@ -8,18 +8,23 @@
 //     links whose target file does not exist, so the docs cannot silently rot
 //     as files move;
 //   - -bench reads `go test -bench -benchmem` output on stdin and fails if
-//     any benchmark named in the committed baseline (-baseline, default
-//     BENCH_pipeline.json) regressed: ns/op beyond -bench-threshold (default
-//     0.25, the documented >25%% rule — headroom for machine noise) or
-//     allocs/op beyond 5%% (allocation counts are deterministic, so any real
-//     growth is a leak on the pooled hot path).
+//     any benchmark named in a committed baseline (-baseline, default
+//     BENCH_pipeline.json,BENCH_ps.json; comma-separate several files to gate
+//     one stream against multiple packages' baselines) regressed: ns/op beyond
+//     -bench-threshold (default 0.25, the documented >25%% rule — headroom
+//     for machine noise) or allocs/op beyond 5%% (allocation counts are
+//     deterministic, so any real growth is a leak on the pooled hot path).
+//     A benchmark pinned by two baseline files is rejected outright.
 //
 // Usage:
 //
 //	hetcheck -pkgdoc -links            # both checks over the current module
 //	hetcheck -pkgdoc -links -root ..   # explicit module root
-//	go test -run '^$' -bench . -benchmem -benchtime 2000x ./internal/pipeline |
+//	go test -run '^$' -bench . -benchmem -benchtime 2000x \
+//	  ./internal/pipeline ./internal/ps |
 //	  hetcheck -bench                  # benchmark regression gate
+//	go test -run '^$' -bench . -benchmem ./internal/ps |
+//	  hetcheck -bench -baseline BENCH_ps.json   # one package's baseline only
 //
 // Exit status is non-zero when any check fails; findings are listed one per
 // line as file: message.
@@ -47,7 +52,7 @@ func main() {
 	pkgdoc := flag.Bool("pkgdoc", false, "check that every Go package has a package comment")
 	links := flag.Bool("links", false, "check that relative Markdown links resolve")
 	bench := flag.Bool("bench", false, "compare `go test -bench -benchmem` output on stdin against the baseline")
-	baseline := flag.String("baseline", "BENCH_pipeline.json", "benchmark baseline for -bench")
+	baseline := flag.String("baseline", "BENCH_pipeline.json,BENCH_ps.json", "comma-separated benchmark baseline files for -bench")
 	benchThreshold := flag.Float64("bench-threshold", 0.25, "fractional ns/op growth tolerated by -bench")
 	flag.Parse()
 	if !*pkgdoc && !*links && !*bench {
@@ -71,7 +76,11 @@ func main() {
 		findings = append(findings, f...)
 	}
 	if *bench {
-		f, err := checkBench(os.Stdin, filepath.Join(*root, *baseline), *benchThreshold)
+		paths := strings.Split(*baseline, ",")
+		for i, p := range paths {
+			paths[i] = filepath.Join(*root, strings.TrimSpace(p))
+		}
+		f, err := checkBench(os.Stdin, strings.Join(paths, ","), *benchThreshold)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -254,13 +263,17 @@ var benchLineRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+)
 // releases, not real regressions on the pooled hot path.
 const allocsThreshold = 0.05
 
-// checkBench compares benchmark results read from r against the baseline
-// file: a baseline-listed benchmark missing from the input, growing its
-// ns/op beyond threshold, or growing its allocs/op beyond allocsThreshold is
-// a finding. Benchmarks absent from the baseline are ignored, so the gate
-// composes with `-bench .` runs that cover more than the pinned set.
-func checkBench(r io.Reader, baselinePath string, threshold float64) ([]string, error) {
-	base, err := loadBaseline(baselinePath)
+// checkBench compares benchmark results read from r against the committed
+// baselines: a baseline-listed benchmark missing from the input, growing
+// its ns/op beyond threshold, or growing its allocs/op beyond
+// allocsThreshold is a finding. Benchmarks absent from every baseline are
+// ignored, so the gate composes with `-bench .` runs that cover more than
+// the pinned set. baselineArg is a comma-separated list of baseline files
+// (one `go test -bench` stream can then be gated against several packages'
+// baselines in a single invocation); a benchmark listed by two files is a
+// hard error, since the gate could not tell which record to enforce.
+func checkBench(r io.Reader, baselineArg string, threshold float64) ([]string, error) {
+	entries, err := loadBaselines(strings.Split(baselineArg, ","))
 	if err != nil {
 		return nil, err
 	}
@@ -283,26 +296,59 @@ func checkBench(r io.Reader, baselinePath string, threshold float64) ([]string, 
 		return nil, err
 	}
 	var findings []string
-	for _, b := range base.Benchmarks {
+	for _, e := range entries {
+		b := e.benchEntry
 		g, ok := results[b.Name]
 		if !ok {
-			findings = append(findings, fmt.Sprintf("%s: %s missing from benchmark output", baselinePath, b.Name))
+			findings = append(findings, fmt.Sprintf("%s: %s missing from benchmark output", e.path, b.Name))
 			continue
 		}
 		if limit := b.NsPerOp * (1 + threshold); g.ns > limit {
 			findings = append(findings, fmt.Sprintf("%s: %s ns/op regressed %.0f -> %.0f (>%d%% over baseline)",
-				baselinePath, b.Name, b.NsPerOp, g.ns, int(threshold*100)))
+				e.path, b.Name, b.NsPerOp, g.ns, int(threshold*100)))
 		}
 		if g.allocs < 0 {
-			findings = append(findings, fmt.Sprintf("%s: %s has no allocs/op (run with -benchmem)", baselinePath, b.Name))
+			findings = append(findings, fmt.Sprintf("%s: %s has no allocs/op (run with -benchmem)", e.path, b.Name))
 			continue
 		}
 		if limit := b.AllocsPerOp * (1 + allocsThreshold); g.allocs > limit {
 			findings = append(findings, fmt.Sprintf("%s: %s allocs/op regressed %.0f -> %.0f (>%d%% over baseline)",
-				baselinePath, b.Name, b.AllocsPerOp, g.allocs, int(allocsThreshold*100)))
+				e.path, b.Name, b.AllocsPerOp, g.allocs, int(allocsThreshold*100)))
 		}
 	}
 	return findings, nil
+}
+
+// sourcedEntry is a baseline record together with the file that pinned it,
+// so findings name the baseline that must be updated.
+type sourcedEntry struct {
+	benchEntry
+	path string
+}
+
+// loadBaselines loads and validates every baseline file, rejecting a
+// benchmark pinned by more than one file.
+func loadBaselines(paths []string) ([]sourcedEntry, error) {
+	var entries []sourcedEntry
+	pinnedBy := map[string]string{}
+	for _, p := range paths {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("empty baseline path in -baseline list")
+		}
+		base, err := loadBaseline(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range base.Benchmarks {
+			if prev, dup := pinnedBy[b.Name]; dup {
+				return nil, fmt.Errorf("benchmark baselines %s and %s both pin %s", prev, p, b.Name)
+			}
+			pinnedBy[b.Name] = p
+			entries = append(entries, sourcedEntry{benchEntry: b, path: p})
+		}
+	}
+	return entries, nil
 }
 
 // loadBaseline reads and validates the committed baseline. The gate trusts

@@ -213,10 +213,56 @@ func TestCheckBenchBadBaseline(t *testing.T) {
 	}
 }
 
+func TestCheckBenchMultipleBaselines(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	write(t, a, benchBaselineJSON)
+	write(t, b, `{"benchmarks": [
+		{"name": "BenchmarkOther/op", "ns_per_op": 1000, "bytes_per_op": 16, "allocs_per_op": 2}
+	]}`)
+	// One combined stream gated against both files: the regression in the
+	// second baseline's benchmark is found and attributed to that file.
+	out := strings.Join([]string{
+		"BenchmarkPipelineSchedules/hetpipe-fifo-16   2000   33000 ns/op   4432 B/op   62 allocs/op",
+		"BenchmarkPipelineSchedules/gpipe-16          2000   35000 ns/op   3712 B/op   54 allocs/op",
+		"BenchmarkOther/op-16                         2000    9000 ns/op   16 B/op   2 allocs/op",
+	}, "\n")
+	findings, err := checkBench(strings.NewReader(out), a+","+b, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want 1", findings)
+	}
+	if !strings.Contains(findings[0], "b.json") || !strings.Contains(findings[0], "BenchmarkOther/op ns/op regressed") {
+		t.Errorf("finding = %q, want BenchmarkOther regression attributed to b.json", findings[0])
+	}
+}
+
+func TestCheckBenchCrossFileDuplicate(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	write(t, a, benchBaselineJSON)
+	write(t, b, benchBaselineJSON)
+	_, err := checkBench(strings.NewReader(""), a+","+b, 0.25)
+	if err == nil {
+		t.Fatal("duplicate benchmark across baseline files accepted")
+	}
+	if !strings.Contains(err.Error(), "both pin") {
+		t.Errorf("error %q does not name the cross-file duplicate", err)
+	}
+}
+
 func TestRepoBaselineIsValid(t *testing.T) {
-	// The committed baseline itself must satisfy the validation the gate
-	// applies to it.
-	if _, err := loadBaseline(filepath.Join("..", "..", "BENCH_pipeline.json")); err != nil {
+	// The committed baselines themselves must satisfy the validation the
+	// gate applies to them, and must not pin overlapping benchmarks.
+	root := filepath.Join("..", "..")
+	if _, err := loadBaselines([]string{
+		filepath.Join(root, "BENCH_pipeline.json"),
+		filepath.Join(root, "BENCH_ps.json"),
+	}); err != nil {
 		t.Error(err)
 	}
 }

@@ -141,6 +141,8 @@ func main() {
 		mode, *workers, *mb, *shards, *nm, *d)
 	fmt.Printf("minibatches=%d pushes=%d pulls=%d globalClock=%d maxClockDistance=%d (bound %d)\n",
 		stats.Minibatches, stats.Pushes, stats.Pulls, stats.GlobalClock, stats.MaxClockDistance, *d+1)
+	fmt.Printf("data plane: shard ops %d pushes / %d pulls, %d malformed requests rejected\n",
+		stats.ShardPushes, stats.ShardPulls, stats.ShardMalformed)
 	printFaultSummary(stats)
 	fmt.Printf("final accuracy=%.3f loss=%.4f wall=%.3fs\n",
 		task.Accuracy(stats.FinalWeights), task.Loss(stats.FinalWeights), stats.Elapsed.Seconds())

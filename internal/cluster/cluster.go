@@ -161,6 +161,15 @@ type Stats struct {
 	// ResumedClock is the shard checkpoint's global clock when the run was
 	// started with Config.ResumeFrom; 0 otherwise.
 	ResumedClock int
+
+	// ShardPushes and ShardPulls aggregate the shard servers' own operation
+	// counters — the data-plane view of the run, as opposed to the logical
+	// per-worker counts above (they differ under crash replay, where a
+	// re-executed push hits the server but is reported logically once).
+	// ShardMalformed counts protocol-level malformed TCP requests the
+	// transport rejected; it is always zero for in-process runs and for any
+	// healthy TCP run.
+	ShardPushes, ShardPulls, ShardMalformed uint64
 }
 
 // errCrashed is the self-inflicted failure an injected crash raises; the
@@ -537,6 +546,12 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 		stats.ReplayedMinibatches += rec.replayed
 		stats.Checkpoints += rec.checkpoints
 	}
+	for _, s := range servers {
+		p, q := s.Stats()
+		stats.ShardPushes += p
+		stats.ShardPulls += q
+		stats.ShardMalformed += s.MalformedRequests()
+	}
 	backends := make([]ps.Backend, len(servers))
 	for i, s := range servers {
 		backends[i] = ps.AdaptServer(s)
@@ -572,6 +587,30 @@ type workerEnv struct {
 	rec         *workerRec
 	stallInject func(clock int, delay float64)
 	notifyCkpt  func()
+
+	// Reusable data-plane scratch, persisting across crash-replay attempts:
+	// pushVecs/pullVecs hold per-chunk views for the ps ordered APIs, and
+	// freeWeights recycles retired pendingMB snapshot vectors so the
+	// steady-state wave loop stops allocating one weight copy per minibatch.
+	pushVecs    []tensor.Vector
+	pullVecs    []tensor.Vector
+	freeWeights []tensor.Vector
+}
+
+// getWeights returns a recycled (or fresh) vector holding a copy of src.
+func (e *workerEnv) getWeights(src tensor.Vector) tensor.Vector {
+	if n := len(e.freeWeights); n > 0 {
+		v := e.freeWeights[n-1]
+		e.freeWeights = e.freeWeights[:n-1]
+		copy(v, src)
+		return v
+	}
+	return src.Clone()
+}
+
+// putWeights recycles a pendingMB snapshot vector after retirement.
+func (e *workerEnv) putWeights(v tensor.Vector) {
+	e.freeWeights = append(e.freeWeights, v)
 }
 
 // sleep converts a fault delay in seconds into a wall-clock sleep.
@@ -610,6 +649,10 @@ func (e *workerEnv) run() (WorkerStats, error) {
 	crash := e.faults.CrashFor(id)
 	linkScale := e.faults.LinkScale(id)
 	grad := tensor.NewVector(dim)
+	if len(e.pushVecs) != len(e.space.Keys()) {
+		e.pushVecs = make([]tensor.Vector, len(e.space.Keys()))
+		e.pullVecs = make([]tensor.Vector, len(e.space.Keys()))
+	}
 
 	// linkInject reports the degraded link once per run (not per attempt,
 	// and independent of whether StepTime makes the degradation sleep).
@@ -625,6 +668,7 @@ func (e *workerEnv) run() (WorkerStats, error) {
 		p := w.pending[0]
 		w.pending = w.pending[1:]
 		cfg.Task.Grad(p.weights, train.MinibatchIndex(id, p.mb, cfg.Workers), grad)
+		e.putWeights(p.weights)
 		w.wlocal.AXPY(-cfg.LR, grad)
 		w.waveAcc.AXPY(-cfg.LR, grad)
 		w.stats.Minibatches++
@@ -652,7 +696,8 @@ func (e *workerEnv) run() (WorkerStats, error) {
 				linkInject()
 				sleepSeconds((linkScale - 1) * cfg.StepTime.Seconds())
 			}
-			if err := e.sh.Push(id, e.space.Split(delta)); err != nil {
+			e.space.SplitInto(delta, e.pushVecs)
+			if err := e.sh.PushOrdered(id, e.space.Keys(), e.pushVecs); err != nil {
 				return err
 			}
 			e.rec.pushed = wave + 1
@@ -707,15 +752,15 @@ func (e *workerEnv) run() (WorkerStats, error) {
 				linkInject()
 				sleepSeconds((linkScale - 1) * cfg.StepTime.Seconds())
 			}
-			snap, err := e.sh.PullAt(e.space.Keys(), req)
-			if err != nil {
+			// The snapshot chunks land straight in w.wlocal: pullVecs are
+			// per-chunk views of it, so every shard server (or the TCP
+			// decoder) writes its slice in place — no merge map, no join
+			// allocation. Chunk ranges are disjoint, so the concurrent
+			// fan-out writers never overlap.
+			e.space.SplitInto(w.wlocal, e.pullVecs)
+			if err := e.sh.PullAtInto(e.pullVecs, e.space.Keys(), req); err != nil {
 				return w.stats, err
 			}
-			pulled, err := e.space.Join(snap)
-			if err != nil {
-				return w.stats, err
-			}
-			w.wlocal = pulled
 			for v := req; v < len(w.waveDeltas); v++ {
 				w.wlocal.AddInPlace(w.waveDeltas[v])
 			}
@@ -731,7 +776,7 @@ func (e *workerEnv) run() (WorkerStats, error) {
 				e.emit(obs.Event{Kind: obs.KindClock, VW: -1, Clock: req})
 			}
 		}
-		w.pending = append(w.pending, pendingMB{mb: mb, weights: w.wlocal.Clone()})
+		w.pending = append(w.pending, pendingMB{mb: mb, weights: e.getWeights(w.wlocal)})
 		if len(w.pending) > cfg.SLocal {
 			if err := retire(); err != nil {
 				return w.stats, err

@@ -52,6 +52,18 @@ func (s *shardSpace) Split(v tensor.Vector) map[string]tensor.Vector {
 	return out
 }
 
+// SplitInto fills vecs[i] with the chunk-i view of v (no copies) — the
+// ordered, allocation-free companion of Split for the wave hot loop, shaped
+// for the ps ordered APIs (vecs[i] pairs with Keys()[i]). len(vecs) must be
+// len(Keys()).
+//
+//hetlint:hotpath
+func (s *shardSpace) SplitInto(v tensor.Vector, vecs []tensor.Vector) {
+	for i := range s.keys {
+		vecs[i] = v[s.ranges[i][0]:s.ranges[i][1]]
+	}
+}
+
 // Join assembles per-chunk slices back into a flat vector.
 func (s *shardSpace) Join(m map[string]tensor.Vector) (tensor.Vector, error) {
 	v := tensor.NewVector(s.dim)

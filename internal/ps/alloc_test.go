@@ -1,0 +1,92 @@
+package ps
+
+import (
+	"testing"
+
+	"hetpipe/internal/tensor"
+)
+
+// newAllocFixture builds a 4-server sharded deployment with per-chunk
+// ordered scratch, mirroring the live runtime's steady-state shapes.
+func newAllocFixture(t *testing.T) (*Sharded, []string, []tensor.Vector, []tensor.Vector) {
+	t.Helper()
+	const servers = 4
+	const nkeys = 8
+	const dim = 64
+	keys := make([]string, nkeys)
+	push := make([]tensor.Vector, nkeys)
+	dst := make([]tensor.Vector, nkeys)
+	for i := range keys {
+		keys[i] = string(rune('a' + i))
+		push[i] = make(tensor.Vector, dim)
+		dst[i] = make(tensor.Vector, dim)
+		for j := range push[i] {
+			push[i][j] = float64(i*dim+j) * 1e-3
+		}
+	}
+	pl, err := RoundRobin(keys, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := make([]Backend, servers)
+	for i := range backends {
+		s, err := NewServer(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range pl.KeysOn(i) {
+			if err := s.Register(k, make([]float64, dim)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		backends[i] = AdaptServer(s)
+	}
+	sh, err := NewSharded(pl, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh, keys, push, dst
+}
+
+// TestShardedInprocAllocsPinned pins the in-process data-plane fix: the old
+// path cloned every weight map key-by-key on the server AND merged it into a
+// second identical map client-side (tens of allocations per op). The ordered
+// path must stay at one retained wave-delta backing per involved server on
+// push and zero steady-state allocations on snapshot pulls.
+func TestShardedInprocAllocsPinned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not representative under the race detector")
+	}
+	sh, keys, push, dst := newAllocFixture(t)
+
+	// Warm the pools and materialize the first snapshot off-measurement.
+	if err := sh.PushOrdered(0, keys, push); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.PullAtInto(dst, keys, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	pushAllocs := testing.AllocsPerRun(100, func() {
+		if err := sh.PushOrdered(0, keys, push); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One backing array per involved server (4), plus amortized growth of
+	// the servers' flat wave-delta slots.
+	if pushAllocs > 5 {
+		t.Errorf("sharded in-process PushOrdered = %.1f allocs/op, want <= 5", pushAllocs)
+	}
+
+	pullAllocs := testing.AllocsPerRun(100, func() {
+		if err := sh.PullAtInto(dst, keys, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Reused destinations, pooled fan-out scratch, cached snapshot: the
+	// steady state must not allocate at all (1 leaves slack for runtime
+	// noise such as goroutine stack growth).
+	if pullAllocs > 1 {
+		t.Errorf("sharded in-process PullAtInto = %.1f allocs/op, want <= 1", pullAllocs)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"hetpipe/internal/tensor"
 )
@@ -145,16 +146,30 @@ func (s *Server) State() (*ServerState, error) {
 		Pushes:      s.pushes,
 		Pulls:       s.pulls,
 	}
-	for _, perWorker := range s.waveDeltas {
-		if perWorker == nil {
+	// The in-memory wave deltas are flat packed waveUpdates; the checkpoint
+	// format keeps the original per-(wave,worker) map layout, so old files
+	// stay readable. Waves already folded into a snapshot are freed on the
+	// live server and stored as nil here, exactly as before.
+	workers := len(s.clocks)
+	for wave := 0; wave*workers < len(s.waveDeltas); wave++ {
+		if wave < len(s.snapshots)-1 {
 			st.WaveDeltas = append(st.WaveDeltas, nil)
 			continue
 		}
-		cp := make([]map[string]tensor.Vector, len(perWorker))
-		for w, deltas := range perWorker {
-			if deltas != nil {
-				cp[w] = cloneShardMap(deltas)
+		cp := make([]map[string]tensor.Vector, workers)
+		for w := 0; w < workers; w++ {
+			if s.clocks[w] <= wave {
+				continue // not pushed yet
 			}
+			u := &s.waveDeltas[wave*workers+w]
+			m := make(map[string]tensor.Vector, len(u.keys))
+			off := 0
+			for _, k := range u.keys {
+				n := len(s.initial[k])
+				m[k] = u.backing[off : off+n].Clone()
+				off += n
+			}
+			cp[w] = m
 		}
 		st.WaveDeltas = append(st.WaveDeltas, cp)
 	}
@@ -186,18 +201,36 @@ func RestoreServer(st *ServerState) (*Server, error) {
 	s.maxDistance = st.MaxDistance
 	s.pushes = st.Pushes
 	s.pulls = st.Pulls
-	for _, perWorker := range st.WaveDeltas {
-		if perWorker == nil {
-			s.waveDeltas = append(s.waveDeltas, nil)
-			continue
+	// Rebuild the flat packed wave-delta storage from the checkpoint's map
+	// layout. Keys are sorted for a stable in-memory order; folds add
+	// independent shards, so the order never changes the numerics.
+	workers := len(st.Clocks)
+	for wave, perWorker := range st.WaveDeltas {
+		base := wave * workers
+		for len(s.waveDeltas) < base+workers {
+			s.waveDeltas = append(s.waveDeltas, waveUpdate{})
 		}
-		cp := make([]map[string]tensor.Vector, len(perWorker))
+		if perWorker == nil {
+			continue // folded into a snapshot and freed, like on a live server
+		}
 		for w, deltas := range perWorker {
-			if deltas != nil {
-				cp[w] = cloneShardMap(deltas)
+			if deltas == nil {
+				continue
+			}
+			u := &s.waveDeltas[base+w]
+			u.keys = make([]string, 0, len(deltas))
+			total := 0
+			for k, v := range deltas {
+				u.keys = append(u.keys, k)
+				total += len(v)
+			}
+			sort.Strings(u.keys)
+			u.backing = make(tensor.Vector, total)
+			off := 0
+			for _, k := range u.keys {
+				off += copy(u.backing[off:], deltas[k])
 			}
 		}
-		s.waveDeltas = append(s.waveDeltas, cp)
 	}
 	for _, snap := range st.Snapshots {
 		s.snapshots = append(s.snapshots, cloneShardMap(snap))

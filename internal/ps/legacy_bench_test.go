@@ -1,0 +1,360 @@
+package ps
+
+import (
+	"encoding/gob"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+
+	"hetpipe/internal/tensor"
+)
+
+// This file preserves the retired gob wire protocol and the serial map-based
+// sharded fan-out as benchmarks, so the recorded_baselines section of
+// BENCH_ps.json stays reproducible: BenchmarkLegacyGobTCP and
+// BenchmarkLegacySerialSharded are faithful replicas of the pre-binary
+// data plane (one gob request/response per message, map[string][]float64
+// payloads, one backend at a time), kept only for comparison — nothing
+// outside this file uses them.
+
+type legacyOp int
+
+const (
+	legacyOpPush legacyOp = iota + 1
+	legacyOpPullAt
+)
+
+type legacyRequest struct {
+	Op       legacyOp
+	Worker   int
+	Updates  map[string][]float64
+	Keys     []string
+	MinClock int
+}
+
+type legacyResponse struct {
+	Err     string
+	Weights map[string][]float64
+	Clock   int
+}
+
+// legacyServe speaks the retired protocol against a current Server.
+func legacyServe(l net.Listener, s *Server) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			dec, enc := gob.NewDecoder(conn), gob.NewEncoder(conn)
+			for {
+				var req legacyRequest
+				if err := dec.Decode(&req); err != nil {
+					return
+				}
+				var resp legacyResponse
+				switch req.Op {
+				case legacyOpPush:
+					updates := make(map[string]tensor.Vector, len(req.Updates))
+					for k, v := range req.Updates {
+						updates[k] = tensor.Vector(v)
+					}
+					clock, err := s.Push(req.Worker, updates)
+					resp.Clock = clock
+					if err != nil {
+						resp.Err = err.Error()
+					}
+				case legacyOpPullAt:
+					weights, err := s.PullAt(req.Keys, req.MinClock)
+					if err != nil {
+						resp.Err = err.Error()
+					} else {
+						resp.Weights = make(map[string][]float64, len(weights))
+						for k, v := range weights {
+							resp.Weights[k] = v
+						}
+					}
+				}
+				if err := enc.Encode(&resp); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+type legacyClient struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func legacyDial(b *testing.B, addr string) *legacyClient {
+	b.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &legacyClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+func (c *legacyClient) roundTrip(req *legacyRequest) (*legacyResponse, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	resp := &legacyResponse{}
+	if err := c.dec.Decode(resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+func (c *legacyClient) push(w int, updates map[string]tensor.Vector) error {
+	wire := make(map[string][]float64, len(updates))
+	for k, v := range updates {
+		wire[k] = v
+	}
+	_, err := c.roundTrip(&legacyRequest{Op: legacyOpPush, Worker: w, Updates: wire})
+	return err
+}
+
+func (c *legacyClient) pullAt(keys []string, clock int) (map[string]tensor.Vector, error) {
+	resp, err := c.roundTrip(&legacyRequest{Op: legacyOpPullAt, Keys: keys, MinClock: clock})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]tensor.Vector, len(resp.Weights))
+	for k, v := range resp.Weights {
+		out[k] = tensor.Vector(v)
+	}
+	return out, nil
+}
+
+// BenchmarkLegacyGobTCP is the retired gob protocol's push and snapshot-pull
+// round-trip at the standard benchmark shapes — the TCP half of the recorded
+// baseline the binary protocol is gated against.
+func BenchmarkLegacyGobTCP(b *testing.B) {
+	keys, updates := benchShapes()
+
+	b.Run("push", func(b *testing.B) {
+		var (
+			s *Server
+			l net.Listener
+			c *legacyClient
+		)
+		setup := func() {
+			s = newBenchServer(b, keys, updates)
+			var err error
+			l, err = net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go legacyServe(l, s)
+			c = legacyDial(b, l.Addr().String())
+		}
+		teardown := func() {
+			c.conn.Close()
+			l.Close()
+		}
+		setup()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%benchEpoch == 0 {
+				b.StopTimer()
+				teardown()
+				setup()
+				b.StartTimer()
+			}
+			if err := c.push(0, updates); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		teardown()
+	})
+
+	b.Run("pullat", func(b *testing.B) {
+		s := newBenchServer(b, keys, updates)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		go legacyServe(l, s)
+		c := legacyDial(b, l.Addr().String())
+		defer c.conn.Close()
+		if err := c.push(0, updates); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.pullAt(keys, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// wave mirrors BenchmarkTCPPushPull/wave on the retired protocol: one
+	// push plus one snapshot pull at the clock it produced, per iteration.
+	b.Run("wave", func(b *testing.B) {
+		var (
+			s *Server
+			l net.Listener
+			c *legacyClient
+		)
+		setup := func() {
+			s = newBenchServer(b, keys, updates)
+			var err error
+			l, err = net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go legacyServe(l, s)
+			c = legacyDial(b, l.Addr().String())
+		}
+		teardown := func() {
+			c.conn.Close()
+			l.Close()
+		}
+		setup()
+		clock := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%benchEpoch == 0 {
+				b.StopTimer()
+				teardown()
+				setup()
+				clock = 0
+				b.StartTimer()
+			}
+			if err := c.push(0, updates); err != nil {
+				b.Fatal(err)
+			}
+			clock++
+			if _, err := c.pullAt(keys, clock); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		teardown()
+	})
+}
+
+// legacySerialSharded replicates the retired in-process sharded data plane:
+// map-valued ops fanned out one backend at a time, with the response maps
+// merged key-by-key into a second map.
+type legacySerialSharded struct {
+	placement *Placement
+	backends  []Backend
+}
+
+func (s *legacySerialSharded) push(worker int, updates map[string]tensor.Vector) error {
+	perServer := make([]map[string]tensor.Vector, len(s.backends))
+	for i := range perServer {
+		perServer[i] = make(map[string]tensor.Vector)
+	}
+	for key, delta := range updates {
+		srv, err := s.placement.ServerOf(key)
+		if err != nil {
+			return err
+		}
+		perServer[srv][key] = delta
+	}
+	for i, b := range s.backends {
+		keys := make([]string, 0, len(perServer[i]))
+		vecs := make([]tensor.Vector, 0, len(perServer[i]))
+		for k, v := range perServer[i] {
+			keys = append(keys, k)
+			vecs = append(vecs, v)
+		}
+		if _, err := b.PushOrdered(worker, keys, vecs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *legacySerialSharded) pullAt(keys []string, clock int) (map[string]tensor.Vector, error) {
+	perServer := make([][]string, len(s.backends))
+	for _, key := range keys {
+		srv, err := s.placement.ServerOf(key)
+		if err != nil {
+			return nil, err
+		}
+		perServer[srv] = append(perServer[srv], key)
+	}
+	out := make(map[string]tensor.Vector, len(keys))
+	for i, b := range s.backends {
+		if len(perServer[i]) == 0 {
+			continue
+		}
+		dst := make([]tensor.Vector, len(perServer[i]))
+		if err := b.PullAtInto(dst, perServer[i], clock); err != nil {
+			return nil, err
+		}
+		weights := make(map[string]tensor.Vector, len(dst))
+		for j, k := range perServer[i] {
+			weights[k] = dst[j]
+		}
+		for k, v := range weights {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// BenchmarkLegacySerialSharded is the retired serial map-based in-process
+// fan-out at the standard benchmark shapes — the in-process half of the
+// recorded baseline the pooled concurrent fan-out is gated against.
+func BenchmarkLegacySerialSharded(b *testing.B) {
+	const servers = 4
+	keys, updates := benchShapes()
+
+	newLegacy := func(b *testing.B) *legacySerialSharded {
+		b.Helper()
+		pl, backends := newBenchBackends(b, keys, servers)
+		return &legacySerialSharded{placement: pl, backends: backends}
+	}
+
+	b.Run("push", func(b *testing.B) {
+		sh := newLegacy(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%benchEpoch == 0 {
+				b.StopTimer()
+				sh = newLegacy(b)
+				b.StartTimer()
+			}
+			if err := sh.push(0, updates); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("pullat", func(b *testing.B) {
+		sh := newLegacy(b)
+		if err := sh.push(0, updates); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sh.pullAt(keys, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

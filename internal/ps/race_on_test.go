@@ -1,0 +1,5 @@
+//go:build race
+
+package ps
+
+const raceEnabled = true

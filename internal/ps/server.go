@@ -9,8 +9,11 @@
 // D-bound wait, which the caller overlaps with pipelined execution.
 //
 // The store is usable in process (Server methods are goroutine-safe) or over
-// TCP with gob encoding (see Serve and Dial in transport.go), mirroring how
-// the paper spreads parameter shards across nodes.
+// TCP with a length-prefixed binary wire protocol (see wire.go, and Serve
+// and Dial in transport.go), mirroring how the paper spreads parameter
+// shards across nodes. The ordered method forms (PushOrdered, PullInto,
+// PullAtInto) move weights through caller-owned slices with no per-call map
+// traffic; the map forms remain as conveniences for cold paths and tests.
 //
 // The full clock-versioned state checkpoints and restores (checkpoint.go):
 // Capture truncates a set of shard servers to a consistent clock cut,
@@ -23,9 +26,20 @@ package ps
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hetpipe/internal/tensor"
 )
+
+// waveUpdate is one worker's retained aggregated update for one wave: the
+// pushed keys in push order, with every delta packed back-to-back in a
+// single backing allocation (offsets are implied by the registered shard
+// lengths). It replaces the old per-(wave,worker) map of per-key clones —
+// one allocation per push instead of one per key.
+type waveUpdate struct {
+	keys    []string
+	backing tensor.Vector
+}
 
 // Server is one parameter-server shard host: a set of named weight vectors
 // plus WSP clock state for its workers.
@@ -47,17 +61,35 @@ type Server struct {
 	// initial holds the registered starting weights, the clock-0 snapshot.
 	initial map[string]tensor.Vector
 	clocks  []int // clocks[w] = waves pushed by worker w
-	// waveDeltas[v][w] is worker w's aggregated update of wave v (nil until
-	// pushed); snapshots[c] is the materialized clock-c snapshot, built
-	// lazily from waveDeltas in (wave, worker) order so the result does not
-	// depend on push arrival order.
-	waveDeltas [][]map[string]tensor.Vector
+	// waveDeltas[v*W+w] is worker w's aggregated update of wave v (zero
+	// until pushed), stored flat so pushing a new wave costs amortized-zero
+	// bookkeeping allocations; snapshots[c] is the materialized clock-c
+	// snapshot, built lazily from waveDeltas in (wave, worker) order so the
+	// result does not depend on push arrival order.
+	waveDeltas []waveUpdate
 	snapshots  []map[string]tensor.Vector
+	// internedKeys is the key slice of the most recent push. Workers push
+	// the same key set wave after wave, so retained waveUpdates share one
+	// server-owned slice instead of cloning the caller's per push; the
+	// aligned shard vectors and their summed length ride along so a repeat
+	// keyset skips the map lookups and the duplicate scan entirely.
+	internedKeys   []string
+	internedShards []tensor.Vector
+	internedTotal  int
+	// freeBackings recycles the backing arrays of folded wave deltas into
+	// later pushes: in the steady state (pulls folding waves as pushes land)
+	// a push costs zero backing allocations, and the recycled array is fully
+	// overwritten so it never needs re-zeroing.
+	freeBackings []tensor.Vector
 	// maxDistance is the largest max-min clock spread observed at any push.
 	maxDistance int
 	pushes      uint64
 	pulls       uint64
-	closed      bool
+	// malformed counts protocol-level garbage seen by the TCP transport:
+	// bad preambles, truncated or oversized frames, undecodable requests.
+	// Atomic because connection goroutines bump it without taking mu.
+	malformed atomic.Uint64
+	closed    bool
 }
 
 // NewServer creates a server expecting pushes from n workers.
@@ -98,34 +130,48 @@ func (s *Server) Keys() []string {
 	return out
 }
 
-// Push applies worker w's aggregated wave update (per-shard deltas added to
-// the global weights: wglobal += u~) and advances w's clock. It returns the
-// worker's new clock. Waking blocked pulls happens automatically.
-func (s *Server) Push(w int, updates map[string]tensor.Vector) (int, error) {
+// PushOrdered applies worker w's aggregated wave update given as parallel
+// key and delta slices (per-shard deltas added to the global weights:
+// wglobal += u~) and advances w's clock. It returns the worker's new clock.
+// Waking blocked pulls happens automatically.
+//
+// The update is validated in full — worker range, shard existence, lengths,
+// duplicate keys — before any weight is touched, so a rejected push leaves
+// the server unchanged. The retained wave delta is copied into one backing
+// allocation; the caller keeps ownership of keys and vecs.
+func (s *Server) PushOrdered(w int, keys []string, vecs []tensor.Vector) (int, error) {
+	if len(keys) != len(vecs) {
+		return 0, fmt.Errorf("ps: %d keys for %d vectors", len(keys), len(vecs))
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if w < 0 || w >= len(s.clocks) {
 		return 0, fmt.Errorf("ps: worker %d out of range [0,%d)", w, len(s.clocks))
 	}
-	for key, delta := range updates {
-		shard, ok := s.shards[key]
-		if !ok {
-			return 0, fmt.Errorf("ps: push to unregistered shard %q", key)
+	if !keysEqual(s.internedKeys, keys) {
+		if err := s.internPushKeys(keys); err != nil {
+			return 0, err
 		}
-		if len(shard) != len(delta) {
-			return 0, fmt.Errorf("ps: shard %q length %d, delta length %d", key, len(shard), len(delta))
+	}
+	// The interned shard list is aligned with keys; only the per-vector
+	// lengths still need checking on a repeat keyset.
+	for i, shard := range s.internedShards {
+		if len(shard) != len(vecs[i]) {
+			return 0, fmt.Errorf("ps: shard %q length %d, delta length %d", keys[i], len(shard), len(vecs[i]))
 		}
 	}
 	wave := s.clocks[w]
-	for len(s.waveDeltas) <= wave {
-		s.waveDeltas = append(s.waveDeltas, make([]map[string]tensor.Vector, len(s.clocks)))
+	need := (wave + 1) * len(s.clocks)
+	for len(s.waveDeltas) < need {
+		s.waveDeltas = append(s.waveDeltas, waveUpdate{})
 	}
-	if s.waveDeltas[wave][w] == nil {
-		s.waveDeltas[wave][w] = make(map[string]tensor.Vector)
-	}
-	for key, delta := range updates {
-		s.shards[key].AddInPlace(delta)
-		s.waveDeltas[wave][w][key] = delta.Clone()
+	u := &s.waveDeltas[wave*len(s.clocks)+w]
+	u.keys = s.internedKeys
+	u.backing = s.takeBacking(s.internedTotal)
+	off := 0
+	for i, shard := range s.internedShards {
+		tensor.AddCopy(shard, u.backing[off:off+len(shard)], vecs[i])
+		off += len(shard)
 	}
 	s.clocks[w]++
 	if d := s.distanceLocked(); d > s.maxDistance {
@@ -134,6 +180,164 @@ func (s *Server) Push(w int, updates map[string]tensor.Vector) (int, error) {
 	s.pushes++
 	s.cond.Broadcast()
 	return s.clocks[w], nil
+}
+
+// takeBacking returns a length-n vector for a retained wave delta, reusing
+// a recycled backing when one is large enough. Callers overwrite every
+// element, so recycled arrays are handed back without zeroing.
+//
+//hetlint:hotpath
+func (s *Server) takeBacking(n int) tensor.Vector {
+	for i := len(s.freeBackings) - 1; i >= 0; i-- {
+		if b := s.freeBackings[i]; cap(b) >= n {
+			s.freeBackings[i] = s.freeBackings[len(s.freeBackings)-1]
+			s.freeBackings[len(s.freeBackings)-1] = nil
+			s.freeBackings = s.freeBackings[:len(s.freeBackings)-1]
+			return b[:n]
+		}
+	}
+	return make(tensor.Vector, n)
+}
+
+// takeBackingFrom returns a retained copy of flat, reusing a recycled
+// backing when one is large enough; the fresh-allocation path clones via
+// append so the new array is written exactly once (no zeroing pass).
+//
+//hetlint:hotpath
+func (s *Server) takeBackingFrom(flat tensor.Vector) tensor.Vector {
+	for i := len(s.freeBackings) - 1; i >= 0; i-- {
+		if b := s.freeBackings[i]; cap(b) >= len(flat) {
+			s.freeBackings[i] = s.freeBackings[len(s.freeBackings)-1]
+			s.freeBackings[len(s.freeBackings)-1] = nil
+			s.freeBackings = s.freeBackings[:len(s.freeBackings)-1]
+			b = b[:len(flat)]
+			copy(b, flat)
+			return b
+		}
+	}
+	return flat.CloneFast()
+}
+
+// previewPush validates worker w's ordered update exactly as PushOrdered
+// would and returns the clock it will advance to, without touching any
+// weight. The TCP transport uses it to acknowledge a push before applying
+// it, overlapping the apply with the acknowledgment's network transit.
+// That reordering is invisible to every reader: requests on the same
+// connection are handled after the commit, and readers on other
+// connections are clock-gated (Pull/PullAt block until the commit
+// advances the clock), so nothing can observe the acknowledged-but-
+// uncommitted window.
+//
+//hetlint:hotpath
+func (s *Server) previewPush(w int, keys []string, dims []int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.validatePushLocked(w, keys, dims, -1); err != nil {
+		return 0, err
+	}
+	return s.clocks[w] + 1, nil
+}
+
+// validatePushLocked checks an ordered push — worker index, keyset
+// (interning a new one), per-shard dims, and, when flatLen >= 0, the
+// concatenated delta length. It is the shared validation of previewPush
+// and pushOrderedFlat, split out unannotated because its fmt formatting
+// runs only on the error path.
+func (s *Server) validatePushLocked(w int, keys []string, dims []int, flatLen int) error {
+	if len(keys) != len(dims) {
+		return fmt.Errorf("ps: %d keys for %d vectors", len(keys), len(dims))
+	}
+	if w < 0 || w >= len(s.clocks) {
+		return fmt.Errorf("ps: worker %d out of range [0,%d)", w, len(s.clocks))
+	}
+	if !keysEqual(s.internedKeys, keys) {
+		if err := s.internPushKeys(keys); err != nil {
+			return err
+		}
+	}
+	for i, shard := range s.internedShards {
+		if len(shard) != dims[i] {
+			return fmt.Errorf("ps: shard %q length %d, delta length %d", keys[i], len(shard), dims[i])
+		}
+	}
+	if flatLen >= 0 && flatLen != s.internedTotal {
+		return fmt.Errorf("ps: flat delta length %d, want %d", flatLen, s.internedTotal)
+	}
+	return nil
+}
+
+// pushOrderedFlat is PushOrdered for a delta arriving as consecutive
+// key-order segments of one contiguous vector — the TCP transport's decode
+// layout. Retaining the wave delta is then a single streaming clone of
+// flat (no zeroing, no per-key scatter), the dominant cost of a push once
+// the wire codec runs at memcpy speed.
+//
+//hetlint:hotpath
+func (s *Server) pushOrderedFlat(w int, keys []string, dims []int, flat tensor.Vector) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.validatePushLocked(w, keys, dims, len(flat)); err != nil {
+		return 0, err
+	}
+	wave := s.clocks[w]
+	need := (wave + 1) * len(s.clocks)
+	for len(s.waveDeltas) < need {
+		s.waveDeltas = append(s.waveDeltas, waveUpdate{})
+	}
+	u := &s.waveDeltas[wave*len(s.clocks)+w]
+	u.keys = s.internedKeys
+	u.backing = s.takeBackingFrom(flat)
+	off := 0
+	for _, shard := range s.internedShards {
+		shard.AddInPlace(flat[off : off+len(shard)])
+		off += len(shard)
+	}
+	s.clocks[w]++
+	if d := s.distanceLocked(); d > s.maxDistance {
+		s.maxDistance = d
+	}
+	s.pushes++
+	s.cond.Broadcast()
+	return s.clocks[w], nil
+}
+
+// internPushKeys validates a new push keyset — shard existence, duplicate
+// keys — and caches a server-owned copy with the aligned shard vectors.
+// Workers push the same shard set wave after wave, so this runs once per
+// keyset change, not per push; retained waveUpdates share the server-owned
+// slice and never alias caller memory (callers recycle their slices).
+func (s *Server) internPushKeys(keys []string) error {
+	for i, key := range keys {
+		if _, ok := s.shards[key]; !ok {
+			return fmt.Errorf("ps: push to unregistered shard %q", key)
+		}
+		for j := 0; j < i; j++ {
+			if keys[j] == key {
+				return fmt.Errorf("ps: duplicate shard %q in push", key)
+			}
+		}
+	}
+	s.internedKeys = append([]string(nil), keys...)
+	s.internedShards = make([]tensor.Vector, len(keys))
+	s.internedTotal = 0
+	for i, key := range keys {
+		s.internedShards[i] = s.shards[key]
+		s.internedTotal += len(s.shards[key])
+	}
+	return nil
+}
+
+// Push applies worker w's aggregated wave update given as a map. Map-form
+// convenience over PushOrdered; the ordered form avoids the per-call
+// conversion.
+func (s *Server) Push(w int, updates map[string]tensor.Vector) (int, error) {
+	keys := make([]string, 0, len(updates))
+	vecs := make([]tensor.Vector, 0, len(updates))
+	for k, v := range updates {
+		keys = append(keys, k)
+		vecs = append(vecs, v)
+	}
+	return s.PushOrdered(w, keys, vecs)
 }
 
 func (s *Server) distanceLocked() int {
@@ -175,39 +379,64 @@ func (s *Server) globalLocked() int {
 	return min
 }
 
-// Pull returns copies of the requested shards once the global clock has
-// reached minClock, blocking as needed. A minClock of zero never blocks.
-// It returns the weights and the global clock observed at read time.
-func (s *Server) Pull(keys []string, minClock int) (map[string]tensor.Vector, int, error) {
+// PullInto copies the requested shards into dst (dst[i] receives keys[i],
+// reusing dst[i]'s storage when its length already matches) once the global
+// clock has reached minClock, blocking as needed. A minClock of zero never
+// blocks. It returns the global clock observed at read time.
+func (s *Server) PullInto(dst []tensor.Vector, keys []string, minClock int) (int, error) {
+	if len(dst) != len(keys) {
+		return 0, fmt.Errorf("ps: %d destinations for %d keys", len(dst), len(keys))
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for s.globalLocked() < minClock && !s.closed {
 		s.cond.Wait()
 	}
 	if s.closed {
-		return nil, 0, fmt.Errorf("ps: server closed")
+		return 0, fmt.Errorf("ps: server closed")
 	}
-	out := make(map[string]tensor.Vector, len(keys))
-	for _, key := range keys {
+	for i, key := range keys {
 		shard, ok := s.shards[key]
 		if !ok {
-			return nil, 0, fmt.Errorf("ps: pull of unregistered shard %q", key)
+			return 0, fmt.Errorf("ps: pull of unregistered shard %q", key)
 		}
-		out[key] = shard.Clone()
+		if len(dst[i]) != len(shard) {
+			dst[i] = make(tensor.Vector, len(shard))
+		}
+		copy(dst[i], shard)
 	}
 	s.pulls++
-	return out, s.globalLocked(), nil
+	return s.globalLocked(), nil
 }
 
-// PullAt returns copies of the requested shards as of global-clock boundary
-// `clock`: the initial weights plus every wave-v update with v < clock from
-// every worker, blocking until the global clock reaches `clock`. Unlike
-// Pull, the result is independent of push arrival order — the deterministic
-// read the WSP staleness analysis reasons about, and the one the live
-// training runtime uses so its trajectory matches the simulator's.
-func (s *Server) PullAt(keys []string, clock int) (map[string]tensor.Vector, error) {
+// Pull returns copies of the requested shards once the global clock has
+// reached minClock, blocking as needed. Map-form convenience over PullInto.
+func (s *Server) Pull(keys []string, minClock int) (map[string]tensor.Vector, int, error) {
+	dst := make([]tensor.Vector, len(keys))
+	clock, err := s.PullInto(dst, keys, minClock)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make(map[string]tensor.Vector, len(keys))
+	for i, k := range keys {
+		out[k] = dst[i]
+	}
+	return out, clock, nil
+}
+
+// PullAtInto copies the requested shards as of global-clock boundary
+// `clock` into dst — the initial weights plus every wave-v update with
+// v < clock from every worker — blocking until the global clock reaches
+// `clock`. Unlike PullInto, the result is independent of push arrival
+// order: the deterministic read the WSP staleness analysis reasons about,
+// and the one the live training runtime uses so its trajectory matches the
+// simulator's.
+func (s *Server) PullAtInto(dst []tensor.Vector, keys []string, clock int) error {
+	if len(dst) != len(keys) {
+		return fmt.Errorf("ps: %d destinations for %d keys", len(dst), len(keys))
+	}
 	if clock < 0 {
-		return nil, fmt.Errorf("ps: negative snapshot clock %d", clock)
+		return fmt.Errorf("ps: negative snapshot clock %d", clock)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -215,22 +444,128 @@ func (s *Server) PullAt(keys []string, clock int) (map[string]tensor.Vector, err
 		s.cond.Wait()
 	}
 	if s.closed {
-		return nil, fmt.Errorf("ps: server closed")
+		return fmt.Errorf("ps: server closed")
 	}
 	snap, err := s.snapshotLocked(clock)
 	if err != nil {
+		return err
+	}
+	for i, key := range keys {
+		shard, ok := snap[key]
+		if !ok {
+			return fmt.Errorf("ps: pull of unregistered shard %q", key)
+		}
+		if len(dst[i]) != len(shard) {
+			dst[i] = make(tensor.Vector, len(shard))
+		}
+		copy(dst[i], shard)
+	}
+	s.pulls++
+	return nil
+}
+
+// PullAt returns copies of the requested shards as of global-clock boundary
+// `clock`. Map-form convenience over PullAtInto.
+func (s *Server) PullAt(keys []string, clock int) (map[string]tensor.Vector, error) {
+	dst := make([]tensor.Vector, len(keys))
+	if err := s.PullAtInto(dst, keys, clock); err != nil {
 		return nil, err
 	}
 	out := make(map[string]tensor.Vector, len(keys))
-	for _, key := range keys {
-		shard, ok := snap[key]
+	for i, k := range keys {
+		out[k] = dst[i]
+	}
+	return out, nil
+}
+
+// vecSink receives weight vectors during a locked pull view. The TCP
+// transport implements it to encode responses straight from server-owned
+// storage — no intermediate clone, no map. The vector passed to visit is
+// only valid for the duration of the call.
+type vecSink interface {
+	visit(i int, key string, v tensor.Vector) error
+}
+
+// pullView is PullInto without the copy: once the global clock has reached
+// minClock it visits the requested shards in key order, under the server
+// lock, and returns the observed global clock.
+func (s *Server) pullView(keys []string, minClock int, sink vecSink) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.globalLocked() < minClock && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return 0, fmt.Errorf("ps: server closed")
+	}
+	for i, key := range keys {
+		shard, ok := s.shards[key]
 		if !ok {
-			return nil, fmt.Errorf("ps: pull of unregistered shard %q", key)
+			return 0, fmt.Errorf("ps: pull of unregistered shard %q", key)
 		}
-		out[key] = shard.Clone()
+		if err := sink.visit(i, key, shard); err != nil {
+			return 0, err
+		}
 	}
 	s.pulls++
-	return out, nil
+	return s.globalLocked(), nil
+}
+
+// pullAtView is PullAtInto without the copy: it visits the clock-`clock`
+// snapshot of the requested shards in key order, under the server lock.
+func (s *Server) pullAtView(keys []string, clock int, sink vecSink) error {
+	if clock < 0 {
+		return fmt.Errorf("ps: negative snapshot clock %d", clock)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.globalLocked() < clock && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return fmt.Errorf("ps: server closed")
+	}
+	snap, err := s.snapshotLocked(clock)
+	if err != nil {
+		return err
+	}
+	for i, key := range keys {
+		shard, ok := snap[key]
+		if !ok {
+			return fmt.Errorf("ps: pull of unregistered shard %q", key)
+		}
+		if err := sink.visit(i, key, shard); err != nil {
+			return err
+		}
+	}
+	s.pulls++
+	return nil
+}
+
+// waitClock blocks until the global clock reaches c (or the server closes).
+// The transport's snapshot cache uses it to honor the D-bound before
+// serving a pre-encoded snapshot frame.
+func (s *Server) waitClock(c int) error {
+	if c < 0 {
+		return fmt.Errorf("ps: negative snapshot clock %d", c)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.globalLocked() < c && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return fmt.Errorf("ps: server closed")
+	}
+	return nil
+}
+
+// countCachedPull records a pull served from the transport's snapshot cache
+// so Stats counts it like any other pull.
+func (s *Server) countCachedPull() {
+	s.mu.Lock()
+	s.pulls++
+	s.mu.Unlock()
 }
 
 // snapshotLocked materializes (and caches) the clock-c weight snapshot.
@@ -253,15 +588,25 @@ func (s *Server) snapshotLocked(c int) (map[string]tensor.Vector, error) {
 		for k, v := range s.snapshots[wave] {
 			next[k] = v.Clone()
 		}
+		base := wave * len(s.clocks)
 		for w := range s.clocks {
-			for k, delta := range s.waveDeltas[wave][w] {
-				next[k].AddInPlace(delta)
+			u := &s.waveDeltas[base+w]
+			off := 0
+			for _, k := range u.keys {
+				v := next[k]
+				v.AddInPlace(u.backing[off : off+len(v)])
+				off += len(v)
 			}
+			// This fold is the only reader of the wave's per-worker deltas;
+			// drop them so a long run retains one snapshot per clock
+			// (O(clocks x keys)), not additionally O(workers) delta copies.
+			// The backing is recycled into later pushes (bounded by one
+			// spare per worker — beyond that GC takes them).
+			if u.backing != nil && len(s.freeBackings) < len(s.clocks) {
+				s.freeBackings = append(s.freeBackings, u.backing)
+			}
+			*u = waveUpdate{}
 		}
-		// The per-worker deltas of this wave are only ever read by this
-		// fold; drop them so a long run retains one snapshot per clock
-		// (O(clocks x keys)), not additionally O(workers) delta clones.
-		s.waveDeltas[wave] = nil
 		s.snapshots = append(s.snapshots, next)
 	}
 	return s.snapshots[c], nil
@@ -299,4 +644,16 @@ func (s *Server) Stats() (pushes, pulls uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.pushes, s.pulls
+}
+
+// noteMalformed counts one protocol-level malformed request.
+func (s *Server) noteMalformed() {
+	s.malformed.Add(1)
+}
+
+// MalformedRequests reports how many protocol-level malformed requests the
+// TCP transport has rejected on this server's behalf: bad preambles,
+// truncated or oversized frames, and undecodable request payloads.
+func (s *Server) MalformedRequests() uint64 {
+	return s.malformed.Load()
 }

@@ -2,6 +2,7 @@ package ps
 
 import (
 	"fmt"
+	"sync"
 
 	"hetpipe/internal/tensor"
 )
@@ -9,26 +10,33 @@ import (
 // Sharded fans one worker's pushes and pulls out across multiple servers
 // according to a Placement — the client-side half of the paper's deployment,
 // where each node runs a parameter server holding a subset of the layers.
+// All backends are contacted concurrently (first error wins), so a wave's
+// data-plane latency is the slowest shard, not the sum of all shards.
 //
 // The type works over any backend implementing Backend (the in-process
-// Server does; a set of TCP Clients can be adapted), so the same code path
-// serves simulations, tests, and real sockets.
+// Server does via AdaptServer; *Client is one natively), so the same code
+// path serves simulations, tests, and real sockets.
 type Sharded struct {
 	placement *Placement
 	backends  []Backend
 	// workers and dims come from each backend's Meta at construction time;
-	// Push validates against them before touching any backend, so a bad
-	// update can never advance a subset of the shard clocks.
+	// PushOrdered validates against them before touching any backend, so a
+	// bad update can never advance a subset of the shard clocks.
 	workers int
 	dims    []map[string]int
+	// scratch pools fan-out state so the steady-state wave loop allocates
+	// nothing: per-server key/vector partitions, result clocks, goroutine
+	// bookkeeping.
+	scratch sync.Pool
 }
 
-// Backend is the per-server operation set Sharded needs. *Server implements
-// it directly; *Client adds the same methods over TCP.
+// Backend is the per-server operation set Sharded needs, in the ordered
+// slice forms the data plane runs on. *Client implements it natively over
+// TCP; AdaptServer wraps an in-process *Server.
 type Backend interface {
-	Push(worker int, updates map[string]tensor.Vector) (int, error)
-	Pull(keys []string, minClock int) (map[string]tensor.Vector, int, error)
-	PullAt(keys []string, clock int) (map[string]tensor.Vector, error)
+	PushOrdered(worker int, keys []string, vecs []tensor.Vector) (int, error)
+	PullInto(dst []tensor.Vector, keys []string, minClock int) (int, error)
+	PullAtInto(dst []tensor.Vector, keys []string, clock int) error
 	GlobalClock() (int, error)
 	Meta() (Meta, error)
 	MaxClockDistance() (int, error)
@@ -37,12 +45,14 @@ type Backend interface {
 // serverBackend adapts *Server (whose GlobalClock returns no error).
 type serverBackend struct{ s *Server }
 
-func (b serverBackend) Push(w int, u map[string]tensor.Vector) (int, error) { return b.s.Push(w, u) }
-func (b serverBackend) Pull(k []string, mc int) (map[string]tensor.Vector, int, error) {
-	return b.s.Pull(k, mc)
+func (b serverBackend) PushOrdered(w int, keys []string, vecs []tensor.Vector) (int, error) {
+	return b.s.PushOrdered(w, keys, vecs)
 }
-func (b serverBackend) PullAt(k []string, c int) (map[string]tensor.Vector, error) {
-	return b.s.PullAt(k, c)
+func (b serverBackend) PullInto(dst []tensor.Vector, keys []string, mc int) (int, error) {
+	return b.s.PullInto(dst, keys, mc)
+}
+func (b serverBackend) PullAtInto(dst []tensor.Vector, keys []string, c int) error {
+	return b.s.PullAtInto(dst, keys, c)
 }
 func (b serverBackend) GlobalClock() (int, error)      { return b.s.GlobalClock(), nil }
 func (b serverBackend) Meta() (Meta, error)            { return b.s.Meta() }
@@ -84,27 +94,211 @@ func NewSharded(p *Placement, backends []Backend) (*Sharded, error) {
 	return s, nil
 }
 
-// Push splits the update map by placement and pushes each slice to its
-// server; every involved server's clock advances for the worker. Servers
-// holding none of the keys still receive an empty push so their clocks stay
-// aligned — WSP's global clock is the minimum across all shards.
+// Fan-out operations a fanScratch can run.
+const (
+	fanPush byte = iota + 1
+	fanPull
+	fanPullAt
+)
+
+// fanScratch is the pooled state of one fan-out: the per-server partition of
+// the caller's keys and vectors, the concurrency bookkeeping, and the
+// first-error-wins result slot. Per-server work is spawned through
+// pre-allocated zero-argument thunks (go st.thunks[i]()) — a go statement
+// with arguments heap-allocates a wrapper per spawn, a stored nullary
+// closure does not — so the steady-state dispatch allocates nothing.
+type fanScratch struct {
+	sh     *Sharded
+	op     byte
+	worker int
+	clock  int // minClock for fanPull, snapshot clock for fanPullAt
+
+	perIdx  [][]int // position of each partitioned key in the caller's slices
+	perKeys [][]string
+	perVecs [][]tensor.Vector
+	clocks  []int    // per-server observed clock (fanPull)
+	thunks  []func() // thunks[i] runs server i's share and signals wg
+
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	err    error
+	errSrv int
+}
+
+// acquire returns a pooled (or fresh) scratch sized for s's backends, with
+// every partition emptied.
+func (s *Sharded) acquire(op byte) *fanScratch {
+	st, _ := s.scratch.Get().(*fanScratch)
+	if st == nil {
+		st = &fanScratch{}
+	}
+	st.prep(s, op)
+	return st
+}
+
+func (s *Sharded) release(st *fanScratch) {
+	s.scratch.Put(st)
+}
+
+// prep resets the scratch for a fan-out over sh's backends.
 //
-// Every slice is validated (worker range, placement, shard existence, and
-// lengths) before anything is sent, so a REJECTED push leaves every shard's
-// clock untouched — no server can refuse what its peers already accepted.
-// A transport failure mid-fan-out (a TCP server dying between shards) can
-// still leave the clocks skewed; there is no unpush, so callers must treat
-// that error as poisoning the run (internal/cluster closes every server,
-// which unblocks and fails all peers).
-func (s *Sharded) Push(worker int, updates map[string]tensor.Vector) error {
+//hetlint:hotpath
+func (st *fanScratch) prep(sh *Sharded, op byte) {
+	st.sh = sh
+	st.op = op
+	st.err = nil
+	st.errSrv = 0
+	n := len(sh.backends)
+	if len(st.thunks) < n {
+		st.grow(n)
+	}
+	st.perIdx = st.perIdx[:n]
+	st.perKeys = st.perKeys[:n]
+	st.perVecs = st.perVecs[:n]
+	st.clocks = st.clocks[:n]
+	st.thunks = st.thunks[:n]
+	for i := 0; i < n; i++ {
+		st.perIdx[i] = st.perIdx[i][:0]
+		st.perKeys[i] = st.perKeys[i][:0]
+		st.perVecs[i] = st.perVecs[i][:0]
+		st.clocks[i] = 0
+	}
+}
+
+// grow extends the scratch to n server slots, pre-allocating each slot's
+// spawn thunk. Cold path: it runs once per deployment size, never in the
+// steady state.
+func (st *fanScratch) grow(n int) {
+	for len(st.thunks) < n {
+		st.perIdx = append(st.perIdx, nil)
+		st.perKeys = append(st.perKeys, nil)
+		st.perVecs = append(st.perVecs, nil)
+		st.clocks = append(st.clocks, 0)
+		i := len(st.thunks)
+		st.thunks = append(st.thunks, func() {
+			st.run(i)
+			st.wg.Done()
+		})
+	}
+}
+
+// add partitions one (key, vector) pair at caller position idx onto server
+// srv.
+//
+//hetlint:hotpath
+func (st *fanScratch) add(srv, idx int, key string, v tensor.Vector) {
+	st.perIdx[srv] = append(st.perIdx[srv], idx)
+	st.perKeys[srv] = append(st.perKeys[srv], key)
+	st.perVecs[srv] = append(st.perVecs[srv], v)
+}
+
+// fan runs the prepared operation against every backend concurrently and
+// waits for all of them. With a single backend it runs inline — no goroutine
+// hop on unsharded deployments.
+//
+//hetlint:hotpath
+func (st *fanScratch) fan() {
+	n := len(st.sh.backends)
+	if n == 1 {
+		st.run(0)
+		return
+	}
+	// The calling goroutine takes the last backend itself: one fewer
+	// spawn, and the caller does useful work instead of blocking in Wait
+	// while the others run.
+	st.wg.Add(n - 1)
+	for i := 0; i < n-1; i++ {
+		go st.thunks[i]()
+	}
+	st.run(n - 1)
+	st.wg.Wait()
+}
+
+// run executes the scratch's operation against backend i. Pushes go to
+// every server — ones holding none of the keys receive an empty push so
+// their clocks stay aligned (WSP's global clock is the minimum across all
+// shards). Pulls query uninvolved servers for their clock only; snapshot
+// pulls skip them entirely.
+//
+//hetlint:hotpath
+func (st *fanScratch) run(i int) {
+	b := st.sh.backends[i]
+	switch st.op {
+	case fanPush:
+		if _, err := b.PushOrdered(st.worker, st.perKeys[i], st.perVecs[i]); err != nil {
+			st.fail(i, err)
+		}
+	case fanPull:
+		if len(st.perKeys[i]) == 0 {
+			// Not involved in the transfer, but its clock still bounds the
+			// global clock the caller observes.
+			c, err := b.GlobalClock()
+			if err != nil {
+				st.fail(i, err)
+				return
+			}
+			st.clocks[i] = c
+			return
+		}
+		c, err := b.PullInto(st.perVecs[i], st.perKeys[i], st.clock)
+		if err != nil {
+			st.fail(i, err)
+			return
+		}
+		st.clocks[i] = c
+	case fanPullAt:
+		if len(st.perKeys[i]) == 0 {
+			return
+		}
+		if err := b.PullAtInto(st.perVecs[i], st.perKeys[i], st.clock); err != nil {
+			st.fail(i, err)
+		}
+	}
+}
+
+// fail records the fan-out's error; the first recorded error wins and the
+// rest are dropped.
+//
+//hetlint:hotpath
+func (st *fanScratch) fail(i int, err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+		st.errSrv = i
+	}
+	st.mu.Unlock()
+}
+
+func (st *fanScratch) wrapErr() error {
+	if st.err == nil {
+		return nil
+	}
+	return fmt.Errorf("ps: shard server %d: %w", st.errSrv, st.err)
+}
+
+// PushOrdered splits the update (parallel key and delta slices) by placement
+// and pushes each slice to its server concurrently; every server's clock
+// advances for the worker, including servers holding none of the keys (they
+// receive an empty push so their clocks stay aligned).
+//
+// The whole update is validated (worker range, placement, shard existence,
+// lengths, duplicates) before anything is sent, so a REJECTED push leaves
+// every shard's clock untouched — no server can refuse what its peers
+// already accepted. A transport failure mid-fan-out (a TCP server dying
+// between shards) can still leave the clocks skewed; there is no unpush, so
+// callers must treat that error as poisoning the run (internal/cluster
+// closes every server, which unblocks and fails all peers).
+func (s *Sharded) PushOrdered(worker int, keys []string, vecs []tensor.Vector) error {
 	if worker < 0 || worker >= s.workers {
 		return fmt.Errorf("ps: worker %d out of range [0,%d)", worker, s.workers)
 	}
-	perServer := make([]map[string]tensor.Vector, len(s.backends))
-	for i := range perServer {
-		perServer[i] = make(map[string]tensor.Vector)
+	if len(keys) != len(vecs) {
+		return fmt.Errorf("ps: %d keys for %d vectors", len(keys), len(vecs))
 	}
-	for key, delta := range updates {
+	st := s.acquire(fanPush)
+	defer s.release(st)
+	st.worker = worker
+	for i, key := range keys {
 		srv, err := s.placement.ServerOf(key)
 		if err != nil {
 			return err
@@ -113,96 +307,129 @@ func (s *Sharded) Push(worker int, updates map[string]tensor.Vector) error {
 		if !ok {
 			return fmt.Errorf("ps: shard %q not registered on server %d", key, srv)
 		}
-		if dim != len(delta) {
-			return fmt.Errorf("ps: shard %q length %d, delta length %d", key, dim, len(delta))
+		if dim != len(vecs[i]) {
+			return fmt.Errorf("ps: shard %q length %d, delta length %d", key, dim, len(vecs[i]))
 		}
-		perServer[srv][key] = delta
+		for j := 0; j < i; j++ {
+			if keys[j] == key {
+				return fmt.Errorf("ps: duplicate shard %q in push", key)
+			}
+		}
+		st.add(srv, i, key, vecs[i])
 	}
-	for i, b := range s.backends {
-		if _, err := b.Push(worker, perServer[i]); err != nil {
-			return fmt.Errorf("ps: shard server %d: %w", i, err)
+	st.fan()
+	return st.wrapErr()
+}
+
+// Push splits the update map by placement and pushes each slice to its
+// server. Map-form convenience over PushOrdered.
+func (s *Sharded) Push(worker int, updates map[string]tensor.Vector) error {
+	keys := make([]string, 0, len(updates))
+	vecs := make([]tensor.Vector, 0, len(updates))
+	for k, v := range updates {
+		keys = append(keys, k)
+		vecs = append(vecs, v)
+	}
+	return s.PushOrdered(worker, keys, vecs)
+}
+
+// PullInto gathers the requested keys from their servers concurrently, each
+// involved server blocking until its global clock reaches minClock, filling
+// dst[i] with keys[i]'s weights (reusing dst[i]'s storage when its length
+// matches). It returns the minimum clock across ALL shard servers —
+// including ones that hold none of the keys — so successive pulls never
+// observe a clock regression. An empty key set degenerates to a GlobalClock
+// query.
+func (s *Sharded) PullInto(dst []tensor.Vector, keys []string, minClock int) (int, error) {
+	if len(dst) != len(keys) {
+		return 0, fmt.Errorf("ps: %d destinations for %d keys", len(dst), len(keys))
+	}
+	st := s.acquire(fanPull)
+	defer s.release(st)
+	st.clock = minClock
+	for i, key := range keys {
+		srv, err := s.placement.ServerOf(key)
+		if err != nil {
+			return 0, err
+		}
+		st.add(srv, i, key, dst[i])
+	}
+	st.fan()
+	if err := st.wrapErr(); err != nil {
+		return 0, err
+	}
+	clock := -1
+	for i := range st.clocks {
+		if clock < 0 || st.clocks[i] < clock {
+			clock = st.clocks[i]
+		}
+	}
+	// Backends may have reallocated destination vectors (first pull into
+	// empty buffers); write them back to the caller's positions.
+	for srv := range st.perIdx {
+		for j, idx := range st.perIdx[srv] {
+			dst[idx] = st.perVecs[srv][j]
+		}
+	}
+	return clock, nil
+}
+
+// Pull gathers the requested keys as a merged map. Map-form convenience
+// over PullInto.
+func (s *Sharded) Pull(keys []string, minClock int) (map[string]tensor.Vector, int, error) {
+	dst := make([]tensor.Vector, len(keys))
+	clock, err := s.PullInto(dst, keys, minClock)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make(map[string]tensor.Vector, len(keys))
+	for i, k := range keys {
+		out[k] = dst[i]
+	}
+	return out, clock, nil
+}
+
+// PullAtInto gathers the clock-versioned snapshot of the requested keys
+// concurrently, each involved server blocking until its global clock
+// reaches `clock`, filling dst like PullInto. All shards answer from the
+// same clock boundary, so the merged result is the deterministic snapshot
+// the WSP analysis reasons about.
+func (s *Sharded) PullAtInto(dst []tensor.Vector, keys []string, clock int) error {
+	if len(dst) != len(keys) {
+		return fmt.Errorf("ps: %d destinations for %d keys", len(dst), len(keys))
+	}
+	st := s.acquire(fanPullAt)
+	defer s.release(st)
+	st.clock = clock
+	for i, key := range keys {
+		srv, err := s.placement.ServerOf(key)
+		if err != nil {
+			return err
+		}
+		st.add(srv, i, key, dst[i])
+	}
+	st.fan()
+	if err := st.wrapErr(); err != nil {
+		return err
+	}
+	for srv := range st.perIdx {
+		for j, idx := range st.perIdx[srv] {
+			dst[idx] = st.perVecs[srv][j]
 		}
 	}
 	return nil
 }
 
-// Pull gathers the requested keys from their servers, each blocking until
-// that server's global clock reaches minClock. It returns the merged weights
-// and the minimum clock across ALL shard servers — including ones that hold
-// none of the keys — so successive pulls never observe a clock regression.
-// An empty key set degenerates to a GlobalClock query.
-func (s *Sharded) Pull(keys []string, minClock int) (map[string]tensor.Vector, int, error) {
-	perServer := make([][]string, len(s.backends))
-	for _, key := range keys {
-		srv, err := s.placement.ServerOf(key)
-		if err != nil {
-			return nil, 0, err
-		}
-		perServer[srv] = append(perServer[srv], key)
-	}
-	out := make(map[string]tensor.Vector, len(keys))
-	clock := -1
-	for i, b := range s.backends {
-		var c int
-		if len(perServer[i]) == 0 {
-			// Not involved in the transfer, but its clock still bounds the
-			// global clock the caller observes.
-			gc, err := b.GlobalClock()
-			if err != nil {
-				return nil, 0, fmt.Errorf("ps: shard server %d: %w", i, err)
-			}
-			c = gc
-		} else {
-			weights, pc, err := b.Pull(perServer[i], minClock)
-			if err != nil {
-				return nil, 0, fmt.Errorf("ps: shard server %d: %w", i, err)
-			}
-			for k, v := range weights {
-				out[k] = v
-			}
-			c = pc
-		}
-		if clock < 0 || c < clock {
-			clock = c
-		}
-	}
-	if clock < 0 {
-		// No backends at all cannot happen (NewSharded requires >= 1), but
-		// keep the fallback total.
-		gc, err := s.GlobalClock()
-		if err != nil {
-			return nil, 0, err
-		}
-		clock = gc
-	}
-	return out, clock, nil
-}
-
-// PullAt gathers the clock-versioned snapshot of the requested keys, each
-// involved server blocking until its global clock reaches `clock`. All
-// shards answer from the same clock boundary, so the merged result is the
-// deterministic snapshot the WSP analysis reasons about.
+// PullAt gathers the clock-versioned snapshot of the requested keys as a
+// merged map. Map-form convenience over PullAtInto.
 func (s *Sharded) PullAt(keys []string, clock int) (map[string]tensor.Vector, error) {
-	perServer := make([][]string, len(s.backends))
-	for _, key := range keys {
-		srv, err := s.placement.ServerOf(key)
-		if err != nil {
-			return nil, err
-		}
-		perServer[srv] = append(perServer[srv], key)
+	dst := make([]tensor.Vector, len(keys))
+	if err := s.PullAtInto(dst, keys, clock); err != nil {
+		return nil, err
 	}
 	out := make(map[string]tensor.Vector, len(keys))
-	for i, b := range s.backends {
-		if len(perServer[i]) == 0 {
-			continue
-		}
-		weights, err := b.PullAt(perServer[i], clock)
-		if err != nil {
-			return nil, fmt.Errorf("ps: shard server %d: %w", i, err)
-		}
-		for k, v := range weights {
-			out[k] = v
-		}
+	for i, k := range keys {
+		out[k] = dst[i]
 	}
 	return out, nil
 }

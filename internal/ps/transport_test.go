@@ -1,8 +1,9 @@
 package ps
 
 import (
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -95,8 +96,23 @@ func TestTCPCloseDuringBlockedPullAtReturnsServerClosed(t *testing.T) {
 	}
 }
 
+// readRawFrame reads one length-prefixed response frame off a raw conn.
+func readRawFrame(t *testing.T, conn net.Conn) []byte {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		t.Fatalf("reading response frame header: %v", err)
+	}
+	payload := make([]byte, binary.LittleEndian.Uint32(hdr[:]))
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		t.Fatalf("reading response frame payload: %v", err)
+	}
+	return payload
+}
+
 func TestTCPGarbageRequestDropsOnlyThatConnection(t *testing.T) {
-	_, addr := serveFixture(t, 1)
+	s, addr := serveFixture(t, 1)
 	good, err := Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -106,44 +122,97 @@ func TestTCPGarbageRequestDropsOnlyThatConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// A raw connection that sends bytes gob cannot decode: the server must
-	// drop it without killing the listener or other connections.
+	// A raw connection that opens with bytes that are not the protocol
+	// preamble: the server must answer with a protocol-error frame, count the
+	// request as malformed, and drop only that connection.
 	raw, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := raw.Write([]byte("definitely not gob\n")); err != nil {
+	if _, err := raw.Write([]byte("definitely not the preamble, and then some")); err != nil {
 		t.Fatal(err)
 	}
-	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
-	buf := make([]byte, 1)
-	if _, err := raw.Read(buf); err == nil {
-		t.Error("garbage connection got a response, want drop")
+	payload := readRawFrame(t, raw)
+	if len(payload) == 0 || payload[0] != statusProtoErr {
+		t.Fatalf("garbage preamble response = %v, want statusProtoErr frame", payload)
+	}
+	if !strings.Contains(string(payload[1:]), "magic") {
+		t.Errorf("garbage preamble message = %q, want bad-magic complaint", payload[1:])
 	}
 	raw.Close()
+	if got := s.MalformedRequests(); got != 1 {
+		t.Errorf("MalformedRequests after garbage preamble = %d, want 1", got)
+	}
 
-	// An unknown-but-well-formed op gets an error response instead.
+	// An unknown-but-well-framed op gets a protocol error response and is
+	// counted, but the framing is intact so the connection survives.
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
-	if err := enc.Encode(&wireRequest{Op: 99}); err != nil {
+	var e encoder
+	frame := appendPreamble(nil)
+	e.begin()
+	e.u8(99)
+	frame = append(frame, e.finish()...)
+	if _, err := conn.Write(frame); err != nil {
 		t.Fatal(err)
 	}
-	var resp wireResponse
-	if err := dec.Decode(&resp); err != nil {
+	payload = readRawFrame(t, conn)
+	if len(payload) == 0 || payload[0] != statusProtoErr {
+		t.Fatalf("unknown op response = %v, want statusProtoErr frame", payload)
+	}
+	if !strings.Contains(string(payload[1:]), "unknown op") {
+		t.Errorf("unknown op message = %q", payload[1:])
+	}
+	if got := s.MalformedRequests(); got != 2 {
+		t.Errorf("MalformedRequests after unknown op = %d, want 2", got)
+	}
+	// Same connection, now a valid request: the server kept it alive.
+	e.begin()
+	e.u8(opClock)
+	if _, err := conn.Write(e.finish()); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(resp.Err, "unknown op") {
-		t.Errorf("unknown op response = %q", resp.Err)
+	payload = readRawFrame(t, conn)
+	if len(payload) == 0 || payload[0] != statusOK {
+		t.Fatalf("clock after unknown op = %v, want statusOK frame", payload)
 	}
 
 	// The healthy client still works after both bad peers.
 	if g, err := good.GlobalClock(); err != nil || g != 1 {
 		t.Errorf("healthy client after garbage peer: clock=%d err=%v", g, err)
 	}
+
+	// A client that disconnects cleanly between frames is NOT malformed.
+	bye, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bye.GlobalClock(); err != nil {
+		t.Fatal(err)
+	}
+	bye.Close()
+	waitForStableMalformed(t, s, 2)
+}
+
+// waitForStableMalformed asserts the malformed counter settles at want,
+// giving server goroutines a moment to notice connection shutdowns.
+func waitForStableMalformed(t *testing.T, s *Server, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if s.MalformedRequests() == want {
+			time.Sleep(10 * time.Millisecond) // linger: catch a late bump
+			if got := s.MalformedRequests(); got != want {
+				t.Fatalf("MalformedRequests = %d, want %d", got, want)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("MalformedRequests = %d, want %d", s.MalformedRequests(), want)
 }
 
 func TestTCPConcurrentPushersAndPullers(t *testing.T) {

@@ -1,0 +1,267 @@
+package ps
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"hetpipe/internal/tensor"
+)
+
+// Wire protocol v1: length-prefixed binary frames over a per-worker TCP
+// connection, replacing the original gob encoding. The design goals are an
+// allocation-free steady state (pooled buffers on both ends, no reflection,
+// no per-call map conversion) and payloads that are straight memcpys of the
+// float64 data.
+//
+// A connection opens with an 8-byte preamble from the client — magic uint32,
+// version uint16, two reserved zero bytes, all little-endian — so a server
+// can reject foreign peers and future versions with a protocol-error frame
+// instead of a decode failure deep inside a request.
+//
+// Every frame is a uint32 little-endian payload length followed by that many
+// payload bytes, capped at maxFrame. Requests start with a one-byte opcode:
+//
+//	opPush:     uvarint worker, keyset, then one vector per key
+//	opPull:     uvarint minClock, keyset
+//	opPullAt:   uvarint clock, keyset
+//	opClock, opMeta, opDistance: opcode only
+//
+// Responses start with a one-byte status (statusOK, statusAppErr,
+// statusProtoErr); non-OK frames carry a length-prefixed message. OK
+// payloads are op-specific:
+//
+//	opPush:     uvarint new worker clock
+//	opPull:     one vector per requested key (request order), then uvarint
+//	            observed clock — the clock trails so the server can encode
+//	            vectors in one pass under its lock
+//	opPullAt:   one vector per requested key (request order)
+//	opClock, opDistance: uvarint clock
+//	opMeta:     uvarint workers, uvarint keys, then per key: string, uvarint dim
+//
+// A keyset is `uvarint n` followed by n key references. Keys are interned
+// per connection: the first time a client sends a key it writes a 0 token
+// followed by the length-prefixed name, implicitly assigning the next
+// sequential id; afterwards it writes id+1. The server mirrors the table, so
+// steady-state requests carry two or three bytes per key instead of the
+// name, and responses carry no keys at all — vectors come back in request
+// order. Vectors are `uvarint dim` followed by dim raw little-endian float64
+// values.
+const (
+	wireMagic   uint32 = 0x48505053 // "SPPH" on the wire: HetPipe Parameter Server
+	wireVersion uint16 = 1
+	// maxFrame caps a frame payload. Connections carrying a larger frame are
+	// counted malformed and dropped — a length prefix from a confused or
+	// hostile peer must not become a giant allocation.
+	maxFrame = 64 << 20
+	// preambleLen is the size of the connection-opening header.
+	preambleLen = 8
+)
+
+// Request opcodes. The zero value is invalid on purpose: an all-zero frame
+// decodes to "unknown op", not a silent push.
+const (
+	opPush byte = iota + 1
+	opPull
+	opClock
+	opPullAt
+	opMeta
+	opDistance
+)
+
+// Response status codes.
+const (
+	statusOK       byte = 0
+	statusAppErr   byte = 1 // server-side application error (bad worker, unregistered shard, closed)
+	statusProtoErr byte = 2 // the peer violated the wire protocol; the connection closes after this frame
+)
+
+// Decode-layer sentinel errors. They are deliberately allocation-free so the
+// hot decode path can return them directly; the transport wraps them with
+// context before a frame or caller sees them.
+var (
+	errTruncated = errors.New("ps: truncated frame payload")
+	errBadKeyRef = errors.New("ps: key reference out of range")
+	errKeyCount  = errors.New("ps: keyset count exceeds frame size")
+)
+
+// encoder builds one outgoing frame in a reusable buffer. The first four
+// bytes are reserved for the length prefix (begin/finish), so a finished
+// frame is written with a single conn.Write — no separate header syscall.
+type encoder struct {
+	buf []byte
+}
+
+// begin resets the encoder and reserves the 4-byte length prefix.
+func (e *encoder) begin() {
+	e.buf = e.buf[:0]
+	e.grow(4)
+}
+
+// finish patches the length prefix and returns the complete frame.
+func (e *encoder) finish() []byte {
+	binary.LittleEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	return e.buf
+}
+
+// grow extends the buffer by n bytes and returns the new region.
+//
+//hetlint:hotpath
+func (e *encoder) grow(n int) []byte {
+	need := len(e.buf) + n
+	if cap(e.buf) < need {
+		nb := make([]byte, len(e.buf), need+need/2+64)
+		copy(nb, e.buf)
+		e.buf = nb
+	}
+	off := len(e.buf)
+	e.buf = e.buf[:need]
+	return e.buf[off:need]
+}
+
+//hetlint:hotpath
+func (e *encoder) u8(x byte) {
+	e.buf = append(e.buf, x)
+}
+
+//hetlint:hotpath
+func (e *encoder) uvarint(x uint64) {
+	e.buf = binary.AppendUvarint(e.buf, x)
+}
+
+//hetlint:hotpath
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	copy(e.grow(len(s)), s)
+}
+
+// vec appends a vector: uvarint dim followed by raw little-endian float64s.
+//
+//hetlint:hotpath
+func (e *encoder) vec(v tensor.Vector) {
+	e.uvarint(uint64(len(v)))
+	tensor.PutLE(e.grow(8*len(v)), v)
+}
+
+// decoder reads one frame payload in place — no copies beyond the float
+// conversion into the caller's destination vectors.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) reset(buf []byte) {
+	d.buf = buf
+	d.off = 0
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }
+
+//hetlint:hotpath
+func (d *decoder) u8() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, errTruncated
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+//hetlint:hotpath
+func (d *decoder) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	d.off += n
+	return x, nil
+}
+
+//hetlint:hotpath
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.remaining() < n {
+		return nil, errTruncated
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+// str decodes a length-prefixed string. It allocates, which is fine on the
+// paths that use it: key-interning definitions (once per key per
+// connection), error messages, and Meta.
+func (d *decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// vecInto decodes a vector, reusing dst when its length already matches —
+// the steady-state case for every pull into worker-owned buffers.
+//
+//hetlint:hotpath
+func (d *decoder) vecInto(dst tensor.Vector) (tensor.Vector, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.remaining())/8 {
+		return nil, errTruncated
+	}
+	b, err := d.bytes(int(n) * 8)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(dst)) != n {
+		dst = make(tensor.Vector, n)
+	}
+	tensor.GetLE(dst, b)
+	return dst, nil
+}
+
+// vecRaw reads a vector header and returns its element count and raw
+// little-endian payload bytes without converting them, so the caller can
+// decode straight into a destination of its choosing.
+//
+//hetlint:hotpath
+func (d *decoder) vecRaw() (int, []byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > uint64(d.remaining())/8 {
+		return 0, nil, errTruncated
+	}
+	b, err := d.bytes(int(n) * 8)
+	if err != nil {
+		return 0, nil, err
+	}
+	return int(n), b, nil
+}
+
+// appendPreamble appends the connection-opening header.
+func appendPreamble(buf []byte) []byte {
+	var p [preambleLen]byte
+	binary.LittleEndian.PutUint32(p[0:], wireMagic)
+	binary.LittleEndian.PutUint16(p[4:], wireVersion)
+	return append(buf, p[:]...)
+}
+
+// checkPreamble validates a connection-opening header.
+func checkPreamble(p []byte) error {
+	if len(p) != preambleLen {
+		return errTruncated
+	}
+	if got := binary.LittleEndian.Uint32(p[0:]); got != wireMagic {
+		return errors.New("ps: bad protocol magic (not a hetpipe parameter-server peer)")
+	}
+	if got := binary.LittleEndian.Uint16(p[4:]); got != wireVersion {
+		return errors.New("ps: protocol version mismatch")
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// Codec helpers: bulk conversion between Vector values and their wire form
+// (each float64's IEEE-754 bits, little-endian). The PS wire protocol moves
+// tens of kilobytes of weights per frame, so the conversion runs at memcpy
+// speed on little-endian hosts by reinterpreting the vector's backing array
+// as bytes; other hosts take a portable per-element path. Both paths are
+// bit-transparent (NaN payloads and signed zeros survive), which the
+// conformance harness's bit-identical-weights check depends on.
+
+// hostLittleEndian reports whether float64 memory order already matches the
+// wire order. Computed once at init from an observation, not a build tag,
+// so the portable path stays compiled and testable everywhere.
+var hostLittleEndian = func() bool {
+	var x uint64 = 0x0102030405060708
+	b := (*[8]byte)(unsafe.Pointer(&x))
+	return b[0] == 0x08
+}()
+
+// PutLE writes v's wire encoding into dst, which must hold 8*len(v) bytes.
+//
+//hetlint:hotpath
+func PutLE(dst []byte, v Vector) {
+	if len(v) == 0 {
+		return
+	}
+	if hostLittleEndian {
+		copy(dst[:8*len(v)], unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v)))
+		return
+	}
+	putLEPortable(dst, v)
+}
+
+// GetLE fills v from 8*len(v) bytes of wire encoding in src.
+//
+//hetlint:hotpath
+func GetLE(v Vector, src []byte) {
+	if len(v) == 0 {
+		return
+	}
+	if hostLittleEndian {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v)), src[:8*len(v)])
+		return
+	}
+	getLEPortable(v, src)
+}
+
+//hetlint:hotpath
+func putLEPortable(dst []byte, v Vector) {
+	_ = dst[8*len(v)-1]
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(f))
+	}
+}
+
+//hetlint:hotpath
+func getLEPortable(v Vector, src []byte) {
+	_ = src[8*len(v)-1]
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+}

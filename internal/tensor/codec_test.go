@@ -1,0 +1,47 @@
+package tensor
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestCodecFastPathMatchesPortable holds the unsafe bulk path to the
+// portable per-element encoding byte for byte, including non-finite and
+// quiet/signaling NaN bit patterns.
+func TestCodecFastPathMatchesPortable(t *testing.T) {
+	v := Vector{
+		0, math.Copysign(0, -1), 1.5, -2.25,
+		math.Inf(1), math.Inf(-1),
+		math.Float64frombits(0x7ff8000000000001), // quiet NaN with payload
+		math.Float64frombits(0x7ff0000000000001), // signaling NaN
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+	}
+
+	fast := make([]byte, 8*len(v))
+	portable := make([]byte, 8*len(v))
+	PutLE(fast, v)
+	putLEPortable(portable, v)
+	if !bytes.Equal(fast, portable) {
+		t.Fatalf("PutLE fast path differs from portable:\nfast     %x\nportable %x", fast, portable)
+	}
+
+	gotFast := make(Vector, len(v))
+	gotPortable := make(Vector, len(v))
+	GetLE(gotFast, fast)
+	getLEPortable(gotPortable, fast)
+	for i := range v {
+		if math.Float64bits(gotFast[i]) != math.Float64bits(v[i]) {
+			t.Errorf("GetLE[%d] = %x, want %x", i, math.Float64bits(gotFast[i]), math.Float64bits(v[i]))
+		}
+		if math.Float64bits(gotPortable[i]) != math.Float64bits(v[i]) {
+			t.Errorf("getLEPortable[%d] = %x, want %x", i, math.Float64bits(gotPortable[i]), math.Float64bits(v[i]))
+		}
+	}
+}
+
+func TestCodecEmptyVector(t *testing.T) {
+	// Zero-length vectors must not touch dst/src at all (both may be nil).
+	PutLE(nil, nil)
+	GetLE(nil, nil)
+}

@@ -23,10 +23,34 @@ func (v Vector) Clone() Vector {
 	return out
 }
 
+// CloneFast returns an independent copy built with append instead of
+// make+copy: for a pointer-free element type the runtime then skips
+// zero-initializing the new array (it is fully overwritten by the copy),
+// so the clone writes each byte once. Worth it only on hot paths cloning
+// large vectors; elsewhere prefer Clone.
+func (v Vector) CloneFast() Vector {
+	return append(Vector(nil), v...)
+}
+
 // Zero sets every element to zero, in place.
 func (v Vector) Zero() {
 	for i := range v {
 		v[i] = 0
+	}
+}
+
+// AddCopy computes acc += src and dst = src in one pass over src — the
+// parameter server's push kernel (accumulate the delta into the live
+// weights while retaining a copy for snapshot folding), fused so src is
+// traversed once instead of twice.
+//
+//hetlint:hotpath
+func AddCopy(acc, dst, src Vector) {
+	checkLen(len(acc), len(src))
+	checkLen(len(dst), len(src))
+	for i, x := range src {
+		acc[i] += x
+		dst[i] = x
 	}
 }
 

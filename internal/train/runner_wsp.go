@@ -153,6 +153,20 @@ type wspWorker struct {
 	slotFreeAt    float64
 	rng           *rand.Rand
 	done          bool
+	// free recycles retired pendingMB weight vectors, so the steady-state
+	// inject/retire loop stops allocating one dim-sized copy per minibatch.
+	free []tensor.Vector
+}
+
+// getWeights returns a recycled (or fresh) vector holding a copy of src.
+func (w *wspWorker) getWeights(src tensor.Vector) tensor.Vector {
+	if n := len(w.free); n > 0 {
+		v := w.free[n-1]
+		w.free = w.free[:n-1]
+		copy(v, src)
+		return v
+	}
+	return src.Clone()
 }
 
 // RunWSP executes the co-simulated HetPipe run.
@@ -257,6 +271,7 @@ func RunWSP(cfg WSPConfig) (*RunStats, error) {
 		p := w.pending[0]
 		w.pending = w.pending[1:]
 		cfg.Task.Grad(p.weights, MinibatchIndex(w.id, p.mb, cfg.Workers), w.grad)
+		w.free = append(w.free, p.weights)
 		// Local update: wlocal += u, u = -lr * grad (Section 4).
 		w.wlocal.AXPY(-cfg.LR, w.grad)
 		w.waveAcc.AXPY(-cfg.LR, w.grad)
@@ -346,7 +361,7 @@ func RunWSP(cfg WSPConfig) (*RunStats, error) {
 			// With D=0 this happens every wave; with larger D, every wave
 			// past the first D+1.
 			if req := params.RequiredGlobalClock(mb); req > 0 && w.lastPulled < req {
-				w.wlocal = snapshotAt(req).Clone()
+				copy(w.wlocal, snapshotAt(req))
 				for v := req; v < len(w.waveDeltas); v++ {
 					w.wlocal.AddInPlace(w.waveDeltas[v])
 				}
@@ -362,7 +377,7 @@ func RunWSP(cfg WSPConfig) (*RunStats, error) {
 			complete := math.Max(now+fill[w.id], w.lastScheduled+period)
 			w.lastScheduled = complete
 			w.inflight = append(w.inflight, snapshot{mb: mb, complete: complete})
-			w.pending = append(w.pending, pendingMB{mb: mb, weights: w.wlocal.Clone()})
+			w.pending = append(w.pending, pendingMB{mb: mb, weights: w.getWeights(w.wlocal)})
 			w.nextInject++
 			if w.nextInject > cfg.MaxMinibatches {
 				w.done = true
