@@ -262,6 +262,7 @@ func TestRepoBaselineIsValid(t *testing.T) {
 	if _, err := loadBaselines([]string{
 		filepath.Join(root, "BENCH_pipeline.json"),
 		filepath.Join(root, "BENCH_ps.json"),
+		filepath.Join(root, "BENCH_serve.json"),
 	}); err != nil {
 		t.Error(err)
 	}

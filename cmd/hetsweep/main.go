@@ -14,6 +14,9 @@
 //	hetsweep -schedules interleaved -interleaves 1,2,4      # virtual-stage degree axis
 //	hetsweep -faults ';slow:w0:x2;rand:0.5:seed7'           # fault axis (';'-separated,
 //	                                          leading empty entry = fault-free baseline)
+//	hetsweep -traffics 'poisson:r60:n2000;poisson:r120:n2000'  # serving axis: each spec
+//	                                          turns its scenarios into inference-serving
+//	                                          runs (requests/sec + latency percentiles)
 //	hetsweep -list                            # show the available axis values
 //
 // Results land in -json and -csv (set either to "" to skip). With -stream the
@@ -55,6 +58,7 @@ func main() {
 	schedules := flag.String("schedules", sched.Default().Name(), "comma-separated pipeline schedules ("+strings.Join(sched.Names(), ", ")+")")
 	interleaves := flag.String("interleaves", "1", "comma-separated interleave degrees V (schedules without interleave support collapse to V=1)")
 	faults := flag.String("faults", "", "semicolon-separated fault-plan specs (fault grammar: slow:w0:x2,crash:w1:mb40,...); an empty entry is the fault-free baseline")
+	traffics := flag.String("traffics", "", "semicolon-separated serving traffic specs (serve grammar: poisson:r120:n2000, diurnal:r120:a0.5:p60:n2000, bursty:r60:x4:on2:off8:n2000, closed:u64:t0.05:n2000); an empty entry is the training baseline")
 	dValues := flag.String("d", intsJoin(def.DValues), "comma-separated WSP clock-distance bounds")
 	nmValues := flag.String("nm", "0", "comma-separated concurrent-minibatch counts (0 = auto)")
 	batch := flag.Int("batch", 0, "minibatch size (0 = 32)")
@@ -90,6 +94,11 @@ func main() {
 		fmt.Println("  stall:s<S>:c<C>:<seconds>    PS shard stall at a clock advance")
 		fmt.Println("  link:w<N>:x<f>               degraded PS link")
 		fmt.Println("  rand:<rate>[:seed<N>]        seeded random straggler population")
+		fmt.Println("traffic specs (serving axis; all seedable with :seed<N>, classed with :crit<f>):")
+		fmt.Println("  poisson:r<rate>:n<N>                  open-loop Poisson arrivals")
+		fmt.Println("  diurnal:r<rate>:a<amp>:p<period>:n<N> sinusoidally modulated rate")
+		fmt.Println("  bursty:r<rate>:x<factor>:on<s>:off<s>:n<N>  on/off burst windows")
+		fmt.Println("  closed:u<users>:t<think>:n<N>         closed-loop think-time users")
 		return
 	}
 
@@ -100,7 +109,8 @@ func main() {
 		SyncModes:        splitList(*syncModes),
 		Placements:       splitList(*placements),
 		Schedules:        splitList(*schedules),
-		Faults:           splitFaults(*faults),
+		Faults:           splitSpecs(*faults),
+		Traffics:         splitSpecs(*traffics),
 		Batch:            *batch,
 		MinibatchesPerVW: *mbs,
 	}
@@ -129,7 +139,11 @@ func main() {
 	if !*quiet {
 		opt.OnResult = func(r sweep.Result) {
 			done++
-			status := fmt.Sprintf("%8.0f samples/s", r.Throughput)
+			unit := "samples/s"
+			if r.Scenario.Traffic != "" {
+				unit = "req/s"
+			}
+			status := fmt.Sprintf("%8.0f %s", r.Throughput, unit)
 			if r.Error != "" {
 				status = "error: " + r.Error
 			}
@@ -201,10 +215,12 @@ func splitList(s string) []string {
 	return out
 }
 
-// splitFaults splits the fault axis on ';' (fault specs use ',' internally).
-// Empty entries are kept as the fault-free baseline, so ";slow:w0:x2" sweeps
-// baseline-vs-straggler; an empty flag means no fault axis at all.
-func splitFaults(s string) []string {
+// splitSpecs splits a spec axis (faults, traffics) on ';' — the specs
+// themselves use ',' and ':' internally. Empty entries are kept as the
+// axis's baseline value, so ";slow:w0:x2" sweeps baseline-vs-straggler and
+// ";poisson:r60:n500" training-vs-serving; an empty flag means no axis at
+// all.
+func splitSpecs(s string) []string {
 	if s == "" {
 		return nil
 	}

@@ -13,6 +13,7 @@ import (
 	"hetpipe/internal/pipeline"
 	"hetpipe/internal/profile"
 	"hetpipe/internal/sched"
+	"hetpipe/internal/serve"
 	"hetpipe/internal/trace"
 	"hetpipe/internal/train"
 )
@@ -39,6 +40,9 @@ type Deployment struct {
 	dep         *core.Deployment
 	// faults is the parsed WithFaults plan; nil or empty means fault-free.
 	faults *fault.Plan
+	// traffic is the parsed WithTraffic spec; nil means serving is not
+	// configured and Serve reports ErrNoTraffic.
+	traffic *serve.Traffic
 }
 
 // New resolves a deployment from functional options: the model graph, the
@@ -93,6 +97,13 @@ func New(opts ...Option) (*Deployment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadFaultPlan, err)
 	}
+	var traffic *serve.Traffic
+	if set.traffic != "" {
+		traffic, err = serve.ParseTraffic(set.traffic)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTraffic, err)
+		}
+	}
 	batch := set.batch
 	if batch == 0 {
 		batch = 32
@@ -134,7 +145,7 @@ func New(opts ...Option) (*Deployment, error) {
 	if _, err := faults.Materialize(len(dep.VWs)); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadFaultPlan, err)
 	}
-	return &Deployment{set: set, sys: sys, cl: cl, clusterName: clusterName, alloc: alloc, dep: dep, faults: faults}, nil
+	return &Deployment{set: set, sys: sys, cl: cl, clusterName: clusterName, alloc: alloc, dep: dep, faults: faults, traffic: traffic}, nil
 }
 
 // Model reports the deployed model's zoo key, as given to WithModel.

@@ -22,6 +22,8 @@ var allSentinels = map[string]error{
 	"ErrUnknownSchedule": ErrUnknownSchedule,
 	"ErrBadFaultPlan":    ErrBadFaultPlan,
 	"ErrBadInterleave":   ErrBadInterleave,
+	"ErrBadTraffic":      ErrBadTraffic,
+	"ErrNoTraffic":       ErrNoTraffic,
 }
 
 func TestNewSentinelErrors(t *testing.T) {
@@ -40,6 +42,8 @@ func TestNewSentinelErrors(t *testing.T) {
 		{"negative interleave", []Option{WithModel("vgg19"), WithPolicy("ED"), WithInterleave(-1)}, ErrBadInterleave},
 		{"interleave on non-interleaved schedule", []Option{WithModel("vgg19"), WithPolicy("ED"), WithSchedule("gpipe"), WithInterleave(2)}, ErrBadInterleave},
 		{"bad fault plan", []Option{WithModel("vgg19"), WithPolicy("ED"), WithFaults("not-a-plan")}, ErrBadFaultPlan},
+		{"bad traffic kind", []Option{WithModel("vgg19"), WithPolicy("ED"), WithTraffic("warp:r10:n5")}, ErrBadTraffic},
+		{"bad traffic rate", []Option{WithModel("vgg19"), WithPolicy("ED"), WithTraffic("poisson:r0:n5")}, ErrBadTraffic},
 	}
 	covered := map[error]bool{}
 	for _, c := range cases {
@@ -56,6 +60,16 @@ func TestNewSentinelErrors(t *testing.T) {
 		t.Errorf("Run(bad backend) error = %v, want errors.Is ErrUnknownBackend", err)
 	}
 	covered[ErrUnknownBackend] = true
+	// ErrNoTraffic is reported at Serve time: the deployment resolved fine,
+	// it just has no traffic to serve.
+	dep, err := New(WithModel("vgg19"), WithPolicy("ED"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Serve(context.Background()); !errors.Is(err, ErrNoTraffic) {
+		t.Errorf("Serve() without traffic error = %v, want errors.Is ErrNoTraffic", err)
+	}
+	covered[ErrNoTraffic] = true
 	for name, sentinel := range allSentinels {
 		if !covered[sentinel] {
 			t.Errorf("sentinel %s has no reachability case in this test", name)

@@ -166,6 +166,7 @@ var deterministicPkgs = map[string]bool{
 	"sweep":     true,
 	"fault":     true,
 	"wsp":       true,
+	"serve":     true,
 }
 
 // IsDeterministic reports whether the import path names one of the

@@ -1,0 +1,74 @@
+package hot
+
+import "fmt"
+
+// batcher mirrors the serving plane's continuous-batching admission path
+// (internal/serve): head-indexed receiver-owned rings that amortize to zero
+// allocations, with compaction instead of re-slicing from fresh arrays. The
+// Good functions are the sanctioned idiom; each Bad variant is a tempting
+// rewrite the analyzer must keep out of the hot path.
+type batcher struct {
+	pending []int32
+	head    int
+	members []int32
+	counts  []int32
+}
+
+// GoodEnqueue pushes onto a receiver-owned ring and compacts the consumed
+// head in place — the batching idiom: no fresh backing arrays once warm.
+//
+//hetlint:hotpath
+func (b *batcher) GoodEnqueue(id int32) {
+	b.pending = append(b.pending, id)
+	if b.head >= 16 && b.head >= len(b.pending)-b.head {
+		n := copy(b.pending, b.pending[b.head:])
+		b.pending = b.pending[:n]
+		b.head = 0
+	}
+}
+
+// GoodAdmit coalesces queued ids into the receiver's member and count rings.
+//
+//hetlint:hotpath
+func (b *batcher) GoodAdmit(capacity int) int {
+	n := 0
+	for b.head < len(b.pending) && n < capacity {
+		b.members = append(b.members, b.pending[b.head])
+		b.head++
+		n++
+	}
+	if n > 0 {
+		b.counts = append(b.counts, int32(n))
+	}
+	return n
+}
+
+// BadFreshBatch materializes each microbatch as a fresh slice.
+//
+//hetlint:hotpath
+func (b *batcher) BadFreshBatch() []int32 {
+	batch := []int32{}                          // want `slice literal`
+	return append(batch, b.pending[b.head:]...) // want `non-receiver slice`
+}
+
+// BadLocalAppend drains into a caller-supplied slice: every admit grows a
+// backing array the receiver cannot reuse.
+//
+//hetlint:hotpath
+func (b *batcher) BadLocalAppend(out []int32) []int32 {
+	return append(out, b.pending[b.head:]...) // want `non-receiver slice`
+}
+
+// BadDeferredAdmit captures the batch in a closure per admission.
+//
+//hetlint:hotpath
+func (b *batcher) BadDeferredAdmit(capacity int) func() int {
+	return func() int { return b.GoodAdmit(capacity) } // want `closure literal`
+}
+
+// BadAdmitLog formats a progress line per admitted batch.
+//
+//hetlint:hotpath
+func (b *batcher) BadAdmitLog(n int) string {
+	return fmt.Sprintf("admitted %d", n) // want `fmt.Sprintf call allocates`
+}

@@ -1,10 +1,11 @@
-// Package obs defines the run-observation events both execution backends
+// Package obs defines the run-observation events the execution backends
 // emit while a HetPipe run is in flight: the discrete-event simulator
-// (internal/core.SimulateWSPFaults) and the live sharded-PS runtime
-// (internal/cluster.Run) both stream the same event vocabulary — protocol
-// progress plus fault injections and recoveries — which the public API
+// (internal/core.SimulateWSPFaults), the live sharded-PS runtime
+// (internal/cluster.Run), and the serving plane (internal/serve.Run) all
+// stream the same event vocabulary — protocol and request progress plus
+// fault injections and recoveries — which the public API
 // (hetpipe.WithObserver) re-exports. Keeping the event type here lets the
-// two backends share one definition without either importing the root
+// backends share one definition without any of them importing the root
 // package.
 package obs
 
@@ -33,11 +34,22 @@ const (
 	// Event.Clock carries the checkpoint's clock version (pushed waves) on
 	// the live side.
 	KindRecover
+	// KindArrive fires when a serving request enters the system and is
+	// routed; Event.Request is the request id and Event.VW the chosen
+	// replica.
+	KindArrive
+	// KindAdmit fires when the serving admission layer coalesces queued
+	// requests into a microbatch; Event.Batch is the replica-local batch
+	// sequence number and Event.Request the number of requests coalesced.
+	KindAdmit
+	// KindReply fires when a serving request's microbatch completes the
+	// pipeline; Event.Request is the request id and Event.Batch its batch.
+	KindReply
 )
 
 // Event is one observation. Fields that do not apply to a kind are zero.
 type Event struct {
-	// Backend names the emitting substrate: "sim" or "live".
+	// Backend names the emitting substrate: "sim", "live", or "serve".
 	Backend string
 	// Kind discriminates the event.
 	Kind Kind
@@ -56,6 +68,12 @@ type Event struct {
 	// Fault describes the injected fault for KindFaultInject and KindRecover
 	// events, in the internal/fault spec language (e.g. "crash:w2:mb40").
 	Fault string
+	// Request is the 0-based serving request id (KindArrive, KindReply);
+	// for KindAdmit it carries the number of requests coalesced instead.
+	Request int
+	// Batch is the replica-local 1-based microbatch sequence number
+	// (KindAdmit, KindReply, and serving KindRecover events).
+	Batch int
 }
 
 // Func observes a stream of events. The simulator calls it from its single

@@ -1,0 +1,7 @@
+//go:build !race
+
+package pipeline
+
+// raceEnabled reports whether the race detector is instrumenting this build;
+// allocation-count pins are meaningless under it.
+const raceEnabled = false

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"hetpipe/internal/core"
+	"hetpipe/internal/hw"
+	"hetpipe/internal/model"
+	"hetpipe/internal/profile"
+	"hetpipe/internal/sched"
+	"hetpipe/internal/sim"
+)
+
+// benchDeployment resolves the paper-cluster ED deployment the serving
+// benchmarks drive.
+func benchDeployment(b *testing.B, schedule string) *core.Deployment {
+	b.Helper()
+	disc, err := sched.ByName(schedule)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.NewSystemSched(hw.Paper(), model.VGG19(), profile.Default(), 32, disc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := hw.Allocate(sys.Cluster, hw.EqualDistribution)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep, err := sys.Deploy(alloc, 4, 0, core.PlacementDefault)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dep
+}
+
+// BenchmarkServePoisson measures one serving run end to end — 500 Poisson
+// requests through the continuous-batching admission layer across 4 replicas
+// — on one warm engine, so a regression in the admission or routing hot path
+// shows up against the committed BENCH_serve.json baseline.
+func BenchmarkServePoisson(b *testing.B) {
+	dep := benchDeployment(b, sched.NameFIFO)
+	tr, err := ParseTraffic("poisson:r100:n500:crit0.2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.New()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunOn(ctx, eng, dep, tr, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeClosedLoop measures the closed-loop generator's runtime
+// side: 500 requests from a 32-user population with pre-drawn think times.
+func BenchmarkServeClosedLoop(b *testing.B) {
+	dep := benchDeployment(b, sched.NameFIFO)
+	tr, err := ParseTraffic("closed:u32:t0.01:n500")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.New()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunOn(ctx, eng, dep, tr, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeOverlap exercises the overlapped-receive path, whose
+// transfers ride engine timers instead of the stage resources.
+func BenchmarkServeOverlap(b *testing.B) {
+	dep := benchDeployment(b, sched.NameOverlap)
+	tr, err := ParseTraffic("poisson:r100:n500")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.New()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunOn(ctx, eng, dep, tr, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

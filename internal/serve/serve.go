@@ -1,0 +1,644 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"hetpipe/internal/core"
+	"hetpipe/internal/fault"
+	"hetpipe/internal/obs"
+	"hetpipe/internal/sched"
+	"hetpipe/internal/sim"
+)
+
+// Options tunes a serving run beyond the deployment and traffic spec.
+type Options struct {
+	// Faults is a deterministic fault-injection plan (internal/fault). A nil
+	// or empty plan takes exactly the fault-free code path, so its results
+	// are bit-identical to a run without one. Slowdowns scale the affected
+	// replica's stage times per microbatch, crashes charge the crash
+	// downtime to the crashed microbatch (serving holds no optimizer state,
+	// so there is nothing to replay), and link degradations stretch the
+	// replica's inter-stage activation transfers. PS-shard stalls are inert:
+	// inference runs no parameter synchronization.
+	Faults *fault.Plan
+	// Obs streams serving events (arrivals, admissions, replies, fault
+	// injections and recoveries) in virtual time; nil disables emission.
+	Obs obs.Func
+}
+
+// RequestTrace is one request's lifecycle, in seconds of virtual time.
+type RequestTrace struct {
+	// At is the arrival time.
+	At float64
+	// Done is the reply time; latency is Done - At.
+	Done float64
+	// Replica is the virtual worker that served the request.
+	Replica int
+	// Critical marks latency-critical traffic.
+	Critical bool
+}
+
+// ReplicaStats summarizes one virtual worker's share of a serving run.
+type ReplicaStats struct {
+	// Replica is the 0-based virtual worker index.
+	Replica int
+	// Type is the replica's GPU mix, e.g. "VVVV".
+	Type string
+	// Requests and Batches count the work served.
+	Requests, Batches int
+	// MeanFill is the mean number of requests coalesced per microbatch.
+	MeanFill float64
+	// Utilization is the busiest GPU's busy fraction over the run.
+	Utilization float64
+}
+
+// Result reports a completed serving run.
+type Result struct {
+	// Traffic is the canonical spec of the generator that drove the run.
+	Traffic string
+	// Offered and Served count requests; a drained run serves its whole
+	// offer.
+	Offered, Served int
+	// Duration is the virtual time of the last reply.
+	Duration float64
+	// ThroughputRPS is Served / Duration.
+	ThroughputRPS float64
+	// Batches counts admitted microbatches across all replicas; MeanBatchFill
+	// is the mean requests coalesced per microbatch.
+	Batches       int
+	MeanBatchFill float64
+	// Latency summarizes all requests; Critical and Bulk split it by traffic
+	// class (zero-valued when a class is empty).
+	Latency, Critical, Bulk LatencySummary
+	// Replicas holds the per-virtual-worker splits.
+	Replicas []ReplicaStats
+	// FaultInjections counts fault-plan entries that took effect; Crashes
+	// and Recoveries count crash events and their completed recoveries.
+	FaultInjections, Crashes, Recoveries int
+	// Trace is the per-request lifecycle, indexed by request id.
+	Trace []RequestTrace
+}
+
+// TraceString renders the request trace in a stable byte-comparable form —
+// one line per request — for the seed-determinism pins.
+func (r *Result) TraceString() string {
+	var b strings.Builder
+	b.Grow(len(r.Trace) * 48)
+	for i, t := range r.Trace {
+		b.WriteString(strconv.Itoa(i))
+		b.WriteByte(' ')
+		b.WriteString(gfmt(t.At))
+		b.WriteByte(' ')
+		b.WriteString(strconv.Itoa(t.Replica))
+		b.WriteByte(' ')
+		b.WriteString(gfmt(t.Done))
+		if t.Critical {
+			b.WriteString(" crit")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// replica is one virtual worker acting as an inference server: its partition
+// plan's virtual stages run forward-only on its GPUs, with up to cap
+// microbatches in flight under the deployment's pipeline schedule.
+type replica struct {
+	srv *server
+	w   int
+
+	gpus    []*sim.Resource
+	stageID int32 // per-resource completion handler id (same on every GPU)
+	xferID  int32 // engine handler id for overlapped activation transfers
+
+	vstages  int
+	k        int
+	cap      int       // schedule's in-flight microbatch bound
+	svc      []float64 // per-virtual-stage forward compute time
+	recv     []float64 // per-virtual-stage activation receive time (link-scaled)
+	overlap  bool      // receives overlap with compute (schedule's OverlapRecv)
+	bottle   float64   // per-microbatch time on the busiest GPU (routing)
+	fill     float64   // serial traversal time of the whole pipeline (routing)
+	inFlight int
+
+	// pending holds routed, unadmitted request ids; members holds admitted
+	// ids in admission order; counts holds per-microbatch request counts.
+	// All three are head-indexed rings over reusable backing arrays, so the
+	// steady-state admission path allocates nothing.
+	pending  []int32
+	pendHead int
+	members  []int32
+	memHead  int
+	counts   []int32
+	cntHead  int
+
+	admitSeq int // microbatches admitted (1-based seq of the latest)
+	requests int // requests served
+
+	// Fault bookkeeping (all inert under an empty plan).
+	crash        *fault.Crash
+	crashCharged bool
+	slowEmitted  bool
+	linkEmitted  bool
+}
+
+// server is one serving run's state: the request tables, the replicas, and
+// the generators' runtime side.
+type server struct {
+	eng *sim.Engine
+	dep *core.Deployment
+	tr  *Traffic
+	fp  *fault.Plan
+	ob  obs.Func
+
+	faulty   bool
+	batchCap int
+	replicas []*replica
+
+	// Per-request tables, indexed by request id (preallocated to the offer).
+	at     []float64
+	crit   []bool
+	rep    []int32
+	doneAt []float64
+
+	arriveID int32
+
+	// Closed-loop state: each user's private think/class stream and each
+	// request's user.
+	users  []*rand.Rand
+	user   []int32
+	issued int
+
+	served  int
+	batches int
+	fillSum int
+	rec     *Recorder
+
+	faultInjections, crashes, recoveries int
+}
+
+// Run serves the traffic against the deployment on a fresh engine. See RunOn.
+func Run(ctx context.Context, dep *core.Deployment, tr *Traffic, opt Options) (*Result, error) {
+	return RunOn(ctx, sim.New(), dep, tr, opt)
+}
+
+// RunOn serves the traffic against the deployment on a caller-owned engine
+// (Reset first, so a warm engine re-serves without re-growing its arena).
+// Every virtual worker becomes a serving replica running its partition
+// plan's virtual stages forward-only under the deployment's pipeline
+// schedule: the schedule's InFlightCap bounds concurrent microbatches per
+// replica, OverlapRecv decides whether inter-stage activation receives
+// occupy the receiving GPU, and the admission layer coalesces queued
+// requests into microbatches of up to the deployment's batch size the
+// moment an in-flight slot frees — continuous batching, never waiting for a
+// full batch. Requests are routed at arrival to the replica with the
+// smallest estimated drain time; latency-critical requests additionally
+// charge the candidate's pipeline fill time, steering them to fast
+// replicas. A microbatch's per-stage cost is the plan's per-minibatch
+// forward time regardless of how full it is, which is exactly what makes
+// coalescing profitable.
+//
+// The run is deterministic: the same deployment, traffic spec, and fault
+// plan reproduce a byte-identical Result (trace and summaries included) on
+// every run and any engine.
+func RunOn(ctx context.Context, eng *sim.Engine, dep *core.Deployment, tr *Traffic, opt Options) (*Result, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("serve: nil traffic")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if len(dep.VWs) == 0 {
+		return nil, fmt.Errorf("serve: empty deployment")
+	}
+	if tr.Kind == KindClosed && tr.Users > tr.N {
+		return nil, fmt.Errorf("serve: closed loop with %d users needs at least that many requests, got n%d", tr.Users, tr.N)
+	}
+	eng.Reset()
+	fp, err := opt.Faults.Materialize(len(dep.VWs))
+	if err != nil {
+		return nil, err
+	}
+	s := &server{
+		eng:      eng,
+		dep:      dep,
+		tr:       tr,
+		fp:       fp,
+		ob:       opt.Obs,
+		faulty:   !fp.Empty(),
+		batchCap: dep.Sys.Batch,
+		at:       make([]float64, tr.N),
+		crit:     make([]bool, tr.N),
+		rep:      make([]int32, tr.N),
+		doneAt:   make([]float64, tr.N),
+		rec:      NewRecorder(tr.N),
+	}
+	if s.batchCap < 1 {
+		s.batchCap = 1
+	}
+	s.arriveID = eng.Register(s.arriveEvent)
+	disc := sched.Or(dep.Sys.Schedule)
+	for w, vp := range dep.VWs {
+		plan := vp.Plan
+		k := len(plan.Stages)
+		vstages := plan.VirtualStages()
+		r := &replica{
+			srv:     s,
+			w:       w,
+			k:       k,
+			vstages: vstages,
+			overlap: disc.OverlapRecv(),
+			cap:     disc.InFlightCap(vstages, dep.Nm),
+			svc:     make([]float64, vstages),
+			recv:    make([]float64, vstages),
+			gpus:    make([]*sim.Resource, k),
+		}
+		if r.cap < 1 {
+			r.cap = 1
+		}
+		link := 1.0
+		if s.faulty {
+			link = fp.LinkScale(w)
+		}
+		perGPU := make([]float64, k)
+		for vs := 0; vs < vstages; vs++ {
+			c := plan.ChunkAt(vs)
+			r.svc[vs] = c.FwdTime
+			r.recv[vs] = c.RecvActTime * link
+			r.fill += r.svc[vs] + r.recv[vs]
+			perGPU[vs%k] += r.svc[vs]
+			if !r.overlap {
+				perGPU[vs%k] += r.recv[vs]
+			}
+		}
+		for _, t := range perGPU {
+			if t > r.bottle {
+				r.bottle = t
+			}
+		}
+		for g := range r.gpus {
+			r.gpus[g] = sim.NewResource(eng, fmt.Sprintf("serve/w%d/g%d", w, g))
+			r.stageID = r.gpus[g].Register(r.stageDone)
+		}
+		r.xferID = eng.Register(r.xferDone)
+		if s.faulty {
+			r.crash = fp.CrashFor(w)
+		}
+		s.replicas = append(s.replicas, r)
+	}
+	eng.SetStepLimit(uint64(tr.N)*uint64(8*maxVstages(s.replicas)+16) + 1_000_000)
+
+	if tr.Open() {
+		arr := tr.Arrivals()
+		for i, a := range arr {
+			s.at[i] = a.At
+			s.crit[i] = a.Critical
+		}
+		eng.AtID(sim.Time(s.at[0]), s.arriveID, 0, 0, 0)
+		s.issued = tr.N
+	} else {
+		s.users = make([]*rand.Rand, tr.Users)
+		for u := range s.users {
+			s.users[u] = tr.userStream(u)
+		}
+		s.user = make([]int32, tr.N)
+		for u := 0; u < tr.Users && s.issued < tr.N; u++ {
+			s.issueNext(int32(u))
+		}
+	}
+
+	if err := eng.RunContext(ctx); err != nil {
+		return nil, err
+	}
+	if s.served != tr.N {
+		return nil, fmt.Errorf("serve: run stalled at %d of %d requests served", s.served, tr.N)
+	}
+	return s.result(), nil
+}
+
+func maxVstages(rs []*replica) int {
+	m := 1
+	for _, r := range rs {
+		if r.vstages > m {
+			m = r.vstages
+		}
+	}
+	return m
+}
+
+// result assembles the Result after the engine has drained.
+func (s *server) result() *Result {
+	res := &Result{
+		Traffic:         s.tr.String(),
+		Offered:         s.tr.N,
+		Served:          s.served,
+		Duration:        float64(s.eng.Now()),
+		Batches:         s.batches,
+		FaultInjections: s.faultInjections,
+		Crashes:         s.crashes,
+		Recoveries:      s.recoveries,
+		Trace:           make([]RequestTrace, s.tr.N),
+	}
+	if res.Duration > 0 {
+		res.ThroughputRPS = float64(res.Served) / res.Duration
+	}
+	if res.Batches > 0 {
+		res.MeanBatchFill = float64(s.fillSum) / float64(res.Batches)
+	}
+	res.Latency, res.Critical, res.Bulk = s.rec.Summary()
+	for i := range res.Trace {
+		res.Trace[i] = RequestTrace{
+			At:       s.at[i],
+			Done:     s.doneAt[i],
+			Replica:  int(s.rep[i]),
+			Critical: s.crit[i],
+		}
+	}
+	for _, r := range s.replicas {
+		st := ReplicaStats{
+			Replica:  r.w,
+			Type:     s.dep.VWs[r.w].VW.TypeString(),
+			Requests: r.requests,
+			Batches:  r.admitSeq,
+		}
+		if r.admitSeq > 0 {
+			st.MeanFill = float64(r.requests) / float64(r.admitSeq)
+		}
+		for _, g := range r.gpus {
+			if u := g.Utilization(); u > st.Utilization {
+				st.Utilization = u
+			}
+		}
+		res.Replicas = append(res.Replicas, st)
+	}
+	return res
+}
+
+// issueNext schedules user u's next request: its class and arrival time come
+// from the user's private stream (see Traffic.userStream), so they are
+// independent of how the users' requests interleave.
+//
+//hetlint:hotpath
+func (s *server) issueNext(u int32) {
+	id := int32(s.issued)
+	s.issued++
+	rng := s.users[u]
+	at := float64(s.eng.Now()) + rng.ExpFloat64()*s.tr.Think
+	s.at[id] = at
+	s.crit[id] = rng.Float64() < s.tr.Crit
+	s.user[id] = u
+	s.eng.AtID(sim.Time(at), s.arriveID, id, 0, 0)
+}
+
+// arriveEvent is the engine handler for request arrivals: route, enqueue,
+// admit, and (open-loop) chain the next arrival so the event heap holds at
+// most one future arrival.
+//
+//hetlint:hotpath
+func (s *server) arriveEvent(id, _ int32, _ float64) {
+	w := s.route(s.crit[id])
+	s.rep[id] = int32(w)
+	if s.ob != nil {
+		s.emit(obs.Event{Kind: obs.KindArrive, VW: w, Request: int(id)})
+	}
+	r := s.replicas[w]
+	r.enqueue(id)
+	r.admit()
+	if s.tr.Kind != KindClosed {
+		if next := int(id) + 1; next < s.tr.N {
+			s.eng.AtID(sim.Time(s.at[next]), s.arriveID, int32(next), 0, 0)
+		}
+	}
+}
+
+// route picks the serving replica: the smallest estimated drain time, where
+// a critical request also pays the candidate's pipeline fill — so critical
+// traffic prefers fast replicas while bulk traffic spreads by backlog. Ties
+// break to the lowest index, keeping the choice deterministic.
+//
+//hetlint:hotpath
+func (s *server) route(critical bool) int {
+	best := 0
+	bestEst := 0.0
+	for w, r := range s.replicas {
+		backlog := r.inFlight + (r.queued()+s.batchCap-1)/s.batchCap
+		est := float64(backlog) * r.bottle
+		if critical {
+			est += r.fill
+		}
+		if w == 0 || est < bestEst {
+			best, bestEst = w, est
+		}
+	}
+	return best
+}
+
+// emit stamps and forwards one observer event; callers check s.ob first so
+// the fault-free, observer-free hot path skips the call entirely.
+func (s *server) emit(e obs.Event) {
+	e.Backend = "serve"
+	e.Time = float64(s.eng.Now())
+	s.ob(e)
+}
+
+// queued reports the replica's unadmitted backlog.
+//
+//hetlint:hotpath
+func (r *replica) queued() int { return len(r.pending) - r.pendHead }
+
+// enqueue appends a routed request to the pending ring, compacting the dead
+// prefix once it dominates (the engine-queue idiom) so a backlog that never
+// fully drains still reuses its backing array.
+//
+//hetlint:hotpath
+func (r *replica) enqueue(id int32) {
+	if r.pendHead >= 16 && r.pendHead >= len(r.pending)-r.pendHead {
+		n := copy(r.pending, r.pending[r.pendHead:])
+		r.pending = r.pending[:n]
+		r.pendHead = 0
+	}
+	r.pending = append(r.pending, id)
+}
+
+// admit is the continuous-batching admission layer: whenever the replica has
+// a free in-flight slot and a backlog, it coalesces up to batchCap queued
+// requests into one microbatch and injects it at virtual stage 0 — it never
+// waits for a batch to fill.
+//
+//hetlint:hotpath
+func (r *replica) admit() {
+	s := r.srv
+	for r.inFlight < r.cap && r.queued() > 0 {
+		n := r.queued()
+		if n > s.batchCap {
+			n = s.batchCap
+		}
+		if r.memHead >= 16 && r.memHead >= len(r.members)-r.memHead {
+			m := copy(r.members, r.members[r.memHead:])
+			r.members = r.members[:m]
+			r.memHead = 0
+		}
+		for i := 0; i < n; i++ {
+			r.members = append(r.members, r.pending[r.pendHead])
+			r.pendHead++
+		}
+		if r.cntHead >= 16 && r.cntHead >= len(r.counts)-r.cntHead {
+			m := copy(r.counts, r.counts[r.cntHead:])
+			r.counts = r.counts[:m]
+			r.cntHead = 0
+		}
+		r.counts = append(r.counts, int32(n))
+		r.admitSeq++
+		r.inFlight++
+		s.batches++
+		s.fillSum += n
+		if s.faulty {
+			r.injectStarts(r.admitSeq)
+		}
+		if s.ob != nil {
+			s.emit(obs.Event{Kind: obs.KindAdmit, VW: r.w, Batch: r.admitSeq, Request: n})
+		}
+		r.submit(0, int32(r.admitSeq), 0)
+	}
+}
+
+// submit queues microbatch seq's work at virtual stage vs on the owning GPU.
+// recvPart is the serialized receive share of the duration (zero at stage 0
+// and under overlapping schedules).
+//
+//hetlint:hotpath
+func (r *replica) submit(vs int, seq int32, recvPart float64) {
+	s := r.srv
+	dur := recvPart + r.svc[vs]
+	if s.faulty {
+		dur *= s.fp.ComputeScale(r.w, int(seq))
+		// The crash charge lands once, on the crashed microbatch's first
+		// stage task — the replica-local stall. Serving holds no optimizer
+		// state, so recovery is the downtime alone: no checkpoint replay.
+		if r.crash != nil && vs == 0 && int(seq) == r.crash.AtMinibatch && !r.crashCharged {
+			r.crashCharged = true
+			dur += fault.CrashDowntime(r.crash)
+		}
+	}
+	r.gpus[vs%r.k].SubmitID(sim.Duration(dur), r.stageID, int32(vs), seq)
+}
+
+// stageDone fires when a microbatch finishes a virtual stage: hand it to the
+// next stage (through an overlapped transfer when the schedule allows) or
+// complete it.
+//
+//hetlint:hotpath
+func (r *replica) stageDone(vs, seq int32, _ float64) {
+	next := int(vs) + 1
+	if next == r.vstages {
+		r.batchDone(seq)
+		return
+	}
+	if d := r.recv[next]; r.overlap && d > 0 {
+		// The transfer rides the interconnect, not the receiving GPU; the
+		// next stage's compute is queued when it lands.
+		r.srv.eng.AfterID(sim.Duration(d), r.xferID, int32(next), seq, 0)
+		return
+	}
+	r.submit(next, seq, r.recv[next])
+}
+
+// xferDone lands an overlapped activation transfer: queue the receiving
+// stage's compute.
+//
+//hetlint:hotpath
+func (r *replica) xferDone(vs, seq int32, _ float64) {
+	r.submit(int(vs), seq, 0)
+}
+
+// batchDone completes a microbatch: stamp every member's reply, free the
+// in-flight slot, and re-run admission. Per-replica stages are FIFO, so
+// microbatches complete in admission order and the member ring pops exactly
+// the requests this batch carried.
+//
+//hetlint:hotpath
+func (r *replica) batchDone(seq int32) {
+	s := r.srv
+	r.inFlight--
+	n := int(r.counts[r.cntHead])
+	r.cntHead++
+	now := float64(s.eng.Now())
+	for i := 0; i < n; i++ {
+		id := r.members[r.memHead]
+		r.memHead++
+		s.doneAt[id] = now
+		s.served++
+		r.requests++
+		s.rec.Add(now-s.at[id], s.crit[id])
+		if s.ob != nil {
+			s.emit(obs.Event{Kind: obs.KindReply, VW: r.w, Request: int(id), Batch: int(seq)})
+		}
+		if s.tr.Kind == KindClosed && s.issued < s.tr.N {
+			s.issueNext(s.user[id])
+		}
+	}
+	if s.faulty && r.crash != nil && int(seq) == r.crash.AtMinibatch {
+		// The charged downtime elapsed inside this batch; the replica is back.
+		r.recoverEmit(seq)
+	}
+	r.admit()
+}
+
+// injectStarts emits the one-shot fault injections owed when microbatch seq
+// is admitted on the replica: the slowdown's first affected batch, the link
+// degradation's first use, and the crash itself. Cold path — each fires at
+// most once per run.
+func (r *replica) injectStarts(seq int) {
+	s := r.srv
+	if sc := s.fp.ComputeScale(r.w, seq); sc > 1 && !r.slowEmitted {
+		r.slowEmitted = true
+		s.inject(r.w, fmt.Sprintf("slow:w%d:x%g", r.w, sc))
+	}
+	if lk := s.fp.LinkScale(r.w); lk > 1 && !r.linkEmitted {
+		r.linkEmitted = true
+		s.inject(r.w, fmt.Sprintf("link:w%d:x%g", r.w, lk))
+	}
+	if r.crash != nil && seq == r.crash.AtMinibatch {
+		s.crashes++
+		s.inject(r.w, fmt.Sprintf("crash:w%d:mb%d", r.w, seq))
+	}
+}
+
+// recoverEmit counts and reports a crashed replica's return to service.
+func (r *replica) recoverEmit(seq int32) {
+	s := r.srv
+	s.recoveries++
+	if s.ob != nil {
+		s.emit(obs.Event{Kind: obs.KindRecover, VW: r.w, Batch: int(seq),
+			Fault: fmt.Sprintf("crash:w%d:mb%d", r.w, int(seq))})
+	}
+}
+
+// inject counts and reports one fault activation.
+func (s *server) inject(vw int, f string) {
+	s.faultInjections++
+	if s.ob != nil {
+		s.emit(obs.Event{Kind: obs.KindFaultInject, VW: vw, Fault: f})
+	}
+}
+
+// Curve runs the same open-loop traffic at each offered rate and returns the
+// per-rate results — the latency-vs-offered-throughput curve of the serving
+// evaluation. The runs share one warm engine; each point is independently
+// deterministic.
+func Curve(ctx context.Context, dep *core.Deployment, tr *Traffic, rates []float64, opt Options) ([]*Result, error) {
+	eng := sim.New()
+	out := make([]*Result, 0, len(rates))
+	for _, rate := range rates {
+		res, err := RunOn(ctx, eng, dep, tr.WithRate(rate), opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,379 @@
+package serve
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"hetpipe/internal/core"
+	"hetpipe/internal/fault"
+	"hetpipe/internal/hw"
+	"hetpipe/internal/model"
+	"hetpipe/internal/obs"
+	"hetpipe/internal/profile"
+	"hetpipe/internal/sched"
+	"hetpipe/internal/sim"
+)
+
+// deployment resolves a paper-cluster deployment for serving tests.
+func deployment(t *testing.T, schedule string, policy hw.Policy, nm int) *core.Deployment {
+	t.Helper()
+	disc, err := sched.ByName(schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystemSched(hw.Paper(), model.VGG19(), profile.Default(), 32, disc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := hw.Allocate(sys.Cluster, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := sys.Deploy(alloc, nm, 0, core.PlacementDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+func traffic(t *testing.T, spec string) *Traffic {
+	t.Helper()
+	tr, err := ParseTraffic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestServeDrains(t *testing.T) {
+	dep := deployment(t, sched.NameFIFO, hw.EqualDistribution, 4)
+	res, err := Run(context.Background(), dep, traffic(t, "poisson:r50:n400"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 400 || res.Offered != 400 {
+		t.Fatalf("served %d of %d", res.Served, res.Offered)
+	}
+	if res.ThroughputRPS <= 0 || res.Duration <= 0 {
+		t.Fatalf("degenerate throughput: %+v", res)
+	}
+	if res.Batches <= 0 || res.MeanBatchFill < 1 {
+		t.Fatalf("degenerate batching: batches=%d fill=%g", res.Batches, res.MeanBatchFill)
+	}
+	if res.Latency.Count != 400 {
+		t.Fatalf("latency population %d", res.Latency.Count)
+	}
+	if !(res.Latency.P50 <= res.Latency.P95 && res.Latency.P95 <= res.Latency.P99 && res.Latency.P99 <= res.Latency.Max) {
+		t.Fatalf("percentiles not monotone: %s", res.Latency)
+	}
+	for i, tr := range res.Trace {
+		if tr.Done < tr.At {
+			t.Fatalf("request %d replied at %g before arriving at %g", i, tr.Done, tr.At)
+		}
+		if tr.Replica < 0 || tr.Replica >= len(res.Replicas) {
+			t.Fatalf("request %d routed to replica %d of %d", i, tr.Replica, len(res.Replicas))
+		}
+	}
+	total := 0
+	for _, rs := range res.Replicas {
+		total += rs.Requests
+	}
+	if total != res.Served {
+		t.Fatalf("replica request counts sum to %d, served %d", total, res.Served)
+	}
+}
+
+// TestSeedDeterminism is the serving conformance pin: the same traffic seed
+// must reproduce a byte-identical request trace and latency summary on every
+// run — fresh engine, warm engine, and after unrelated runs — for all three
+// open-loop generators and the closed loop.
+func TestSeedDeterminism(t *testing.T) {
+	dep := deployment(t, sched.NameFIFO, hw.NodePartition, 4)
+	specs := []string{
+		"poisson:r80:n300:seed7:crit0.2",
+		"diurnal:r80:a0.6:p4:n300:seed7:crit0.2",
+		"bursty:r40:x5:on1:off3:n300:seed7:crit0.2",
+		"closed:u16:t0.02:n300:seed7:crit0.2",
+	}
+	for _, spec := range specs {
+		tr := traffic(t, spec)
+		first, err := Run(context.Background(), dep, tr, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		trace, summary := first.TraceString(), first.Latency.String()
+
+		// Run 2: fresh engine.
+		again, err := Run(context.Background(), dep, tr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.TraceString() != trace || again.Latency.String() != summary {
+			t.Fatalf("%s: fresh-engine rerun diverged", spec)
+		}
+
+		// Run 3: warm engine that served different traffic first.
+		eng := sim.New()
+		if _, err := RunOn(context.Background(), eng, dep, traffic(t, "poisson:r200:n500:seed99"), Options{}); err != nil {
+			t.Fatal(err)
+		}
+		warm, err := RunOn(context.Background(), eng, dep, tr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.TraceString() != trace || warm.Latency.String() != summary {
+			t.Fatalf("%s: warm-engine rerun diverged", spec)
+		}
+		if !reflect.DeepEqual(first, warm) {
+			t.Fatalf("%s: warm-engine result differs beyond the trace", spec)
+		}
+	}
+}
+
+// TestEmptyFaultPlanBitIdentical mirrors the training-side golden guard: an
+// empty or nil plan must take exactly the fault-free code path.
+func TestEmptyFaultPlanBitIdentical(t *testing.T) {
+	dep := deployment(t, sched.NameFIFO, hw.EqualDistribution, 4)
+	tr := traffic(t, "poisson:r80:n300:crit0.1")
+	clean, err := Run(context.Background(), dep, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := fault.Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, plan := range map[string]*fault.Plan{"nil": nil, "zero": {}, "parsed-empty": empty} {
+		res, err := Run(context.Background(), dep, tr, Options{Faults: plan})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(clean, res) {
+			t.Fatalf("%s plan diverges from the fault-free run", name)
+		}
+	}
+}
+
+func TestSlowdownStretchesLatency(t *testing.T) {
+	dep := deployment(t, sched.NameFIFO, hw.EqualDistribution, 4)
+	tr := traffic(t, "poisson:r60:n300")
+	clean, err := Run(context.Background(), dep, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.Parse("slow:w0:x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(context.Background(), dep, tr, Options{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.FaultInjections == 0 {
+		t.Error("no injection recorded")
+	}
+	if slow.Latency.Mean <= clean.Latency.Mean {
+		t.Errorf("4x straggler did not stretch mean latency: %g vs %g",
+			slow.Latency.Mean, clean.Latency.Mean)
+	}
+}
+
+// TestCrashRecovery is the acceptance pin for fault-plan serving: the run
+// completes and the recovery counters surface.
+func TestCrashRecovery(t *testing.T) {
+	dep := deployment(t, sched.NameFIFO, hw.EqualDistribution, 4)
+	tr := traffic(t, "poisson:r60:n300")
+	plan, err := fault.Parse("crash:w1:mb3:down0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var injects, recovers int
+	res, err := Run(context.Background(), dep, tr, Options{
+		Faults: plan,
+		Obs: func(e obs.Event) {
+			switch e.Kind {
+			case obs.KindFaultInject:
+				injects++
+			case obs.KindRecover:
+				recovers++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != tr.N {
+		t.Fatalf("crashed run served %d of %d", res.Served, tr.N)
+	}
+	if res.Crashes != 1 || res.Recoveries != 1 {
+		t.Fatalf("crash counters: crashes=%d recoveries=%d", res.Crashes, res.Recoveries)
+	}
+	if injects == 0 || recovers != 1 {
+		t.Fatalf("observer saw injects=%d recovers=%d", injects, recovers)
+	}
+}
+
+// TestRoutingPrefersFastReplicasForCritical drives the heterogeneous NP
+// deployment (replica GPU mixes VVVV > RRRR > GGGG > QQQQ) hard enough that
+// bulk traffic spreads by backlog, and checks the critical class skews
+// toward the fastest replica more than the bulk class does.
+func TestRoutingPrefersFastReplicasForCritical(t *testing.T) {
+	dep := deployment(t, sched.NameFIFO, hw.NodePartition, 4)
+	res, err := Run(context.Background(), dep, traffic(t, "poisson:r400:n2000:crit0.3"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under NP on the paper cluster, replica 0 is the all-V node — the
+	// fastest GPU mix and the smallest pipeline fill.
+	fast := 0
+	var critFast, critAll, bulkFast, bulkAll int
+	for _, tr := range res.Trace {
+		if tr.Critical {
+			critAll++
+			if tr.Replica == fast {
+				critFast++
+			}
+		} else {
+			bulkAll++
+			if tr.Replica == fast {
+				bulkFast++
+			}
+		}
+	}
+	if critAll == 0 || bulkAll == 0 {
+		t.Fatalf("degenerate class split: crit=%d bulk=%d", critAll, bulkAll)
+	}
+	critFrac := float64(critFast) / float64(critAll)
+	bulkFrac := float64(bulkFast) / float64(bulkAll)
+	if critFrac <= bulkFrac {
+		t.Errorf("critical traffic does not prefer the fast replica: crit %.2f vs bulk %.2f", critFrac, bulkFrac)
+	}
+	served := 0
+	for _, rs := range res.Replicas {
+		if rs.Requests > 0 {
+			served++
+		}
+	}
+	if served < 2 {
+		t.Errorf("offered load did not spread: only %d replicas served traffic", served)
+	}
+}
+
+func TestClosedLoopSelfThrottles(t *testing.T) {
+	dep := deployment(t, sched.NameFIFO, hw.EqualDistribution, 4)
+	res, err := Run(context.Background(), dep, traffic(t, "closed:u8:t0.01:n200"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 200 {
+		t.Fatalf("closed loop served %d of 200", res.Served)
+	}
+	// With 8 users and one outstanding request each, no more than 8 requests
+	// can ever be in the system: every batch holds at most 8.
+	if res.MeanBatchFill > 8 {
+		t.Errorf("closed loop over-filled batches: %g", res.MeanBatchFill)
+	}
+}
+
+func TestOverlapScheduleServes(t *testing.T) {
+	for _, name := range sched.Names() {
+		dep := deployment(t, name, hw.EqualDistribution, 4)
+		res, err := Run(context.Background(), dep, traffic(t, "poisson:r50:n200"), Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Served != 200 {
+			t.Fatalf("%s: served %d of 200", name, res.Served)
+		}
+	}
+}
+
+func TestServeObserverStream(t *testing.T) {
+	dep := deployment(t, sched.NameFIFO, hw.EqualDistribution, 4)
+	var arrives, admits, replies int
+	lastTime := -1.0
+	_, err := Run(context.Background(), dep, traffic(t, "poisson:r50:n100"), Options{
+		Obs: func(e obs.Event) {
+			if e.Backend != "serve" {
+				t.Fatalf("event backend %q", e.Backend)
+			}
+			if e.Time < lastTime {
+				t.Fatalf("event time went backwards: %g after %g", e.Time, lastTime)
+			}
+			lastTime = e.Time
+			switch e.Kind {
+			case obs.KindArrive:
+				arrives++
+			case obs.KindAdmit:
+				admits++
+			case obs.KindReply:
+				replies++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arrives != 100 || replies != 100 {
+		t.Fatalf("observer saw %d arrivals, %d replies; want 100 each", arrives, replies)
+	}
+	if admits == 0 {
+		t.Fatal("no admit events")
+	}
+}
+
+func TestServeContextCancel(t *testing.T) {
+	dep := deployment(t, sched.NameFIFO, hw.EqualDistribution, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, dep, traffic(t, "poisson:r50:n5000"), Options{}); err == nil {
+		t.Fatal("cancelled run did not fail")
+	}
+}
+
+func TestCurveMonotoneOffer(t *testing.T) {
+	dep := deployment(t, sched.NameFIFO, hw.EqualDistribution, 4)
+	tr := traffic(t, "poisson:r1:n300")
+	points, err := Curve(context.Background(), dep, tr, []float64{20, 80, 320}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d curve points", len(points))
+	}
+	// Higher offered load cannot lower latency percentiles on this
+	// work-conserving system.
+	if points[2].Latency.P95 < points[0].Latency.P95 {
+		t.Errorf("p95 fell as offered load rose: %g -> %g", points[0].Latency.P95, points[2].Latency.P95)
+	}
+}
+
+// TestRecorderConcurrent hammers the latency recorder from many goroutines;
+// run with -race this is the concurrency pin of the serving test wall.
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder(0)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rec.Add(float64(g*per+i), i%2 == 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := rec.Count(); got != goroutines*per {
+		t.Fatalf("recorded %d of %d", got, goroutines*per)
+	}
+	all, crit, bulk := rec.Summary()
+	if all.Count != goroutines*per || crit.Count+bulk.Count != all.Count {
+		t.Fatalf("summary counts: all=%d crit=%d bulk=%d", all.Count, crit.Count, bulk.Count)
+	}
+	if all.Max != float64(goroutines*per-1) {
+		t.Fatalf("max %g", all.Max)
+	}
+}

@@ -1,0 +1,378 @@
+// Package serve runs a resolved HetPipe deployment as an inference-serving
+// system: seedable open- and closed-loop request generators stand in for
+// heavy user traffic, a continuous-batching admission layer coalesces queued
+// requests into forward-only microbatches, and a router spreads them across
+// the deployment's heterogeneous virtual workers, preferring fast replicas
+// for latency-critical requests.
+//
+// The serving plane reuses the training substrate wholesale: the virtual
+// workers' partition plans supply the per-virtual-stage forward and transfer
+// times, the pipeline schedule (internal/sched) bounds how many microbatches
+// a replica keeps in flight through InFlightCap and decides whether receives
+// overlap with compute (OverlapRecv), the pooled event engine (internal/sim)
+// drives the run in virtual time, and fault plans (internal/fault) shape the
+// timing deterministically. Everything is seed-deterministic: the same
+// traffic spec reproduces a byte-identical request trace and latency summary
+// on every run, on a fresh or warm engine — the property the serving test
+// wall pins.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Traffic generator kinds, as accepted by ParseTraffic and carried in
+// Traffic.Kind.
+const (
+	// KindPoisson is an open-loop homogeneous Poisson arrival process.
+	KindPoisson = "poisson"
+	// KindDiurnal is an open-loop inhomogeneous Poisson process whose rate
+	// follows a sinusoidal day/night cycle — the load shape of a
+	// user-facing service.
+	KindDiurnal = "diurnal"
+	// KindBursty is an open-loop on/off process replaying a bursty trace:
+	// the base rate multiplied by a burst factor during "on" windows.
+	KindBursty = "bursty"
+	// KindClosed is a closed-loop generator: a fixed population of users,
+	// each thinking an exponential time between its reply and its next
+	// request, so offered load self-throttles with latency.
+	KindClosed = "closed"
+)
+
+// Traffic is a parsed, validated traffic specification. Build one with
+// ParseTraffic; the zero value is not runnable.
+type Traffic struct {
+	// Kind is one of the Kind* generator names.
+	Kind string
+	// Rate is the open-loop base arrival rate in requests/second.
+	Rate float64
+	// Amp is the diurnal modulation amplitude in [0, 1): the rate swings
+	// between Rate*(1-Amp) and Rate*(1+Amp).
+	Amp float64
+	// Period is the diurnal cycle length in seconds.
+	Period float64
+	// Burst is the bursty rate multiplier (> 1) applied during "on" windows.
+	Burst float64
+	// On and Off are the bursty window lengths in seconds.
+	On, Off float64
+	// Users is the closed-loop population size.
+	Users int
+	// Think is the closed-loop mean think time in seconds.
+	Think float64
+	// N is the total request budget of the run.
+	N int
+	// Seed seeds every random draw the generator makes (default 1).
+	Seed int64
+	// Crit is the fraction of requests marked latency-critical in [0, 1];
+	// the router prefers fast replicas for them.
+	Crit float64
+}
+
+// Request is one generated request: an arrival time and a traffic class.
+type Request struct {
+	// At is the arrival time in seconds from run start.
+	At float64
+	// Critical marks the request latency-critical for routing.
+	Critical bool
+}
+
+// ParseTraffic parses a traffic spec. The grammar is colon-separated, in the
+// style of the fault spec language:
+//
+//	poisson:r120:n2000             120 req/s Poisson, 2000 requests
+//	diurnal:r120:a0.5:p60:n2000    sinusoidal 60..180 req/s, period 60 s
+//	bursty:r60:x4:on2:off8:n2000   60 req/s, 4x bursts 2 s on / 8 s off
+//	closed:u64:t0.05:n2000         64 users, 50 ms mean think time
+//
+// Every kind accepts two optional trailing fields: seed<k> (default seed1)
+// and crit<f> (fraction of latency-critical requests, default 0), e.g.
+// "poisson:r120:n2000:seed7:crit0.2". The parsed spec is validated; the
+// canonical form round-trips through String.
+func ParseTraffic(spec string) (*Traffic, error) {
+	fields := strings.Split(strings.TrimSpace(spec), ":")
+	if len(fields) == 0 || fields[0] == "" {
+		return nil, fmt.Errorf("serve: empty traffic spec")
+	}
+	t := &Traffic{Kind: fields[0], Seed: 1}
+	rest, err := t.parseBody(fields[1:])
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range rest {
+		switch {
+		case strings.HasPrefix(f, "seed"):
+			s, err := strconv.ParseInt(f[len("seed"):], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("serve: bad seed %q in traffic spec", f)
+			}
+			t.Seed = s
+		case strings.HasPrefix(f, "crit"):
+			c, err := strconv.ParseFloat(f[len("crit"):], 64)
+			if err != nil {
+				return nil, fmt.Errorf("serve: bad crit fraction %q in traffic spec", f)
+			}
+			t.Crit = c
+		default:
+			return nil, fmt.Errorf("serve: unknown traffic field %q", f)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// parseBody consumes the kind-specific positional fields and returns the
+// remaining (optional) ones.
+func (t *Traffic) parseBody(fields []string) ([]string, error) {
+	var err error
+	switch t.Kind {
+	case KindPoisson:
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("serve: poisson wants poisson:r<rate>:n<count>")
+		}
+		if t.Rate, err = prefFloat(fields[0], "r"); err != nil {
+			return nil, err
+		}
+		if t.N, err = prefInt(fields[1], "n"); err != nil {
+			return nil, err
+		}
+		return fields[2:], nil
+	case KindDiurnal:
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("serve: diurnal wants diurnal:r<rate>:a<amp>:p<period>:n<count>")
+		}
+		if t.Rate, err = prefFloat(fields[0], "r"); err != nil {
+			return nil, err
+		}
+		if t.Amp, err = prefFloat(fields[1], "a"); err != nil {
+			return nil, err
+		}
+		if t.Period, err = prefFloat(fields[2], "p"); err != nil {
+			return nil, err
+		}
+		if t.N, err = prefInt(fields[3], "n"); err != nil {
+			return nil, err
+		}
+		return fields[4:], nil
+	case KindBursty:
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("serve: bursty wants bursty:r<rate>:x<factor>:on<sec>:off<sec>:n<count>")
+		}
+		if t.Rate, err = prefFloat(fields[0], "r"); err != nil {
+			return nil, err
+		}
+		if t.Burst, err = prefFloat(fields[1], "x"); err != nil {
+			return nil, err
+		}
+		if t.On, err = prefFloat(fields[2], "on"); err != nil {
+			return nil, err
+		}
+		if t.Off, err = prefFloat(fields[3], "off"); err != nil {
+			return nil, err
+		}
+		if t.N, err = prefInt(fields[4], "n"); err != nil {
+			return nil, err
+		}
+		return fields[5:], nil
+	case KindClosed:
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("serve: closed wants closed:u<users>:t<think>:n<count>")
+		}
+		if t.Users, err = prefInt(fields[0], "u"); err != nil {
+			return nil, err
+		}
+		if t.Think, err = prefFloat(fields[1], "t"); err != nil {
+			return nil, err
+		}
+		if t.N, err = prefInt(fields[2], "n"); err != nil {
+			return nil, err
+		}
+		return fields[3:], nil
+	default:
+		return nil, fmt.Errorf("serve: unknown traffic kind %q (want %s, %s, %s, or %s)",
+			t.Kind, KindPoisson, KindDiurnal, KindBursty, KindClosed)
+	}
+}
+
+// Validate checks the spec's numeric ranges.
+func (t *Traffic) Validate() error {
+	if t.N <= 0 {
+		return fmt.Errorf("serve: traffic needs a positive request count, got n%d", t.N)
+	}
+	if t.Crit < 0 || t.Crit > 1 {
+		return fmt.Errorf("serve: crit fraction %g outside [0, 1]", t.Crit)
+	}
+	switch t.Kind {
+	case KindPoisson, KindDiurnal, KindBursty:
+		if t.Rate <= 0 {
+			return fmt.Errorf("serve: %s rate must be > 0, got r%g", t.Kind, t.Rate)
+		}
+	}
+	switch t.Kind {
+	case KindDiurnal:
+		if t.Amp < 0 || t.Amp >= 1 {
+			return fmt.Errorf("serve: diurnal amplitude %g outside [0, 1)", t.Amp)
+		}
+		if t.Period <= 0 {
+			return fmt.Errorf("serve: diurnal period must be > 0, got p%g", t.Period)
+		}
+	case KindBursty:
+		if t.Burst <= 1 {
+			return fmt.Errorf("serve: burst factor must be > 1, got x%g", t.Burst)
+		}
+		if t.On <= 0 || t.Off <= 0 {
+			return fmt.Errorf("serve: bursty windows must be > 0, got on%g off%g", t.On, t.Off)
+		}
+	case KindClosed:
+		if t.Users <= 0 {
+			return fmt.Errorf("serve: closed loop needs users, got u%d", t.Users)
+		}
+		if t.Think < 0 {
+			return fmt.Errorf("serve: think time must be >= 0, got t%g", t.Think)
+		}
+	}
+	return nil
+}
+
+// String renders the canonical spec; ParseTraffic(t.String()) round-trips.
+func (t *Traffic) String() string {
+	var b strings.Builder
+	b.WriteString(t.Kind)
+	switch t.Kind {
+	case KindPoisson:
+		fmt.Fprintf(&b, ":r%s:n%d", gfmt(t.Rate), t.N)
+	case KindDiurnal:
+		fmt.Fprintf(&b, ":r%s:a%s:p%s:n%d", gfmt(t.Rate), gfmt(t.Amp), gfmt(t.Period), t.N)
+	case KindBursty:
+		fmt.Fprintf(&b, ":r%s:x%s:on%s:off%s:n%d", gfmt(t.Rate), gfmt(t.Burst), gfmt(t.On), gfmt(t.Off), t.N)
+	case KindClosed:
+		fmt.Fprintf(&b, ":u%d:t%s:n%d", t.Users, gfmt(t.Think), t.N)
+	}
+	if t.Seed != 1 {
+		fmt.Fprintf(&b, ":seed%d", t.Seed)
+	}
+	if t.Crit != 0 {
+		fmt.Fprintf(&b, ":crit%s", gfmt(t.Crit))
+	}
+	return b.String()
+}
+
+// Open reports whether the generator is open-loop (arrival times independent
+// of service); closed-loop traffic self-throttles with latency instead.
+func (t *Traffic) Open() bool { return t.Kind != KindClosed }
+
+// WithRate returns a copy of the spec at a different open-loop base rate —
+// the knob a latency-vs-throughput curve turns. It panics on closed-loop
+// specs, whose offered load is set by Users and Think instead.
+func (t *Traffic) WithRate(r float64) *Traffic {
+	if !t.Open() {
+		panic("serve: WithRate on closed-loop traffic")
+	}
+	c := *t
+	c.Rate = r
+	return &c
+}
+
+// maxRate bounds the instantaneous open-loop rate, for thinning.
+func (t *Traffic) maxRate() float64 {
+	switch t.Kind {
+	case KindDiurnal:
+		return t.Rate * (1 + t.Amp)
+	case KindBursty:
+		return t.Rate * t.Burst
+	default:
+		return t.Rate
+	}
+}
+
+// rateAt is the instantaneous open-loop rate at time s.
+func (t *Traffic) rateAt(s float64) float64 {
+	switch t.Kind {
+	case KindDiurnal:
+		return t.Rate * (1 + t.Amp*math.Sin(2*math.Pi*s/t.Period))
+	case KindBursty:
+		if math.Mod(s, t.On+t.Off) < t.On {
+			return t.Rate * t.Burst
+		}
+		return t.Rate
+	default:
+		return t.Rate
+	}
+}
+
+// Arrivals materializes the open-loop arrival process: N requests in
+// non-decreasing time order, deterministically derived from the seed. The
+// inhomogeneous kinds (diurnal, bursty) are generated by thinning against
+// the peak rate, so the three generators share one candidate stream shape.
+// Arrivals panics on closed-loop traffic — a closed loop has no arrival
+// times until the requests it reacts to have been served.
+func (t *Traffic) Arrivals() []Request {
+	if !t.Open() {
+		panic("serve: Arrivals on closed-loop traffic")
+	}
+	rng := rand.New(rand.NewSource(t.Seed))
+	peak := t.maxRate()
+	homogeneous := t.Kind == KindPoisson
+	out := make([]Request, 0, t.N)
+	now := 0.0
+	for len(out) < t.N {
+		now += rng.ExpFloat64() / peak
+		if homogeneous || rng.Float64()*peak <= t.rateAt(now) {
+			out = append(out, Request{At: now})
+		}
+	}
+	if t.Crit > 0 {
+		// The class stream is drawn from its own derived source so adding a
+		// critical fraction never perturbs the arrival times.
+		crng := rand.New(rand.NewSource(t.Seed + critSeedOffset))
+		for i := range out {
+			out[i].Critical = crng.Float64() < t.Crit
+		}
+	}
+	return out
+}
+
+// critSeedOffset derives the traffic-class stream's seed from the arrival
+// stream's, keeping the two draws independent.
+const critSeedOffset = 0x9e3779b9
+
+// userStream seeds closed-loop user u's private think/class source: each of
+// the user's requests draws one think time (ExpFloat64 * Think) and one
+// class draw (Float64 < Crit) from it, in request order. Every user owning
+// its own derived stream means the draws do not depend on how users'
+// requests interleave in simulated time — the property that makes
+// closed-loop runs seed-deterministic — and a user that outpaces the
+// average never exhausts a pre-sized pool.
+func (t *Traffic) userStream(u int) *rand.Rand {
+	return rand.New(rand.NewSource(t.Seed*1000003 + int64(u) + 1))
+}
+
+func prefInt(s, prefix string) (int, error) {
+	if !strings.HasPrefix(s, prefix) {
+		return 0, fmt.Errorf("serve: field %q wants prefix %q", s, prefix)
+	}
+	v, err := strconv.Atoi(s[len(prefix):])
+	if err != nil {
+		return 0, fmt.Errorf("serve: bad integer in field %q", s)
+	}
+	return v, nil
+}
+
+func prefFloat(s, prefix string) (float64, error) {
+	if !strings.HasPrefix(s, prefix) {
+		return 0, fmt.Errorf("serve: field %q wants prefix %q", s, prefix)
+	}
+	v, err := strconv.ParseFloat(s[len(prefix):], 64)
+	if err != nil {
+		return 0, fmt.Errorf("serve: bad number in field %q", s)
+	}
+	return v, nil
+}
+
+// gfmt formats a float the way the fault spec language does ('g', shortest).
+func gfmt(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -38,11 +38,15 @@ func WriteJSON(w io.Writer, set *Set) error {
 
 // csvHeader lists the flat per-scenario columns of WriteCSV. The faults and
 // degradation_pct columns make the fault axis plottable directly: filter on
-// faults, plot degradation_pct against the fault rate or factor.
+// faults, plot degradation_pct against the fault rate or factor. The traffic
+// and latency columns do the same for the serving axis: filter on traffic,
+// plot p50_sec/p95_sec/p99_sec against throughput (requests/sec for serving
+// rows) for the latency-vs-offered-load curve.
 var csvHeader = []string{
 	"index", "id", "model", "cluster", "sync", "schedule", "interleave", "policy", "placement",
-	"faults", "d", "nm_requested", "batch", "error",
+	"faults", "traffic", "d", "nm_requested", "batch", "error",
 	"throughput", "degradation_pct", "fault_injections",
+	"served", "p50_sec", "p95_sec", "p99_sec", "mean_batch_fill",
 	"workers", "nm", "slocal", "sglobal",
 	"waiting", "idle", "pushes", "max_clock_distance",
 	"vw_types", "per_vw_throughput", "stage_layers",
@@ -83,10 +87,12 @@ func WriteCSV(w io.Writer, set *Set) error {
 		row := []string{
 			strconv.Itoa(sc.Index), sc.ID(), sc.Model, sc.Cluster,
 			sc.SyncMode, sc.Schedule, strconv.Itoa(interleave), sc.Policy, sc.Placement,
-			sc.Faults,
+			sc.Faults, sc.Traffic,
 			strconv.Itoa(sc.D), strconv.Itoa(sc.Nm), strconv.Itoa(sc.Batch),
 			r.Error,
 			ftoa(r.Throughput), ftoa(r.DegradationPct), strconv.Itoa(r.FaultInjections),
+			strconv.Itoa(r.Served),
+			ftoa(r.P50), ftoa(r.P95), ftoa(r.P99), ftoa(r.MeanBatchFill),
 			strconv.Itoa(r.Workers), strconv.Itoa(r.Nm),
 			strconv.Itoa(r.SLocal), strconv.Itoa(r.SGlobal),
 			ftoa(r.Waiting), ftoa(r.Idle),

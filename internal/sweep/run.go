@@ -12,6 +12,7 @@ import (
 	"hetpipe/internal/model"
 	"hetpipe/internal/profile"
 	"hetpipe/internal/sched"
+	"hetpipe/internal/serve"
 	"hetpipe/internal/sim"
 )
 
@@ -33,7 +34,9 @@ type Result struct {
 	// Error is the failure message for infeasible scenarios (e.g. a model
 	// that fits no partition of a whimpy virtual worker); empty on success.
 	Error string `json:"error,omitempty"`
-	// Throughput is the aggregate steady-state samples/sec.
+	// Throughput is the aggregate steady-state samples/sec for training
+	// scenarios and served requests/sec for serving ones (Scenario.Traffic
+	// non-empty).
 	Throughput float64 `json:"throughput,omitempty"`
 	// PerVW is each virtual worker's throughput (WSP only).
 	PerVW []float64 `json:"perVW,omitempty"`
@@ -60,6 +63,15 @@ type Result struct {
 	MaxClockDistance int `json:"maxClockDistance,omitempty"`
 	// FaultInjections counts fault-plan entries that took effect.
 	FaultInjections int `json:"faultInjections,omitempty"`
+	// Served counts drained requests and P50/P95/P99 are nearest-rank
+	// request latencies in virtual seconds; MeanBatchFill is the mean
+	// number of requests the admission layer coalesced per microbatch.
+	// Serving scenarios only.
+	Served        int     `json:"served,omitempty"`
+	P50           float64 `json:"p50Sec,omitempty"`
+	P95           float64 `json:"p95Sec,omitempty"`
+	P99           float64 `json:"p99Sec,omitempty"`
+	MeanBatchFill float64 `json:"meanBatchFill,omitempty"`
 	// DegradationPct is the throughput lost to the scenario's fault plan,
 	// in percent of the fault-free twin's throughput (same configuration
 	// with an empty Faults spec). Zero for fault-free scenarios and when
@@ -423,16 +435,39 @@ func runScenario(ctx context.Context, sc Scenario, res *resolver, eng *sim.Engin
 	if err != nil {
 		return fail(err)
 	}
-	mbs := sc.MinibatchesPerVW
-	if mbs == 0 {
-		mbs = dep.DefaultMinibatches()
-	}
 	// The fault plan is scenario-local: it shapes the simulated timeline but
 	// not the resolved deployment, which is why it is absent from the family
-	// key and the resolver's reuse is unaffected.
+	// key and the resolver's reuse is unaffected. The same holds for the
+	// traffic spec: a serving scenario drives the shared deployment with a
+	// request generator instead of the WSP training simulation.
 	plan, err := fault.Parse(sc.Faults)
 	if err != nil {
 		return fail(err)
+	}
+	if sc.Traffic != "" {
+		tr, err := serve.ParseTraffic(sc.Traffic)
+		if err != nil {
+			return fail(err)
+		}
+		sr, err := serve.RunOn(ctx, eng, dep, tr, serve.Options{Faults: plan})
+		if err != nil {
+			return fail(err)
+		}
+		out.Throughput = sr.ThroughputRPS
+		out.Workers = len(dep.VWs)
+		out.Nm = dep.Nm
+		out.Served = sr.Served
+		out.P50 = sr.Latency.P50
+		out.P95 = sr.Latency.P95
+		out.P99 = sr.Latency.P99
+		out.MeanBatchFill = sr.MeanBatchFill
+		out.FaultInjections = sr.FaultInjections
+		fillPlans(&out, dep)
+		return out
+	}
+	mbs := sc.MinibatchesPerVW
+	if mbs == 0 {
+		mbs = dep.DefaultMinibatches()
 	}
 	mr, err := dep.SimulateWSPFaultsOn(ctx, eng, mbs, 4*dep.Nm, nil, plan, 0)
 	if err != nil {
@@ -449,6 +484,14 @@ func runScenario(ctx context.Context, sc Scenario, res *resolver, eng *sim.Engin
 	out.Pushes = mr.Pushes
 	out.MaxClockDistance = mr.MaxClockDistance
 	out.FaultInjections = mr.FaultInjections
+	fillPlans(&out, dep)
+	return out
+}
+
+// fillPlans copies the deployment's per-virtual-worker partition plans into
+// the result's serializable summaries; training and serving scenarios share
+// it, so both row kinds report the same plan shape.
+func fillPlans(out *Result, dep *core.Deployment) {
 	for _, vp := range dep.VWs {
 		ps := PlanSummary{GPUs: vp.VW.TypeString(), BottleneckSec: vp.Plan.Bottleneck}
 		for i := range vp.Plan.Stages {
@@ -463,5 +506,4 @@ func runScenario(ctx context.Context, sc Scenario, res *resolver, eng *sim.Engin
 		}
 		out.Plans = append(out.Plans, ps)
 	}
-	return out
 }

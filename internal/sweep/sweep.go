@@ -1,7 +1,8 @@
 // Package sweep is the parallel configuration-exploration engine: it expands
 // a scenario grid — model zoo x cluster catalog x allocation policy x sync
-// mode x pipeline schedule x fault plan x staleness bound D x
-// concurrent-minibatch count Nm — into concrete simulation runs and executes
+// mode x pipeline schedule x fault plan x serving traffic x staleness bound
+// D x concurrent-minibatch count Nm — into concrete simulation runs and
+// executes
 // them on a bounded worker pool, one deterministic discrete-event engine per
 // goroutine. Faulted scenarios report their throughput degradation against
 // the fault-free twin of the same configuration.
@@ -32,6 +33,7 @@ import (
 	"hetpipe/internal/hw"
 	"hetpipe/internal/model"
 	"hetpipe/internal/sched"
+	"hetpipe/internal/serve"
 )
 
 // Sync-mode axis values.
@@ -89,6 +91,19 @@ type Grid struct {
 	// faults. Horovod scenarios collapse this axis like the other WSP-only
 	// ones.
 	Faults []string `json:"faults,omitempty"`
+	// Traffics lists serving traffic specs in the internal/serve grammar
+	// (e.g. "poisson:r120:n2000" or "closed:u64:t0.05:n2000"); "" is the
+	// training workload. Empty means [""] — no serving axis. A non-empty
+	// spec turns the scenario into an inference-serving run: the same
+	// resolved deployment is driven by the request generator instead of the
+	// WSP training simulation, Result.Throughput carries served
+	// requests/sec, and the latency percentiles fill in. Serving ignores
+	// the WSP clock bound, so serving scenarios collapse the D axis to a
+	// single D=0 cell the way Horovod collapses the WSP-only axes. Mixing
+	// "" and serving specs in one grid ranks samples/sec against
+	// requests/sec within a model/cluster pair — keep grids single-workload
+	// when the summary ranking matters.
+	Traffics []string `json:"traffics,omitempty"`
 	// DValues lists WSP clock-distance bounds (>= 0). Empty means [0].
 	DValues []int `json:"dValues,omitempty"`
 	// NmValues lists concurrent-minibatch counts; 0 lets the deployment pick
@@ -136,6 +151,8 @@ type Scenario struct {
 	// Faults is the fault-plan spec; empty for fault-free (and Horovod)
 	// scenarios.
 	Faults string `json:"faults,omitempty"`
+	// Traffic is the serving traffic spec; empty for training scenarios.
+	Traffic string `json:"traffic,omitempty"`
 	// D is the WSP clock-distance bound.
 	D int `json:"d"`
 	// Nm is the requested concurrent-minibatch count (0 = auto).
@@ -148,7 +165,8 @@ type Scenario struct {
 
 // ID renders a compact, unique scenario label, e.g.
 // "vgg19/paper/wsp/hetpipe-fifo/ED/default/d0/nm-auto". Faulted scenarios
-// gain a trailing "/f:<spec>" segment; fault-free ones keep the bare form.
+// gain a trailing "/f:<spec>" segment and serving scenarios a "/t:<spec>"
+// segment; fault-free training ones keep the bare form.
 func (s *Scenario) ID() string {
 	if s.SyncMode == SyncHorovod {
 		return fmt.Sprintf("%s/%s/%s", s.Model, s.Cluster, s.SyncMode)
@@ -168,6 +186,9 @@ func (s *Scenario) ID() string {
 	if s.Faults != "" {
 		id += "/f:" + s.Faults
 	}
+	if s.Traffic != "" {
+		id += "/t:" + s.Traffic
+	}
 	return id
 }
 
@@ -181,11 +202,12 @@ func (s *Scenario) baselineID() string {
 
 // Expand validates every axis value and returns the grid's scenarios in
 // deterministic order (model-major, then cluster, sync mode, schedule,
-// interleave, policy, placement, faults, D, Nm). Repeated axis values are
-// deduplicated, Horovod scenarios collapse the schedule, interleave, policy,
-// placement, faults, D, and Nm axes (exactly one baseline run per model and
-// cluster), and schedules without interleave support collapse the interleave
-// axis to V=1.
+// interleave, policy, placement, faults, traffic, D, Nm). Repeated axis
+// values are deduplicated, Horovod scenarios collapse the schedule,
+// interleave, policy, placement, faults, traffic, D, and Nm axes (exactly
+// one baseline run per model and cluster), schedules without interleave
+// support collapse the interleave axis to V=1, and serving scenarios
+// (non-empty Traffic) collapse the D axis to a single D=0 cell.
 func (g Grid) Expand() ([]Scenario, error) {
 	if err := g.validate(); err != nil {
 		return nil, err
@@ -209,6 +231,10 @@ func (g Grid) Expand() ([]Scenario, error) {
 	faults := dedup(g.Faults)
 	if len(faults) == 0 {
 		faults = []string{""}
+	}
+	traffics := dedup(g.Traffics)
+	if len(traffics) == 0 {
+		traffics = []string{""}
 	}
 	dValues := dedup(g.DValues)
 	if len(dValues) == 0 {
@@ -250,17 +276,27 @@ func (g Grid) Expand() ([]Scenario, error) {
 						for _, pol := range dedup(g.Policies) {
 							for _, pl := range placements {
 								for _, fs := range faults {
-									for _, d := range dValues {
-										for _, nm := range nmValues {
-											out = append(out, Scenario{
-												Index: len(out), Model: m, Cluster: cl,
-												SyncMode: sync, Schedule: sc,
-												Interleave: v,
-												Policy:     pol, Placement: pl,
-												Faults: fs,
-												D:      d, Nm: nm, Batch: batch,
-												MinibatchesPerVW: g.MinibatchesPerVW,
-											})
+									for _, tf := range traffics {
+										ds := dValues
+										if tf != "" {
+											// Serving runs no WSP protocol, so the
+											// clock bound never shapes the timeline;
+											// one D=0 cell per serving spec, not a
+											// duplicate per D value.
+											ds = []int{0}
+										}
+										for _, d := range ds {
+											for _, nm := range nmValues {
+												out = append(out, Scenario{
+													Index: len(out), Model: m, Cluster: cl,
+													SyncMode: sync, Schedule: sc,
+													Interleave: v,
+													Policy:     pol, Placement: pl,
+													Faults: fs, Traffic: tf,
+													D: d, Nm: nm, Batch: batch,
+													MinibatchesPerVW: g.MinibatchesPerVW,
+												})
+											}
 										}
 									}
 								}
@@ -344,6 +380,14 @@ func (g Grid) validate() error {
 	}
 	for _, f := range g.Faults {
 		if _, err := fault.Parse(f); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, tf := range g.Traffics {
+		if tf == "" {
+			continue
+		}
+		if _, err := serve.ParseTraffic(tf); err != nil {
 			return fmt.Errorf("sweep: %w", err)
 		}
 	}

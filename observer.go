@@ -25,6 +25,17 @@ const (
 	// last checkpoint and is about to replay; Event.Minibatch is the replay
 	// start and (under Train) Event.Clock the checkpoint's pushed-wave count.
 	EventRecover
+	// EventArrive fires when a serving request enters the system and is
+	// routed (Serve); Event.Request is the request id and Event.VW the
+	// chosen replica.
+	EventArrive
+	// EventAdmit fires when the serving admission layer coalesces queued
+	// requests into a microbatch; Event.Batch is the replica-local batch
+	// sequence and Event.Request the number of requests coalesced.
+	EventAdmit
+	// EventReply fires when a serving request's microbatch completes the
+	// pipeline; Event.Request is the request id and Event.Batch its batch.
+	EventReply
 )
 
 func (k EventKind) String() string {
@@ -41,6 +52,12 @@ func (k EventKind) String() string {
 		return "fault-inject"
 	case EventRecover:
 		return "recover"
+	case EventArrive:
+		return "arrive"
+	case EventAdmit:
+		return "admit"
+	case EventReply:
+		return "reply"
 	default:
 		return "unknown"
 	}
@@ -49,8 +66,9 @@ func (k EventKind) String() string {
 // Event is one observation from an in-flight run. Fields that do not apply
 // to a kind are zero.
 type Event struct {
-	// Backend names the emitting substrate: "sim" (Simulate) or "live"
-	// (Train) — useful when one observer watches both.
+	// Backend names the emitting substrate: "sim" (Simulate), "live"
+	// (Train), or "serve" (Serve) — useful when one observer watches
+	// several.
 	Backend string
 	// Kind discriminates the event.
 	Kind EventKind
@@ -69,9 +87,15 @@ type Event struct {
 	// Fault names the injected fault for EventFaultInject and EventRecover,
 	// in the WithFaults spec language (e.g. "crash:w2:mb40").
 	Fault string
+	// Request is the 0-based serving request id (EventArrive, EventReply);
+	// for EventAdmit it carries the number of requests coalesced instead.
+	Request int
+	// Batch is the replica-local 1-based microbatch sequence number
+	// (EventAdmit, EventReply, and Serve-side EventRecover).
+	Batch int
 }
 
-// Observer receives the event stream of a run (see WithObserver). Both
+// Observer receives the event stream of a run (see WithObserver). All
 // backends serialize their calls, so an Observer needs no internal locking;
 // it runs on the hot path, so it should return quickly (hand expensive work
 // to a channel or goroutine of your own).
@@ -92,6 +116,12 @@ func kindOf(k obs.Kind) EventKind {
 		return EventFaultInject
 	case obs.KindRecover:
 		return EventRecover
+	case obs.KindArrive:
+		return EventArrive
+	case obs.KindAdmit:
+		return EventAdmit
+	case obs.KindReply:
+		return EventReply
 	default:
 		return 0
 	}
@@ -114,6 +144,8 @@ func (s *settings) obsFunc() obs.Func {
 			Clock:     e.Clock,
 			Time:      e.Time,
 			Fault:     e.Fault,
+			Request:   e.Request,
+			Batch:     e.Batch,
 		})
 	}
 }

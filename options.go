@@ -33,6 +33,12 @@ var (
 	// that the selected schedule cannot run (only "interleaved" supports
 	// V > 1).
 	ErrBadInterleave = errors.New("hetpipe: bad interleave degree")
+	// ErrBadTraffic reports a WithTraffic spec that does not parse or
+	// validate (see the traffic spec grammar in WithTraffic).
+	ErrBadTraffic = errors.New("hetpipe: bad traffic spec")
+	// ErrNoTraffic reports a Serve call on a deployment that was resolved
+	// without WithTraffic.
+	ErrNoTraffic = errors.New("hetpipe: no traffic configured")
 )
 
 // settings is the resolved option set behind New. Zero values mean "default";
@@ -56,6 +62,9 @@ type settings struct {
 	// Fault-tolerance knobs (both backends).
 	faultSpec string
 	ckptEvery int
+
+	// Serving knob (Serve backend).
+	traffic string
 
 	// Live-backend (Train) knobs.
 	task     string
@@ -145,11 +154,29 @@ func WithInterleave(v int) Option { return func(s *settings) { s.interleave = v 
 func WithWarmup(n int) Option { return func(s *settings) { s.warmup = n } }
 
 // WithObserver streams run events (minibatch completions, wave pushes, pulls,
-// global-clock advances, fault injections and recoveries) to o while Simulate
-// or Train is in flight — the hook progress bars and metrics exporters attach
-// to. Both backends call the observer from a serialized context, so it needs
-// no locking of its own.
+// global-clock advances, serving arrivals/admissions/replies, fault
+// injections and recoveries) to o while Simulate, Train, or Serve is in
+// flight — the hook progress bars and metrics exporters attach to. All
+// backends call the observer from a serialized context, so it needs no
+// locking of its own.
 func WithObserver(o Observer) Option { return func(s *settings) { s.observer = o } }
+
+// WithTraffic attaches an inference-serving traffic spec and enables the
+// Serve backend. The grammar is colon-separated, in the style of WithFaults:
+//
+//	poisson:r120:n2000             open loop: 120 req/s Poisson, 2000 requests
+//	diurnal:r120:a0.5:p60:n2000    sinusoidal 60..180 req/s, period 60 s
+//	bursty:r60:x4:on2:off8:n2000   60 req/s with 4x bursts, 2 s on / 8 s off
+//	closed:u64:t0.05:n2000         closed loop: 64 users, 50 ms mean think
+//
+// Every kind accepts optional trailing fields seed<k> (default seed1) and
+// crit<f> (the fraction of requests marked latency-critical, which the
+// serving router steers to fast replicas), e.g.
+// "poisson:r120:n2000:seed7:crit0.2". Traffic generation is fully
+// deterministic: the same spec reproduces a byte-identical request trace and
+// latency summary on every Serve run. A spec that does not parse or validate
+// is reported by New through ErrBadTraffic.
+func WithTraffic(spec string) Option { return func(s *settings) { s.traffic = spec } }
 
 // WithFaults attaches a deterministic fault-injection plan, written in the
 // compact spec language of internal/fault. Comma-separated clauses:

@@ -1,0 +1,116 @@
+package hetpipe
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestServeEndToEnd drives the public serving surface: WithTraffic resolves
+// at New, Serve drains the offer deterministically, and the observer sees
+// the serving event vocabulary.
+func TestServeEndToEnd(t *testing.T) {
+	var events []EventKind
+	dep, err := New(
+		WithModel("vgg19"),
+		WithPolicy("NP"),
+		WithNm(4),
+		WithTraffic("poisson:r60:n200:crit0.2"),
+		WithObserver(func(e Event) {
+			if e.Backend != "serve" {
+				t.Fatalf("serving event from backend %q", e.Backend)
+			}
+			events = append(events, e.Kind)
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dep.Traffic(); got != "poisson:r60:n200:crit0.2" {
+		t.Errorf("Traffic() = %q", got)
+	}
+	res, err := dep.Serve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 200 || res.Offered != 200 {
+		t.Fatalf("served %d of %d", res.Served, res.Offered)
+	}
+	if res.ThroughputRPS <= 0 || res.Latency.Count != 200 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.Critical.Count+res.Bulk.Count != res.Latency.Count {
+		t.Fatalf("class split %d+%d != %d", res.Critical.Count, res.Bulk.Count, res.Latency.Count)
+	}
+	if len(res.Replicas) != 4 || len(res.Trace) != 200 {
+		t.Fatalf("replicas=%d trace=%d", len(res.Replicas), len(res.Trace))
+	}
+	var arrive, admit, reply bool
+	for _, k := range events {
+		switch k {
+		case EventArrive:
+			arrive = true
+		case EventAdmit:
+			admit = true
+		case EventReply:
+			reply = true
+		}
+	}
+	if !arrive || !admit || !reply {
+		t.Fatalf("observer missed serving kinds: arrive=%t admit=%t reply=%t", arrive, admit, reply)
+	}
+	for _, k := range []EventKind{EventArrive, EventAdmit, EventReply} {
+		if k.String() == "unknown" {
+			t.Errorf("EventKind %d has no String case", k)
+		}
+	}
+
+	// Repeated Serve calls are deterministic and independent.
+	quiet, err := New(WithModel("vgg19"), WithPolicy("NP"), WithNm(4),
+		WithTraffic("poisson:r60:n200:crit0.2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := quiet.Serve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := quiet.Serve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("repeated Serve diverged")
+	}
+	if a.Latency.String() != b.Latency.String() {
+		t.Fatal("latency summaries diverged")
+	}
+}
+
+// TestServeWithFaults pins the acceptance criterion that fault-plan serving
+// runs complete with recovery counters surfaced through the public API.
+func TestServeWithFaults(t *testing.T) {
+	dep, err := New(
+		WithModel("vgg19"),
+		WithPolicy("ED"),
+		WithNm(4),
+		WithTraffic("poisson:r60:n150"),
+		WithFaults("crash:w1:mb2:down0.5,slow:w0:x2"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dep.Serve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 150 {
+		t.Fatalf("faulted run served %d of 150", res.Served)
+	}
+	if res.Crashes != 1 || res.Recoveries != 1 {
+		t.Fatalf("crash counters: %d crashes, %d recoveries", res.Crashes, res.Recoveries)
+	}
+	if res.FaultInjections < 2 {
+		t.Fatalf("fault injections = %d, want crash + slowdown", res.FaultInjections)
+	}
+}
